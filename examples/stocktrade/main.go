@@ -1,0 +1,186 @@
+// Stocktrade reproduces the paper's §3.1 motivating example: two concurrent
+// buy transactions each purchase some shares at $30 and some at $31 even
+// though enough $30 shares initially existed for either one alone — a state
+// NO serial schedule can reach. Both transactions nevertheless satisfy
+// their postcondition ("whenever a share was bought, no cheaper unbought
+// share existed"), so the schedule is semantically correct; the program
+// verifies the postcondition and demonstrates the non-serializability with
+// the engine's conflict-graph checker.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accdb/internal/core"
+	"accdb/internal/interference"
+	"accdb/internal/storage"
+)
+
+const (
+	// Sell orders on the book: lots of shares at a price.
+	tOrders = "sell_orders"
+	// Ledger of executed purchases.
+	tLedger = "ledger"
+)
+
+type buyArgs struct {
+	buyer  string
+	want   int64 // shares to buy
+	bought int64 // work area: shares acquired so far
+	spent  int64
+	seq    int64 // ledger key allocator base
+}
+
+func main() {
+	db := core.NewDB()
+	orders := db.MustCreateTable(storage.MustSchema(tOrders, []storage.Column{
+		{Name: "id", Kind: storage.KindInt},
+		{Name: "price", Kind: storage.KindInt},
+		{Name: "shares", Kind: storage.KindInt},
+	}, "id"))
+	db.MustCreateTable(storage.MustSchema(tLedger, []storage.Column{
+		{Name: "entry", Kind: storage.KindInt},
+		{Name: "buyer", Kind: storage.KindString},
+		{Name: "price", Kind: storage.KindInt},
+		{Name: "shares", Kind: storage.KindInt},
+	}, "entry"))
+
+	// The book: n=100 shares at $30, plenty at $31.
+	must(orders.Insert(storage.Row{storage.Int(1), storage.I64(30), storage.I64(100)}))
+	must(orders.Insert(storage.Row{storage.Int(2), storage.I64(31), storage.I64(10000)}))
+
+	b := interference.NewBuilder()
+	buyTxn := b.TxnType("buy", 2)
+	grab := b.StepType("buy/grab") // one step per price level taken
+	csBuy := b.StepType("buy/compensate")
+	b.AllowInterleaveEverywhere(grab, buyTxn)
+	b.AllowInterleaveEverywhere(csBuy, buyTxn)
+	tables := b.Build()
+
+	eng := core.New(db, tables, core.Options{Mode: core.ModeACC, RecordHistory: true})
+
+	priceCol := orders.Schema.MustCol("price")
+	sharesCol := orders.Schema.MustCol("shares")
+
+	// grabStep buys up to chunk shares from the given order id; each grab is
+	// its own atomic step, so two buyers can alternate price levels.
+	grabStep := func(orderID, chunk int64) core.Step {
+		return core.Step{
+			Name: fmt.Sprintf("grab[%d]", orderID),
+			Type: grab,
+			Body: func(tc *core.Ctx) error {
+				a := tc.Args().(*buyArgs)
+				if a.bought >= a.want {
+					return nil
+				}
+				var take, price int64
+				err := tc.Update(tOrders, []storage.Value{storage.I64(orderID)}, func(row storage.Row) error {
+					avail := row[sharesCol].Int64()
+					price = row[priceCol].Int64()
+					take = a.want - a.bought
+					if take > chunk {
+						take = chunk
+					}
+					if take > avail {
+						take = avail
+					}
+					row[sharesCol] = storage.I64(avail - take)
+					return nil
+				})
+				if err != nil || take == 0 {
+					return err
+				}
+				a.seq++
+				if err := tc.Insert(tLedger, storage.Row{
+					storage.I64(a.seq), storage.Str(a.buyer),
+					storage.I64(price), storage.I64(take),
+				}); err != nil {
+					return err
+				}
+				a.bought += take
+				a.spent += take * price
+				return nil
+			},
+		}
+	}
+
+	eng.MustRegister(&core.TxnType{
+		Name:  "buy",
+		ID:    buyTxn,
+		Steps: []core.Step{grabStep(1, 50), grabStep(1, 50), grabStep(2, 100)},
+		Comp: &core.Compensation{
+			Type: csBuy,
+			Body: func(tc *core.Ctx, completed int) error {
+				return fmt.Errorf("stocktrade: buys never abort in this demo")
+			},
+		},
+	})
+
+	// Interleave T1 and T2 by hand through two goroutines synchronized so
+	// the schedule is: T1 grabs 50@30, T2 grabs the remaining 50@30, T1
+	// grabs 25@31, T2 grabs 25@31. A rendezvous after each step of T1 lets
+	// T2's step slide in between — which the ACC permits because neither
+	// invalidates the other's precondition.
+	step1Done := make(chan struct{})
+	t2Got30 := make(chan struct{})
+	done := make(chan *buyArgs, 2)
+
+	go func() {
+		a := &buyArgs{buyer: "T1", want: 100, seq: 1000}
+		eng.MustRegister(&core.TxnType{
+			Name: "buyT1", ID: buyTxn,
+			Steps: []core.Step{
+				grabStep(1, 50),
+				{Name: "pause", Type: grab, Body: func(*core.Ctx) error {
+					close(step1Done)
+					<-t2Got30
+					return nil
+				}},
+				grabStep(1, 50),
+				grabStep(2, 100),
+			},
+			Comp: &core.Compensation{Type: csBuy, Body: func(*core.Ctx, int) error { return nil }},
+		})
+		must(eng.Run("buyT1", a))
+		done <- a
+	}()
+	go func() {
+		<-step1Done
+		a := &buyArgs{buyer: "T2", want: 100, seq: 2000}
+		// T2 runs the plain two-step buy; its first step takes the rest of
+		// the $30 shares while T1 is between steps.
+		must(eng.Run("buy", a))
+		close(t2Got30)
+		done <- a
+	}()
+
+	a1, a2 := <-done, <-done
+	fmt.Printf("%s bought %d shares for $%d\n", a1.buyer, a1.bought, a1.spent)
+	fmt.Printf("%s bought %d shares for $%d\n", a2.buyer, a2.bought, a2.spent)
+
+	// Postcondition Q_i for each buyer: all requested shares bought, and the
+	// ledger never shows a purchase at $31 while $30 shares remained (each
+	// buyer's own view at purchase time — guaranteed by step atomicity).
+	if a1.bought != 100 || a2.bought != 100 {
+		log.Fatal("postcondition violated: a buyer did not fill its order")
+	}
+	// Both buyers paid a mix of prices: the tell-tale non-serializable split
+	// (a serial schedule gives one buyer all 100 cheap shares).
+	mixed := func(a *buyArgs) bool { return a.spent != 100*30 && a.spent != 100*31 }
+	if !mixed(a1) || !mixed(a2) {
+		log.Fatal("expected both buyers to split across price levels")
+	}
+	if h := eng.History(); h.ConflictSerializable() {
+		fmt.Println("note: this particular run happened to be serializable")
+	} else {
+		fmt.Println("the schedule is NOT conflict serializable — yet semantically correct")
+	}
+	fmt.Println("ok: the state is unreachable by any serial execution, and every buy met its spec")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module accdb
+
+go 1.22

@@ -1,0 +1,206 @@
+// Package assertion implements the formal assertion language of §3.1: the
+// pre- and postconditions from which transactions are specified and the
+// interstep assertions that the ACC protects.
+//
+// The package serves the two design-time roles the paper gives assertions:
+//
+//   - footprint extraction (Footprint) feeds the interference analyzer in
+//     package interference, which decides at design time whether a step can
+//     invalidate an assertion;
+//   - evaluation (Eval) lets tests check semantic correctness — that every
+//     transaction's postcondition and the database consistency constraint
+//     hold — against a quiescent database.
+//
+// The run-time scheduler never evaluates assertions; it only looks up the
+// design-time tables, exactly as the paper prescribes ("the locking
+// algorithm never checks the value of an item").
+package assertion
+
+import (
+	"fmt"
+	"strings"
+
+	"accdb/internal/storage"
+)
+
+// Term is a value-producing expression: a column of the row bound by the
+// nearest enclosing quantifier, a transaction parameter, or a constant.
+type Term interface {
+	fmt.Stringer
+	term()
+}
+
+// Col references a column of the row bound by the enclosing quantifier over
+// Table.
+type Col struct {
+	Table  string
+	Column string
+}
+
+func (Col) term()            {}
+func (c Col) String() string { return c.Table + "." + c.Column }
+
+// Param references a transaction argument by name.
+type Param struct{ Name string }
+
+func (Param) term()            {}
+func (p Param) String() string { return "$" + p.Name }
+
+// Const is a literal value.
+type Const struct{ V storage.Value }
+
+func (Const) term()            {}
+func (c Const) String() string { return c.V.String() }
+
+// I64 is shorthand for an integer constant term.
+func I64(v int64) Const { return Const{storage.I64(v)} }
+
+// Expr is a boolean assertion expression.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota + 1
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "≠"
+	case LT:
+		return "<"
+	case LE:
+		return "≤"
+	case GT:
+		return ">"
+	case GE:
+		return "≥"
+	default:
+		return "?"
+	}
+}
+
+// Cmp compares two terms.
+type Cmp struct {
+	Op   CmpOp
+	L, R Term
+}
+
+func (Cmp) expr()            {}
+func (c Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// And is conjunction.
+type And struct{ Exprs []Expr }
+
+func (And) expr() {}
+func (a And) String() string {
+	parts := make([]string, len(a.Exprs))
+	for i, e := range a.Exprs {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, " ∧ ") + ")"
+}
+
+// Or is disjunction.
+type Or struct{ Exprs []Expr }
+
+func (Or) expr() {}
+func (o Or) String() string {
+	parts := make([]string, len(o.Exprs))
+	for i, e := range o.Exprs {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// Not is negation.
+type Not struct{ E Expr }
+
+func (Not) expr()            {}
+func (n Not) String() string { return "¬" + n.E.String() }
+
+// Binding restricts a quantifier's range: rows whose Column equals the term.
+type Binding struct {
+	Column string
+	Value  Term
+}
+
+// ForAll quantifies Body over every row of Table satisfying Where.
+type ForAll struct {
+	Table string
+	Where []Binding
+	Body  Expr
+}
+
+func (ForAll) expr() {}
+func (f ForAll) String() string {
+	return fmt.Sprintf("(∀ %s%s) %s", f.Table, whereString(f.Where), f.Body)
+}
+
+// Exists asserts that some row of Table satisfies Where and Body.
+type Exists struct {
+	Table string
+	Where []Binding
+	Body  Expr // may be nil: plain existence
+}
+
+func (Exists) expr() {}
+func (e Exists) String() string {
+	if e.Body == nil {
+		return fmt.Sprintf("(∃ %s%s)", e.Table, whereString(e.Where))
+	}
+	return fmt.Sprintf("(∃ %s%s) %s", e.Table, whereString(e.Where), e.Body)
+}
+
+// CountEq asserts that the number of rows of Table satisfying Where equals
+// the term — the form of the paper's I1 ("the number of tuples in
+// orderlines ... equals num_distinct_items").
+type CountEq struct {
+	Table  string
+	Where  []Binding
+	Equals Term
+}
+
+func (CountEq) expr() {}
+func (c CountEq) String() string {
+	return fmt.Sprintf("|{%s%s}| = %s", c.Table, whereString(c.Where), c.Equals)
+}
+
+// SumLE asserts that the sum of Column over the rows of Table satisfying
+// Where is at most the term (used for stock-style resource constraints).
+type SumLE struct {
+	Table  string
+	Column string
+	Where  []Binding
+	Max    Term
+}
+
+func (SumLE) expr() {}
+func (s SumLE) String() string {
+	return fmt.Sprintf("Σ %s.%s%s ≤ %s", s.Table, s.Column, whereString(s.Where), s.Max)
+}
+
+func whereString(ws []Binding) string {
+	if len(ws) == 0 {
+		return ""
+	}
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		parts[i] = fmt.Sprintf("%s=%s", w.Column, w.Value)
+	}
+	return " | " + strings.Join(parts, ",")
+}

@@ -1,0 +1,226 @@
+package assertion
+
+import (
+	"fmt"
+
+	"accdb/internal/storage"
+)
+
+// Env supplies transaction arguments to Param terms during evaluation.
+type Env map[string]storage.Value
+
+// Eval evaluates the assertion against a catalog. The database should be
+// quiescent (semantic correctness is defined at commit points and
+// quiescence, §3.1); tests arrange that. Row-binding terms resolve against
+// the row bound by the nearest enclosing quantifier over their table.
+func Eval(e Expr, cat *storage.Catalog, env Env) (bool, error) {
+	ev := &evaluator{cat: cat, env: env, bound: make(map[string]storage.Row)}
+	return ev.eval(e)
+}
+
+type evaluator struct {
+	cat   *storage.Catalog
+	env   Env
+	bound map[string]storage.Row // table -> currently bound row
+}
+
+func (ev *evaluator) eval(e Expr) (bool, error) {
+	switch x := e.(type) {
+	case Cmp:
+		l, err := ev.term(x.L)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.term(x.R)
+		if err != nil {
+			return false, err
+		}
+		c := l.Compare(r)
+		switch x.Op {
+		case EQ:
+			return c == 0, nil
+		case NE:
+			return c != 0, nil
+		case LT:
+			return c < 0, nil
+		case LE:
+			return c <= 0, nil
+		case GT:
+			return c > 0, nil
+		case GE:
+			return c >= 0, nil
+		}
+		return false, fmt.Errorf("assertion: bad comparison op %d", x.Op)
+	case And:
+		for _, sub := range x.Exprs {
+			ok, err := ev.eval(sub)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case Or:
+		for _, sub := range x.Exprs {
+			ok, err := ev.eval(sub)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case Not:
+		ok, err := ev.eval(x.E)
+		return !ok, err
+	case ForAll:
+		all := true
+		err := ev.scan(x.Table, x.Where, func(row storage.Row) (bool, error) {
+			prev, had := ev.bound[x.Table]
+			ev.bound[x.Table] = row
+			ok, err := ev.eval(x.Body)
+			if had {
+				ev.bound[x.Table] = prev
+			} else {
+				delete(ev.bound, x.Table)
+			}
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				all = false
+				return false, nil
+			}
+			return true, nil
+		})
+		return all, err
+	case Exists:
+		found := false
+		err := ev.scan(x.Table, x.Where, func(row storage.Row) (bool, error) {
+			if x.Body != nil {
+				prev, had := ev.bound[x.Table]
+				ev.bound[x.Table] = row
+				ok, err := ev.eval(x.Body)
+				if had {
+					ev.bound[x.Table] = prev
+				} else {
+					delete(ev.bound, x.Table)
+				}
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					return true, nil
+				}
+			}
+			found = true
+			return false, nil
+		})
+		return found, err
+	case CountEq:
+		n := int64(0)
+		err := ev.scan(x.Table, x.Where, func(storage.Row) (bool, error) {
+			n++
+			return true, nil
+		})
+		if err != nil {
+			return false, err
+		}
+		want, err := ev.term(x.Equals)
+		if err != nil {
+			return false, err
+		}
+		return want.K == storage.KindInt && want.I == n, nil
+	case SumLE:
+		t := ev.cat.Table(x.Table)
+		if t == nil {
+			return false, fmt.Errorf("assertion: no table %q", x.Table)
+		}
+		col := t.Schema.Col(x.Column)
+		if col < 0 {
+			return false, fmt.Errorf("assertion: no column %s.%s", x.Table, x.Column)
+		}
+		var sum int64
+		err := ev.scan(x.Table, x.Where, func(row storage.Row) (bool, error) {
+			sum += row[col].Int64()
+			return true, nil
+		})
+		if err != nil {
+			return false, err
+		}
+		max, err := ev.term(x.Max)
+		if err != nil {
+			return false, err
+		}
+		return sum <= max.Int64(), nil
+	default:
+		return false, fmt.Errorf("assertion: unknown expression %T", e)
+	}
+}
+
+func (ev *evaluator) term(t Term) (storage.Value, error) {
+	switch x := t.(type) {
+	case Const:
+		return x.V, nil
+	case Param:
+		v, ok := ev.env[x.Name]
+		if !ok {
+			return storage.Value{}, fmt.Errorf("assertion: unbound parameter $%s", x.Name)
+		}
+		return v, nil
+	case Col:
+		row, ok := ev.bound[x.Table]
+		if !ok {
+			return storage.Value{}, fmt.Errorf("assertion: column %s.%s outside a quantifier over %s",
+				x.Table, x.Column, x.Table)
+		}
+		t := ev.cat.Table(x.Table)
+		col := t.Schema.Col(x.Column)
+		if col < 0 {
+			return storage.Value{}, fmt.Errorf("assertion: no column %s.%s", x.Table, x.Column)
+		}
+		return row[col], nil
+	default:
+		return storage.Value{}, fmt.Errorf("assertion: unknown term %T", t)
+	}
+}
+
+// scan visits rows of table matching the bindings; visit returns (continue,
+// error).
+func (ev *evaluator) scan(table string, where []Binding, visit func(storage.Row) (bool, error)) error {
+	t := ev.cat.Table(table)
+	if t == nil {
+		return fmt.Errorf("assertion: no table %q", table)
+	}
+	type match struct {
+		col int
+		v   storage.Value
+	}
+	matches := make([]match, len(where))
+	for i, w := range where {
+		col := t.Schema.Col(w.Column)
+		if col < 0 {
+			return fmt.Errorf("assertion: no column %s.%s", table, w.Column)
+		}
+		v, err := ev.term(w.Value)
+		if err != nil {
+			return err
+		}
+		matches[i] = match{col, v}
+	}
+	var serr error
+	t.Scan(func(_ storage.Key, row storage.Row) bool {
+		for _, m := range matches {
+			if !row[m.col].Equal(m.v) {
+				return true
+			}
+		}
+		cont, err := visit(row)
+		if err != nil {
+			serr = err
+			return false
+		}
+		return cont
+	})
+	return serr
+}

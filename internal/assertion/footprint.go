@@ -1,0 +1,96 @@
+package assertion
+
+import "sort"
+
+// Footprint is the design-time read set of an assertion: which columns of
+// which tables its truth depends on, and over which tables it quantifies
+// (so that inserts and deletes — not just updates — can invalidate it).
+type Footprint struct {
+	// Columns maps table -> set of referenced column names. Binding columns
+	// are included: changing them moves rows in or out of the range.
+	Columns map[string]map[string]bool
+	// Quantified marks tables whose row *membership* the assertion depends
+	// on (ForAll/Exists/CountEq/SumLE ranges).
+	Quantified map[string]bool
+}
+
+// FootprintOf extracts the footprint of an assertion expression.
+func FootprintOf(e Expr) *Footprint {
+	f := &Footprint{
+		Columns:    make(map[string]map[string]bool),
+		Quantified: make(map[string]bool),
+	}
+	f.walkExpr(e)
+	return f
+}
+
+func (f *Footprint) addCol(table, col string) {
+	m, ok := f.Columns[table]
+	if !ok {
+		m = make(map[string]bool)
+		f.Columns[table] = m
+	}
+	m[col] = true
+}
+
+func (f *Footprint) walkTerm(t Term) {
+	if c, ok := t.(Col); ok {
+		f.addCol(c.Table, c.Column)
+	}
+}
+
+func (f *Footprint) walkWhere(table string, where []Binding) {
+	f.Quantified[table] = true
+	for _, w := range where {
+		f.addCol(table, w.Column)
+		f.walkTerm(w.Value)
+	}
+}
+
+func (f *Footprint) walkExpr(e Expr) {
+	switch x := e.(type) {
+	case Cmp:
+		f.walkTerm(x.L)
+		f.walkTerm(x.R)
+	case And:
+		for _, s := range x.Exprs {
+			f.walkExpr(s)
+		}
+	case Or:
+		for _, s := range x.Exprs {
+			f.walkExpr(s)
+		}
+	case Not:
+		f.walkExpr(x.E)
+	case ForAll:
+		f.walkWhere(x.Table, x.Where)
+		f.walkExpr(x.Body)
+	case Exists:
+		f.walkWhere(x.Table, x.Where)
+		if x.Body != nil {
+			f.walkExpr(x.Body)
+		}
+	case CountEq:
+		f.walkWhere(x.Table, x.Where)
+		f.walkTerm(x.Equals)
+	case SumLE:
+		f.walkWhere(x.Table, x.Where)
+		f.addCol(x.Table, x.Column)
+		f.walkTerm(x.Max)
+	}
+}
+
+// Tables returns the referenced tables in sorted order.
+func (f *Footprint) Tables() []string {
+	var out []string
+	for t := range f.Columns {
+		out = append(out, t)
+	}
+	for t := range f.Quantified {
+		if _, ok := f.Columns[t]; !ok {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

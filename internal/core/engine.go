@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accdb/internal/interference"
+	"accdb/internal/lock"
+	"accdb/internal/wal"
+)
+
+// Mode selects the scheduler.
+type Mode int
+
+const (
+	// ModeACC is the one-level assertional concurrency control (§3.2-3.3):
+	// strict 2PL within steps, assertional locks acquired dynamically with
+	// conventional locks, exposure marks and compensation reservations held
+	// to commit.
+	ModeACC Mode = iota
+	// ModeBaseline is the unmodified system of §5: the whole transaction is
+	// a single strict-2PL unit, serializable, one forced commit record.
+	ModeBaseline
+	// ModeTwoLevel is the earlier two-level design of [5] (§3.2): a
+	// dispatcher blocks steps on step-type/assertion interference without
+	// run-time item identity, so false conflicts delay transactions that
+	// touch disjoint data. Kept for the ablation benchmarks.
+	ModeTwoLevel
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeACC:
+		return "acc"
+	case ModeBaseline:
+		return "baseline"
+	case ModeTwoLevel:
+		return "two-level"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ExecEnv models the execution environment's costs. The simulation package
+// provides an implementation with a server pool, per-statement service time
+// and inter-statement compute time; the zero environment executes inline.
+type ExecEnv interface {
+	// Statement brackets the CPU phase of one SQL statement: the
+	// implementation acquires a database server, charges the service time,
+	// runs work, and releases the server. Lock waits happen outside it.
+	Statement(work func())
+	// Compute charges the application's compute time between successive
+	// statements of a transaction (Figure 3's knob). Locks remain held.
+	Compute()
+}
+
+type inlineEnv struct{}
+
+func (inlineEnv) Statement(work func()) { work() }
+func (inlineEnv) Compute()              {}
+
+// Options configures an Engine.
+type Options struct {
+	Mode Mode
+	// WaitTimeout bounds individual lock waits (safety net; 0 = forever).
+	WaitTimeout time.Duration
+	// ForceLatency is the simulated log-force I/O time. The ACC pays it per
+	// end-of-step record; the baseline once per commit.
+	ForceLatency time.Duration
+	// MaxStepRetries is how many times a deadlock-victim step restarts
+	// before the transaction is rolled back by compensation. The paper's
+	// policy ("if the deadlock recurs ... rollback") is 1.
+	MaxStepRetries int
+	// MaxTxnRetries bounds whole-transaction restarts in baseline mode.
+	MaxTxnRetries int
+	// EagerAssertionLocks selects the simplified §3.3 algorithm that locks
+	// an assertion's whole footprint before the step runs (requires
+	// Assertion.Items); the default is the implemented dynamic variant.
+	EagerAssertionLocks bool
+	// Env injects execution costs; nil executes inline.
+	Env ExecEnv
+	// RecordHistory captures a conflict-checkable access history (tests).
+	RecordHistory bool
+}
+
+// Stats aggregates engine counters.
+type Stats struct {
+	Commits       uint64
+	UserAborts    uint64
+	Compensations uint64
+	CompFailures  uint64
+	StepRetries   uint64
+	TxnRetries    uint64
+}
+
+// Engine schedules transactions over a DB under the configured mode.
+type Engine struct {
+	opt    Options
+	db     *DB
+	tables *interference.Tables
+	lm     *lock.Manager
+	log    *wal.Log
+	env    ExecEnv
+
+	nextTxn atomic.Uint64
+
+	mu    sync.RWMutex
+	types map[string]*TxnType
+
+	commits       atomic.Uint64
+	userAborts    atomic.Uint64
+	compensations atomic.Uint64
+	compFailures  atomic.Uint64
+	stepRetries   atomic.Uint64
+	txnRetries    atomic.Uint64
+
+	hist *history
+}
+
+// New creates an engine over db using the design-time interference tables.
+func New(db *DB, tables *interference.Tables, opt Options) *Engine {
+	if opt.MaxStepRetries == 0 {
+		opt.MaxStepRetries = 1 // the paper's recurrence rule
+	}
+	if opt.MaxTxnRetries == 0 {
+		opt.MaxTxnRetries = 100
+	}
+	env := opt.Env
+	if env == nil {
+		env = inlineEnv{}
+	}
+	lm := lock.NewManager(tables)
+	lm.WaitTimeout = opt.WaitTimeout
+	e := &Engine{
+		opt:    opt,
+		db:     db,
+		tables: tables,
+		lm:     lm,
+		log:    wal.New(opt.ForceLatency),
+		env:    env,
+		types:  make(map[string]*TxnType),
+	}
+	if opt.RecordHistory {
+		e.hist = newHistory()
+	}
+	return e
+}
+
+// DB returns the underlying database.
+func (e *Engine) DB() *DB { return e.db }
+
+// Log returns the write-ahead log (benchmarks read its force counters;
+// recovery tests read its byte image).
+func (e *Engine) Log() *wal.Log { return e.log }
+
+// Locks returns the lock manager (tests and stats).
+func (e *Engine) Locks() *lock.Manager { return e.lm }
+
+// Mode returns the configured scheduler mode.
+func (e *Engine) Mode() Mode { return e.opt.Mode }
+
+// Register installs a transaction type.
+func (e *Engine) Register(tt *TxnType) error {
+	if err := tt.validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.types[tt.Name]; dup {
+		return fmt.Errorf("core: transaction type %q already registered", tt.Name)
+	}
+	e.types[tt.Name] = tt
+	return nil
+}
+
+// MustRegister is Register that panics.
+func (e *Engine) MustRegister(tt *TxnType) {
+	if err := e.Register(tt); err != nil {
+		panic(err)
+	}
+}
+
+// Type returns a registered transaction type by name.
+func (e *Engine) Type(name string) *TxnType {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.types[name]
+}
+
+// Snapshot returns the engine counters.
+func (e *Engine) Snapshot() Stats {
+	return Stats{
+		Commits:       e.commits.Load(),
+		UserAborts:    e.userAborts.Load(),
+		Compensations: e.compensations.Load(),
+		CompFailures:  e.compFailures.Load(),
+		StepRetries:   e.stepRetries.Load(),
+		TxnRetries:    e.txnRetries.Load(),
+	}
+}
+
+// History returns the recorded access history, or nil if disabled.
+func (e *Engine) History() *History {
+	if e.hist == nil {
+		return nil
+	}
+	return e.hist.snapshot()
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"accdb/internal/interference"
+	"accdb/internal/lock"
+	"accdb/internal/wal"
+)
+
+// Run executes one instance of the named transaction type with the given
+// arguments under the engine's scheduler mode. It returns nil on commit, a
+// *CompensatedError or ErrUserAbort-wrapping error on rollback, and other
+// errors on failure.
+func (e *Engine) Run(name string, args any) error {
+	tt := e.Type(name)
+	if tt == nil {
+		return fmt.Errorf("core: unknown transaction type %q", name)
+	}
+	return e.RunType(tt, args)
+}
+
+// RunType is Run for an already-resolved type.
+func (e *Engine) RunType(tt *TxnType, args any) error {
+	if e.opt.Mode == ModeBaseline {
+		return e.runBaseline(tt, args)
+	}
+	return e.runDecomposed(tt, args)
+}
+
+// RunLegacy executes an undecomposed (ad-hoc) transaction: a single
+// strict-2PL unit whose lock requests carry the legacy tags, so under the
+// ACC it is completely isolated from intermediate states of multi-step
+// transactions (§3.3 end).
+func (e *Engine) RunLegacy(name string, body func(tc *Ctx) error) error {
+	tt := &TxnType{
+		Name: name,
+		ID:   interference.LegacyTxn,
+		Steps: []Step{{
+			Name: name, Type: interference.LegacyStep, Body: body,
+		}},
+	}
+	if e.opt.Mode == ModeBaseline {
+		return e.runBaseline(tt, nil)
+	}
+	return e.runDecomposed(tt, nil)
+}
+
+// isLockAbort reports whether err is a retryable scheduling abort.
+func isLockAbort(err error) bool {
+	return errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrAborted) ||
+		errors.Is(err, lock.ErrTimeout)
+}
+
+// runDecomposed executes tt under the ACC (or two-level) scheduler. A
+// scheduling abort before any step has completed restarts the whole
+// transaction (nothing was exposed, so a restart is free); once a step has
+// completed, rollback goes through compensation instead.
+func (e *Engine) runDecomposed(tt *TxnType, args any) error {
+	for attempt := 0; ; attempt++ {
+		err := e.runDecomposedOnce(tt, args)
+		// Only a clean scheduling abort (nothing exposed, everything undone
+		// in place) restarts. A compensated rollback is a final outcome —
+		// its effects were semantically reversed and its identifiers (order
+		// numbers) consumed — and a failed compensation is never retried.
+		var cf *CompensationFailedError
+		if err != nil && isLockAbort(err) &&
+			!IsCompensated(err) && !errors.As(err, &cf) &&
+			attempt < e.opt.MaxTxnRetries {
+			e.txnRetries.Add(1)
+			retryBackoff(attempt, e.nextTxn.Load())
+			continue
+		}
+		return err
+	}
+}
+
+func (e *Engine) runDecomposedOnce(tt *TxnType, args any) error {
+	txn := &txnState{
+		tt:    tt,
+		args:  args,
+		steps: tt.stepsFor(args),
+		info:  lock.NewTxnInfo(lock.TxnID(e.nextTxn.Add(1)), tt.ID),
+	}
+	e.log.Append(wal.Record{Type: wal.TBegin, Txn: uint64(txn.info.ID), TxnType: tt.Name})
+
+	for j := range txn.steps {
+		if err := e.runStep(txn, j); err != nil {
+			return e.rollback(txn, j, err)
+		}
+	}
+	// Commit: one forced record; conventional locks of the final step are
+	// held through the force so nothing uncommitted is ever exposed.
+	e.logForce(wal.Record{Type: wal.TCommit, Txn: uint64(txn.info.ID)})
+	e.lm.ReleaseAll(txn.info)
+	e.commits.Add(1)
+	e.recordCommit(txn)
+	return nil
+}
+
+// logForce writes a forced log record, charging its preparation (building
+// the record, saving the work area, updating the log tail) as one unit of
+// server CPU — the ACC overhead §5 measures: "these actions represent
+// overhead and are included in the measured results". The force I/O itself
+// is latency, paid outside any server.
+func (e *Engine) logForce(rec wal.Record) {
+	e.env.Statement(func() {})
+	e.log.AppendForce(rec)
+}
+
+// retryBackoff sleeps briefly before a transaction restart, with jitter
+// derived from the transaction identity: two victims of the same deadlock
+// must not re-collide in lockstep forever.
+func retryBackoff(attempt int, salt uint64) {
+	d := time.Duration(attempt+1) * 100 * time.Microsecond
+	d += time.Duration(salt%17) * 53 * time.Microsecond
+	time.Sleep(d)
+}
+
+// runStep executes forward step j with the deadlock-retry policy: a victim
+// step is undone, its conventional locks released, and retried; when the
+// deadlock recurs beyond the budget the error escalates to the caller, which
+// compensates (§3.4).
+func (e *Engine) runStep(txn *txnState, j int) error {
+	for attempt := 0; ; attempt++ {
+		e.log.Append(wal.Record{Type: wal.TStepBegin, Txn: uint64(txn.info.ID), Step: int32(j)})
+		tc := &Ctx{
+			e: e, txn: txn, stepIdx: j,
+			stepType: txn.steps[j].Type,
+			active:   activeAssertions(txn.steps, j),
+		}
+		err := e.stepPrologue(tc, j)
+		if err == nil {
+			err = txn.steps[j].Body(tc)
+		}
+		if err == nil {
+			e.finishStep(txn, tc, j)
+			return nil
+		}
+		tc.undo()
+		e.lm.ReleaseStepAbort(txn.info)
+		if isLockAbort(err) && attempt < e.opt.MaxStepRetries {
+			e.stepRetries.Add(1)
+			continue
+		}
+		return err
+	}
+}
+
+// stepPrologue performs mode-specific work before the body runs: eager
+// assertional locking (simplified §3.3) and the two-level dispatcher's
+// assertion-type gate.
+func (e *Engine) stepPrologue(tc *Ctx, j int) error {
+	if e.opt.Mode == ModeTwoLevel {
+		if err := e.twoLevelGate(tc, j); err != nil {
+			return err
+		}
+	}
+	if e.opt.Mode == ModeACC && e.opt.EagerAssertionLocks {
+		for _, a := range tc.active {
+			if a.Items == nil {
+				continue
+			}
+			for _, item := range a.Items(tc.txn.args) {
+				req := lock.Request{
+					Mode: lock.ModeA, Step: tc.stepType,
+					Assertion: a.ID, Compensating: tc.compensating,
+				}
+				if err := e.lm.Acquire(tc.txn.info, item, req); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// finishStep performs the end-of-step processing: exposure and reservation
+// marks on written items, the forced end-of-step record with the saved work
+// area, breakpoint advance, and release of the step's conventional locks
+// and of the completed precondition's assertional locks. The final step
+// skips exposure and keeps its locks until commit forces the log.
+func (e *Engine) finishStep(txn *txnState, tc *Ctx, j int) {
+	tt := txn.tt
+	last := j == len(txn.steps)-1
+	if !last {
+		compType := interference.NoStep
+		if tt.Comp != nil {
+			compType = tt.Comp.Type
+		}
+		for item := range tc.wroteItems {
+			e.lm.AttachExposure(txn.info, item)
+			e.lm.AttachReservation(txn.info, item, compType)
+		}
+	}
+	var area []byte
+	if tt.EncodeArgs != nil {
+		area = tt.EncodeArgs(txn.args)
+	}
+	rec := wal.Record{
+		Type: wal.TEndOfStep, Txn: uint64(txn.info.ID),
+		Step: int32(j), WorkArea: area,
+	}
+	if last {
+		// The commit record that follows immediately is forced; piggyback
+		// its processing too.
+		e.log.Append(rec)
+		txn.info.AdvanceStep()
+		return
+	}
+	e.logForce(rec)
+	txn.info.AdvanceStep()
+	e.lm.ReleaseConventional(txn.info)
+	e.releaseAssertions(txn, txn.steps[j].Pre)
+}
+
+// releaseAssertions drops the assertional locks of the given (now
+// discharged) precondition conjuncts.
+func (e *Engine) releaseAssertions(txn *txnState, pre []*Assertion) {
+	for _, a := range pre {
+		// The next step may re-declare the same conjunct; keep it then.
+		next := txn.info.CompletedSteps()
+		if next < len(txn.steps) {
+			keep := false
+			for _, n := range activeAssertions(txn.steps, next) {
+				if n.ID == a.ID {
+					keep = true
+					break
+				}
+			}
+			if keep {
+				continue
+			}
+		}
+		e.lm.ReleaseAssertion(txn.info, a.ID)
+	}
+}
+
+// rollback handles a failed forward step j: if no step has completed the
+// transaction simply aborts; otherwise the compensating step semantically
+// undoes the completed prefix (§3.4).
+func (e *Engine) rollback(txn *txnState, j int, cause error) error {
+	completed := txn.info.CompletedSteps()
+	if completed == 0 {
+		e.log.Append(wal.Record{Type: wal.TAbort, Txn: uint64(txn.info.ID)})
+		e.lm.ReleaseAll(txn.info)
+		if isLockAbort(cause) {
+			return cause // nothing exposed: the caller restarts the transaction
+		}
+		e.userAborts.Add(1)
+		return fmt.Errorf("core: %s aborted: %w", txn.tt.Name, cause)
+	}
+	if err := e.compensate(txn, completed); err != nil {
+		return err
+	}
+	return &CompensatedError{Txn: txn.tt.Name, Cause: cause}
+}
+
+// compensate runs the compensating step for the completed prefix. Its lock
+// requests carry the Compensating flag, so it is never a deadlock victim;
+// if it is aborted from outside it retries until it succeeds, which the
+// reservation locks guarantee is possible.
+func (e *Engine) compensate(txn *txnState, completed int) error {
+	tt := txn.tt
+	if tt.Comp == nil {
+		return fmt.Errorf("core: %s has completed steps but no compensation", tt.Name)
+	}
+	for attempt := 0; ; attempt++ {
+		e.log.Append(wal.Record{Type: wal.TCompBegin, Txn: uint64(txn.info.ID), Step: int32(completed)})
+		tc := &Ctx{
+			e: e, txn: txn,
+			stepIdx:      completed,
+			stepType:     tt.Comp.Type,
+			compensating: true,
+		}
+		err := tt.Comp.Body(tc, completed)
+		if err == nil {
+			e.logForce(wal.Record{Type: wal.TCompDone, Txn: uint64(txn.info.ID)})
+			e.lm.ReleaseAll(txn.info)
+			e.compensations.Add(1)
+			e.recordCommit(txn) // compensation publishes a (compensated) outcome
+			return nil
+		}
+		tc.undo()
+		e.lm.ReleaseStepAbort(txn.info)
+		// The reservation locks guarantee compensation can always make
+		// progress, so scheduling aborts are retried persistently (with a
+		// short backoff to break convoys); a non-retryable error is a
+		// programming error in the transaction declaration.
+		if isLockAbort(err) && attempt < 100 {
+			e.stepRetries.Add(1)
+			// Jitter by transaction identity so two compensations that
+			// victimize each other cannot retry in lockstep forever.
+			jitter := time.Duration(uint64(txn.info.ID)%13) * 37 * time.Microsecond
+			time.Sleep(time.Duration(attempt+1)*200*time.Microsecond + jitter)
+			continue
+		}
+		e.lm.ReleaseAll(txn.info)
+		e.compFailures.Add(1)
+		return &CompensationFailedError{Txn: tt.Name, Cause: err}
+	}
+}
+
+// runBaseline executes tt as the unmodified system would: all step bodies
+// in one strict-2PL unit, everything released at commit, one forced commit
+// record, and whole-transaction restart on deadlock.
+func (e *Engine) runBaseline(tt *TxnType, args any) error {
+	for attempt := 0; ; attempt++ {
+		txn := &txnState{
+			tt:    tt,
+			args:  args,
+			steps: tt.stepsFor(args),
+			info:  lock.NewTxnInfo(lock.TxnID(e.nextTxn.Add(1)), interference.LegacyTxn),
+		}
+		e.log.Append(wal.Record{Type: wal.TBegin, Txn: uint64(txn.info.ID), TxnType: tt.Name})
+		e.log.Append(wal.Record{Type: wal.TStepBegin, Txn: uint64(txn.info.ID), Step: 0})
+		tc := &Ctx{e: e, txn: txn, stepType: interference.LegacyStep}
+		var err error
+		for j := range txn.steps {
+			if txn.steps[j].Body != nil {
+				if err = txn.steps[j].Body(tc); err != nil {
+					break
+				}
+			}
+		}
+		if err == nil {
+			e.log.Append(wal.Record{Type: wal.TEndOfStep, Txn: uint64(txn.info.ID), Step: 0})
+			e.logForce(wal.Record{Type: wal.TCommit, Txn: uint64(txn.info.ID)})
+			e.lm.ReleaseAll(txn.info)
+			e.commits.Add(1)
+			e.recordCommit(txn)
+			return nil
+		}
+		// Serializable rollback: restore before-images; nothing was exposed.
+		tc.undo()
+		e.log.Append(wal.Record{Type: wal.TAbort, Txn: uint64(txn.info.ID)})
+		e.lm.ReleaseAll(txn.info)
+		if isLockAbort(err) {
+			if attempt < e.opt.MaxTxnRetries {
+				e.txnRetries.Add(1)
+				retryBackoff(attempt, uint64(txn.info.ID))
+				continue
+			}
+			return fmt.Errorf("core: %s: %w: %v", tt.Name, ErrRetriesExhausted, err)
+		}
+		e.userAborts.Add(1)
+		return fmt.Errorf("core: %s aborted: %w", tt.Name, err)
+	}
+}

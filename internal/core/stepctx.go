@@ -1,0 +1,538 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"accdb/internal/interference"
+	"accdb/internal/lock"
+	"accdb/internal/storage"
+	"accdb/internal/wal"
+)
+
+// Ctx is the data-access surface handed to step bodies (the engine's "SQL
+// connection"). Every operation acquires the hierarchy of conventional
+// locks, attaches assertional locks for the transaction's active assertions
+// (the implemented one-level ACC acquires them dynamically, §3.3), executes
+// the statement's CPU phase through the ExecEnv, and records undo images so
+// a deadlock-victim step can be rolled back and retried.
+type Ctx struct {
+	e   *Engine
+	txn *txnState
+
+	stepIdx      int
+	stepType     interference.StepTypeID
+	compensating bool
+	active       []*Assertion
+
+	writes     []writeRec
+	wroteItems map[lock.Item]bool
+	stmts      int
+}
+
+type writeRec struct {
+	table  string
+	pk     storage.Key
+	before storage.Row // nil: row was inserted
+	after  storage.Row // nil: row was deleted
+}
+
+// txnState is the engine's per-instance transaction record.
+type txnState struct {
+	tt    *TxnType
+	args  any
+	steps []Step
+	info  *lock.TxnInfo
+}
+
+// Args returns the transaction's argument value (its work area).
+func (tc *Ctx) Args() any { return tc.txn.args }
+
+// Abort returns the error a step body should return to roll the transaction
+// back, optionally wrapping a cause.
+func (tc *Ctx) Abort(cause string) error {
+	if cause == "" {
+		return ErrUserAbort
+	}
+	return fmt.Errorf("%s: %w", cause, ErrUserAbort)
+}
+
+// stmt brackets one statement: CPU phase through the environment, then the
+// inter-statement compute time (for every statement but the first, matching
+// "compute time between successive SQL statements").
+func (tc *Ctx) stmt(work func()) {
+	if tc.stmts > 0 && tc.txn.tt.InterStatementCompute {
+		tc.e.env.Compute()
+	}
+	tc.stmts++
+	tc.e.env.Statement(work)
+}
+
+// request builds the lock request for this step.
+func (tc *Ctx) request(mode lock.Mode) lock.Request {
+	return lock.Request{Mode: mode, Step: tc.stepType, Compensating: tc.compensating}
+}
+
+// acquire takes one conventional lock and, in ACC mode, attaches assertional
+// locks for every active assertion covering the item.
+func (tc *Ctx) acquire(item lock.Item, mode lock.Mode) error {
+	if err := tc.e.lm.Acquire(tc.txn.info, item, tc.request(mode)); err != nil {
+		return err
+	}
+	if tc.e.opt.Mode == ModeACC {
+		for _, a := range tc.active {
+			if a.Covers != nil && a.Covers(tc.txn.args, item) {
+				req := lock.Request{
+					Mode: lock.ModeA, Step: tc.stepType,
+					Assertion: a.ID, Compensating: tc.compensating,
+				}
+				if err := tc.e.lm.Acquire(tc.txn.info, item, req); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// lockRead acquires the read hierarchy for a row: IS table, IS partition,
+// S row.
+func (tc *Ctx) lockRead(table string, keyVals []storage.Value, pk storage.Key) error {
+	if err := tc.acquire(lock.TableItem(table), lock.ModeIS); err != nil {
+		return err
+	}
+	if part, ok := tc.e.db.partitionOfKey(table, keyVals); ok {
+		if err := tc.acquire(part, lock.ModeIS); err != nil {
+			return err
+		}
+	}
+	return tc.acquire(lock.RowItem(table, pk), lock.ModeS)
+}
+
+// lockWrite acquires the update hierarchy for an existing row: IX table,
+// IX partition, X row.
+func (tc *Ctx) lockWrite(table string, keyVals []storage.Value, pk storage.Key) error {
+	if err := tc.acquire(lock.TableItem(table), lock.ModeIX); err != nil {
+		return err
+	}
+	if part, ok := tc.e.db.partitionOfKey(table, keyVals); ok {
+		if err := tc.acquire(part, lock.ModeIX); err != nil {
+			return err
+		}
+	}
+	return tc.acquire(lock.RowItem(table, pk), lock.ModeX)
+}
+
+// lockStructural acquires the hierarchy for inserts and deletes: IX table,
+// X partition (serializing structural change within the partition, the page
+// lock analogue), X row.
+func (tc *Ctx) lockStructural(table string, keyVals []storage.Value, pk storage.Key) error {
+	if err := tc.acquire(lock.TableItem(table), lock.ModeIX); err != nil {
+		return err
+	}
+	if part, ok := tc.e.db.partitionOfKey(table, keyVals); ok {
+		if err := tc.acquire(part, lock.ModeX); err != nil {
+			return err
+		}
+	}
+	return tc.acquire(lock.RowItem(table, pk), lock.ModeX)
+}
+
+func (tc *Ctx) table(name string) (*storage.Table, error) {
+	t := tc.e.db.Catalog.Table(name)
+	if t == nil {
+		return nil, fmt.Errorf("core: no table %q", name)
+	}
+	return t, nil
+}
+
+// recordWrite logs the mutation, saves the undo image, and remembers the
+// written items for exposure and reservation marking at step end.
+func (tc *Ctx) recordWrite(table string, keyVals []storage.Value, pk storage.Key, before, after storage.Row) {
+	tc.writes = append(tc.writes, writeRec{table: table, pk: pk, before: before, after: after})
+	tc.e.log.Append(wal.Record{
+		Type: wal.TWrite, Txn: uint64(tc.txn.info.ID),
+		Table: table, PK: pk, Before: before, After: after,
+	})
+	if tc.wroteItems == nil {
+		tc.wroteItems = make(map[lock.Item]bool)
+	}
+	tc.wroteItems[lock.RowItem(table, pk)] = true
+	structural := before == nil || after == nil
+	if structural {
+		if part, ok := tc.e.db.partitionOfKey(table, keyVals); ok {
+			tc.wroteItems[part] = true
+		}
+	}
+	tc.e.record(tc.txn, table, pk, true)
+}
+
+// Get reads the row with the given primary key. It returns
+// storage.ErrNotFound (wrapped) if absent.
+func (tc *Ctx) Get(table string, keyVals ...storage.Value) (storage.Row, error) {
+	t, err := tc.table(table)
+	if err != nil {
+		return nil, err
+	}
+	pk := storage.EncodeKey(keyVals...)
+	if err := tc.lockRead(table, keyVals, pk); err != nil {
+		return nil, err
+	}
+	var row storage.Row
+	var gerr error
+	tc.stmt(func() { row, gerr = t.Get(pk) })
+	tc.e.record(tc.txn, table, pk, false)
+	return row, gerr
+}
+
+// GetMany locks (S) and reads a batch of rows by primary key in a single
+// statement — the engine's stand-in for a join against a key list (used by
+// stock-level). Missing keys are skipped.
+func (tc *Ctx) GetMany(table string, keys [][]storage.Value) ([]storage.Row, error) {
+	t, err := tc.table(table)
+	if err != nil {
+		return nil, err
+	}
+	if err := tc.acquire(lock.TableItem(table), lock.ModeIS); err != nil {
+		return nil, err
+	}
+	// Lock in key order: batched acquirers that sort identically cannot
+	// deadlock against each other.
+	sorted := make([][]storage.Value, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool {
+		return storage.EncodeKey(sorted[i]...) < storage.EncodeKey(sorted[j]...)
+	})
+	pks := make([]storage.Key, len(sorted))
+	for i, kv := range sorted {
+		pk := storage.EncodeKey(kv...)
+		if err := tc.lockRead(table, kv, pk); err != nil {
+			return nil, err
+		}
+		pks[i] = pk
+	}
+	rows := make([]storage.Row, 0, len(pks))
+	tc.stmt(func() {
+		for _, pk := range pks {
+			if row, err := t.Get(pk); err == nil {
+				rows = append(rows, row)
+			}
+		}
+	})
+	for _, pk := range pks {
+		tc.e.record(tc.txn, table, pk, false)
+	}
+	return rows, nil
+}
+
+// ClaimMin atomically pops the index-least row matching eqVals: it probes
+// the index for the head, X-locks that row, re-verifies it, and deletes it —
+// the head-of-queue claim a delivery performs. The probe itself takes no row
+// locks (it reads the index the way an index page lookup would); losing a
+// race to another claimer simply re-probes. Returns (nil, nil) when no row
+// matches.
+func (tc *Ctx) ClaimMin(table, index string, eqVals []storage.Value) (storage.Row, error) {
+	t, err := tc.table(table)
+	if err != nil {
+		return nil, err
+	}
+	if err := tc.acquire(lock.TableItem(table), lock.ModeIX); err != nil {
+		return nil, err
+	}
+	for {
+		var headPK storage.Key
+		found := false
+		tc.stmt(func() {
+			t.IndexScan(index, eqVals, func(pk storage.Key, _ storage.Row) bool {
+				headPK = pk
+				found = true
+				return false
+			})
+		})
+		if !found {
+			tc.e.record(tc.txn, table, "", false)
+			return nil, nil
+		}
+		if err := tc.acquire(lock.RowItem(table, headPK), lock.ModeX); err != nil {
+			return nil, err
+		}
+		var row storage.Row
+		var old storage.Row
+		var derr error
+		tc.stmt(func() {
+			row, derr = t.Get(headPK)
+			if derr != nil {
+				return
+			}
+			old, derr = t.Delete(headPK)
+		})
+		if derr != nil {
+			continue // another claimer won the race; re-probe
+		}
+		keyVals := t.Schema.PKOf(old)
+		tc.recordWrite(table, keyVals, headPK, old, nil)
+		return row, nil
+	}
+}
+
+// Insert adds a new row.
+func (tc *Ctx) Insert(table string, row storage.Row) error {
+	t, err := tc.table(table)
+	if err != nil {
+		return err
+	}
+	if err := t.Schema.CheckRow(row); err != nil {
+		return err
+	}
+	keyVals := t.Schema.PKOf(row)
+	pk := storage.EncodeKey(keyVals...)
+	if err := tc.lockStructural(table, keyVals, pk); err != nil {
+		return err
+	}
+	var ierr error
+	tc.stmt(func() { ierr = t.Insert(row) })
+	if ierr != nil {
+		return ierr
+	}
+	tc.recordWrite(table, keyVals, pk, nil, row.Clone())
+	return nil
+}
+
+// Delete removes the row with the given primary key.
+func (tc *Ctx) Delete(table string, keyVals ...storage.Value) error {
+	t, err := tc.table(table)
+	if err != nil {
+		return err
+	}
+	pk := storage.EncodeKey(keyVals...)
+	if err := tc.lockStructural(table, keyVals, pk); err != nil {
+		return err
+	}
+	var old storage.Row
+	var derr error
+	tc.stmt(func() { old, derr = t.Delete(pk) })
+	if derr != nil {
+		return derr
+	}
+	tc.recordWrite(table, keyVals, pk, old, nil)
+	return nil
+}
+
+// Update applies mutate to a copy of the row under the given key and stores
+// the result. mutate must not change primary-key columns.
+func (tc *Ctx) Update(table string, keyVals []storage.Value, mutate func(storage.Row) error) error {
+	t, err := tc.table(table)
+	if err != nil {
+		return err
+	}
+	pk := storage.EncodeKey(keyVals...)
+	if err := tc.lockWrite(table, keyVals, pk); err != nil {
+		return err
+	}
+	var uerr error
+	var before storage.Row
+	tc.stmt(func() {
+		var row storage.Row
+		row, uerr = t.Get(pk)
+		if uerr != nil {
+			return
+		}
+		if uerr = mutate(row); uerr != nil {
+			return
+		}
+		before, uerr = t.Update(pk, row)
+		if uerr == nil {
+			tc.recordWrite(table, keyVals, pk, before, row.Clone())
+		}
+	})
+	return uerr
+}
+
+// ScanPartition visits, in primary-key-within-partition order, every row of
+// the given partition (shared partition lock: concurrent structural change
+// is excluded, closing the phantom window). The visitor may return
+// ErrStopScan to end early.
+func (tc *Ctx) ScanPartition(table string, partVals []storage.Value, visit func(storage.Row) error) error {
+	t, err := tc.table(table)
+	if err != nil {
+		return err
+	}
+	if !tc.e.db.partitioned(table) {
+		return fmt.Errorf("core: table %q is not partitioned", table)
+	}
+	if err := tc.acquire(lock.TableItem(table), lock.ModeIS); err != nil {
+		return err
+	}
+	part := tc.e.db.partitionItem(table, partVals)
+	if err := tc.acquire(part, lock.ModeS); err != nil {
+		return err
+	}
+	var serr error
+	tc.stmt(func() {
+		serr = t.IndexScan(PartIndex, partVals, func(pk storage.Key, row storage.Row) bool {
+			if err := visit(row); err != nil {
+				if err != ErrStopScan {
+					serr = err
+				}
+				return false
+			}
+			return true
+		})
+	})
+	tc.e.record(tc.txn, table, part.Key, false)
+	return serr
+}
+
+// UpdateWhere visits every row of a partition under an exclusive partition
+// lock and replaces those for which mutate returns a changed row. mutate
+// returns (nil, nil) to leave a row untouched, (row, nil) to store it, or
+// (nil, ErrDeleteRow) to delete it.
+func (tc *Ctx) UpdateWhere(table string, partVals []storage.Value, mutate func(storage.Row) (storage.Row, error)) error {
+	t, err := tc.table(table)
+	if err != nil {
+		return err
+	}
+	if !tc.e.db.partitioned(table) {
+		return fmt.Errorf("core: table %q is not partitioned", table)
+	}
+	if err := tc.acquire(lock.TableItem(table), lock.ModeIX); err != nil {
+		return err
+	}
+	part := tc.e.db.partitionItem(table, partVals)
+	if err := tc.acquire(part, lock.ModeX); err != nil {
+		return err
+	}
+	type change struct {
+		pk      storage.Key
+		keyVals []storage.Value
+		after   storage.Row // nil: delete
+	}
+	var changes []change
+	var serr error
+	tc.stmt(func() {
+		serr = t.IndexScan(PartIndex, partVals, func(pk storage.Key, row storage.Row) bool {
+			after, err := mutate(row)
+			if err == ErrDeleteRow {
+				changes = append(changes, change{pk, t.Schema.PKOf(row), nil})
+				return true
+			}
+			if err != nil {
+				if err != ErrStopScan {
+					serr = err
+				}
+				return false
+			}
+			if after != nil {
+				changes = append(changes, change{pk, t.Schema.PKOf(after), after})
+			}
+			return true
+		})
+		if serr != nil {
+			return
+		}
+		for _, ch := range changes {
+			if ch.after == nil {
+				old, err := t.Delete(ch.pk)
+				if err != nil {
+					serr = err
+					return
+				}
+				tc.recordWrite(table, ch.keyVals, ch.pk, old, nil)
+				continue
+			}
+			old, err := t.Update(ch.pk, ch.after)
+			if err != nil {
+				serr = err
+				return
+			}
+			tc.recordWrite(table, ch.keyVals, ch.pk, old, ch.after.Clone())
+		}
+	})
+	return serr
+}
+
+// LookupByIndex returns, in index order, copies of every row whose indexed
+// columns equal eqVals. Each matched row is locked S individually (no
+// partition lock is involved, so — like an Ingres index lookup under row
+// locks — the result is not phantom-protected; TPC-C's uses are over static
+// row populations).
+func (tc *Ctx) LookupByIndex(table, index string, eqVals []storage.Value) ([]storage.Row, error) {
+	t, err := tc.table(table)
+	if err != nil {
+		return nil, err
+	}
+	if err := tc.acquire(lock.TableItem(table), lock.ModeIS); err != nil {
+		return nil, err
+	}
+	var pks []storage.Key
+	var serr error
+	tc.stmt(func() {
+		serr = t.IndexScan(index, eqVals, func(pk storage.Key, _ storage.Row) bool {
+			pks = append(pks, pk)
+			return true
+		})
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	rows := make([]storage.Row, 0, len(pks))
+	for _, pk := range pks {
+		// Lock, then re-fetch: the row may have changed (or vanished)
+		// between the index probe and the grant.
+		if err := tc.acquire(lock.RowItem(table, pk), lock.ModeS); err != nil {
+			return nil, err
+		}
+		row, err := t.Get(pk)
+		if err != nil {
+			continue // deleted since the probe; skip
+		}
+		tc.e.record(tc.txn, table, pk, false)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Scan visits every row of the table under a shared table lock.
+func (tc *Ctx) Scan(table string, visit func(storage.Row) error) error {
+	t, err := tc.table(table)
+	if err != nil {
+		return err
+	}
+	if err := tc.acquire(lock.TableItem(table), lock.ModeS); err != nil {
+		return err
+	}
+	var serr error
+	tc.stmt(func() {
+		t.Scan(func(pk storage.Key, row storage.Row) bool {
+			if err := visit(row); err != nil {
+				if err != ErrStopScan {
+					serr = err
+				}
+				return false
+			}
+			return true
+		})
+	})
+	tc.e.record(tc.txn, table, "", false)
+	return serr
+}
+
+// Sentinel errors for scan visitors.
+var (
+	// ErrStopScan ends a scan early without error.
+	ErrStopScan = fmt.Errorf("core: stop scan")
+	// ErrDeleteRow instructs UpdateWhere to delete the visited row.
+	ErrDeleteRow = fmt.Errorf("core: delete row")
+)
+
+// undo reverts this step's writes in reverse order using the saved images.
+// Safe because the step still holds exclusive locks on everything it wrote.
+func (tc *Ctx) undo() {
+	for i := len(tc.writes) - 1; i >= 0; i-- {
+		w := tc.writes[i]
+		t := tc.e.db.Catalog.Table(w.table)
+		t.Apply(w.pk, w.before)
+	}
+	tc.writes = nil
+	tc.wroteItems = nil
+}

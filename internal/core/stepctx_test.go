@@ -1,0 +1,453 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"accdb/internal/interference"
+	"accdb/internal/lock"
+	"accdb/internal/storage"
+)
+
+// opSys is a single-table playground for the Ctx operation surface: a
+// partitioned inventory(region, sku, qty) plus a by-qty secondary index.
+type opSys struct {
+	db   *DB
+	eng  *Engine
+	inv  *storage.Table
+	txn  interference.TxnTypeID
+	step interference.StepTypeID
+}
+
+func newOpSys(t *testing.T) *opSys {
+	t.Helper()
+	s := &opSys{db: NewDB()}
+	var err error
+	s.inv, err = s.db.CreateTable(storage.MustSchema("inventory", []storage.Column{
+		{Name: "region", Kind: storage.KindInt},
+		{Name: "sku", Kind: storage.KindInt},
+		{Name: "qty", Kind: storage.KindInt},
+	}, "region", "sku"), "region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.inv.AddIndex(storage.IndexDef{Name: "by_qty", Columns: []string{"qty"}}); err != nil {
+		t.Fatal(err)
+	}
+	b := interference.NewBuilder()
+	s.txn = b.TxnType("op", 1)
+	s.step = b.StepType("op")
+	b.AllowInterleaveEverywhere(s.step, s.txn)
+	s.eng = New(s.db, b.Build(), Options{WaitTimeout: 5 * time.Second})
+	for r := int64(1); r <= 2; r++ {
+		for sku := int64(1); sku <= 5; sku++ {
+			if err := s.inv.Insert(storage.Row{storage.I64(r), storage.I64(sku), storage.I64(sku * 10)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+// run executes body as a single-step transaction.
+func (s *opSys) run(t *testing.T, body func(tc *Ctx) error) error {
+	t.Helper()
+	return s.eng.RunType(&TxnType{
+		Name: "op", ID: s.txn,
+		Steps: []Step{{Name: "op", Type: s.step, Body: body}},
+	}, nil)
+}
+
+func TestCtxGetInsertDelete(t *testing.T) {
+	s := newOpSys(t)
+	err := s.run(t, func(tc *Ctx) error {
+		row, err := tc.Get("inventory", storage.I64(1), storage.I64(3))
+		if err != nil {
+			return err
+		}
+		if row[2].Int64() != 30 {
+			t.Errorf("qty = %d", row[2].Int64())
+		}
+		if _, err := tc.Get("inventory", storage.I64(9), storage.I64(9)); !errors.Is(err, storage.ErrNotFound) {
+			t.Errorf("missing row: %v", err)
+		}
+		if _, err := tc.Get("nope", storage.I64(1)); err == nil {
+			t.Error("unknown table accepted")
+		}
+		if err := tc.Insert("inventory", storage.Row{storage.I64(3), storage.I64(1), storage.I64(7)}); err != nil {
+			return err
+		}
+		return tc.Delete("inventory", storage.I64(1), storage.I64(5))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.inv.Exists(storage.EncodeKey(storage.I64(1), storage.I64(5))) {
+		t.Fatal("delete not applied")
+	}
+	if !s.inv.Exists(storage.EncodeKey(storage.I64(3), storage.I64(1))) {
+		t.Fatal("insert not applied")
+	}
+}
+
+func TestCtxScanPartitionIsolatedFromOtherPartitions(t *testing.T) {
+	s := newOpSys(t)
+	err := s.run(t, func(tc *Ctx) error {
+		n := 0
+		err := tc.ScanPartition("inventory", []storage.Value{storage.I64(1)}, func(storage.Row) error {
+			n++
+			return nil
+		})
+		if n != 5 {
+			t.Errorf("scanned %d rows, want 5", n)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scanning a non-partitioned table by partition errors.
+	db2 := NewDB()
+	db2.MustCreateTable(storage.MustSchema("flat", []storage.Column{{Name: "id", Kind: storage.KindInt}}, "id"))
+	b := interference.NewBuilder()
+	txn := b.TxnType("x", 1)
+	step := b.StepType("x")
+	eng := New(db2, b.Build(), Options{})
+	err = eng.RunType(&TxnType{Name: "x", ID: txn, Steps: []Step{{
+		Name: "x", Type: step,
+		Body: func(tc *Ctx) error {
+			return tc.ScanPartition("flat", nil, func(storage.Row) error { return nil })
+		},
+	}}}, nil)
+	if err == nil {
+		t.Fatal("partition scan of unpartitioned table accepted")
+	}
+}
+
+func TestCtxScanEarlyStop(t *testing.T) {
+	s := newOpSys(t)
+	err := s.run(t, func(tc *Ctx) error {
+		n := 0
+		if err := tc.Scan("inventory", func(storage.Row) error {
+			n++
+			if n == 3 {
+				return ErrStopScan
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if n != 3 {
+			t.Errorf("visited %d", n)
+		}
+		// Error propagation.
+		sentinel := errors.New("boom")
+		if err := tc.Scan("inventory", func(storage.Row) error { return sentinel }); !errors.Is(err, sentinel) {
+			t.Errorf("scan error lost: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtxUpdateWhere(t *testing.T) {
+	s := newOpSys(t)
+	err := s.run(t, func(tc *Ctx) error {
+		// Double qty of skus 1-2, delete sku 3, leave the rest.
+		return tc.UpdateWhere("inventory", []storage.Value{storage.I64(1)},
+			func(row storage.Row) (storage.Row, error) {
+				switch row[1].Int64() {
+				case 1, 2:
+					row[2] = storage.I64(row[2].Int64() * 2)
+					return row, nil
+				case 3:
+					return nil, ErrDeleteRow
+				case 5:
+					return nil, ErrStopScan
+				}
+				return nil, nil
+			})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(sku int64) (int64, bool) {
+		row, err := s.inv.Get(storage.EncodeKey(storage.I64(1), storage.I64(sku)))
+		if err != nil {
+			return 0, false
+		}
+		return row[2].Int64(), true
+	}
+	if q, _ := get(1); q != 20 {
+		t.Errorf("sku1 qty %d", q)
+	}
+	if q, _ := get(2); q != 40 {
+		t.Errorf("sku2 qty %d", q)
+	}
+	if _, ok := get(3); ok {
+		t.Error("sku3 not deleted")
+	}
+	if q, _ := get(4); q != 40 {
+		t.Errorf("sku4 qty %d (should be untouched)", q)
+	}
+}
+
+func TestCtxLookupByIndexAndGetMany(t *testing.T) {
+	s := newOpSys(t)
+	err := s.run(t, func(tc *Ctx) error {
+		rows, err := tc.LookupByIndex("inventory", "by_qty", []storage.Value{storage.I64(30)})
+		if err != nil {
+			return err
+		}
+		if len(rows) != 2 { // sku 3 in both regions
+			t.Errorf("by_qty(30) found %d rows", len(rows))
+		}
+		got, err := tc.GetMany("inventory", [][]storage.Value{
+			{storage.I64(1), storage.I64(1)},
+			{storage.I64(2), storage.I64(2)},
+			{storage.I64(9), storage.I64(9)}, // missing: skipped
+		})
+		if err != nil {
+			return err
+		}
+		if len(got) != 2 {
+			t.Errorf("GetMany returned %d rows", len(got))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtxClaimMin(t *testing.T) {
+	s := newOpSys(t)
+	var first, second int64
+	err := s.run(t, func(tc *Ctx) error {
+		row, err := tc.ClaimMin("inventory", PartIndex, []storage.Value{storage.I64(1)})
+		if err != nil {
+			return err
+		}
+		first = row[1].Int64()
+		row, err = tc.ClaimMin("inventory", PartIndex, []storage.Value{storage.I64(1)})
+		if err != nil {
+			return err
+		}
+		second = row[1].Int64()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || second != 2 {
+		t.Fatalf("claimed %d then %d, want 1 then 2", first, second)
+	}
+	if s.inv.Exists(storage.EncodeKey(storage.I64(1), storage.I64(1))) {
+		t.Fatal("claimed row still present")
+	}
+	// Draining a partition returns nil.
+	err = s.run(t, func(tc *Ctx) error {
+		for {
+			row, err := tc.ClaimMin("inventory", PartIndex, []storage.Value{storage.I64(1)})
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtxUpdateRejectsPKChange(t *testing.T) {
+	s := newOpSys(t)
+	err := s.run(t, func(tc *Ctx) error {
+		return tc.Update("inventory", []storage.Value{storage.I64(1), storage.I64(4)},
+			func(row storage.Row) error {
+				row[1] = storage.I64(99)
+				return nil
+			})
+	})
+	if err == nil {
+		t.Fatal("primary-key mutation accepted")
+	}
+}
+
+func TestCtxStepUndoRestoresEverything(t *testing.T) {
+	s := newOpSys(t)
+	before := s.inv.Len()
+	err := s.run(t, func(tc *Ctx) error {
+		if err := tc.Insert("inventory", storage.Row{storage.I64(7), storage.I64(7), storage.I64(7)}); err != nil {
+			return err
+		}
+		if err := tc.Delete("inventory", storage.I64(1), storage.I64(1)); err != nil {
+			return err
+		}
+		if err := tc.Update("inventory", []storage.Value{storage.I64(1), storage.I64(2)},
+			func(row storage.Row) error {
+				row[2] = storage.I64(-1)
+				return nil
+			}); err != nil {
+			return err
+		}
+		return tc.Abort("never mind")
+	})
+	if !errors.Is(err, ErrUserAbort) {
+		t.Fatalf("got %v", err)
+	}
+	if s.inv.Len() != before {
+		t.Fatal("row count changed by aborted step")
+	}
+	row, err := s.inv.Get(storage.EncodeKey(storage.I64(1), storage.I64(2)))
+	if err != nil || row[2].Int64() != 20 {
+		t.Fatal("update not undone")
+	}
+	if !s.inv.Exists(storage.EncodeKey(storage.I64(1), storage.I64(1))) {
+		t.Fatal("delete not undone")
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	db := NewDB()
+	schema := storage.MustSchema("t", []storage.Column{
+		{Name: "a", Kind: storage.KindInt},
+		{Name: "b", Kind: storage.KindInt},
+	}, "a")
+	if _, err := db.CreateTable(schema, "zzz"); err == nil {
+		t.Fatal("unknown partition column accepted")
+	}
+	if _, err := db.CreateTable(schema, "b"); err == nil {
+		t.Fatal("non-PK partition column accepted")
+	}
+	if _, err := db.CreateTable(schema, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(schema, "a"); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+}
+
+func TestTwoLevelGateSerializesFalseConflicts(t *testing.T) {
+	// Two instances touching disjoint rows: the one-level ACC runs them
+	// concurrently; the two-level dispatcher serializes them through the
+	// assertion-type item (the paper's false conflict).
+	build := func(mode Mode) (*Engine, *Assertion, interference.TxnTypeID, interference.StepTypeID, interference.StepTypeID) {
+		db := NewDB()
+		tab := db.MustCreateTable(storage.MustSchema("t", []storage.Column{
+			{Name: "id", Kind: storage.KindInt},
+			{Name: "v", Kind: storage.KindInt},
+		}, "id"))
+		for i := int64(1); i <= 4; i++ {
+			tab.Insert(storage.Row{storage.I64(i), storage.I64(0)})
+		}
+		b := interference.NewBuilder()
+		txn := b.TxnType("w", 2)
+		s1 := b.StepType("w1")
+		s2 := b.StepType("w2")
+		cs := b.StepType("cs")
+		a := b.Assertion("mine-stable")
+		// w1 interferes with the assertion *type* (another instance could,
+		// in principle, touch the same row — only item identity disproves it).
+		b.NoInterference(s2, a)
+		b.NoInterference(cs, a)
+		for _, st := range []interference.StepTypeID{s1, s2, cs} {
+			b.AllowInterleaveEverywhere(st, txn)
+		}
+		b.PrefixSafe(txn, 1, a)
+		eng := New(db, b.Build(), Options{Mode: mode, WaitTimeout: 5 * time.Second})
+		assert := &Assertion{
+			ID: a, Name: "mine-stable",
+			Covers: func(args any, item lock.Item) bool {
+				id := args.(int64)
+				return item.Table == "t" && item.Level == lock.LevelRow &&
+					item.Key == storage.EncodeKey(storage.I64(id))
+			},
+		}
+		return eng, assert, txn, s1, s2
+	}
+	type gates struct {
+		arrive  chan struct{}
+		release chan struct{}
+	}
+	mkType := func(eng *Engine, assert *Assertion, txn interference.TxnTypeID, s1, s2 interference.StepTypeID, g *gates) *TxnType {
+		return &TxnType{
+			Name: "w", ID: txn,
+			Steps: []Step{
+				{Name: "w1", Type: s1, Body: func(tc *Ctx) error {
+					id := tc.Args().(int64)
+					return tc.Update("t", []storage.Value{storage.I64(id)}, func(row storage.Row) error {
+						row[1] = storage.I64(1)
+						return nil
+					})
+				}},
+				{Name: "w2", Type: s2, Pre: []*Assertion{assert}, Body: func(tc *Ctx) error {
+					if g != nil {
+						g.arrive <- struct{}{}
+						<-g.release
+					}
+					return nil
+				}},
+			},
+			Comp: &Compensation{Type: s2, Body: func(*Ctx, int) error { return nil }},
+		}
+	}
+	// One-level: both transactions can sit between steps simultaneously.
+	eng, assert, txn, s1, s2 := build(ModeACC)
+	g := &gates{arrive: make(chan struct{}, 2), release: make(chan struct{})}
+	eng.MustRegister(mkType(eng, assert, txn, s1, s2, g))
+	errs := make(chan error, 2)
+	go func() { errs <- eng.Run("w", int64(1)) }()
+	go func() { errs <- eng.Run("w", int64(2)) }()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-g.arrive:
+		case <-time.After(2 * time.Second):
+			t.Fatal("one-level ACC serialized disjoint instances")
+		}
+	}
+	close(g.release)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two-level: the second instance cannot reach its w2 gate while the
+	// first holds the assertion type (w1 of instance 2 X-locks the
+	// assertion-type item, which instance 1's A lock blocks).
+	eng2, assert2, txn2, s21, s22 := build(ModeTwoLevel)
+	g2 := &gates{arrive: make(chan struct{}, 2), release: make(chan struct{}, 2)}
+	eng2.MustRegister(mkType(eng2, assert2, txn2, s21, s22, g2))
+	errs2 := make(chan error, 2)
+	go func() { errs2 <- eng2.Run("w", int64(1)) }()
+	go func() { errs2 <- eng2.Run("w", int64(2)) }()
+	select {
+	case <-g2.arrive:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no instance reached the gate")
+	}
+	// The second must NOT arrive while the first is paused: its w1 X-locks
+	// the assertion-type item, which the first's A lock blocks.
+	select {
+	case <-g2.arrive:
+		t.Fatal("two-level dispatcher allowed both instances between steps")
+	case <-time.After(150 * time.Millisecond):
+	}
+	g2.release <- struct{}{} // release the first
+	select {
+	case <-g2.arrive: // second finally arrives
+		g2.release <- struct{}{}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second instance never proceeded")
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs2; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

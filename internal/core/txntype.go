@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"accdb/internal/interference"
+	"accdb/internal/lock"
+)
+
+// Assertion declares an interstep assertion type (§3.1): one conjunct of a
+// step's precondition that must stay true across step boundaries. The ACC
+// never evaluates assertions at run time; it locks the items in their
+// footprint and consults the interference tables. Eval exists only so tests
+// can validate semantic correctness.
+type Assertion struct {
+	// ID is the assertion's entry in the interference tables.
+	ID interference.AssertionID
+	// Name is for diagnostics.
+	Name string
+	// Covers reports whether a lockable item belongs to this assertion's
+	// footprint for the given transaction-instance arguments. It drives the
+	// dynamic assertional-lock acquisition of the implemented one-level ACC:
+	// whenever the owning transaction conventionally locks a covered item,
+	// an A lock is attached to it.
+	Covers func(args any, item lock.Item) bool
+	// Items enumerates the complete footprint up front. It is required only
+	// by the simplified §3.3 algorithm (Options.EagerAssertionLocks), which
+	// locks every referenced item before the step begins.
+	Items func(args any) []lock.Item
+	// Eval checks the assertion against a quiescent database; optional,
+	// used by correctness tests, never by the scheduler.
+	Eval func(db *DB, args any) bool
+}
+
+// Step is one forward step of a decomposed transaction.
+type Step struct {
+	// Name is for diagnostics.
+	Name string
+	// Type is the step's entry in the interference tables.
+	Type interference.StepTypeID
+	// Pre lists the assertion conjuncts of this step's precondition beyond
+	// the database consistency constraint. Following the simplified
+	// algorithm's windows, pre(S_j) is assertionally locked from the start
+	// of step j-1 (j > 0; for j = 0 from transaction start) and released
+	// when step j completes.
+	Pre []*Assertion
+	// Body performs the step's work through the step context. Returning
+	// ErrUserAbort (possibly wrapped) triggers rollback: compensation if any
+	// earlier step completed, plain abort otherwise.
+	Body func(tc *Ctx) error
+}
+
+// Compensation declares the compensating step of a transaction type. Per
+// §3.4 the triple {I} S_1;...;S_j; CS_j {I ∧ Q_i} must be a theorem: Body,
+// given the number of completed forward steps, semantically undoes them.
+type Compensation struct {
+	// Type is the compensating step's entry in the interference tables.
+	// Forward steps attach reservations carrying this type to every item
+	// they modify, so the compensation never waits on an assertional lock.
+	Type interference.StepTypeID
+	// Body compensates for the first `completed` forward steps.
+	Body func(tc *Ctx, completed int) error
+}
+
+// TxnType is a design-time transaction declaration: the decomposition into
+// steps, the compensation, and the work-area codec used by crash recovery.
+type TxnType struct {
+	Name string
+	// ID is the transaction type's entry in the interference tables.
+	ID    interference.TxnTypeID
+	Steps []Step
+	// MakeSteps, when set, derives the instance's step list from its
+	// arguments (new-order has one order-line step per requested line). The
+	// step *types* must still come from the fixed design-time registration;
+	// only the sequence is instance-specific.
+	MakeSteps func(args any) []Step
+	// Comp is the compensating step; nil only for single-step transactions,
+	// which never need compensation.
+	Comp *Compensation
+	// EncodeArgs serializes the instance's work area (its argument value,
+	// including any state forward steps recorded into it, such as assigned
+	// identifiers). It is stored in every forced end-of-step record so a
+	// crash can be compensated. Optional: without it the transaction cannot
+	// be compensated after a crash (it still compensates normally online).
+	EncodeArgs func(args any) []byte
+	// DecodeArgs reverses EncodeArgs during crash recovery.
+	DecodeArgs func(data []byte) (any, error)
+	// InterStatementCompute opts this type into the environment's
+	// inter-statement compute time (§5.2 added it to the transactions whose
+	// duration the experiment stretches: new-order and delivery).
+	InterStatementCompute bool
+}
+
+// validate checks the declaration at registration time.
+func (tt *TxnType) validate() error {
+	if tt.Name == "" {
+		return errors.New("core: transaction type needs a name")
+	}
+	if len(tt.Steps) == 0 && tt.MakeSteps == nil {
+		return fmt.Errorf("core: %s: no steps", tt.Name)
+	}
+	if tt.ID == 0 && tt.ID != interference.LegacyTxn {
+		return fmt.Errorf("core: %s: missing interference table registration", tt.Name)
+	}
+	for i, s := range tt.Steps {
+		if s.Body == nil {
+			return fmt.Errorf("core: %s step %d: nil body", tt.Name, i)
+		}
+		if s.Type == interference.NoStep && tt.ID != interference.LegacyTxn {
+			return fmt.Errorf("core: %s step %d: missing step type", tt.Name, i)
+		}
+	}
+	if (len(tt.Steps) > 1 || tt.MakeSteps != nil) && tt.Comp == nil {
+		return fmt.Errorf("core: %s: multi-step transaction needs a compensation", tt.Name)
+	}
+	if tt.Comp != nil && tt.Comp.Body == nil {
+		return fmt.Errorf("core: %s: compensation with nil body", tt.Name)
+	}
+	return nil
+}
+
+// stepsFor resolves the instance's step sequence.
+func (tt *TxnType) stepsFor(args any) []Step {
+	if tt.MakeSteps != nil {
+		return tt.MakeSteps(args)
+	}
+	return tt.Steps
+}
+
+// activeAssertions returns the assertions that must be assertionally locked
+// while step j of the given sequence runs: the current step's precondition
+// and the next step's.
+func activeAssertions(steps []Step, j int) []*Assertion {
+	cur := steps[j].Pre
+	if j+1 >= len(steps) {
+		return cur
+	}
+	next := steps[j+1].Pre
+	if len(cur) == 0 {
+		return next
+	}
+	if len(next) == 0 {
+		return cur
+	}
+	out := make([]*Assertion, 0, len(cur)+len(next))
+	out = append(out, cur...)
+	for _, a := range next {
+		dup := false
+		for _, c := range cur {
+			if c.ID == a.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Errors surfaced by Run.
+var (
+	// ErrUserAbort is returned (possibly wrapped) by a step body to request
+	// rollback of the transaction.
+	ErrUserAbort = errors.New("core: transaction aborted by application")
+	// ErrRetriesExhausted reports that a transaction could not complete
+	// within the configured retry budget.
+	ErrRetriesExhausted = errors.New("core: retries exhausted")
+)
+
+// CompensatedError reports that a transaction was rolled back by running its
+// compensating step; Cause preserves the triggering error.
+type CompensatedError struct {
+	Txn   string
+	Cause error
+}
+
+// Error implements error.
+func (e *CompensatedError) Error() string {
+	return fmt.Sprintf("core: %s compensated: %v", e.Txn, e.Cause)
+}
+
+// Unwrap exposes the cause.
+func (e *CompensatedError) Unwrap() error { return e.Cause }
+
+// IsCompensated reports whether err indicates a compensated rollback.
+func IsCompensated(err error) bool {
+	var ce *CompensatedError
+	return errors.As(err, &ce)
+}
+
+// CompensationFailedError reports that a compensating step could not
+// complete; the database may hold the transaction's partial effects. This is
+// a serious condition (the paper's design makes it unreachable when
+// reservations are declared correctly) and is never retried.
+type CompensationFailedError struct {
+	Txn   string
+	Cause error
+}
+
+// Error implements error.
+func (e *CompensationFailedError) Error() string {
+	return fmt.Sprintf("core: compensation of %s failed: %v", e.Txn, e.Cause)
+}
+
+// Unwrap exposes the cause.
+func (e *CompensationFailedError) Unwrap() error { return e.Cause }

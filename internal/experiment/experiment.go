@@ -1,0 +1,223 @@
+// Package experiment assembles full systems (storage + lock manager + WAL +
+// scheduler + TPC-C + simulation testbed) and reruns the paper's §5
+// experiments: for each configuration it drives identical closed-loop loads
+// against the unmodified (baseline, strict-2PL serializable) system and the
+// ACC, and reports the non-ACC/ACC ratios plotted in Figures 2-4, plus the
+// server-count experiment described in the text.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"accdb/internal/core"
+	"accdb/internal/lock"
+	"accdb/internal/metrics"
+	"accdb/internal/sim"
+	"accdb/internal/tpcc"
+)
+
+// Config parameterizes one run of one system.
+type Config struct {
+	Mode core.Mode
+	// Terminals is the closed-loop population (the x-axis of Figures 2-4).
+	Terminals int
+	// Servers is the database server pool size (3 in Figures 2-4; swept in
+	// the fourth experiment).
+	Servers int
+	// ServiceTime is the CPU cost of one SQL statement on a server.
+	ServiceTime time.Duration
+	// ComputeTime is the Figure-3 knob: per-statement application compute
+	// time inside new-order and delivery, charged while locks are held.
+	ComputeTime time.Duration
+	// ThinkTime is the mean exponential terminal think time.
+	ThinkTime time.Duration
+	// ForceLatency is the simulated log-force I/O time — the ACC pays one
+	// per interior step boundary, the baseline one per commit.
+	ForceLatency time.Duration
+	// Skew is the extra probability mass on district 1 (Figure 2's
+	// "Skewed" curve).
+	Skew float64
+
+	Scale    tpcc.Scale
+	Duration time.Duration
+	Warmup   time.Duration
+	Seed     int64
+
+	// EagerAssertionLocks selects the simplified §3.3 variant (ablation).
+	EagerAssertionLocks bool
+}
+
+// Defaults fills a baseline parameterization that reproduces the paper's
+// operating region at laptop scale: three servers, contention concentrated
+// on the warehouse/district rows, saturation setting in around 16-24
+// terminals.
+func Defaults() Config {
+	return Config{
+		Mode:         core.ModeACC,
+		Terminals:    16,
+		Servers:      3,
+		ServiceTime:  600 * time.Microsecond,
+		ComputeTime:  0,
+		ThinkTime:    800 * time.Millisecond,
+		ForceLatency: 100 * time.Microsecond,
+		Scale:        tpcc.DefaultScale(),
+		Duration:     5 * time.Second,
+		Warmup:       1 * time.Second,
+		Seed:         1,
+	}
+}
+
+// RunResult captures one system's measurements.
+type RunResult struct {
+	Mode       core.Mode
+	Mean       time.Duration
+	P95        time.Duration
+	Completed  int
+	Throughput float64
+	ByType     map[string]metrics.Summary
+	Engine     core.Stats
+	Locks      lock.Stats
+	LockClass  map[string]lock.ClassStats
+	Consistent bool
+	Violations []error
+}
+
+// Run builds a fresh system per the config, applies the load, verifies the
+// twelve-component consistency constraint afterwards, and returns the
+// measurements.
+func Run(cfg Config) (*RunResult, error) {
+	db := core.NewDB()
+	if err := tpcc.CreateSchema(db); err != nil {
+		return nil, err
+	}
+	if err := tpcc.Load(db, cfg.Scale, cfg.Seed); err != nil {
+		return nil, err
+	}
+	types := tpcc.BuildTypes()
+	env := sim.NewEnv(cfg.Servers, cfg.ServiceTime, cfg.ComputeTime)
+	eng := core.New(db, types.Tables, core.Options{
+		Mode:                cfg.Mode,
+		WaitTimeout:         30 * time.Second,
+		ForceLatency:        cfg.ForceLatency,
+		Env:                 env,
+		EagerAssertionLocks: cfg.EagerAssertionLocks,
+	})
+	if _, err := tpcc.Register(eng, types, cfg.Scale); err != nil {
+		return nil, err
+	}
+	wcfg := tpcc.DefaultWorkloadConfig(cfg.Scale)
+	wcfg.DistrictSkew = cfg.Skew
+	w := tpcc.NewWorkload(eng, wcfg)
+
+	res := sim.Run(sim.Config{
+		Terminals: cfg.Terminals,
+		Duration:  cfg.Duration,
+		Warmup:    cfg.Warmup,
+		ThinkTime: cfg.ThinkTime,
+		Seed:      cfg.Seed,
+	}, w)
+
+	total := res.Recorder.Total()
+	violations := tpcc.CheckConsistency(db, cfg.Scale, w.Holes())
+	return &RunResult{
+		Mode:       cfg.Mode,
+		ByType:     res.Recorder.ByType(),
+		Mean:       total.Mean,
+		P95:        total.P95,
+		Completed:  res.Completed,
+		Throughput: res.Throughput(),
+		Engine:     eng.Snapshot(),
+		Locks:      eng.Locks().Snapshot(),
+		LockClass:  eng.Locks().ByClass(),
+		Consistent: len(violations) == 0,
+		Violations: violations,
+	}, nil
+}
+
+// Point is one x-position of a figure: both systems measured under the same
+// load, expressed as the paper's ratios.
+type Point struct {
+	Terminals int
+	Servers   int
+	Baseline  *RunResult
+	ACC       *RunResult
+}
+
+// RespRatio is the ordinate of Figures 2 and 3: baseline mean response time
+// over ACC mean response time (>1 means the ACC is faster).
+func (p *Point) RespRatio() float64 {
+	if p.ACC.Mean == 0 {
+		return 0
+	}
+	return float64(p.Baseline.Mean) / float64(p.ACC.Mean)
+}
+
+// TputRatio is Figure 4's second series: baseline completions over ACC
+// completions (<1 means the ACC completed more).
+func (p *Point) TputRatio() float64 {
+	if p.ACC.Completed == 0 {
+		return 0
+	}
+	return float64(p.Baseline.Completed) / float64(p.ACC.Completed)
+}
+
+// Compare measures the baseline and the ACC under identical cfg (Mode is
+// overridden per system).
+func Compare(cfg Config) (*Point, error) {
+	bcfg := cfg
+	bcfg.Mode = core.ModeBaseline
+	base, err := Run(bcfg)
+	if err != nil {
+		return nil, err
+	}
+	acfg := cfg
+	acfg.Mode = core.ModeACC
+	acc, err := Run(acfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Point{Terminals: cfg.Terminals, Servers: cfg.Servers, Baseline: base, ACC: acc}
+	if !base.Consistent {
+		return p, fmt.Errorf("experiment: baseline left inconsistent state (stats %+v): %v",
+			base.Engine, base.Violations[0])
+	}
+	if !acc.Consistent {
+		return p, fmt.Errorf("experiment: ACC left inconsistent state (stats %+v): %v",
+			acc.Engine, acc.Violations[0])
+	}
+	return p, nil
+}
+
+// DefaultTerminals is the sweep of Figures 2-4.
+var DefaultTerminals = []int{4, 8, 16, 24, 32, 48, 60}
+
+// Sweep runs Compare at each terminal count.
+func Sweep(cfg Config, terminals []int) ([]*Point, error) {
+	var out []*Point
+	for _, n := range terminals {
+		c := cfg
+		c.Terminals = n
+		p, err := Compare(c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ServerSweep runs Compare at each server-pool size (the fourth experiment).
+func ServerSweep(cfg Config, servers []int) ([]*Point, error) {
+	var out []*Point
+	for _, s := range servers {
+		c := cfg
+		c.Servers = s
+		p, err := Compare(c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

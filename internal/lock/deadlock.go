@@ -1,0 +1,115 @@
+package lock
+
+// Deadlock handling (§3.4 of the paper).
+//
+// A deadlock is detected by finding a cycle in the waits-for graph at the
+// moment a request blocks; the victim is the request that completes the
+// cycle, which the engine answers by aborting and retrying just that step.
+// If the victim is a compensating step, it must not be aborted: instead the
+// manager aborts forward-step waiters on the cycle until the compensation
+// can make progress ("when a compensating step completes a deadlock cycle,
+// it is not itself aborted, but rather, the ACC aborts all steps that are
+// delaying it").
+
+// resolveDeadlock checks whether the freshly enqueued waiter w completes a
+// waits-for cycle and applies the victim policy. It returns ErrDeadlock if w
+// itself must abort. Caller holds mu.
+func (m *Manager) resolveDeadlock(w *waiter) error {
+	for {
+		if w.granted || w.err != nil {
+			// Removing a victim re-ran the grant pass and resolved w.
+			return nil
+		}
+		cycle := m.findCycle(w)
+		if cycle == nil {
+			return nil
+		}
+		m.stats.Deadlocks++
+		if !w.req.Compensating {
+			return ErrDeadlock
+		}
+		victim := (*waiter)(nil)
+		for _, v := range cycle {
+			if v != w && !v.req.Compensating {
+				victim = v
+				break
+			}
+		}
+		if victim == nil {
+			// Every member of the cycle is compensating. The reservation
+			// locks are designed to make this impossible; if it happens the
+			// compensating requester aborts to keep the system live.
+			return ErrDeadlock
+		}
+		victim.err = ErrAborted
+		m.removeWaiter(victim)
+		victim.ch <- struct{}{}
+		m.stats.VictimsForComp++
+		// Re-check: w may sit on several overlapping cycles.
+	}
+}
+
+// findCycle searches for a waits-for path from one of w's blockers back to
+// w's transaction. It returns the waiters on the cycle (starting with w), or
+// nil. Caller holds mu.
+func (m *Manager) findCycle(w *waiter) []*waiter {
+	target := w.txn.ID
+	visited := make(map[TxnID]bool)
+	var path []*waiter
+	var dfs func(cur *waiter) bool
+	dfs = func(cur *waiter) bool {
+		path = append(path, cur)
+		for _, b := range m.blockerTxns(cur) {
+			if b == target {
+				return true
+			}
+			if visited[b] {
+				continue
+			}
+			visited[b] = true
+			if next, ok := m.waiting[b]; ok && next.err == nil && !next.granted {
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	if dfs(w) {
+		return path
+	}
+	return nil
+}
+
+// blockerTxns lists the transactions w currently waits for: holders of
+// conflicting grants on its item, and earlier conflicting waiters in its
+// queue. Caller holds mu.
+func (m *Manager) blockerTxns(w *waiter) []TxnID {
+	st, ok := m.items[w.item]
+	if !ok {
+		return nil
+	}
+	seen := make(map[TxnID]bool)
+	var out []TxnID
+	add := func(id TxnID) {
+		if id != w.txn.ID && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, g := range st.grants {
+		if m.conflictsWithGrant(w.txn, w.req, g) {
+			add(g.txn.ID)
+		}
+	}
+	for _, q := range st.queue {
+		if q == w {
+			break
+		}
+		if q.err == nil && !q.granted && m.conflictsWithWaiter(w.txn, w.req, q) {
+			add(q.txn.ID)
+		}
+	}
+	return out
+}

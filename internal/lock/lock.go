@@ -1,0 +1,246 @@
+// Package lock implements the multi-granularity lock manager underlying both
+// the baseline strict-2PL scheduler and the assertional concurrency control.
+//
+// Beyond the conventional IS/IX/S/SIX/X modes the manager supports the three
+// lock flavours the paper adds to Open Ingres:
+//
+//   - assertional locks A(p) (§3.2): attached to items referenced by an
+//     active interstep assertion p; they block writers whose step type
+//     interferes with p (a design-time table lookup, never a run-time
+//     predicate evaluation);
+//   - exposure marks (§3.3 end): attached to items a multi-step transaction
+//     has written and kept until commit; they block steps that are not
+//     declared interleavable at the holder's current breakpoint — this is
+//     what keeps legacy and ad-hoc transactions fully isolated;
+//   - compensation reservations (§3.4): attached to items a forward step has
+//     modified; they prevent other transactions from assertionally locking
+//     those items with assertions the compensating step would interfere
+//     with, which guarantees a compensating step never waits on an
+//     assertional lock.
+//
+// Deadlocks are detected by cycle search in the waits-for graph at block
+// time. The victim is the request that completes the cycle (§3.4), except
+// that a compensating step is never the victim: the manager instead aborts a
+// forward-step waiter on the cycle so the compensation can proceed.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"accdb/internal/interference"
+	"accdb/internal/storage"
+)
+
+// TxnID identifies a transaction instance.
+type TxnID uint64
+
+// Level distinguishes the three granules of the lock hierarchy.
+type Level uint8
+
+const (
+	// LevelTable locks a whole relation.
+	LevelTable Level = iota + 1
+	// LevelPartition locks a declared key-range of a relation (the stand-in
+	// for Ingres page locks); inserts and deletes lock the partition
+	// exclusively, scans lock it shared, which also closes the phantom
+	// window for set-valued assertions.
+	LevelPartition
+	// LevelRow locks a single tuple by primary key.
+	LevelRow
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelTable:
+		return "table"
+	case LevelPartition:
+		return "partition"
+	case LevelRow:
+		return "row"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
+// Item names a lockable database item.
+type Item struct {
+	Table string
+	Level Level
+	Key   storage.Key // empty at table level; partition key or row PK below
+}
+
+// TableItem names the table-level item of a relation.
+func TableItem(table string) Item { return Item{Table: table, Level: LevelTable} }
+
+// PartitionItem names a partition granule of a relation.
+func PartitionItem(table string, key storage.Key) Item {
+	return Item{Table: table, Level: LevelPartition, Key: key}
+}
+
+// RowItem names a row granule of a relation.
+func RowItem(table string, pk storage.Key) Item {
+	return Item{Table: table, Level: LevelRow, Key: pk}
+}
+
+// String renders the item for diagnostics.
+func (it Item) String() string {
+	if it.Level == LevelTable {
+		return it.Table
+	}
+	return fmt.Sprintf("%s[%s/%x]", it.Table, it.Level, string(it.Key))
+}
+
+// Mode is a conventional lock mode.
+type Mode uint8
+
+const (
+	// ModeIS is intention-shared.
+	ModeIS Mode = iota + 1
+	// ModeIX is intention-exclusive.
+	ModeIX
+	// ModeS is shared.
+	ModeS
+	// ModeSIX is shared with intention-exclusive.
+	ModeSIX
+	// ModeX is exclusive.
+	ModeX
+	// ModeA is an assertional lock; requests carry the assertion ID.
+	ModeA
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeIS:
+		return "IS"
+	case ModeIX:
+		return "IX"
+	case ModeS:
+		return "S"
+	case ModeSIX:
+		return "SIX"
+	case ModeX:
+		return "X"
+	case ModeA:
+		return "A"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// conventionalCompat is the standard multi-granularity compatibility matrix.
+func conventionalCompat(a, b Mode) bool {
+	switch a {
+	case ModeIS:
+		return b != ModeX
+	case ModeIX:
+		return b == ModeIS || b == ModeIX
+	case ModeS:
+		return b == ModeIS || b == ModeS
+	case ModeSIX:
+		return b == ModeIS
+	case ModeX:
+		return false
+	}
+	return false
+}
+
+// covers reports whether holding mode `held` already grants the privileges
+// of `want`.
+func covers(held, want Mode) bool {
+	if held == want {
+		return true
+	}
+	switch held {
+	case ModeX:
+		return true
+	case ModeSIX:
+		return want == ModeS || want == ModeIX || want == ModeIS
+	case ModeS:
+		return want == ModeIS
+	case ModeIX:
+		return want == ModeIS
+	}
+	return false
+}
+
+// sup returns the least mode at least as strong as both arguments (the
+// conversion target when a transaction re-requests an item).
+func sup(a, b Mode) Mode {
+	if covers(a, b) {
+		return a
+	}
+	if covers(b, a) {
+		return b
+	}
+	// The only incomparable pairs among {IS,IX,S,SIX,X} are (IX,S) and
+	// (S,IX); their join is SIX.
+	if (a == ModeIX && b == ModeS) || (a == ModeS && b == ModeIX) {
+		return ModeSIX
+	}
+	return ModeX
+}
+
+// Oracle answers the design-time interference questions; in production it is
+// *interference.Tables, but tests may stub it.
+type Oracle interface {
+	Interferes(step interference.StepTypeID, a interference.AssertionID) bool
+	PrefixInterferes(txn interference.TxnTypeID, completed int, a interference.AssertionID) bool
+	MayInterleave(step interference.StepTypeID, holder interference.TxnTypeID, completed int) bool
+}
+
+// TxnInfo is the lock manager's view of a transaction instance. The engine
+// creates one per transaction and advances CompletedSteps at each step
+// boundary; exposure conflicts consult the live value so that the
+// interleaving specification is breakpoint-accurate.
+type TxnInfo struct {
+	ID   TxnID
+	Type interference.TxnTypeID
+
+	completed atomic.Int32
+}
+
+// NewTxnInfo constructs the lock-side descriptor of a transaction.
+func NewTxnInfo(id TxnID, typ interference.TxnTypeID) *TxnInfo {
+	return &TxnInfo{ID: id, Type: typ}
+}
+
+// CompletedSteps returns the number of forward steps the transaction has
+// finished.
+func (t *TxnInfo) CompletedSteps() int { return int(t.completed.Load()) }
+
+// AdvanceStep records the completion of one forward step.
+func (t *TxnInfo) AdvanceStep() { t.completed.Add(1) }
+
+// SetCompletedSteps overrides the step counter (used by recovery).
+func (t *TxnInfo) SetCompletedSteps(n int) { t.completed.Store(int32(n)) }
+
+// Request describes one lock acquisition.
+type Request struct {
+	// Mode is the requested mode; ModeA requests also set Assertion.
+	Mode Mode
+	// Step is the requesting step's type, used for interference lookups.
+	// Undecomposed transactions use interference.LegacyStep.
+	Step interference.StepTypeID
+	// Assertion is the assertion being locked when Mode == ModeA.
+	Assertion interference.AssertionID
+	// Compensating marks requests issued by a compensating step; such a
+	// request is never chosen as a deadlock victim.
+	Compensating bool
+}
+
+// Errors returned by Acquire.
+var (
+	// ErrDeadlock reports that the request completed a waits-for cycle and
+	// was chosen as the victim. The caller aborts and retries the step.
+	ErrDeadlock = errors.New("lock: deadlock victim")
+	// ErrAborted reports that the waiting request was aborted from outside —
+	// either by Manager.CancelWait or because a compensating step needed the
+	// cycle broken.
+	ErrAborted = errors.New("lock: wait aborted")
+	// ErrTimeout reports that the configured wait budget elapsed.
+	ErrTimeout = errors.New("lock: wait timed out")
+)

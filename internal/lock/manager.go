@@ -1,0 +1,602 @@
+package lock
+
+import (
+	"sync"
+	"time"
+
+	"accdb/internal/interference"
+)
+
+type grantKind uint8
+
+const (
+	kindConventional grantKind = iota + 1
+	kindAssertional
+	kindExposure
+	kindReservation
+)
+
+// grant is one held entry on an item. A transaction may hold several entries
+// of different kinds on the same item (e.g. a conventional X, an assertional
+// lock, and an exposure mark).
+type grant struct {
+	txn  *TxnInfo
+	kind grantKind
+
+	mode      Mode                     // conventional
+	step      interference.StepTypeID  // conventional, assertional: acquiring step type
+	assertion interference.AssertionID // assertional
+	csTypes   []interference.StepTypeID
+
+	// stepSeq is the holder's CompletedSteps value when the entry was
+	// attached; step aborts remove entries attached during the failed step.
+	stepSeq int
+}
+
+// waiter is a blocked Acquire.
+type waiter struct {
+	txn  *TxnInfo
+	req  Request
+	item Item
+
+	granted bool
+	err     error
+	ch      chan struct{}
+}
+
+type lockState struct {
+	grants []*grant
+	queue  []*waiter
+}
+
+// Stats aggregates lock-manager counters; all fields are read with Snapshot.
+type Stats struct {
+	Acquisitions   uint64
+	Waits          uint64
+	WaitNanos      uint64
+	Deadlocks      uint64
+	VictimsForComp uint64 // forward steps aborted to let a compensation proceed
+}
+
+// Manager is the lock manager. A single mutex guards the lock table; wait
+// queues park on per-waiter channels. This mirrors the structure (if not the
+// sharding) of the Ingres lock manager the paper modified.
+type Manager struct {
+	oracle Oracle
+
+	// WaitTimeout bounds each blocking Acquire; zero means wait forever.
+	// It is a safety net for tests and drivers, not a scheduling policy.
+	WaitTimeout time.Duration
+
+	mu      sync.Mutex
+	items   map[Item]*lockState
+	held    map[TxnID]map[Item]struct{}
+	waiting map[TxnID]*waiter
+
+	stats   Stats
+	byClass map[string]*ClassStats
+}
+
+// ClassStats aggregates wait behaviour for one (table, level, mode) class;
+// the benchmarks use it to attribute contention to specific hot spots.
+type ClassStats struct {
+	Waits     uint64
+	WaitNanos uint64
+}
+
+// NewManager creates a lock manager using the given interference oracle.
+func NewManager(oracle Oracle) *Manager {
+	return &Manager{
+		oracle:  oracle,
+		items:   make(map[Item]*lockState),
+		held:    make(map[TxnID]map[Item]struct{}),
+		waiting: make(map[TxnID]*waiter),
+		byClass: make(map[string]*ClassStats),
+	}
+}
+
+// state returns the lock state for item, creating it if needed. Caller holds mu.
+func (m *Manager) state(item Item) *lockState {
+	st, ok := m.items[item]
+	if !ok {
+		st = &lockState{}
+		m.items[item] = st
+	}
+	return st
+}
+
+// conflictsWithGrant reports whether request (txn, req) conflicts with an
+// existing grant g. Same-transaction entries never conflict.
+func (m *Manager) conflictsWithGrant(txn *TxnInfo, req Request, g *grant) bool {
+	if g.txn.ID == txn.ID {
+		return false
+	}
+	switch req.Mode {
+	case ModeIS, ModeIX, ModeS, ModeSIX, ModeX:
+		switch g.kind {
+		case kindConventional:
+			return !conventionalCompat(req.Mode, g.mode)
+		case kindAssertional:
+			// Only writers can invalidate an assertion.
+			if req.Mode == ModeX || req.Mode == ModeSIX || req.Mode == ModeIX {
+				// Intention modes do not themselves touch data at this
+				// granule; only the explicit writer modes are checked.
+				if req.Mode == ModeIX {
+					return false
+				}
+				return m.oracle.Interferes(req.Step, g.assertion)
+			}
+			return false
+		case kindExposure:
+			// Readers and writers alike must be declared interleavable at
+			// the holder's current breakpoint to observe its intermediate
+			// state. Intention modes pass: the real access is checked at the
+			// finer granule.
+			if req.Mode == ModeIS || req.Mode == ModeIX {
+				return false
+			}
+			return !m.oracle.MayInterleave(req.Step, g.txn.Type, g.txn.CompletedSteps())
+		case kindReservation:
+			return false
+		}
+	case ModeA:
+		switch g.kind {
+		case kindConventional:
+			// A writer currently holds the item; the assertion may be
+			// invalidated by that in-flight step.
+			if g.mode == ModeX || g.mode == ModeSIX {
+				return m.oracle.Interferes(g.step, req.Assertion)
+			}
+			return false
+		case kindAssertional:
+			return false
+		case kindExposure:
+			// The holder exposed an intermediate value of this item; the
+			// assertion may be locked only if the holder's executed prefix
+			// provably leaves it true (§3.3, "Request A(pre(S_{i,1})) locks").
+			return m.oracle.PrefixInterferes(g.txn.Type, g.txn.CompletedSteps(), req.Assertion)
+		case kindReservation:
+			// Guarantee that a future compensating step of the holder will
+			// not be delayed by this assertional lock (§3.4).
+			for _, cs := range g.csTypes {
+				if m.oracle.Interferes(cs, req.Assertion) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// conflictsWithWaiter reports whether an incoming request must queue behind
+// an earlier waiter (FIFO fairness: treat the earlier request as if granted).
+func (m *Manager) conflictsWithWaiter(txn *TxnInfo, req Request, w *waiter) bool {
+	if w.txn.ID == txn.ID {
+		return false
+	}
+	g := &grant{txn: w.txn, mode: w.req.Mode, step: w.req.Step}
+	switch w.req.Mode {
+	case ModeA:
+		g.kind = kindAssertional
+		g.assertion = w.req.Assertion
+	default:
+		g.kind = kindConventional
+	}
+	return m.conflictsWithGrant(txn, req, g)
+}
+
+// findConventional returns txn's conventional grant on the state, if any.
+func (st *lockState) findConventional(txn TxnID) *grant {
+	for _, g := range st.grants {
+		if g.kind == kindConventional && g.txn.ID == txn {
+			return g
+		}
+	}
+	return nil
+}
+
+// findAssertional returns txn's assertional grant for an assertion, if any.
+func (st *lockState) findAssertional(txn TxnID, a interference.AssertionID) *grant {
+	for _, g := range st.grants {
+		if g.kind == kindAssertional && g.txn.ID == txn && g.assertion == a {
+			return g
+		}
+	}
+	return nil
+}
+
+// Acquire obtains the requested lock on item for txn, blocking until it is
+// granted, the request is chosen as a deadlock victim, the wait is cancelled,
+// or the wait budget expires.
+func (m *Manager) Acquire(txn *TxnInfo, item Item, req Request) error {
+	m.mu.Lock()
+	m.stats.Acquisitions++
+	st := m.state(item)
+
+	// Reentrant and conversion handling for conventional modes.
+	if req.Mode != ModeA {
+		if g := st.findConventional(txn.ID); g != nil {
+			want := sup(g.mode, req.Mode)
+			if want == g.mode {
+				m.mu.Unlock()
+				return nil // already covered
+			}
+			// Conversion: granted immediately iff the target mode is
+			// compatible with every other holder; otherwise the conversion
+			// waits at the head of the queue (ahead of plain requests).
+			conv := req
+			conv.Mode = want
+			if !m.anyGrantConflict(txn, conv, st) {
+				g.mode = want
+				g.step = req.Step
+				m.mu.Unlock()
+				return nil
+			}
+			return m.wait(txn, item, st, conv, true)
+		}
+	} else {
+		if st.findAssertional(txn.ID, req.Assertion) != nil {
+			m.mu.Unlock()
+			return nil
+		}
+	}
+
+	if !m.anyGrantConflict(txn, req, st) && !m.anyWaiterConflict(txn, req, st) {
+		m.install(txn, item, st, req)
+		m.mu.Unlock()
+		return nil
+	}
+	return m.wait(txn, item, st, req, false)
+}
+
+// anyGrantConflict reports a conflict between req and any current grant.
+// Caller holds mu.
+func (m *Manager) anyGrantConflict(txn *TxnInfo, req Request, st *lockState) bool {
+	for _, g := range st.grants {
+		if m.conflictsWithGrant(txn, req, g) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyWaiterConflict reports a conflict between req and any queued waiter.
+// Caller holds mu.
+func (m *Manager) anyWaiterConflict(txn *TxnInfo, req Request, st *lockState) bool {
+	for _, w := range st.queue {
+		if m.conflictsWithWaiter(txn, req, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// install adds the grant entry for a now-compatible request. Caller holds mu.
+func (m *Manager) install(txn *TxnInfo, item Item, st *lockState, req Request) {
+	if req.Mode != ModeA {
+		if g := st.findConventional(txn.ID); g != nil {
+			g.mode = sup(g.mode, req.Mode)
+			g.step = req.Step
+			m.noteHeld(txn.ID, item)
+			return
+		}
+	}
+	g := &grant{txn: txn, step: req.Step, stepSeq: txn.CompletedSteps()}
+	if req.Mode == ModeA {
+		g.kind = kindAssertional
+		g.assertion = req.Assertion
+	} else {
+		g.kind = kindConventional
+		g.mode = req.Mode
+	}
+	st.grants = append(st.grants, g)
+	m.noteHeld(txn.ID, item)
+}
+
+func (m *Manager) noteHeld(txn TxnID, item Item) {
+	set, ok := m.held[txn]
+	if !ok {
+		set = make(map[Item]struct{})
+		m.held[txn] = set
+	}
+	set[item] = struct{}{}
+}
+
+// wait enqueues the request and parks. Called with mu held; releases it.
+func (m *Manager) wait(txn *TxnInfo, item Item, st *lockState, req Request, conversion bool) error {
+	w := &waiter{txn: txn, req: req, item: item, ch: make(chan struct{}, 1)}
+	if conversion {
+		// Conversions go ahead of plain requests (behind other conversions)
+		// to avoid the classic convoy behind a full queue.
+		i := 0
+		for i < len(st.queue) && st.queue[i].isConversion(st) {
+			i++
+		}
+		st.queue = append(st.queue, nil)
+		copy(st.queue[i+1:], st.queue[i:])
+		st.queue[i] = w
+	} else {
+		st.queue = append(st.queue, w)
+	}
+	m.waiting[txn.ID] = w
+	m.stats.Waits++
+
+	if err := m.resolveDeadlock(w); err != nil {
+		m.removeWaiter(w)
+		delete(m.waiting, txn.ID)
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Unlock()
+
+	start := time.Now()
+	var timeout <-chan time.Time
+	if m.WaitTimeout > 0 {
+		t := time.NewTimer(m.WaitTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-w.ch:
+	case <-timeout:
+		m.mu.Lock()
+		if !w.granted && w.err == nil {
+			m.removeWaiter(w)
+			delete(m.waiting, txn.ID)
+			m.mu.Unlock()
+			return ErrTimeout
+		}
+		m.mu.Unlock()
+		<-w.ch // finalized concurrently; consume the signal
+	}
+
+	m.mu.Lock()
+	delete(m.waiting, txn.ID)
+	granted, err := w.granted, w.err
+	waited := uint64(time.Since(start))
+	m.stats.WaitNanos += waited
+	class := w.item.Table + "/" + w.item.Level.String() + "/" + w.req.Mode.String()
+	cs, ok := m.byClass[class]
+	if !ok {
+		cs = &ClassStats{}
+		m.byClass[class] = cs
+	}
+	cs.Waits++
+	cs.WaitNanos += waited
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if !granted {
+		return ErrAborted
+	}
+	return nil
+}
+
+// isConversion reports whether w is a conversion (its txn already holds a
+// conventional grant on the item). Caller holds mu.
+func (w *waiter) isConversion(st *lockState) bool {
+	return st.findConventional(w.txn.ID) != nil && w.req.Mode != ModeA
+}
+
+// removeWaiter unlinks w from its queue and re-examines the queue: waiters
+// ordered behind w may have been blocked only by it. Caller holds mu.
+func (m *Manager) removeWaiter(w *waiter) {
+	st, ok := m.items[w.item]
+	if !ok {
+		return
+	}
+	for i, q := range st.queue {
+		if q == w {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			break
+		}
+	}
+	m.grantPass(w.item, st)
+}
+
+// grantPass re-examines an item's queue after its state changed, granting
+// every waiter that is now compatible with the grants and with all waiters
+// still ahead of it. Caller holds mu.
+func (m *Manager) grantPass(item Item, st *lockState) {
+	for i := 0; i < len(st.queue); {
+		w := st.queue[i]
+		if m.anyGrantConflict(w.txn, w.req, st) || m.conflictsAhead(w, st, i) {
+			i++
+			continue
+		}
+		st.queue = append(st.queue[:i], st.queue[i+1:]...)
+		m.install(w.txn, item, st, w.req)
+		w.granted = true
+		w.ch <- struct{}{}
+		// Restart: installing may enable or disable later waiters.
+		i = 0
+	}
+	if len(st.grants) == 0 && len(st.queue) == 0 {
+		delete(m.items, item)
+	}
+}
+
+// conflictsAhead reports whether waiter at index i conflicts with any waiter
+// ahead of it. Caller holds mu.
+func (m *Manager) conflictsAhead(w *waiter, st *lockState, i int) bool {
+	for j := 0; j < i; j++ {
+		if m.conflictsWithWaiter(w.txn, w.req, st.queue[j]) {
+			return true
+		}
+	}
+	return false
+}
+
+// AttachExposure marks item as exposed by txn: another transaction's
+// conventional access now requires interleaving permission at txn's current
+// breakpoint. Idempotent per (txn, item); the first step to expose wins, so
+// aborting a later step does not drop an earlier exposure.
+func (m *Manager) AttachExposure(txn *TxnInfo, item Item) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(item)
+	for _, g := range st.grants {
+		if g.kind == kindExposure && g.txn.ID == txn.ID {
+			return
+		}
+	}
+	st.grants = append(st.grants, &grant{
+		txn: txn, kind: kindExposure, stepSeq: txn.CompletedSteps(),
+	})
+	m.noteHeld(txn.ID, item)
+}
+
+// AttachReservation records that a compensating step of type cs may later
+// modify item; assertional locks that cs would interfere with are refused on
+// it (§3.4's "new type of assertional lock").
+func (m *Manager) AttachReservation(txn *TxnInfo, item Item, cs interference.StepTypeID) {
+	if cs == interference.NoStep {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(item)
+	for _, g := range st.grants {
+		if g.kind == kindReservation && g.txn.ID == txn.ID {
+			for _, have := range g.csTypes {
+				if have == cs {
+					return
+				}
+			}
+			g.csTypes = append(g.csTypes, cs)
+			return
+		}
+	}
+	st.grants = append(st.grants, &grant{
+		txn: txn, kind: kindReservation, csTypes: []interference.StepTypeID{cs},
+		stepSeq: txn.CompletedSteps(),
+	})
+	m.noteHeld(txn.ID, item)
+}
+
+// releaseWhere removes txn's grants matching keep==false and re-runs grant
+// passes on affected items.
+func (m *Manager) releaseWhere(txn *TxnInfo, drop func(*grant) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set := m.held[txn.ID]
+	for item := range set {
+		st, ok := m.items[item]
+		if !ok {
+			continue
+		}
+		remaining := false
+		out := st.grants[:0]
+		for _, g := range st.grants {
+			if g.txn.ID == txn.ID && drop(g) {
+				continue
+			}
+			if g.txn.ID == txn.ID {
+				remaining = true
+			}
+			out = append(out, g)
+		}
+		st.grants = out
+		if !remaining {
+			delete(set, item)
+		}
+		// Re-examine the queue even if nothing was dropped here: exposure
+		// conflicts depend on the holder's breakpoint, which advances at
+		// exactly the step boundaries where release passes run.
+		m.grantPass(item, st)
+	}
+	if len(set) == 0 {
+		delete(m.held, txn.ID)
+	}
+}
+
+// ReleaseConventional releases txn's conventional locks (step end under the
+// ACC: strict 2PL within the step; assertional, exposure and reservation
+// entries persist to commit).
+func (m *Manager) ReleaseConventional(txn *TxnInfo) {
+	m.releaseWhere(txn, func(g *grant) bool { return g.kind == kindConventional })
+}
+
+// ReleaseStepAbort releases txn's conventional locks plus exposure and
+// reservation marks attached during the aborted step (its writes are being
+// undone). Assertional locks are retained — the paper keeps them between
+// steps, which is why a recurring deadlock escalates to compensation.
+func (m *Manager) ReleaseStepAbort(txn *TxnInfo) {
+	seq := txn.CompletedSteps()
+	m.releaseWhere(txn, func(g *grant) bool {
+		if g.kind == kindConventional {
+			return true
+		}
+		return (g.kind == kindExposure || g.kind == kindReservation) && g.stepSeq >= seq
+	})
+}
+
+// ReleaseAssertion drops txn's assertional locks for one assertion type
+// (its precondition has been discharged by the completing step).
+func (m *Manager) ReleaseAssertion(txn *TxnInfo, a interference.AssertionID) {
+	m.releaseWhere(txn, func(g *grant) bool {
+		return g.kind == kindAssertional && g.assertion == a
+	})
+}
+
+// ReleaseAll releases everything txn holds (commit, or end of compensation).
+func (m *Manager) ReleaseAll(txn *TxnInfo) {
+	m.releaseWhere(txn, func(*grant) bool { return true })
+}
+
+// CancelWait aborts txn's blocked request, if any, making it return
+// ErrAborted. Used by the engine to kill victims picked by external policy.
+func (m *Manager) CancelWait(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if w, ok := m.waiting[txn]; ok && !w.granted && w.err == nil {
+		w.err = ErrAborted
+		m.removeWaiter(w)
+		w.ch <- struct{}{}
+	}
+}
+
+// HeldItems returns the items on which txn currently holds any entry,
+// useful for tests and debugging.
+func (m *Manager) HeldItems(txn TxnID) []Item {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Item
+	for item := range m.held[txn] {
+		out = append(out, item)
+	}
+	return out
+}
+
+// HoldsConventional reports whether txn holds a conventional lock of at
+// least mode want on item.
+func (m *Manager) HoldsConventional(txn TxnID, item Item, want Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.items[item]
+	if !ok {
+		return false
+	}
+	g := st.findConventional(txn)
+	return g != nil && covers(g.mode, want)
+}
+
+// ByClass returns a copy of the per-class wait tallies.
+func (m *Manager) ByClass() map[string]ClassStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]ClassStats, len(m.byClass))
+	for k, v := range m.byClass {
+		out[k] = *v
+	}
+	return out
+}
+
+// Snapshot returns a copy of the counters.
+func (m *Manager) Snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,143 @@
+// Package metrics collects the measurements the paper's experiments report:
+// per-transaction-type response times and completion counts, from which the
+// benchmark harness computes the non-ACC/ACC ratios plotted in Figures 2-4.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates response-time samples per transaction type. It is
+// safe for concurrent use by terminal goroutines.
+type Recorder struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+type series struct {
+	durations []time.Duration
+	errors    int
+	rollbacks int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*series)}
+}
+
+// Record adds one completed transaction's response time. Rollbacks (user
+// aborts and compensations) count as completions — the terminal got an
+// answer — but are tallied separately; hard errors are excluded from the
+// response-time population.
+func (r *Recorder) Record(txnType string, d time.Duration, outcome Outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[txnType]
+	if !ok {
+		s = &series{}
+		r.series[txnType] = s
+	}
+	switch outcome {
+	case Committed:
+		s.durations = append(s.durations, d)
+	case RolledBack:
+		s.durations = append(s.durations, d)
+		s.rollbacks++
+	case Failed:
+		s.errors++
+	}
+}
+
+// Outcome classifies a transaction completion.
+type Outcome int
+
+// Outcomes.
+const (
+	Committed Outcome = iota
+	RolledBack
+	Failed
+)
+
+// Summary describes one series (or the merged total).
+type Summary struct {
+	Count     int
+	Rollbacks int
+	Errors    int
+	Mean      time.Duration
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
+	Max       time.Duration
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v rollbacks=%d errors=%d",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond), s.Rollbacks, s.Errors)
+}
+
+func summarize(durs []time.Duration, rollbacks, errors int) Summary {
+	s := Summary{Count: len(durs), Rollbacks: rollbacks, Errors: errors}
+	if len(durs) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	s.Mean = total / time.Duration(len(sorted))
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	s.P50 = pct(0.50)
+	s.P95 = pct(0.95)
+	s.P99 = pct(0.99)
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
+
+// ByType returns one summary per transaction type.
+func (r *Recorder) ByType() map[string]Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Summary, len(r.series))
+	for name, s := range r.series {
+		out[name] = summarize(s.durations, s.rollbacks, s.errors)
+	}
+	return out
+}
+
+// Total returns the merged summary over all types — the paper's "total
+// average response time" metric.
+func (r *Recorder) Total() Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var all []time.Duration
+	rollbacks, errors := 0, 0
+	for _, s := range r.series {
+		all = append(all, s.durations...)
+		rollbacks += s.rollbacks
+		errors += s.errors
+	}
+	return summarize(all, rollbacks, errors)
+}
+
+// Count returns the number of completed (committed or rolled back)
+// transactions — the throughput numerator.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, s := range r.series {
+		n += len(s.durations)
+	}
+	return n
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderSummaries(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Record("a", time.Duration(i)*time.Millisecond, Committed)
+	}
+	r.Record("a", 500*time.Millisecond, RolledBack)
+	r.Record("a", time.Second, Failed)
+	s := r.ByType()["a"]
+	if s.Count != 101 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Rollbacks != 1 || s.Errors != 1 {
+		t.Fatalf("rollbacks=%d errors=%d", s.Rollbacks, s.Errors)
+	}
+	if s.Max != 500*time.Millisecond {
+		t.Fatalf("Max = %v (failed txn must not count)", s.Max)
+	}
+	if s.P50 < 40*time.Millisecond || s.P50 > 60*time.Millisecond {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.P99 < s.P95 || s.P95 < s.P50 {
+		t.Fatal("percentiles out of order")
+	}
+	if s.Mean <= 0 {
+		t.Fatal("mean missing")
+	}
+}
+
+func TestRecorderTotalMergesTypes(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 10*time.Millisecond, Committed)
+	r.Record("b", 30*time.Millisecond, Committed)
+	total := r.Total()
+	if total.Count != 2 || total.Mean != 20*time.Millisecond {
+		t.Fatalf("total = %+v", total)
+	}
+	if r.Count() != 2 {
+		t.Fatalf("Count() = %d", r.Count())
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	r := NewRecorder()
+	s := r.Total()
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty = %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", time.Millisecond, Committed)
+	out := fmt.Sprint(r.ByType()["a"])
+	if out == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record("x", time.Millisecond, Committed)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 4000 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}

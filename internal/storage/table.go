@@ -1,0 +1,306 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// Sentinel errors returned by table operations.
+var (
+	// ErrNotFound reports a lookup for an absent primary key.
+	ErrNotFound = errors.New("storage: row not found")
+	// ErrDuplicate reports an insert whose primary key already exists.
+	ErrDuplicate = errors.New("storage: duplicate primary key")
+)
+
+// IndexDef declares a secondary index over a list of columns. Entries are
+// made unique by appending the primary key, so non-unique column sets are
+// fine.
+type IndexDef struct {
+	Name    string
+	Columns []string
+}
+
+// Table is a heap relation with a hash primary index and optional B+-tree
+// secondary indexes.
+//
+// A Table provides physical consistency only: the embedded RWMutex is a
+// latch held for the duration of a single operation. Logical isolation
+// (two-phase and assertional locking) is layered above by package core, the
+// way Ingres layers its lock manager above the page store.
+type Table struct {
+	Schema *Schema
+
+	mu      sync.RWMutex
+	rows    map[Key]Row
+	indexes []*secondaryIndex
+}
+
+type secondaryIndex struct {
+	def  IndexDef
+	cols []int
+	tree *BTree
+}
+
+// NewTable creates an empty table for the schema.
+func NewTable(schema *Schema) *Table {
+	return &Table{Schema: schema, rows: make(map[Key]Row)}
+}
+
+// AddIndex creates a secondary index and backfills it from existing rows.
+func (t *Table) AddIndex(def IndexDef) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cols := make([]int, len(def.Columns))
+	for i, name := range def.Columns {
+		c := t.Schema.Col(name)
+		if c < 0 {
+			return fmt.Errorf("storage: index %s: no column %q in %s", def.Name, name, t.Schema.Name)
+		}
+		cols[i] = c
+	}
+	idx := &secondaryIndex{def: def, cols: cols, tree: NewBTree()}
+	for pk, row := range t.rows {
+		idx.tree.Set(idx.entryKey(row, pk), pk)
+	}
+	t.indexes = append(t.indexes, idx)
+	return nil
+}
+
+// entryKey builds the index entry key: secondary values then the primary key.
+func (ix *secondaryIndex) entryKey(row Row, pk Key) Key {
+	vals := make([]Value, len(ix.cols))
+	for i, c := range ix.cols {
+		vals[i] = row[c]
+	}
+	return EncodeKey(vals...) + pk
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Get returns a copy of the row with the given primary key.
+func (t *Table) Get(pk Key) (Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row, ok := t.rows[pk]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.Schema.Name)
+	}
+	return row.Clone(), nil
+}
+
+// Exists reports whether a primary key is present.
+func (t *Table) Exists(pk Key) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.rows[pk]
+	return ok
+}
+
+// Insert adds a new row; the primary key must not exist.
+func (t *Table) Insert(row Row) error {
+	if err := t.Schema.CheckRow(row); err != nil {
+		return err
+	}
+	pk := t.Schema.KeyOf(row)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.rows[pk]; ok {
+		return fmt.Errorf("%w: %s %v", ErrDuplicate, t.Schema.Name, t.Schema.PKOf(row))
+	}
+	row = row.Clone()
+	t.rows[pk] = row
+	for _, ix := range t.indexes {
+		ix.tree.Set(ix.entryKey(row, pk), pk)
+	}
+	return nil
+}
+
+// Update replaces the row stored under pk. The new row must have the same
+// primary key. It returns the previous image for undo logging.
+func (t *Table) Update(pk Key, row Row) (Row, error) {
+	if err := t.Schema.CheckRow(row); err != nil {
+		return nil, err
+	}
+	if t.Schema.KeyOf(row) != pk {
+		return nil, fmt.Errorf("storage: update changes primary key of %s", t.Schema.Name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[pk]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.Schema.Name)
+	}
+	row = row.Clone()
+	t.rows[pk] = row
+	for _, ix := range t.indexes {
+		oldEntry, newEntry := ix.entryKey(old, pk), ix.entryKey(row, pk)
+		if oldEntry != newEntry {
+			ix.tree.Delete(oldEntry)
+			ix.tree.Set(newEntry, pk)
+		}
+	}
+	return old, nil
+}
+
+// Delete removes the row under pk, returning the removed image for undo.
+func (t *Table) Delete(pk Key) (Row, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[pk]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.Schema.Name)
+	}
+	delete(t.rows, pk)
+	for _, ix := range t.indexes {
+		ix.tree.Delete(ix.entryKey(old, pk))
+	}
+	return old, nil
+}
+
+// Apply installs a row image directly (used by WAL recovery): a nil row
+// deletes pk, otherwise the row is upserted. No index entry is required to
+// pre-exist.
+func (t *Table) Apply(pk Key, row Row) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, had := t.rows[pk]
+	if row == nil {
+		if !had {
+			return
+		}
+		delete(t.rows, pk)
+		for _, ix := range t.indexes {
+			ix.tree.Delete(ix.entryKey(old, pk))
+		}
+		return
+	}
+	row = row.Clone()
+	t.rows[pk] = row
+	for _, ix := range t.indexes {
+		if had {
+			ix.tree.Delete(ix.entryKey(old, pk))
+		}
+		ix.tree.Set(ix.entryKey(row, pk), pk)
+	}
+}
+
+// Scan visits every row (copy) in unspecified order; the visitor returns
+// false to stop. The latch is held in read mode for the whole scan.
+func (t *Table) Scan(visit func(pk Key, row Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for pk, row := range t.rows {
+		if !visit(pk, row.Clone()) {
+			return
+		}
+	}
+}
+
+// IndexScan visits rows whose indexed columns equal eq, in index order.
+func (t *Table) IndexScan(indexName string, eq []Value, visit func(pk Key, row Row) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix := t.index(indexName)
+	if ix == nil {
+		return fmt.Errorf("storage: %s has no index %q", t.Schema.Name, indexName)
+	}
+	prefix := EncodeKey(eq...)
+	ix.tree.AscendPrefix(prefix, func(_, pk Key) bool {
+		row, ok := t.rows[pk]
+		if !ok {
+			return true // entry/row race is impossible under the latch; defensive
+		}
+		return visit(pk, row.Clone())
+	})
+	return nil
+}
+
+// IndexRange visits rows whose index entries fall in [lo, hi) where lo and
+// hi are value tuples over the index columns (hi may be nil for unbounded).
+func (t *Table) IndexRange(indexName string, lo, hi []Value, visit func(pk Key, row Row) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix := t.index(indexName)
+	if ix == nil {
+		return fmt.Errorf("storage: %s has no index %q", t.Schema.Name, indexName)
+	}
+	loK := EncodeKey(lo...)
+	var hiK Key
+	if hi != nil {
+		hiK = EncodeKey(hi...)
+	}
+	ix.tree.Ascend(loK, hiK, func(_, pk Key) bool {
+		row, ok := t.rows[pk]
+		if !ok {
+			return true
+		}
+		return visit(pk, row.Clone())
+	})
+	return nil
+}
+
+func (t *Table) index(name string) *secondaryIndex {
+	for _, ix := range t.indexes {
+		if ix.def.Name == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Catalog is the set of tables comprising a database.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
+
+// Create adds a table for schema; the name must be new.
+func (c *Catalog) Create(schema *Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[schema.Name]; ok {
+		return nil, fmt.Errorf("storage: table %q already exists", schema.Name)
+	}
+	t := NewTable(schema)
+	c.tables[schema.Name] = t
+	return t, nil
+}
+
+// MustCreate is Create that panics; for statically known schemas.
+func (c *Catalog) MustCreate(schema *Schema) *Table {
+	t, err := c.Create(schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[name]
+}
+
+// Names returns the table names in unspecified order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}

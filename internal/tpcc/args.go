@@ -1,0 +1,207 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"accdb/internal/storage"
+)
+
+// Argument structs double as the transactions' work areas (§3.4, §5): steps
+// record into them the state a compensating step needs (assigned order
+// number, quantities actually taken from stock, claimed orders). The encode
+// functions serialize them into the forced end-of-step records so crash
+// recovery can compensate.
+
+// OrderLineReq is one requested line of a new-order.
+type OrderLineReq struct {
+	ItemID   int64
+	SupplyW  int64
+	Quantity int64
+}
+
+// NewOrderArgs parameterizes a new-order transaction.
+type NewOrderArgs struct {
+	WID, DID, CID int64
+	Lines         []OrderLineReq
+	// InvalidItem makes the last line reference a nonexistent item, forcing
+	// the 1% rollback the benchmark requires (§2.4.1.4), which under the ACC
+	// exercises compensation: the abort happens while ordering the final
+	// item, after earlier lines committed their steps.
+	InvalidItem bool
+
+	// Work area, filled by the forward steps.
+	ONum      int64
+	WTax      int64
+	DTax      int64
+	CDiscount int64
+	Filled    []int64 // per line: stock quantity deducted
+	Amounts   []int64 // per line: ol_amount
+	Total     int64
+}
+
+func encodeNewOrder(v any) []byte {
+	a := v.(*NewOrderArgs)
+	inv := int64(0)
+	if a.InvalidItem {
+		inv = 1
+	}
+	row := storage.Row{
+		storage.I64(a.WID), storage.I64(a.DID), storage.I64(a.CID),
+		storage.I64(a.ONum), storage.I64(a.WTax), storage.I64(a.DTax),
+		storage.I64(a.CDiscount), storage.I64(a.Total), storage.I64(inv),
+		storage.I64(int64(len(a.Lines))),
+	}
+	for i, l := range a.Lines {
+		filled, amount := int64(0), int64(0)
+		if i < len(a.Filled) {
+			filled = a.Filled[i]
+		}
+		if i < len(a.Amounts) {
+			amount = a.Amounts[i]
+		}
+		row = append(row,
+			storage.I64(l.ItemID), storage.I64(l.SupplyW), storage.I64(l.Quantity),
+			storage.I64(filled), storage.I64(amount))
+	}
+	return storage.MarshalRow(nil, row)
+}
+
+func decodeNewOrder(data []byte) (any, error) {
+	row, _, err := storage.UnmarshalRow(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(row) < 10 {
+		return nil, fmt.Errorf("tpcc: short new-order work area")
+	}
+	a := &NewOrderArgs{
+		WID: row[0].Int64(), DID: row[1].Int64(), CID: row[2].Int64(),
+		ONum: row[3].Int64(), WTax: row[4].Int64(), DTax: row[5].Int64(),
+		CDiscount: row[6].Int64(), Total: row[7].Int64(),
+		InvalidItem: row[8].Int64() == 1,
+	}
+	n := int(row[9].Int64())
+	if len(row) != 10+5*n {
+		return nil, fmt.Errorf("tpcc: malformed new-order work area")
+	}
+	for i := 0; i < n; i++ {
+		base := 10 + 5*i
+		a.Lines = append(a.Lines, OrderLineReq{
+			ItemID: row[base].Int64(), SupplyW: row[base+1].Int64(),
+			Quantity: row[base+2].Int64(),
+		})
+		a.Filled = append(a.Filled, row[base+3].Int64())
+		a.Amounts = append(a.Amounts, row[base+4].Int64())
+	}
+	return a, nil
+}
+
+// PaymentArgs parameterizes a payment transaction. The customer is selected
+// by last name when CLast is non-empty (60% of the time per the benchmark),
+// by id otherwise.
+type PaymentArgs struct {
+	WID, DID   int64
+	CWID, CDID int64
+	CID        int64
+	CLast      string
+	Amount     int64
+	HID        int64
+	Date       int64
+
+	// Work area.
+	ResolvedCID int64
+}
+
+func encodePayment(v any) []byte {
+	a := v.(*PaymentArgs)
+	row := storage.Row{
+		storage.I64(a.WID), storage.I64(a.DID), storage.I64(a.CWID),
+		storage.I64(a.CDID), storage.I64(a.CID), storage.Str(a.CLast),
+		storage.I64(a.Amount), storage.I64(a.HID), storage.I64(a.Date),
+		storage.I64(a.ResolvedCID),
+	}
+	return storage.MarshalRow(nil, row)
+}
+
+func decodePayment(data []byte) (any, error) {
+	row, _, err := storage.UnmarshalRow(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(row) != 10 {
+		return nil, fmt.Errorf("tpcc: malformed payment work area")
+	}
+	return &PaymentArgs{
+		WID: row[0].Int64(), DID: row[1].Int64(), CWID: row[2].Int64(),
+		CDID: row[3].Int64(), CID: row[4].Int64(), CLast: row[5].Text(),
+		Amount: row[6].Int64(), HID: row[7].Int64(), Date: row[8].Int64(),
+		ResolvedCID: row[9].Int64(),
+	}, nil
+}
+
+// DeliveryArgs parameterizes a delivery transaction over all districts of a
+// warehouse.
+type DeliveryArgs struct {
+	WID     int64
+	Carrier int64
+	Date    int64
+
+	// Work area, one slot per district (index d-1).
+	Claimed   []int64 // claimed o_id, 0 = district had no pending order
+	Amounts   []int64 // order total credited to the customer
+	Customers []int64 // customer of the claimed order
+}
+
+func (a *DeliveryArgs) districts() int { return len(a.Claimed) }
+
+func encodeDelivery(v any) []byte {
+	a := v.(*DeliveryArgs)
+	row := storage.Row{
+		storage.I64(a.WID), storage.I64(a.Carrier), storage.I64(a.Date),
+		storage.I64(int64(len(a.Claimed))),
+	}
+	for i := range a.Claimed {
+		row = append(row, storage.I64(a.Claimed[i]),
+			storage.I64(a.Amounts[i]), storage.I64(a.Customers[i]))
+	}
+	return storage.MarshalRow(nil, row)
+}
+
+func decodeDelivery(data []byte) (any, error) {
+	row, _, err := storage.UnmarshalRow(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(row) < 4 {
+		return nil, fmt.Errorf("tpcc: short delivery work area")
+	}
+	a := &DeliveryArgs{
+		WID: row[0].Int64(), Carrier: row[1].Int64(), Date: row[2].Int64(),
+	}
+	n := int(row[3].Int64())
+	if len(row) != 4+3*n {
+		return nil, fmt.Errorf("tpcc: malformed delivery work area")
+	}
+	for i := 0; i < n; i++ {
+		base := 4 + 3*i
+		a.Claimed = append(a.Claimed, row[base].Int64())
+		a.Amounts = append(a.Amounts, row[base+1].Int64())
+		a.Customers = append(a.Customers, row[base+2].Int64())
+	}
+	return a, nil
+}
+
+// OrderStatusArgs parameterizes an order-status transaction.
+type OrderStatusArgs struct {
+	WID, DID int64
+	CID      int64
+	CLast    string
+}
+
+// StockLevelArgs parameterizes a stock-level transaction; Orders is the
+// number of most-recent orders to examine (the spec's 20, scaled).
+type StockLevelArgs struct {
+	WID, DID  int64
+	Threshold int64
+	Orders    int64
+}

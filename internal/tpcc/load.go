@@ -1,0 +1,213 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"accdb/internal/core"
+	"accdb/internal/storage"
+)
+
+// Scale holds the database cardinalities. The paper ran one warehouse with
+// ten districts; the remaining cardinalities default to a laptop-scale
+// reduction of the spec's (3000 customers, 100k items) that preserves the
+// contention structure — the hot items are the warehouse row, the district
+// rows, and the NURand-skewed stock rows, all of which survive scaling.
+type Scale struct {
+	Warehouses           int
+	Districts            int
+	CustomersPerDistrict int
+	Items                int
+	// InitialOrdersPerDistrict seeds the order history; the most recent
+	// NewOrderBacklog of them start undelivered (spec: last 900 of 3000).
+	InitialOrdersPerDistrict int
+	NewOrderBacklog          int
+}
+
+// DefaultScale mirrors the paper's single-warehouse configuration at reduced
+// cardinality.
+func DefaultScale() Scale {
+	return Scale{
+		Warehouses:               1,
+		Districts:                10,
+		CustomersPerDistrict:     120,
+		Items:                    1000,
+		InitialOrdersPerDistrict: 120,
+		NewOrderBacklog:          40,
+	}
+}
+
+// initialDYTD is each district's starting year-to-date total: one 10.00
+// payment per customer, which makes consistency conditions 8 and 9 exact
+// from the start (§3.3.2 of the TPC-C spec does the same).
+func (s Scale) initialDYTD() int64 { return int64(s.CustomersPerDistrict) * 1000 }
+
+// Load populates db with a deterministic TPC-C initial state. It writes
+// through the storage layer directly (the archive copy the recovery path
+// assumes), not through a scheduler.
+func Load(db *core.DB, s Scale, seed int64) error {
+	if s.Warehouses < 1 || s.Districts < 1 || s.CustomersPerDistrict < 1 ||
+		s.Items < 1 || s.InitialOrdersPerDistrict < 1 {
+		return fmt.Errorf("tpcc: invalid scale %+v", s)
+	}
+	if s.NewOrderBacklog > s.InitialOrdersPerDistrict {
+		return fmt.Errorf("tpcc: backlog %d exceeds initial orders %d",
+			s.NewOrderBacklog, s.InitialOrdersPerDistrict)
+	}
+	r := rand.New(rand.NewSource(seed))
+	cat := db.Catalog
+
+	items := cat.Table(TItem)
+	for i := 1; i <= s.Items; i++ {
+		data := aString(r, 26, 50)
+		if r.Intn(10) == 0 { // 10% "ORIGINAL"
+			data = "ORIGINAL" + data[8:]
+		}
+		if err := items.Insert(storage.Row{
+			storage.Int(i), storage.I64(randRange(r, 1, 10000)),
+			storage.Str(aString(r, 14, 24)),
+			storage.I64(randRange(r, 100, 10000)), // $1.00 - $100.00
+			storage.Str(data),
+		}); err != nil {
+			return err
+		}
+	}
+
+	hID := int64(0)
+	for w := 1; w <= s.Warehouses; w++ {
+		wYTD := int64(s.Districts) * s.initialDYTD()
+		if err := cat.Table(TWarehouse).Insert(storage.Row{
+			storage.Int(w), storage.Str(aString(r, 6, 10)),
+			storage.Str(aString(r, 10, 20)), storage.Str(aString(r, 10, 20)),
+			storage.Str(aString(r, 10, 20)), storage.Str(aString(r, 2, 2)),
+			storage.Str(zipCode(r)),
+			storage.I64(randRange(r, 0, 2000)), // 0-20.00% in bp
+			storage.I64(wYTD),
+		}); err != nil {
+			return err
+		}
+		stock := cat.Table(TStock)
+		for i := 1; i <= s.Items; i++ {
+			data := aString(r, 26, 50)
+			if r.Intn(10) == 0 {
+				data = "ORIGINAL" + data[8:]
+			}
+			if err := stock.Insert(storage.Row{
+				storage.Int(w), storage.Int(i),
+				storage.I64(randRange(r, 10, 100)),
+				storage.Str(aString(r, 24, 24)),
+				storage.I64(0), storage.I64(0), storage.I64(0),
+				storage.Str(data),
+			}); err != nil {
+				return err
+			}
+		}
+		for d := 1; d <= s.Districts; d++ {
+			if err := loadDistrict(db, s, r, w, d, &hID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func loadDistrict(db *core.DB, s Scale, r *rand.Rand, w, d int, hID *int64) error {
+	cat := db.Catalog
+	if err := cat.Table(TDistrict).Insert(storage.Row{
+		storage.Int(w), storage.Int(d),
+		storage.Str(aString(r, 6, 10)),
+		storage.Str(aString(r, 10, 20)), storage.Str(aString(r, 10, 20)),
+		storage.Str(aString(r, 2, 2)), storage.Str(zipCode(r)),
+		storage.I64(randRange(r, 0, 2000)),
+		storage.I64(s.initialDYTD()),
+		storage.Int(s.InitialOrdersPerDistrict + 1), // d_next_o_id
+	}); err != nil {
+		return err
+	}
+
+	customers := cat.Table(TCustomer)
+	history := cat.Table(THistory)
+	for c := 1; c <= s.CustomersPerDistrict; c++ {
+		var last string
+		if c <= 1000 {
+			last = lastName(int64(c - 1))
+		} else {
+			last = lastName(nuRand(r, 255, cLast, 0, 999))
+		}
+		credit := "GC"
+		if r.Intn(10) == 0 { // 10% bad credit
+			credit = "BC"
+		}
+		if err := customers.Insert(storage.Row{
+			storage.Int(w), storage.Int(d), storage.Int(c),
+			storage.Str(aString(r, 8, 16)), storage.Str("OE"), storage.Str(last),
+			storage.Str(aString(r, 10, 20)), storage.Str(aString(r, 10, 20)),
+			storage.Str(aString(r, 2, 2)), storage.Str(zipCode(r)),
+			storage.Str(nString(r, 16, 16)),
+			storage.I64(0), storage.Str(credit),
+			storage.I64(5000000), // $50,000.00 credit limit
+			storage.I64(randRange(r, 0, 5000)),
+			storage.I64(-1000), // c_balance = -10.00
+			storage.I64(1000),  // c_ytd_payment = 10.00
+			storage.I64(1), storage.I64(0),
+			storage.Str(aString(r, 30, 50)),
+		}); err != nil {
+			return err
+		}
+		*hID++
+		if err := history.Insert(storage.Row{
+			storage.I64(*hID),
+			storage.Int(c), storage.Int(d), storage.Int(w),
+			storage.Int(d), storage.Int(w),
+			storage.I64(0), storage.I64(1000), storage.Str(aString(r, 12, 24)),
+		}); err != nil {
+			return err
+		}
+	}
+
+	orders := cat.Table(TOrders)
+	orderLines := cat.Table(TOrderLine)
+	newOrders := cat.Table(TNewOrder)
+	// Customers are assigned to the initial orders by a random permutation
+	// (spec §4.3.3.1), wrapping when there are more orders than customers.
+	perm := r.Perm(s.CustomersPerDistrict)
+	deliveredCut := s.InitialOrdersPerDistrict - s.NewOrderBacklog
+	for o := 1; o <= s.InitialOrdersPerDistrict; o++ {
+		cID := perm[(o-1)%len(perm)] + 1
+		olCnt := randRange(r, 5, 15)
+		carrier := int64(0)
+		if o <= deliveredCut {
+			carrier = randRange(r, 1, 10)
+		}
+		if err := orders.Insert(storage.Row{
+			storage.Int(w), storage.Int(d), storage.Int(o),
+			storage.Int(cID), storage.I64(0), storage.I64(carrier),
+			storage.I64(olCnt), storage.I64(1),
+		}); err != nil {
+			return err
+		}
+		for l := int64(1); l <= olCnt; l++ {
+			amount, deliveryD := int64(0), int64(1)
+			if o > deliveredCut {
+				amount = randRange(r, 1, 999999)
+				deliveryD = 0
+			}
+			if err := orderLines.Insert(storage.Row{
+				storage.Int(w), storage.Int(d), storage.Int(o), storage.I64(l),
+				storage.I64(randRange(r, 1, int64(s.Items))), storage.Int(w),
+				storage.I64(deliveryD), storage.I64(5), storage.I64(amount),
+				storage.Str(aString(r, 24, 24)),
+			}); err != nil {
+				return err
+			}
+		}
+		if o > deliveredCut {
+			if err := newOrders.Insert(storage.Row{
+				storage.Int(w), storage.Int(d), storage.Int(o),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

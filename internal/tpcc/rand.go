@@ -1,0 +1,66 @@
+// Package tpcc implements the TPC-C workload the paper used to evaluate the
+// ACC (§5.1): the nine tables, scaled data generation, the five transaction
+// types decomposed into steps per the paper's analysis, their compensating
+// steps, the interference tables, and checkers for the twelve-component
+// consistency constraint.
+package tpcc
+
+import "math/rand"
+
+// Non-uniform random constants (TPC-C §2.1.6). Chosen once per database
+// load; kept fixed so runs are comparable.
+const (
+	cLast = 113
+	cID   = 251
+	cItem = 2749
+)
+
+// nuRand is the TPC-C NURand(A, x, y) non-uniform distribution.
+func nuRand(r *rand.Rand, a, c, x, y int64) int64 {
+	return (((randRange(r, 0, a) | randRange(r, x, y)) + c) % (y - x + 1)) + x
+}
+
+// randRange returns a uniform integer in [lo, hi].
+func randRange(r *rand.Rand, lo, hi int64) int64 {
+	return lo + r.Int63n(hi-lo+1)
+}
+
+// lastNameSyllables are the TPC-C §4.3.2.3 name fragments.
+var lastNameSyllables = [...]string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// lastName builds the customer last name for a number in [0, 999].
+func lastName(num int64) string {
+	return lastNameSyllables[num/100] + lastNameSyllables[(num/10)%10] + lastNameSyllables[num%10]
+}
+
+// randLastName draws a non-uniform last-name number for run-time lookups.
+func randLastName(r *rand.Rand) string {
+	return lastName(nuRand(r, 255, cLast, 0, 999))
+}
+
+const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+// aString is the TPC-C random alphanumeric string of length in [lo, hi].
+func aString(r *rand.Rand, lo, hi int64) string {
+	n := randRange(r, lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// nString is the TPC-C random numeric string of length in [lo, hi].
+func nString(r *rand.Rand, lo, hi int64) string {
+	n := randRange(r, lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('0' + r.Intn(10))
+	}
+	return string(b)
+}
+
+// zipCode is the TPC-C §4.3.2.7 zip: 4 random digits + "11111".
+func zipCode(r *rand.Rand) string { return nString(r, 4, 4) + "11111" }

@@ -1,0 +1,203 @@
+package tpcc
+
+import (
+	"accdb/internal/core"
+	"accdb/internal/storage"
+)
+
+// Table names.
+const (
+	TWarehouse = "warehouse"
+	TDistrict  = "district"
+	TCustomer  = "customer"
+	THistory   = "history"
+	TNewOrder  = "new_order"
+	TOrders    = "orders"
+	TOrderLine = "order_line"
+	TItem      = "item"
+	TStock     = "stock"
+)
+
+// Secondary index names.
+const (
+	IdxCustomerByLast = "by_last"
+	IdxOrdersByCust   = "by_cust"
+	IdxNewOrderByDist = "by_dist"
+)
+
+// Monetary values are stored in cents and rates (tax, discount) in basis
+// points, so the consistency conditions are exact integer identities.
+
+var (
+	warehouseSchema = storage.MustSchema(TWarehouse, []storage.Column{
+		{Name: "w_id", Kind: storage.KindInt},
+		{Name: "w_name", Kind: storage.KindString},
+		{Name: "w_street_1", Kind: storage.KindString},
+		{Name: "w_street_2", Kind: storage.KindString},
+		{Name: "w_city", Kind: storage.KindString},
+		{Name: "w_state", Kind: storage.KindString},
+		{Name: "w_zip", Kind: storage.KindString},
+		{Name: "w_tax", Kind: storage.KindInt},
+		{Name: "w_ytd", Kind: storage.KindInt},
+	}, "w_id")
+
+	districtSchema = storage.MustSchema(TDistrict, []storage.Column{
+		{Name: "d_w_id", Kind: storage.KindInt},
+		{Name: "d_id", Kind: storage.KindInt},
+		{Name: "d_name", Kind: storage.KindString},
+		{Name: "d_street_1", Kind: storage.KindString},
+		{Name: "d_city", Kind: storage.KindString},
+		{Name: "d_state", Kind: storage.KindString},
+		{Name: "d_zip", Kind: storage.KindString},
+		{Name: "d_tax", Kind: storage.KindInt},
+		{Name: "d_ytd", Kind: storage.KindInt},
+		{Name: "d_next_o_id", Kind: storage.KindInt},
+	}, "d_w_id", "d_id")
+
+	customerSchema = storage.MustSchema(TCustomer, []storage.Column{
+		{Name: "c_w_id", Kind: storage.KindInt},
+		{Name: "c_d_id", Kind: storage.KindInt},
+		{Name: "c_id", Kind: storage.KindInt},
+		{Name: "c_first", Kind: storage.KindString},
+		{Name: "c_middle", Kind: storage.KindString},
+		{Name: "c_last", Kind: storage.KindString},
+		{Name: "c_street_1", Kind: storage.KindString},
+		{Name: "c_city", Kind: storage.KindString},
+		{Name: "c_state", Kind: storage.KindString},
+		{Name: "c_zip", Kind: storage.KindString},
+		{Name: "c_phone", Kind: storage.KindString},
+		{Name: "c_since", Kind: storage.KindInt},
+		{Name: "c_credit", Kind: storage.KindString},
+		{Name: "c_credit_lim", Kind: storage.KindInt},
+		{Name: "c_discount", Kind: storage.KindInt},
+		{Name: "c_balance", Kind: storage.KindInt},
+		{Name: "c_ytd_payment", Kind: storage.KindInt},
+		{Name: "c_payment_cnt", Kind: storage.KindInt},
+		{Name: "c_delivery_cnt", Kind: storage.KindInt},
+		{Name: "c_data", Kind: storage.KindString},
+	}, "c_w_id", "c_d_id", "c_id")
+
+	historySchema = storage.MustSchema(THistory, []storage.Column{
+		{Name: "h_id", Kind: storage.KindInt},
+		{Name: "h_c_id", Kind: storage.KindInt},
+		{Name: "h_c_d_id", Kind: storage.KindInt},
+		{Name: "h_c_w_id", Kind: storage.KindInt},
+		{Name: "h_d_id", Kind: storage.KindInt},
+		{Name: "h_w_id", Kind: storage.KindInt},
+		{Name: "h_date", Kind: storage.KindInt},
+		{Name: "h_amount", Kind: storage.KindInt},
+		{Name: "h_data", Kind: storage.KindString},
+	}, "h_id")
+
+	newOrderSchema = storage.MustSchema(TNewOrder, []storage.Column{
+		{Name: "no_w_id", Kind: storage.KindInt},
+		{Name: "no_d_id", Kind: storage.KindInt},
+		{Name: "no_o_id", Kind: storage.KindInt},
+	}, "no_w_id", "no_d_id", "no_o_id")
+
+	ordersSchema = storage.MustSchema(TOrders, []storage.Column{
+		{Name: "o_w_id", Kind: storage.KindInt},
+		{Name: "o_d_id", Kind: storage.KindInt},
+		{Name: "o_id", Kind: storage.KindInt},
+		{Name: "o_c_id", Kind: storage.KindInt},
+		{Name: "o_entry_d", Kind: storage.KindInt},
+		{Name: "o_carrier_id", Kind: storage.KindInt}, // 0 = not delivered
+		{Name: "o_ol_cnt", Kind: storage.KindInt},
+		{Name: "o_all_local", Kind: storage.KindInt},
+	}, "o_w_id", "o_d_id", "o_id")
+
+	orderLineSchema = storage.MustSchema(TOrderLine, []storage.Column{
+		{Name: "ol_w_id", Kind: storage.KindInt},
+		{Name: "ol_d_id", Kind: storage.KindInt},
+		{Name: "ol_o_id", Kind: storage.KindInt},
+		{Name: "ol_number", Kind: storage.KindInt},
+		{Name: "ol_i_id", Kind: storage.KindInt},
+		{Name: "ol_supply_w_id", Kind: storage.KindInt},
+		{Name: "ol_delivery_d", Kind: storage.KindInt}, // 0 = not delivered
+		{Name: "ol_quantity", Kind: storage.KindInt},
+		{Name: "ol_amount", Kind: storage.KindInt},
+		{Name: "ol_dist_info", Kind: storage.KindString},
+	}, "ol_w_id", "ol_d_id", "ol_o_id", "ol_number")
+
+	itemSchema = storage.MustSchema(TItem, []storage.Column{
+		{Name: "i_id", Kind: storage.KindInt},
+		{Name: "i_im_id", Kind: storage.KindInt},
+		{Name: "i_name", Kind: storage.KindString},
+		{Name: "i_price", Kind: storage.KindInt},
+		{Name: "i_data", Kind: storage.KindString},
+	}, "i_id")
+
+	stockSchema = storage.MustSchema(TStock, []storage.Column{
+		{Name: "s_w_id", Kind: storage.KindInt},
+		{Name: "s_i_id", Kind: storage.KindInt},
+		{Name: "s_quantity", Kind: storage.KindInt},
+		{Name: "s_dist_info", Kind: storage.KindString},
+		{Name: "s_ytd", Kind: storage.KindInt},
+		{Name: "s_order_cnt", Kind: storage.KindInt},
+		{Name: "s_remote_cnt", Kind: storage.KindInt},
+		{Name: "s_data", Kind: storage.KindString},
+	}, "s_w_id", "s_i_id")
+)
+
+// CreateSchema builds the nine TPC-C tables in db with the partition
+// granules the decomposition relies on:
+//
+//   - orders is partitioned per district (the unit order-status scans and
+//     new-order appends to — the page-lock analogue);
+//   - order_line is partitioned per order (the unit the interstep
+//     assertions quantify over);
+//   - new_order is deliberately NOT partitioned: delivery pops the head of
+//     the queue while new-order appends at the tail, and in Ingres those
+//     land on different index pages, so they must not collide on a shared
+//     granule. Claims and inserts use row locks via the by_dist index.
+//
+// Secondary indexes support the customer-by-last-name, orders-by-customer
+// and queue-head lookups.
+func CreateSchema(db *core.DB) error {
+	if _, err := db.CreateTable(warehouseSchema); err != nil {
+		return err
+	}
+	if _, err := db.CreateTable(districtSchema); err != nil {
+		return err
+	}
+	ct, err := db.CreateTable(customerSchema)
+	if err != nil {
+		return err
+	}
+	if err := ct.AddIndex(storage.IndexDef{
+		Name: IdxCustomerByLast, Columns: []string{"c_w_id", "c_d_id", "c_last"},
+	}); err != nil {
+		return err
+	}
+	if _, err := db.CreateTable(historySchema); err != nil {
+		return err
+	}
+	nt, err := db.CreateTable(newOrderSchema)
+	if err != nil {
+		return err
+	}
+	if err := nt.AddIndex(storage.IndexDef{
+		Name: IdxNewOrderByDist, Columns: []string{"no_w_id", "no_d_id"},
+	}); err != nil {
+		return err
+	}
+	ot, err := db.CreateTable(ordersSchema, "o_w_id", "o_d_id")
+	if err != nil {
+		return err
+	}
+	if err := ot.AddIndex(storage.IndexDef{
+		Name: IdxOrdersByCust, Columns: []string{"o_w_id", "o_d_id", "o_c_id"},
+	}); err != nil {
+		return err
+	}
+	if _, err := db.CreateTable(orderLineSchema, "ol_w_id", "ol_d_id", "ol_o_id"); err != nil {
+		return err
+	}
+	if _, err := db.CreateTable(itemSchema); err != nil {
+		return err
+	}
+	if _, err := db.CreateTable(stockSchema); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,469 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"accdb/internal/core"
+	"accdb/internal/lock"
+	"accdb/internal/storage"
+)
+
+// Column ordinals, resolved once against the schemas.
+var (
+	colWTax = warehouseSchema.MustCol("w_tax")
+	colWYTD = warehouseSchema.MustCol("w_ytd")
+
+	colDTax  = districtSchema.MustCol("d_tax")
+	colDYTD  = districtSchema.MustCol("d_ytd")
+	colDNext = districtSchema.MustCol("d_next_o_id")
+
+	colCID       = customerSchema.MustCol("c_id")
+	colCFirst    = customerSchema.MustCol("c_first")
+	colCCredit   = customerSchema.MustCol("c_credit")
+	colCDiscount = customerSchema.MustCol("c_discount")
+	colCBalance  = customerSchema.MustCol("c_balance")
+	colCYTDPay   = customerSchema.MustCol("c_ytd_payment")
+	colCPayCnt   = customerSchema.MustCol("c_payment_cnt")
+	colCDlvCnt   = customerSchema.MustCol("c_delivery_cnt")
+	colCData     = customerSchema.MustCol("c_data")
+
+	colNoOID = newOrderSchema.MustCol("no_o_id")
+
+	colOID      = ordersSchema.MustCol("o_id")
+	colOCID     = ordersSchema.MustCol("o_c_id")
+	colOCarrier = ordersSchema.MustCol("o_carrier_id")
+	colOOLCnt   = ordersSchema.MustCol("o_ol_cnt")
+
+	colOLNumber   = orderLineSchema.MustCol("ol_number")
+	colOLItem     = orderLineSchema.MustCol("ol_i_id")
+	colOLDelivery = orderLineSchema.MustCol("ol_delivery_d")
+	colOLQty      = orderLineSchema.MustCol("ol_quantity")
+	colOLAmount   = orderLineSchema.MustCol("ol_amount")
+
+	colIPrice = itemSchema.MustCol("i_price")
+
+	colSQty      = stockSchema.MustCol("s_quantity")
+	colSYTD      = stockSchema.MustCol("s_ytd")
+	colSOrderCnt = stockSchema.MustCol("s_order_cnt")
+)
+
+func i64(v int64) storage.Value { return storage.I64(v) }
+
+// Registration binds the TPC-C transaction types to an engine.
+type Registration struct {
+	Types *Types
+	Scale Scale
+
+	aNoOpen   *core.Assertion
+	aDlvClaim *core.Assertion
+}
+
+// Register declares the five decomposed TPC-C transactions on the engine.
+func Register(eng *core.Engine, types *Types, scale Scale) (*Registration, error) {
+	reg := &Registration{Types: types, Scale: scale}
+	reg.buildAssertions()
+	for _, tt := range []*core.TxnType{
+		reg.newOrderType(), reg.paymentType(), reg.deliveryType(),
+		reg.orderStatusType(), reg.stockLevelType(),
+	} {
+		if err := eng.Register(tt); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// buildAssertions constructs the interstep assertion declarations.
+//
+// A_NO_OPEN is the TPC-C analogue of the paper's I1^o_num (§4): while a
+// new-order is between steps, its order exists, has exactly the lines
+// entered so far, and is undelivered. Its footprint is the instance's own
+// orders row, new_order row, and order_line partition — locking them
+// assertionally is what stops a delivery from claiming a half-entered order.
+//
+// A_DLV_CLAIM protects a delivery between claiming an order (D1) and
+// applying its updates (D2): the claimed orders row and order_line
+// partition must not change underneath it.
+func (reg *Registration) buildAssertions() {
+	reg.aNoOpen = &core.Assertion{
+		ID:   reg.Types.ANoOpen,
+		Name: "A_NO_OPEN",
+		Covers: func(args any, item lock.Item) bool {
+			a := args.(*NewOrderArgs)
+			if a.ONum == 0 {
+				return false // order id not assigned yet
+			}
+			key := storage.EncodeKey(i64(a.WID), i64(a.DID), i64(a.ONum))
+			switch {
+			case item.Table == TOrders && item.Level == lock.LevelRow:
+				return item.Key == key
+			case item.Table == TNewOrder && item.Level == lock.LevelRow:
+				return item.Key == key
+			case item.Table == TOrderLine && item.Level == lock.LevelPartition:
+				return item.Key == key
+			}
+			return false
+		},
+		Items: func(args any) []lock.Item {
+			a := args.(*NewOrderArgs)
+			if a.ONum == 0 {
+				return nil // the §3.2 false-conflict case: identity unknown
+			}
+			key := storage.EncodeKey(i64(a.WID), i64(a.DID), i64(a.ONum))
+			return []lock.Item{
+				lock.RowItem(TOrders, key),
+				lock.RowItem(TNewOrder, key),
+				lock.PartitionItem(TOrderLine, key),
+			}
+		},
+	}
+	reg.aDlvClaim = &core.Assertion{
+		ID:   reg.Types.ADlvClaim,
+		Name: "A_DLV_CLAIM",
+		Covers: func(args any, item lock.Item) bool {
+			a := args.(*DeliveryArgs)
+			for d, o := range a.Claimed {
+				if o == 0 {
+					continue
+				}
+				key := storage.EncodeKey(i64(a.WID), i64(int64(d+1)), i64(o))
+				if item.Table == TOrders && item.Level == lock.LevelRow && item.Key == key {
+					return true
+				}
+				if item.Table == TOrderLine && item.Level == lock.LevelPartition && item.Key == key {
+					return true
+				}
+			}
+			return false
+		},
+		Items: func(args any) []lock.Item {
+			a := args.(*DeliveryArgs)
+			var out []lock.Item
+			for d, o := range a.Claimed {
+				if o == 0 {
+					continue
+				}
+				key := storage.EncodeKey(i64(a.WID), i64(int64(d+1)), i64(o))
+				out = append(out,
+					lock.RowItem(TOrders, key),
+					lock.PartitionItem(TOrderLine, key))
+			}
+			return out
+		},
+	}
+}
+
+// --- new-order -------------------------------------------------------------
+
+func (reg *Registration) newOrderType() *core.TxnType {
+	t := reg.Types
+	return &core.TxnType{
+		Name:                  "new_order",
+		ID:                    t.NewOrder,
+		InterStatementCompute: true,
+		MakeSteps: func(args any) []core.Step {
+			a := args.(*NewOrderArgs)
+			steps := make([]core.Step, 0, len(a.Lines)+2)
+			steps = append(steps, core.Step{
+				Name: "NO1", Type: t.NO1, Body: reg.noSetup,
+			})
+			for i := range a.Lines {
+				steps = append(steps, core.Step{
+					Name: fmt.Sprintf("NO2[%d]", i+1), Type: t.NO2,
+					Pre:  []*core.Assertion{reg.aNoOpen},
+					Body: reg.noLine(i),
+				})
+			}
+			steps = append(steps, core.Step{
+				Name: "NOF", Type: t.NOF,
+				Pre:  []*core.Assertion{reg.aNoOpen},
+				Body: reg.noFinalize,
+			})
+			return steps
+		},
+		Comp: &core.Compensation{
+			Type: t.CSNewOrder,
+			Body: reg.noCompensate,
+		},
+		EncodeArgs: encodeNewOrder,
+		DecodeArgs: decodeNewOrder,
+	}
+}
+
+// noSetup is NO1: read warehouse and customer rates, take the next order
+// number from the district (the hot-spot counter of §5.1), and enter the
+// order and its new_order queue entry.
+func (reg *Registration) noSetup(tc *core.Ctx) error {
+	a := tc.Args().(*NewOrderArgs)
+	wrow, err := tc.Get(TWarehouse, i64(a.WID))
+	if err != nil {
+		return err
+	}
+	a.WTax = wrow[colWTax].Int64()
+	err = tc.Update(TDistrict, []storage.Value{i64(a.WID), i64(a.DID)}, func(row storage.Row) error {
+		a.DTax = row[colDTax].Int64()
+		a.ONum = row[colDNext].Int64()
+		row[colDNext] = i64(a.ONum + 1)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	crow, err := tc.Get(TCustomer, i64(a.WID), i64(a.DID), i64(a.CID))
+	if err != nil {
+		return err
+	}
+	a.CDiscount = crow[colCDiscount].Int64()
+	if err := tc.Insert(TOrders, storage.Row{
+		i64(a.WID), i64(a.DID), i64(a.ONum), i64(a.CID),
+		i64(0), i64(0), i64(int64(len(a.Lines))), i64(1),
+	}); err != nil {
+		return err
+	}
+	return tc.Insert(TNewOrder, storage.Row{i64(a.WID), i64(a.DID), i64(a.ONum)})
+}
+
+// noLine is NO2: one order line — read the item, deplete the stock by the
+// TPC-C rule, and enter the line. The benchmark's 1% rollback fires here on
+// the final line via an unused item number (§2.4.1.4), after earlier lines'
+// steps completed — which is exactly what forces compensation under the ACC.
+func (reg *Registration) noLine(i int) func(*core.Ctx) error {
+	return func(tc *core.Ctx) error {
+		a := tc.Args().(*NewOrderArgs)
+		l := a.Lines[i]
+		irow, err := tc.Get(TItem, i64(l.ItemID))
+		if err != nil {
+			if errors.Is(err, storage.ErrNotFound) {
+				return tc.Abort("unused item number")
+			}
+			return err
+		}
+		price := irow[colIPrice].Int64()
+		var taken int64
+		err = tc.Update(TStock, []storage.Value{i64(l.SupplyW), i64(l.ItemID)}, func(row storage.Row) error {
+			q := row[colSQty].Int64()
+			var nq int64
+			if q >= l.Quantity+10 {
+				nq = q - l.Quantity
+			} else {
+				nq = q - l.Quantity + 91
+			}
+			taken = q - nq
+			row[colSQty] = i64(nq)
+			row[colSYTD] = i64(row[colSYTD].Int64() + l.Quantity)
+			row[colSOrderCnt] = i64(row[colSOrderCnt].Int64() + 1)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		amount := l.Quantity * price
+		if err := tc.Insert(TOrderLine, storage.Row{
+			i64(a.WID), i64(a.DID), i64(a.ONum), i64(int64(i + 1)),
+			i64(l.ItemID), i64(l.SupplyW), i64(0), i64(l.Quantity), i64(amount),
+			storage.Str(""),
+		}); err != nil {
+			return err
+		}
+		a.Filled[i] = taken
+		a.Amounts[i] = amount
+		return nil
+	}
+}
+
+// noFinalize is NOF: total the lines and apply discount and taxes — the step
+// that restores the order-level conjunct of I (all lines present).
+func (reg *Registration) noFinalize(tc *core.Ctx) error {
+	a := tc.Args().(*NewOrderArgs)
+	var sum int64
+	err := tc.ScanPartition(TOrderLine,
+		[]storage.Value{i64(a.WID), i64(a.DID), i64(a.ONum)},
+		func(row storage.Row) error {
+			sum += row[colOLAmount].Int64()
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	// total = sum * (1 - discount) * (1 + w_tax + d_tax), rates in basis points.
+	a.Total = sum * (10000 - a.CDiscount) / 10000 * (10000 + a.WTax + a.DTax) / 10000
+	return nil
+}
+
+// noCompensate semantically undoes a partial new-order: restock every
+// entered line, remove the lines, and remove the order and its queue entry.
+// The district's order counter is NOT decremented — later orders exist — so
+// the compensated number remains as a hole, exactly the outcome §4 derives.
+func (reg *Registration) noCompensate(tc *core.Ctx, completed int) error {
+	a := tc.Args().(*NewOrderArgs)
+	if completed < 1 || a.ONum == 0 {
+		return nil
+	}
+	lines := completed - 1
+	if lines > len(a.Lines) {
+		lines = len(a.Lines)
+	}
+	// Restock in item order: concurrent compensations then acquire their
+	// stock locks in the same order and cannot deadlock with each other.
+	order := make([]int, lines)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return a.Lines[order[x]].ItemID < a.Lines[order[y]].ItemID
+	})
+	for _, i := range order {
+		l := a.Lines[i]
+		taken, qty := a.Filled[i], l.Quantity
+		err := tc.Update(TStock, []storage.Value{i64(l.SupplyW), i64(l.ItemID)}, func(row storage.Row) error {
+			row[colSQty] = i64(row[colSQty].Int64() + taken)
+			row[colSYTD] = i64(row[colSYTD].Int64() - qty)
+			row[colSOrderCnt] = i64(row[colSOrderCnt].Int64() - 1)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := tc.Delete(TOrderLine, i64(a.WID), i64(a.DID), i64(a.ONum), i64(int64(i+1))); err != nil {
+			return err
+		}
+	}
+	if err := tc.Delete(TNewOrder, i64(a.WID), i64(a.DID), i64(a.ONum)); err != nil &&
+		!errors.Is(err, storage.ErrNotFound) {
+		return err
+	}
+	if err := tc.Delete(TOrders, i64(a.WID), i64(a.DID), i64(a.ONum)); err != nil &&
+		!errors.Is(err, storage.ErrNotFound) {
+		return err
+	}
+	return nil
+}
+
+// --- payment ---------------------------------------------------------------
+
+// paymentType orders the steps customer -> district -> warehouse: the
+// hottest row (the warehouse, which every transaction in the warehouse
+// touches) is updated last, so even the baseline holds it only across the
+// final statement and the commit force. This is the standard TPC-C
+// implementation discipline; the contention the paper analyses is then the
+// district tuple, where new-order's counter increment and payment's
+// year-to-date update genuinely collide (§5.1).
+func (reg *Registration) paymentType() *core.TxnType {
+	t := reg.Types
+	return &core.TxnType{
+		Name: "payment",
+		ID:   t.Payment,
+		Steps: []core.Step{
+			{Name: "P1", Type: t.P1, Body: reg.payCustomer},
+			{Name: "P2", Type: t.P2, Body: reg.payDistrict},
+			{Name: "P3", Type: t.P3, Body: reg.payWarehouse},
+		},
+		Comp: &core.Compensation{
+			Type: t.CSPayment,
+			Body: reg.payCompensate,
+		},
+		EncodeArgs: encodePayment,
+		DecodeArgs: decodePayment,
+	}
+}
+
+func (reg *Registration) payWarehouse(tc *core.Ctx) error {
+	a := tc.Args().(*PaymentArgs)
+	return tc.Update(TWarehouse, []storage.Value{i64(a.WID)}, func(row storage.Row) error {
+		row[colWYTD] = i64(row[colWYTD].Int64() + a.Amount)
+		return nil
+	})
+}
+
+func (reg *Registration) payDistrict(tc *core.Ctx) error {
+	a := tc.Args().(*PaymentArgs)
+	return tc.Update(TDistrict, []storage.Value{i64(a.WID), i64(a.DID)}, func(row storage.Row) error {
+		row[colDYTD] = i64(row[colDYTD].Int64() + a.Amount)
+		return nil
+	})
+}
+
+// resolveCustomer implements the benchmark's 60/40 selection: by last name
+// (the row whose c_first is the ceiling-median among the matches) or by id.
+func resolveCustomer(tc *core.Ctx, wid, did int64, cid int64, clast string) (int64, error) {
+	if clast == "" {
+		return cid, nil
+	}
+	rows, err := tc.LookupByIndex(TCustomer, IdxCustomerByLast,
+		[]storage.Value{i64(wid), i64(did), storage.Str(clast)})
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) == 0 {
+		return cid, nil // fall back to the id the generator always supplies
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i][colCFirst].Text() < rows[j][colCFirst].Text()
+	})
+	return rows[len(rows)/2][colCID].Int64(), nil
+}
+
+func (reg *Registration) payCustomer(tc *core.Ctx) error {
+	a := tc.Args().(*PaymentArgs)
+	cid, err := resolveCustomer(tc, a.CWID, a.CDID, a.CID, a.CLast)
+	if err != nil {
+		return err
+	}
+	a.ResolvedCID = cid
+	err = tc.Update(TCustomer, []storage.Value{i64(a.CWID), i64(a.CDID), i64(cid)}, func(row storage.Row) error {
+		row[colCBalance] = i64(row[colCBalance].Int64() - a.Amount)
+		row[colCYTDPay] = i64(row[colCYTDPay].Int64() + a.Amount)
+		row[colCPayCnt] = i64(row[colCPayCnt].Int64() + 1)
+		if row[colCCredit].Text() == "BC" {
+			data := fmt.Sprintf("%d %d %d %d %d %d|%s",
+				cid, a.CDID, a.CWID, a.DID, a.WID, a.Amount, row[colCData].Text())
+			if len(data) > 500 {
+				data = data[:500]
+			}
+			row[colCData] = storage.Str(data)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return tc.Insert(THistory, storage.Row{
+		i64(a.HID), i64(cid), i64(a.CDID), i64(a.CWID),
+		i64(a.DID), i64(a.WID), i64(a.Date), i64(a.Amount), storage.Str(""),
+	})
+}
+
+// payCompensate reverses the completed steps: the customer update and the
+// history record (step 1), then the district year-to-date (step 2). The
+// warehouse step is last, so a completed warehouse step means the
+// transaction committed and compensation is never invoked for it.
+func (reg *Registration) payCompensate(tc *core.Ctx, completed int) error {
+	a := tc.Args().(*PaymentArgs)
+	if completed >= 1 {
+		err := tc.Update(TCustomer, []storage.Value{i64(a.CWID), i64(a.CDID), i64(a.ResolvedCID)}, func(row storage.Row) error {
+			row[colCBalance] = i64(row[colCBalance].Int64() + a.Amount)
+			row[colCYTDPay] = i64(row[colCYTDPay].Int64() - a.Amount)
+			row[colCPayCnt] = i64(row[colCPayCnt].Int64() - 1)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := tc.Delete(THistory, i64(a.HID)); err != nil &&
+			!errors.Is(err, storage.ErrNotFound) {
+			return err
+		}
+	}
+	if completed >= 2 {
+		err := tc.Update(TDistrict, []storage.Value{i64(a.WID), i64(a.DID)}, func(row storage.Row) error {
+			row[colDYTD] = i64(row[colDYTD].Int64() - a.Amount)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package tpcc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"accdb/internal/core"
+	"accdb/internal/metrics"
+	"accdb/internal/sim"
+)
+
+// Mix is the transaction mix in percent; it must sum to 100. The default is
+// the benchmark's minimum-compliant mix.
+type Mix struct {
+	NewOrder    int
+	Payment     int
+	OrderStatus int
+	Delivery    int
+	StockLevel  int
+}
+
+// DefaultMix is the TPC-C §5.2.3 mix.
+func DefaultMix() Mix {
+	return Mix{NewOrder: 45, Payment: 43, OrderStatus: 4, Delivery: 4, StockLevel: 4}
+}
+
+// WorkloadConfig parameterizes input generation.
+type WorkloadConfig struct {
+	Scale Scale
+	Mix   Mix
+	// DistrictSkew is the extra probability mass on district 1 for
+	// new-order and payment (0 = the uniform "Standard" curve of Figure 2;
+	// 0.5 reproduces the "Skewed" curve's hot district).
+	DistrictSkew float64
+	// RollbackPercent is the share of new-orders that must abort via an
+	// unused item number (the benchmark requires 1).
+	RollbackPercent int
+	// StockLevelOrders is how many recent orders stock-level inspects
+	// (spec: 20; scaled down with the database).
+	StockLevelOrders int
+}
+
+// DefaultWorkloadConfig returns the standard configuration for a scale.
+func DefaultWorkloadConfig(s Scale) WorkloadConfig {
+	return WorkloadConfig{
+		Scale:            s,
+		Mix:              DefaultMix(),
+		RollbackPercent:  1,
+		StockLevelOrders: 10,
+	}
+}
+
+// Workload generates TPC-C transactions against an engine. It also tracks
+// the order-number holes left by compensated new-orders, which the
+// consistency checker needs to verify the numbering conditions.
+type Workload struct {
+	eng *core.Engine
+	cfg WorkloadConfig
+
+	hID atomic.Int64
+
+	mu    sync.Mutex
+	holes map[DistrictKey]map[int64]bool
+}
+
+// DistrictKey identifies a district.
+type DistrictKey struct {
+	W, D int64
+}
+
+// NewWorkload binds a generator to an engine whose database was loaded at
+// cfg.Scale and whose transaction types are registered.
+func NewWorkload(eng *core.Engine, cfg WorkloadConfig) *Workload {
+	w := &Workload{eng: eng, cfg: cfg, holes: make(map[DistrictKey]map[int64]bool)}
+	w.hID.Store(int64(cfg.Scale.Warehouses*cfg.Scale.Districts*cfg.Scale.CustomersPerDistrict) + 1)
+	return w
+}
+
+// Holes returns the compensated order numbers per district.
+func (w *Workload) Holes() map[DistrictKey]map[int64]bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[DistrictKey]map[int64]bool, len(w.holes))
+	for k, v := range w.holes {
+		m := make(map[int64]bool, len(v))
+		for o := range v {
+			m[o] = true
+		}
+		out[k] = m
+	}
+	return out
+}
+
+func (w *Workload) addHole(wid, did, o int64) {
+	if o == 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	k := DistrictKey{wid, did}
+	m, ok := w.holes[k]
+	if !ok {
+		m = make(map[int64]bool)
+		w.holes[k] = m
+	}
+	m[o] = true
+}
+
+// district draws a district id, honouring the skew knob.
+func (w *Workload) district(r *rand.Rand) int64 {
+	if w.cfg.DistrictSkew > 0 && r.Float64() < w.cfg.DistrictSkew {
+		return 1
+	}
+	return randRange(r, 1, int64(w.cfg.Scale.Districts))
+}
+
+func (w *Workload) customer(r *rand.Rand) int64 {
+	return nuRand(r, 1023, cID, 1, int64(w.cfg.Scale.CustomersPerDistrict))
+}
+
+func (w *Workload) item(r *rand.Rand) int64 {
+	return nuRand(r, 8191, cItem, 1, int64(w.cfg.Scale.Items))
+}
+
+// NewOrderArgs draws the inputs of one new-order (§2.4.1).
+func (w *Workload) NewOrderArgs(r *rand.Rand) *NewOrderArgs {
+	a := &NewOrderArgs{
+		WID: 1, DID: w.district(r), CID: w.customer(r),
+	}
+	n := randRange(r, 5, 15)
+	a.Lines = make([]OrderLineReq, n)
+	for i := range a.Lines {
+		a.Lines[i] = OrderLineReq{
+			ItemID:   w.item(r),
+			SupplyW:  1, // single warehouse: all lines home-supplied
+			Quantity: randRange(r, 1, 10),
+		}
+	}
+	if w.cfg.RollbackPercent > 0 && r.Intn(100) < w.cfg.RollbackPercent {
+		a.InvalidItem = true
+		a.Lines[n-1].ItemID = int64(w.cfg.Scale.Items) + 1 // unused item number
+	}
+	a.Filled = make([]int64, n)
+	a.Amounts = make([]int64, n)
+	return a
+}
+
+// PaymentArgs draws the inputs of one payment (§2.5.1).
+func (w *Workload) PaymentArgs(r *rand.Rand) *PaymentArgs {
+	a := &PaymentArgs{
+		WID: 1, DID: w.district(r),
+		Amount: randRange(r, 100, 500000),
+		HID:    w.hID.Add(1),
+	}
+	// 85% home district customer; 15% a different district (remote
+	// warehouse with W=1 degenerates to a remote district).
+	a.CWID = 1
+	if r.Intn(100) < 85 {
+		a.CDID = a.DID
+	} else {
+		a.CDID = randRange(r, 1, int64(w.cfg.Scale.Districts))
+	}
+	a.CID = w.customer(r)
+	if r.Intn(100) < 60 {
+		a.CLast = randLastName(r)
+	}
+	return a
+}
+
+// OrderStatusArgs draws the inputs of one order-status (§2.6.1).
+func (w *Workload) OrderStatusArgs(r *rand.Rand) *OrderStatusArgs {
+	a := &OrderStatusArgs{WID: 1, DID: w.district(r), CID: w.customer(r)}
+	if r.Intn(100) < 60 {
+		a.CLast = randLastName(r)
+	}
+	return a
+}
+
+// DeliveryArgs draws the inputs of one delivery (§2.7.1).
+func (w *Workload) DeliveryArgs(r *rand.Rand) *DeliveryArgs {
+	d := w.cfg.Scale.Districts
+	return &DeliveryArgs{
+		WID: 1, Carrier: randRange(r, 1, 10), Date: 1,
+		Claimed:   make([]int64, d),
+		Amounts:   make([]int64, d),
+		Customers: make([]int64, d),
+	}
+}
+
+// StockLevelArgs draws the inputs of one stock-level (§2.8.1). Each terminal
+// is associated with one district, per the spec.
+func (w *Workload) StockLevelArgs(r *rand.Rand, terminal int) *StockLevelArgs {
+	return &StockLevelArgs{
+		WID:       1,
+		DID:       int64(terminal%w.cfg.Scale.Districts) + 1,
+		Threshold: randRange(r, 10, 20),
+		Orders:    int64(w.cfg.StockLevelOrders),
+	}
+}
+
+// Next implements sim.Generator: it draws a transaction type from the mix
+// and returns a runnable instance.
+func (w *Workload) Next(r *rand.Rand, terminal int) sim.Txn {
+	m := w.cfg.Mix
+	roll := r.Intn(100)
+	switch {
+	case roll < m.NewOrder:
+		a := w.NewOrderArgs(r)
+		return sim.Txn{Type: "new_order", Run: func() (metrics.Outcome, error) {
+			err := w.eng.Run("new_order", a)
+			if core.IsCompensated(err) {
+				// Compensation leaves the order number as a hole (§4); a
+				// plain abort restored the counter, so no hole.
+				w.addHole(a.WID, a.DID, a.ONum)
+			}
+			return outcome(err)
+		}}
+	case roll < m.NewOrder+m.Payment:
+		a := w.PaymentArgs(r)
+		return sim.Txn{Type: "payment", Run: func() (metrics.Outcome, error) {
+			return outcome(w.eng.Run("payment", a))
+		}}
+	case roll < m.NewOrder+m.Payment+m.OrderStatus:
+		a := w.OrderStatusArgs(r)
+		return sim.Txn{Type: "order_status", Run: func() (metrics.Outcome, error) {
+			return outcome(w.eng.Run("order_status", a))
+		}}
+	case roll < m.NewOrder+m.Payment+m.OrderStatus+m.Delivery:
+		a := w.DeliveryArgs(r)
+		return sim.Txn{Type: "delivery", Run: func() (metrics.Outcome, error) {
+			return outcome(w.eng.Run("delivery", a))
+		}}
+	default:
+		a := w.StockLevelArgs(r, terminal)
+		return sim.Txn{Type: "stock_level", Run: func() (metrics.Outcome, error) {
+			return outcome(w.eng.Run("stock_level", a))
+		}}
+	}
+}
+
+func outcome(err error) (metrics.Outcome, error) {
+	switch {
+	case err == nil:
+		return metrics.Committed, nil
+	case core.IsCompensated(err) || errors.Is(err, core.ErrUserAbort):
+		return metrics.RolledBack, nil
+	default:
+		return metrics.Failed, err
+	}
+}

@@ -1,0 +1,143 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+
+	"accdb/internal/storage"
+)
+
+// Recovery (§3.4, §5): steps are atomic and isolated, so the log-consistent
+// state after a crash is "every completed step applied, the in-flight step
+// discarded". Transactions with completed steps but no commit must then be
+// *compensated*, not undone — their intermediate results may already have
+// been observed by committed transactions. Analyze produces exactly that
+// plan: the writes to replay and the transactions still owing compensation.
+
+// TxnState summarizes one transaction's fate as recorded in the log.
+type TxnState struct {
+	ID             uint64
+	Type           string
+	CompletedSteps int
+	WorkArea       []byte // saved at the last completed step
+	Committed      bool
+	Aborted        bool
+	Compensated    bool
+}
+
+// NeedsCompensation reports whether the transaction must be compensated
+// after recovery: it completed at least one step but neither committed,
+// aborted cleanly, nor finished compensating.
+func (t *TxnState) NeedsCompensation() bool {
+	return !t.Committed && !t.Aborted && !t.Compensated && t.CompletedSteps > 0
+}
+
+// Analysis is the outcome of scanning a log image.
+type Analysis struct {
+	Txns map[uint64]*TxnState
+
+	// completedAttempt records, per (txn, unit), which execution attempt
+	// reached its end-of-step record. A step aborted by deadlock and retried
+	// logs a fresh TStepBegin; only the attempt that completed gets its
+	// writes replayed — the earlier attempts' writes were undone in place.
+	// unit is the step index for forward steps, compUnit for compensation.
+	completedAttempt map[unitKey]int
+}
+
+type unitKey struct {
+	txn  uint64
+	unit int32
+}
+
+const compUnit int32 = -1
+
+// Analyze scans a log image (typically Log.DurableBytes after a simulated
+// crash) and classifies every transaction.
+func Analyze(data []byte) (*Analysis, error) {
+	a := &Analysis{
+		Txns:             make(map[uint64]*TxnState),
+		completedAttempt: make(map[unitKey]int),
+	}
+	get := func(id uint64) *TxnState {
+		t, ok := a.Txns[id]
+		if !ok {
+			t = &TxnState{ID: id}
+			a.Txns[id] = t
+		}
+		return t
+	}
+	attempts := make(map[unitKey]int)
+	err := Replay(data, func(r Record) error {
+		t := get(r.Txn)
+		switch r.Type {
+		case TBegin:
+			t.Type = r.TxnType
+		case TStepBegin:
+			attempts[unitKey{r.Txn, r.Step}]++
+		case TCompBegin:
+			attempts[unitKey{r.Txn, compUnit}]++
+		case TEndOfStep:
+			k := unitKey{r.Txn, r.Step}
+			a.completedAttempt[k] = attempts[k]
+			t.CompletedSteps = int(r.Step) + 1
+			t.WorkArea = r.WorkArea
+		case TCommit:
+			t.Committed = true
+		case TAbort:
+			t.Aborted = true
+		case TCompDone:
+			k := unitKey{r.Txn, compUnit}
+			a.completedAttempt[k] = attempts[k]
+			t.Compensated = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Apply replays, in log order, every write belonging to a completed step or
+// completed compensation, invoking apply(table, pk, after) for each; a nil
+// after image is a delete. The same data passed to Analyze must be passed
+// here.
+func (a *Analysis) Apply(data []byte, apply func(table string, pk storage.Key, after storage.Row)) error {
+	// current unit and attempt per transaction, from step/comp markers.
+	current := make(map[uint64]unitKey)
+	attempts := make(map[unitKey]int)
+	return Replay(data, func(r Record) error {
+		switch r.Type {
+		case TStepBegin:
+			k := unitKey{r.Txn, r.Step}
+			attempts[k]++
+			current[r.Txn] = k
+		case TCompBegin:
+			k := unitKey{r.Txn, compUnit}
+			attempts[k]++
+			current[r.Txn] = k
+		case TWrite:
+			k, ok := current[r.Txn]
+			if !ok {
+				return fmt.Errorf("wal: write for txn %d outside any step", r.Txn)
+			}
+			if a.completedAttempt[k] == attempts[k] {
+				apply(r.Table, r.PK, r.After)
+			}
+		}
+		return nil
+	})
+}
+
+// Pending returns the transactions that still owe compensation, in
+// transaction-ID order for determinism.
+func (a *Analysis) Pending() []*TxnState {
+	var out []*TxnState
+	for _, t := range a.Txns {
+		if t.NeedsCompensation() {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

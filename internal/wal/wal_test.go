@@ -1,0 +1,267 @@
+package wal
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"accdb/internal/storage"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Type: TBegin, Txn: 1, TxnType: "new_order"},
+		{Type: TStepBegin, Txn: 1, Step: 0},
+		{Type: TWrite, Txn: 1, Table: "t", PK: storage.EncodeKey(storage.I64(5)),
+			Before: nil, After: storage.Row{storage.I64(5), storage.Str("x")}},
+		{Type: TWrite, Txn: 1, Table: "t", PK: storage.EncodeKey(storage.I64(5)),
+			Before: storage.Row{storage.I64(5), storage.Str("x")},
+			After:  storage.Row{storage.I64(5), storage.Str("y")}},
+		{Type: TEndOfStep, Txn: 1, Step: 0, WorkArea: []byte{1, 2, 3}},
+		{Type: TStepBegin, Txn: 1, Step: 1},
+		{Type: TWrite, Txn: 1, Table: "t", PK: storage.EncodeKey(storage.I64(6)),
+			Before: storage.Row{storage.I64(6), storage.Str("z")}, After: nil},
+		{Type: TEndOfStep, Txn: 1, Step: 1},
+		{Type: TCommit, Txn: 1},
+		{Type: TBegin, Txn: 2, TxnType: "payment"},
+		{Type: TAbort, Txn: 2},
+		{Type: TCompBegin, Txn: 3, Step: 2},
+		{Type: TCompDone, Txn: 3},
+	}
+}
+
+func TestRecordRoundtrip(t *testing.T) {
+	l := New(0)
+	for _, rec := range sampleRecords() {
+		l.Append(rec)
+	}
+	var got []Record
+	if err := Replay(l.Bytes(), func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Type != w.Type || g.Txn != w.Txn || g.TxnType != w.TxnType ||
+			g.Step != w.Step || g.Table != w.Table || g.PK != w.PK {
+			t.Errorf("record %d: got %+v, want %+v", i, g, w)
+		}
+		if (g.Before == nil) != (w.Before == nil) || (g.Before != nil && !g.Before.Equal(w.Before)) {
+			t.Errorf("record %d before image mismatch", i)
+		}
+		if (g.After == nil) != (w.After == nil) || (g.After != nil && !g.After.Equal(w.After)) {
+			t.Errorf("record %d after image mismatch", i)
+		}
+		if string(g.WorkArea) != string(w.WorkArea) {
+			t.Errorf("record %d work area mismatch", i)
+		}
+	}
+}
+
+func TestRecordRoundtripQuick(t *testing.T) {
+	f := func(txn uint64, step int32, table string, area []byte, v int64) bool {
+		l := New(0)
+		l.Append(Record{Type: TEndOfStep, Txn: txn, Step: step, WorkArea: area})
+		l.Append(Record{Type: TWrite, Txn: txn, Table: table,
+			PK: storage.EncodeKey(storage.I64(v)), After: storage.Row{storage.I64(v)}})
+		n := 0
+		ok := true
+		err := Replay(l.Bytes(), func(r Record) error {
+			switch n {
+			case 0:
+				ok = ok && r.Txn == txn && r.Step == step && string(r.WorkArea) == string(area)
+			case 1:
+				ok = ok && r.Table == table && r.After[0].Int64() == v
+			}
+			n++
+			return nil
+		})
+		return err == nil && n == 2 && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplayIgnoresTruncatedTail(t *testing.T) {
+	l := New(0)
+	for _, rec := range sampleRecords() {
+		l.Append(rec)
+	}
+	full := l.Bytes()
+	whole := 0
+	Replay(full, func(Record) error { whole++; return nil })
+	// Any truncation must replay a prefix without error.
+	for cut := 0; cut < len(full); cut += 7 {
+		n := 0
+		if err := Replay(full[:cut], func(Record) error { n++; return nil }); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if n > whole {
+			t.Fatalf("cut %d replayed %d > %d records", cut, n, whole)
+		}
+	}
+}
+
+func TestForceSemantics(t *testing.T) {
+	l := New(0)
+	lsn := l.Append(Record{Type: TBegin, Txn: 1})
+	if len(l.DurableBytes()) != 0 {
+		t.Fatal("unforced record already durable")
+	}
+	l.ForceTo(lsn)
+	if len(l.DurableBytes()) != int(lsn) {
+		t.Fatal("force did not advance durable prefix")
+	}
+	st := l.Snapshot()
+	if st.Forces != 1 || st.Records != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Forcing an already-durable LSN is free.
+	l.ForceTo(lsn)
+	if l.Snapshot().Forces != 1 {
+		t.Fatal("idempotent force counted twice")
+	}
+}
+
+func TestForceLatencyCharged(t *testing.T) {
+	l := New(20 * time.Millisecond)
+	start := time.Now()
+	l.AppendForce(Record{Type: TCommit, Txn: 1})
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("force latency not charged")
+	}
+}
+
+func TestAnalyzeOutcomes(t *testing.T) {
+	l := New(0)
+	// Txn 1 commits after two steps; txn 2 aborts clean; txn 3 has one
+	// completed step and then crashes (needs compensation); txn 4 finished
+	// compensating; txn 5 crashed mid-first-step (nothing to do).
+	recs := []Record{
+		{Type: TBegin, Txn: 1, TxnType: "a"},
+		{Type: TStepBegin, Txn: 1, Step: 0},
+		{Type: TEndOfStep, Txn: 1, Step: 0},
+		{Type: TStepBegin, Txn: 1, Step: 1},
+		{Type: TEndOfStep, Txn: 1, Step: 1},
+		{Type: TCommit, Txn: 1},
+		{Type: TBegin, Txn: 2, TxnType: "b"},
+		{Type: TAbort, Txn: 2},
+		{Type: TBegin, Txn: 3, TxnType: "c"},
+		{Type: TStepBegin, Txn: 3, Step: 0},
+		{Type: TEndOfStep, Txn: 3, Step: 0, WorkArea: []byte("wa")},
+		{Type: TStepBegin, Txn: 3, Step: 1},
+		{Type: TBegin, Txn: 4, TxnType: "d"},
+		{Type: TStepBegin, Txn: 4, Step: 0},
+		{Type: TEndOfStep, Txn: 4, Step: 0},
+		{Type: TCompBegin, Txn: 4, Step: 1},
+		{Type: TCompDone, Txn: 4},
+		{Type: TBegin, Txn: 5, TxnType: "e"},
+		{Type: TStepBegin, Txn: 5, Step: 0},
+	}
+	for _, r := range recs {
+		l.Append(r)
+	}
+	a, err := Analyze(l.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Txns[1].Committed || a.Txns[1].CompletedSteps != 2 {
+		t.Errorf("txn1 = %+v", a.Txns[1])
+	}
+	if !a.Txns[2].Aborted {
+		t.Errorf("txn2 = %+v", a.Txns[2])
+	}
+	if !a.Txns[3].NeedsCompensation() || string(a.Txns[3].WorkArea) != "wa" {
+		t.Errorf("txn3 = %+v", a.Txns[3])
+	}
+	if !a.Txns[4].Compensated || a.Txns[4].NeedsCompensation() {
+		t.Errorf("txn4 = %+v", a.Txns[4])
+	}
+	if a.Txns[5].NeedsCompensation() {
+		t.Errorf("txn5 should not need compensation: %+v", a.Txns[5])
+	}
+	pending := a.Pending()
+	if len(pending) != 1 || pending[0].ID != 3 {
+		t.Fatalf("pending = %+v", pending)
+	}
+}
+
+func TestApplyReplaysOnlyCompletedUnits(t *testing.T) {
+	l := New(0)
+	pk := func(i int64) storage.Key { return storage.EncodeKey(storage.I64(i)) }
+	row := func(i int64) storage.Row { return storage.Row{storage.I64(i)} }
+	recs := []Record{
+		{Type: TBegin, Txn: 1, TxnType: "a"},
+		// Attempt 1 of step 0 writes pk 1, then the step aborts (deadlock);
+		// attempt 2 writes pk 2 and completes.
+		{Type: TStepBegin, Txn: 1, Step: 0},
+		{Type: TWrite, Txn: 1, Table: "t", PK: pk(1), After: row(1)},
+		{Type: TStepBegin, Txn: 1, Step: 0},
+		{Type: TWrite, Txn: 1, Table: "t", PK: pk(2), After: row(2)},
+		{Type: TEndOfStep, Txn: 1, Step: 0},
+		// Step 1 writes pk 3 but never completes (crash).
+		{Type: TStepBegin, Txn: 1, Step: 1},
+		{Type: TWrite, Txn: 1, Table: "t", PK: pk(3), After: row(3)},
+		// Txn 2's compensation deletes pk 2... rather, writes pk 4, done.
+		{Type: TBegin, Txn: 2, TxnType: "b"},
+		{Type: TCompBegin, Txn: 2, Step: 1},
+		{Type: TWrite, Txn: 2, Table: "t", PK: pk(4), After: row(4)},
+		{Type: TCompDone, Txn: 2},
+	}
+	for _, r := range recs {
+		l.Append(r)
+	}
+	data := l.Bytes()
+	a, err := Analyze(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := map[string]bool{}
+	err = a.Apply(data, func(table string, k storage.Key, after storage.Row) {
+		applied[string(k)] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied[string(pk(1))] {
+		t.Error("aborted attempt's write replayed")
+	}
+	if !applied[string(pk(2))] {
+		t.Error("completed attempt's write missing")
+	}
+	if applied[string(pk(3))] {
+		t.Error("incomplete step's write replayed")
+	}
+	if !applied[string(pk(4))] {
+		t.Error("completed compensation's write missing")
+	}
+}
+
+func TestApplyRejectsOrphanWrite(t *testing.T) {
+	l := New(0)
+	l.Append(Record{Type: TWrite, Txn: 9, Table: "t", PK: "k"})
+	a, _ := Analyze(l.Bytes())
+	if err := a.Apply(l.Bytes(), func(string, storage.Key, storage.Row) {}); err == nil {
+		t.Fatal("write outside any step accepted")
+	}
+}
+
+func TestDurableBytesLoseUnforcedTail(t *testing.T) {
+	l := New(0)
+	l.AppendForce(Record{Type: TBegin, Txn: 1})
+	l.Append(Record{Type: TCommit, Txn: 1}) // never forced: lost in a crash
+	a, err := Analyze(l.DurableBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Txns[1].Committed {
+		t.Fatal("unforced commit survived the crash")
+	}
+}
