@@ -10,13 +10,32 @@ package lock
 // can make progress ("when a compensating step completes a deadlock cycle,
 // it is not itself aborted, but rather, the ACC aborts all steps that are
 // delaying it").
+//
+// Under the sharded lock table the waits-for graph spans shards. Detection
+// walks it one shard latch at a time: the registry resolves a blocked
+// transaction to its waiter, and each waiter's current blockers are
+// recomputed under that waiter's own shard latch. Because no two latches
+// are ever held together, the walk observes the graph edge-by-edge rather
+// than atomically; that is sound because
+//
+//   - a real deadlock cycle is stable — every member stays blocked until a
+//     victim is removed — so the walk, which runs after the enqueuing
+//     waiter has published itself, always sees a complete cycle (the last
+//     member to publish is the one whose detection closes it);
+//   - a cycle that dissolves mid-walk can at worst produce a spurious
+//     victim, which is safe: the victim aborts and retries its step, the
+//     same outcome as any genuine deadlock.
 
 // resolveDeadlock checks whether the freshly enqueued waiter w completes a
 // waits-for cycle and applies the victim policy. It returns ErrDeadlock if w
-// itself must abort. Caller holds mu.
+// itself must abort. Called with no latches held; w must already be
+// published in the registry.
 func (m *Manager) resolveDeadlock(w *waiter) error {
 	for {
-		if w.granted || w.err != nil {
+		w.sh.mu.Lock()
+		settled := w.granted || w.err != nil
+		w.sh.mu.Unlock()
+		if settled {
 			// Removing a victim re-ran the grant pass and resolved w.
 			return nil
 		}
@@ -24,7 +43,7 @@ func (m *Manager) resolveDeadlock(w *waiter) error {
 		if cycle == nil {
 			return nil
 		}
-		m.stats.Deadlocks++
+		w.sh.stats.deadlocks.Add(1)
 		if !w.req.Compensating {
 			return ErrDeadlock
 		}
@@ -41,17 +60,22 @@ func (m *Manager) resolveDeadlock(w *waiter) error {
 			// compensating requester aborts to keep the system live.
 			return ErrDeadlock
 		}
-		victim.err = ErrAborted
-		m.removeWaiter(victim)
-		victim.ch <- struct{}{}
-		m.stats.VictimsForComp++
+		vs := victim.sh
+		vs.mu.Lock()
+		if !victim.granted && victim.err == nil {
+			victim.err = ErrAborted
+			m.removeWaiter(vs, victim)
+			victim.ch <- struct{}{}
+			vs.stats.victimsForComp.Add(1)
+		}
+		vs.mu.Unlock()
 		// Re-check: w may sit on several overlapping cycles.
 	}
 }
 
 // findCycle searches for a waits-for path from one of w's blockers back to
 // w's transaction. It returns the waiters on the cycle (starting with w), or
-// nil. Caller holds mu.
+// nil. Called with no latches held.
 func (m *Manager) findCycle(w *waiter) []*waiter {
 	target := w.txn.ID
 	visited := make(map[TxnID]bool)
@@ -67,7 +91,7 @@ func (m *Manager) findCycle(w *waiter) []*waiter {
 				continue
 			}
 			visited[b] = true
-			if next, ok := m.waiting[b]; ok && next.err == nil && !next.granted {
+			if next := m.reg.get(b); next != nil {
 				if dfs(next) {
 					return true
 				}
@@ -84,9 +108,16 @@ func (m *Manager) findCycle(w *waiter) []*waiter {
 
 // blockerTxns lists the transactions w currently waits for: holders of
 // conflicting grants on its item, and earlier conflicting waiters in its
-// queue. Caller holds mu.
+// queue. It takes (and releases) w's shard latch; a waiter that has already
+// been granted or aborted contributes no edges.
 func (m *Manager) blockerTxns(w *waiter) []TxnID {
-	st, ok := m.items[w.item]
+	sh := w.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if w.granted || w.err != nil {
+		return nil
+	}
+	st, ok := sh.items[w.item]
 	if !ok {
 		return nil
 	}

@@ -22,6 +22,13 @@
 // time. The victim is the request that completes the cycle (§3.4), except
 // that a compensating step is never the victim: the manager instead aborts a
 // forward-step waiter on the cycle so the compensation can proceed.
+//
+// The lock table is partitioned into shards — max(16, 4×GOMAXPROCS),
+// capped at 64 — each with its own latch, item map and wait queues, like
+// the sharded hash table of lock chains in the Ingres lock manager the
+// paper modified. Blocked requests are additionally published in a small
+// cross-shard waits-for registry so deadlock detection and cancellation
+// can find them without a global latch; see shard.go and deadlock.go.
 package lock
 
 import (
@@ -201,6 +208,11 @@ type TxnInfo struct {
 	Type interference.TxnTypeID
 
 	completed atomic.Int32
+
+	// shardSet is a bitmask of lock-table shards on which this transaction
+	// holds (or has held) entries; release passes visit only these shards.
+	// It only ever grows — a stale bit costs one empty shard visit.
+	shardSet atomic.Uint64
 }
 
 // NewTxnInfo constructs the lock-side descriptor of a transaction.
@@ -217,6 +229,17 @@ func (t *TxnInfo) AdvanceStep() { t.completed.Add(1) }
 
 // SetCompletedSteps overrides the step counter (used by recovery).
 func (t *TxnInfo) SetCompletedSteps(n int) { t.completed.Store(int32(n)) }
+
+// markShard records that the transaction touched the shard with the given
+// bitmask bit.
+func (t *TxnInfo) markShard(bit uint64) {
+	for {
+		old := t.shardSet.Load()
+		if old&bit != 0 || t.shardSet.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
 
 // Request describes one lock acquisition.
 type Request struct {

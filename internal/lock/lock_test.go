@@ -10,8 +10,11 @@ import (
 	"accdb/internal/interference"
 )
 
-// stubOracle gives tests precise control over interference answers.
+// stubOracle gives tests precise control over interference answers. It is
+// mutex-guarded because tests flip answers while concurrent Acquires are
+// blocked on the manager.
 type stubOracle struct {
+	mu         sync.Mutex
 	interferes map[[2]int32]bool // (step, assertion)
 	prefixSafe map[[2]int32]bool // (txnType, assertion) ignoring step count
 	interleave map[[2]int32]bool // (step, holderType)
@@ -25,14 +28,30 @@ func newStub() *stubOracle {
 	}
 }
 
+func (o *stubOracle) set(m map[[2]int32]bool, a, b int32, v bool) {
+	o.mu.Lock()
+	m[[2]int32{a, b}] = v
+	o.mu.Unlock()
+}
+
+func (o *stubOracle) setInterferes(s, a int32, v bool) { o.set(o.interferes, s, a, v) }
+func (o *stubOracle) setPrefixSafe(t, a int32, v bool) { o.set(o.prefixSafe, t, a, v) }
+func (o *stubOracle) setInterleave(s, h int32, v bool) { o.set(o.interleave, s, h, v) }
+
+func (o *stubOracle) get(m map[[2]int32]bool, a, b int32) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return m[[2]int32{a, b}]
+}
+
 func (o *stubOracle) Interferes(s interference.StepTypeID, a interference.AssertionID) bool {
-	return o.interferes[[2]int32{int32(s), int32(a)}]
+	return o.get(o.interferes, int32(s), int32(a))
 }
 func (o *stubOracle) PrefixInterferes(t interference.TxnTypeID, _ int, a interference.AssertionID) bool {
-	return !o.prefixSafe[[2]int32{int32(t), int32(a)}]
+	return !o.get(o.prefixSafe, int32(t), int32(a))
 }
 func (o *stubOracle) MayInterleave(s interference.StepTypeID, h interference.TxnTypeID, _ int) bool {
-	return o.interleave[[2]int32{int32(s), int32(h)}]
+	return o.get(o.interleave, int32(s), int32(h))
 }
 
 func item(name string) Item { return RowItem(name, "k") }
@@ -241,7 +260,7 @@ func TestCompensatingStepNeverVictim(t *testing.T) {
 
 func TestAssertionalLockBlocksInterferingWriter(t *testing.T) {
 	o := newStub()
-	o.interferes[[2]int32{7, 42}] = true // step 7 interferes with assertion 42
+	o.setInterferes(7, 42, true) // step 7 interferes with assertion 42
 	m := NewManager(o)
 	holder, writer := NewTxnInfo(1, 1), NewTxnInfo(2, 1)
 	it := item("x")
@@ -270,7 +289,7 @@ func TestAssertionalLockBlocksInterferingWriter(t *testing.T) {
 
 func TestAssertionalLocksNeverConflictWithEachOtherOrReaders(t *testing.T) {
 	o := newStub()
-	o.interferes[[2]int32{1, 1}] = true
+	o.setInterferes(1, 1, true)
 	m := NewManager(o)
 	t1, t2, t3 := NewTxnInfo(1, 1), NewTxnInfo(2, 1), NewTxnInfo(3, 1)
 	it := item("x")
@@ -287,7 +306,7 @@ func TestAssertionalLocksNeverConflictWithEachOtherOrReaders(t *testing.T) {
 
 func TestExposureIsolatesUndeclaredSteps(t *testing.T) {
 	o := newStub()
-	o.interleave[[2]int32{5, 1}] = true // step 5 may see txn type 1's state
+	o.setInterleave(5, 1, true) // step 5 may see txn type 1's state
 	m := NewManager(o)
 	holder := NewTxnInfo(1, 1) // txn type 1
 	it := item("x")
@@ -342,7 +361,7 @@ func TestExposureBreakpointSensitivity(t *testing.T) {
 	}
 	// Allow interleaving (as if the next breakpoint's table entry differed),
 	// advance the holder, and release a step: the waiter must be re-examined.
-	o.interleave[[2]int32{5, 1}] = true
+	o.setInterleave(5, 1, true)
 	holder.AdvanceStep()
 	m.ReleaseConventional(holder) // triggers the grant pass at step boundary
 	if err := <-done; err != nil {
@@ -352,7 +371,7 @@ func TestExposureBreakpointSensitivity(t *testing.T) {
 
 func TestReservationBlocksInterferingAssertion(t *testing.T) {
 	o := newStub()
-	o.interferes[[2]int32{99, 7}] = true // CS type 99 interferes with assertion 7
+	o.setInterferes(99, 7, true) // CS type 99 interferes with assertion 7
 	m := NewManager(o)
 	owner := NewTxnInfo(1, 1)
 	it := item("x")
@@ -380,7 +399,7 @@ func TestReservationBlocksInterferingAssertion(t *testing.T) {
 
 func TestAssertionVsExposurePrefixCheck(t *testing.T) {
 	o := newStub()
-	o.prefixSafe[[2]int32{1, 7}] = true // txn type 1's prefixes leave assertion 7 true
+	o.setPrefixSafe(1, 7, true) // txn type 1's prefixes leave assertion 7 true
 	m := NewManager(o)
 	holder := NewTxnInfo(1, 1)
 	it := item("x")

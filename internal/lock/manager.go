@@ -1,7 +1,6 @@
 package lock
 
 import (
-	"sync"
 	"time"
 
 	"accdb/internal/interference"
@@ -33,11 +32,15 @@ type grant struct {
 	stepSeq int
 }
 
-// waiter is a blocked Acquire.
+// waiter is a blocked Acquire. Its granted/err fields are guarded by the
+// owning shard's latch (sh.mu); the grantor (grant pass, victim kill,
+// cancel) sets exactly one outcome and signals ch exactly once, all under
+// that latch.
 type waiter struct {
 	txn  *TxnInfo
 	req  Request
 	item Item
+	sh   *shard
 
 	granted bool
 	err     error
@@ -58,9 +61,12 @@ type Stats struct {
 	VictimsForComp uint64 // forward steps aborted to let a compensation proceed
 }
 
-// Manager is the lock manager. A single mutex guards the lock table; wait
-// queues park on per-waiter channels. This mirrors the structure (if not the
-// sharding) of the Ingres lock manager the paper modified.
+// Manager is the lock manager. The lock table is partitioned into shards —
+// the structure of the sharded Ingres lock manager the paper modified —
+// each with its own latch, item map and wait queues, so Acquires on
+// unrelated items proceed in parallel. Wait queues park on per-waiter
+// channels; blocked requests are published in a cross-shard waits-for
+// registry for deadlock detection and cancellation.
 type Manager struct {
 	oracle Oracle
 
@@ -68,13 +74,10 @@ type Manager struct {
 	// It is a safety net for tests and drivers, not a scheduling policy.
 	WaitTimeout time.Duration
 
-	mu      sync.Mutex
-	items   map[Item]*lockState
-	held    map[TxnID]map[Item]struct{}
-	waiting map[TxnID]*waiter
+	shards    []*shard
+	shardMask uint64
 
-	stats   Stats
-	byClass map[string]*ClassStats
+	reg waitRegistry
 }
 
 // ClassStats aggregates wait behaviour for one (table, level, mode) class;
@@ -84,26 +87,37 @@ type ClassStats struct {
 	WaitNanos uint64
 }
 
-// NewManager creates a lock manager using the given interference oracle.
+// NewManager creates a lock manager with the default shard count,
+// max(16, 4×GOMAXPROCS) capped at 64, using the given interference oracle.
 func NewManager(oracle Oracle) *Manager {
-	return &Manager{
-		oracle:  oracle,
-		items:   make(map[Item]*lockState),
-		held:    make(map[TxnID]map[Item]struct{}),
-		waiting: make(map[TxnID]*waiter),
-		byClass: make(map[string]*ClassStats),
-	}
+	return NewManagerWithShards(oracle, defaultShardCount())
 }
 
-// state returns the lock state for item, creating it if needed. Caller holds mu.
-func (m *Manager) state(item Item) *lockState {
-	st, ok := m.items[item]
-	if !ok {
-		st = &lockState{}
-		m.items[item] = st
+// NewManagerWithShards creates a lock manager with an explicit shard count
+// (rounded up to a power of two, capped at 64). n = 1 degenerates to the
+// single-latch manager, which the shard benchmarks use as their baseline.
+func NewManagerWithShards(oracle Oracle, n int) *Manager {
+	if n < 1 {
+		n = 1
 	}
-	return st
+	if n > maxShards {
+		n = maxShards
+	}
+	n = ceilPow2(n)
+	m := &Manager{
+		oracle:    oracle,
+		shards:    make([]*shard, n),
+		shardMask: uint64(n - 1),
+		reg:       newWaitRegistry(),
+	}
+	for i := range m.shards {
+		m.shards[i] = newShard(i)
+	}
+	return m
 }
+
+// ShardCount reports the number of lock-table partitions.
+func (m *Manager) ShardCount() int { return len(m.shards) }
 
 // conflictsWithGrant reports whether request (txn, req) conflicts with an
 // existing grant g. Same-transaction entries never conflict.
@@ -210,16 +224,17 @@ func (st *lockState) findAssertional(txn TxnID, a interference.AssertionID) *gra
 // granted, the request is chosen as a deadlock victim, the wait is cancelled,
 // or the wait budget expires.
 func (m *Manager) Acquire(txn *TxnInfo, item Item, req Request) error {
-	m.mu.Lock()
-	m.stats.Acquisitions++
-	st := m.state(item)
+	sh := m.shardOf(item)
+	sh.stats.acquisitions.Add(1)
+	sh.mu.Lock()
+	st := sh.state(item)
 
 	// Reentrant and conversion handling for conventional modes.
 	if req.Mode != ModeA {
 		if g := st.findConventional(txn.ID); g != nil {
 			want := sup(g.mode, req.Mode)
 			if want == g.mode {
-				m.mu.Unlock()
+				sh.mu.Unlock()
 				return nil // already covered
 			}
 			// Conversion: granted immediately iff the target mode is
@@ -230,28 +245,28 @@ func (m *Manager) Acquire(txn *TxnInfo, item Item, req Request) error {
 			if !m.anyGrantConflict(txn, conv, st) {
 				g.mode = want
 				g.step = req.Step
-				m.mu.Unlock()
+				sh.mu.Unlock()
 				return nil
 			}
-			return m.wait(txn, item, st, conv, true)
+			return m.wait(txn, item, sh, st, conv, true)
 		}
 	} else {
 		if st.findAssertional(txn.ID, req.Assertion) != nil {
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			return nil
 		}
 	}
 
 	if !m.anyGrantConflict(txn, req, st) && !m.anyWaiterConflict(txn, req, st) {
-		m.install(txn, item, st, req)
-		m.mu.Unlock()
+		m.install(txn, item, sh, st, req)
+		sh.mu.Unlock()
 		return nil
 	}
-	return m.wait(txn, item, st, req, false)
+	return m.wait(txn, item, sh, st, req, false)
 }
 
 // anyGrantConflict reports a conflict between req and any current grant.
-// Caller holds mu.
+// Caller holds the item's shard latch.
 func (m *Manager) anyGrantConflict(txn *TxnInfo, req Request, st *lockState) bool {
 	for _, g := range st.grants {
 		if m.conflictsWithGrant(txn, req, g) {
@@ -262,7 +277,7 @@ func (m *Manager) anyGrantConflict(txn *TxnInfo, req Request, st *lockState) boo
 }
 
 // anyWaiterConflict reports a conflict between req and any queued waiter.
-// Caller holds mu.
+// Caller holds the item's shard latch.
 func (m *Manager) anyWaiterConflict(txn *TxnInfo, req Request, st *lockState) bool {
 	for _, w := range st.queue {
 		if m.conflictsWithWaiter(txn, req, w) {
@@ -272,17 +287,19 @@ func (m *Manager) anyWaiterConflict(txn *TxnInfo, req Request, st *lockState) bo
 	return false
 }
 
-// install adds the grant entry for a now-compatible request. Caller holds mu.
-func (m *Manager) install(txn *TxnInfo, item Item, st *lockState, req Request) {
+// install adds the grant entry for a now-compatible request. Caller holds
+// the item's shard latch.
+func (m *Manager) install(txn *TxnInfo, item Item, sh *shard, st *lockState, req Request) {
 	if req.Mode != ModeA {
 		if g := st.findConventional(txn.ID); g != nil {
 			g.mode = sup(g.mode, req.Mode)
 			g.step = req.Step
-			m.noteHeld(txn.ID, item)
+			sh.noteHeld(txn, item)
 			return
 		}
 	}
-	g := &grant{txn: txn, step: req.Step, stepSeq: txn.CompletedSteps()}
+	g := sh.newGrant()
+	g.txn, g.step, g.stepSeq = txn, req.Step, txn.CompletedSteps()
 	if req.Mode == ModeA {
 		g.kind = kindAssertional
 		g.assertion = req.Assertion
@@ -291,21 +308,13 @@ func (m *Manager) install(txn *TxnInfo, item Item, st *lockState, req Request) {
 		g.mode = req.Mode
 	}
 	st.grants = append(st.grants, g)
-	m.noteHeld(txn.ID, item)
+	sh.noteHeld(txn, item)
 }
 
-func (m *Manager) noteHeld(txn TxnID, item Item) {
-	set, ok := m.held[txn]
-	if !ok {
-		set = make(map[Item]struct{})
-		m.held[txn] = set
-	}
-	set[item] = struct{}{}
-}
-
-// wait enqueues the request and parks. Called with mu held; releases it.
-func (m *Manager) wait(txn *TxnInfo, item Item, st *lockState, req Request, conversion bool) error {
-	w := &waiter{txn: txn, req: req, item: item, ch: make(chan struct{}, 1)}
+// wait enqueues the request, publishes it in the waits-for registry, runs
+// deadlock detection, and parks. Called with sh.mu held; releases it.
+func (m *Manager) wait(txn *TxnInfo, item Item, sh *shard, st *lockState, req Request, conversion bool) error {
+	w := &waiter{txn: txn, req: req, item: item, sh: sh, ch: make(chan struct{}, 1)}
 	if conversion {
 		// Conversions go ahead of plain requests (behind other conversions)
 		// to avoid the classic convoy behind a full queue.
@@ -319,18 +328,32 @@ func (m *Manager) wait(txn *TxnInfo, item Item, st *lockState, req Request, conv
 	} else {
 		st.queue = append(st.queue, w)
 	}
-	m.waiting[txn.ID] = w
-	m.stats.Waits++
+	sh.stats.waits.Add(1)
+	sh.mu.Unlock()
+
+	// Publish before detecting: the last member of a cycle to publish is
+	// guaranteed to see every other member when its own detection runs.
+	m.reg.add(txn.ID, w)
+	start := time.Now()
 
 	if err := m.resolveDeadlock(w); err != nil {
-		m.removeWaiter(w)
-		delete(m.waiting, txn.ID)
-		m.mu.Unlock()
+		// w completed a cycle and must abort. It may have been granted or
+		// finalized concurrently — re-check under the shard latch and honour
+		// that outcome instead.
+		sh.mu.Lock()
+		if w.granted || w.err != nil {
+			sh.mu.Unlock()
+			<-w.ch // finalized concurrently; consume the signal
+			return m.finishWait(w, start)
+		}
+		w.err = err // finalize under the latch so no other path re-removes w
+		m.removeWaiter(sh, w)
+		sh.mu.Unlock()
+		m.reg.remove(txn.ID, w)
+		sh.recordWait(w.item, w.req.Mode, uint64(time.Since(start)))
 		return err
 	}
-	m.mu.Unlock()
 
-	start := time.Now()
 	var timeout <-chan time.Time
 	if m.WaitTimeout > 0 {
 		t := time.NewTimer(m.WaitTimeout)
@@ -340,31 +363,32 @@ func (m *Manager) wait(txn *TxnInfo, item Item, st *lockState, req Request, conv
 	select {
 	case <-w.ch:
 	case <-timeout:
-		m.mu.Lock()
+		sh.mu.Lock()
 		if !w.granted && w.err == nil {
-			m.removeWaiter(w)
-			delete(m.waiting, txn.ID)
-			m.mu.Unlock()
+			w.err = ErrTimeout
+			m.removeWaiter(sh, w)
+			sh.mu.Unlock()
+			m.reg.remove(txn.ID, w)
+			// Timed-out waits count toward contention attribution too.
+			sh.recordWait(w.item, w.req.Mode, uint64(time.Since(start)))
 			return ErrTimeout
 		}
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		<-w.ch // finalized concurrently; consume the signal
 	}
+	return m.finishWait(w, start)
+}
 
-	m.mu.Lock()
-	delete(m.waiting, txn.ID)
+// finishWait withdraws a signalled waiter from the registry, records the
+// wait against the shard's counters and contention class, and maps the
+// waiter's outcome to the Acquire result.
+func (m *Manager) finishWait(w *waiter, start time.Time) error {
+	m.reg.remove(w.txn.ID, w)
+	sh := w.sh
+	sh.mu.Lock()
 	granted, err := w.granted, w.err
-	waited := uint64(time.Since(start))
-	m.stats.WaitNanos += waited
-	class := w.item.Table + "/" + w.item.Level.String() + "/" + w.req.Mode.String()
-	cs, ok := m.byClass[class]
-	if !ok {
-		cs = &ClassStats{}
-		m.byClass[class] = cs
-	}
-	cs.Waits++
-	cs.WaitNanos += waited
-	m.mu.Unlock()
+	sh.mu.Unlock()
+	sh.recordWait(w.item, w.req.Mode, uint64(time.Since(start)))
 	if err != nil {
 		return err
 	}
@@ -375,15 +399,15 @@ func (m *Manager) wait(txn *TxnInfo, item Item, st *lockState, req Request, conv
 }
 
 // isConversion reports whether w is a conversion (its txn already holds a
-// conventional grant on the item). Caller holds mu.
+// conventional grant on the item). Caller holds the shard latch.
 func (w *waiter) isConversion(st *lockState) bool {
 	return st.findConventional(w.txn.ID) != nil && w.req.Mode != ModeA
 }
 
 // removeWaiter unlinks w from its queue and re-examines the queue: waiters
-// ordered behind w may have been blocked only by it. Caller holds mu.
-func (m *Manager) removeWaiter(w *waiter) {
-	st, ok := m.items[w.item]
+// ordered behind w may have been blocked only by it. Caller holds sh.mu.
+func (m *Manager) removeWaiter(sh *shard, w *waiter) {
+	st, ok := sh.items[w.item]
 	if !ok {
 		return
 	}
@@ -393,13 +417,13 @@ func (m *Manager) removeWaiter(w *waiter) {
 			break
 		}
 	}
-	m.grantPass(w.item, st)
+	m.grantPass(sh, w.item, st)
 }
 
 // grantPass re-examines an item's queue after its state changed, granting
 // every waiter that is now compatible with the grants and with all waiters
-// still ahead of it. Caller holds mu.
-func (m *Manager) grantPass(item Item, st *lockState) {
+// still ahead of it. Caller holds sh.mu.
+func (m *Manager) grantPass(sh *shard, item Item, st *lockState) {
 	for i := 0; i < len(st.queue); {
 		w := st.queue[i]
 		if m.anyGrantConflict(w.txn, w.req, st) || m.conflictsAhead(w, st, i) {
@@ -407,19 +431,19 @@ func (m *Manager) grantPass(item Item, st *lockState) {
 			continue
 		}
 		st.queue = append(st.queue[:i], st.queue[i+1:]...)
-		m.install(w.txn, item, st, w.req)
+		m.install(w.txn, item, sh, st, w.req)
 		w.granted = true
 		w.ch <- struct{}{}
 		// Restart: installing may enable or disable later waiters.
 		i = 0
 	}
 	if len(st.grants) == 0 && len(st.queue) == 0 {
-		delete(m.items, item)
+		sh.reapState(item, st)
 	}
 }
 
 // conflictsAhead reports whether waiter at index i conflicts with any waiter
-// ahead of it. Caller holds mu.
+// ahead of it. Caller holds the shard latch.
 func (m *Manager) conflictsAhead(w *waiter, st *lockState, i int) bool {
 	for j := 0; j < i; j++ {
 		if m.conflictsWithWaiter(w.txn, w.req, st.queue[j]) {
@@ -434,18 +458,19 @@ func (m *Manager) conflictsAhead(w *waiter, st *lockState, i int) bool {
 // breakpoint. Idempotent per (txn, item); the first step to expose wins, so
 // aborting a later step does not drop an earlier exposure.
 func (m *Manager) AttachExposure(txn *TxnInfo, item Item) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := m.state(item)
+	sh := m.shardOf(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.state(item)
 	for _, g := range st.grants {
 		if g.kind == kindExposure && g.txn.ID == txn.ID {
 			return
 		}
 	}
-	st.grants = append(st.grants, &grant{
-		txn: txn, kind: kindExposure, stepSeq: txn.CompletedSteps(),
-	})
-	m.noteHeld(txn.ID, item)
+	g := sh.newGrant()
+	g.txn, g.kind, g.stepSeq = txn, kindExposure, txn.CompletedSteps()
+	st.grants = append(st.grants, g)
+	sh.noteHeld(txn, item)
 }
 
 // AttachReservation records that a compensating step of type cs may later
@@ -455,9 +480,10 @@ func (m *Manager) AttachReservation(txn *TxnInfo, item Item, cs interference.Ste
 	if cs == interference.NoStep {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := m.state(item)
+	sh := m.shardOf(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.state(item)
 	for _, g := range st.grants {
 		if g.kind == kindReservation && g.txn.ID == txn.ID {
 			for _, have := range g.csTypes {
@@ -469,28 +495,50 @@ func (m *Manager) AttachReservation(txn *TxnInfo, item Item, cs interference.Ste
 			return
 		}
 	}
-	st.grants = append(st.grants, &grant{
-		txn: txn, kind: kindReservation, csTypes: []interference.StepTypeID{cs},
-		stepSeq: txn.CompletedSteps(),
-	})
-	m.noteHeld(txn.ID, item)
+	g := sh.newGrant()
+	g.txn, g.kind, g.stepSeq = txn, kindReservation, txn.CompletedSteps()
+	g.csTypes = append(g.csTypes, cs)
+	st.grants = append(st.grants, g)
+	sh.noteHeld(txn, item)
 }
 
 // releaseWhere removes txn's grants matching keep==false and re-runs grant
-// passes on affected items.
+// passes on affected items. It visits only the shards the transaction has
+// touched (tracked as a bitmask on TxnInfo), locking one shard at a time;
+// the release is not atomic across shards, which is harmless — lock release
+// order within the shrinking phase of 2PL is unconstrained.
 func (m *Manager) releaseWhere(txn *TxnInfo, drop func(*grant) bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	set := m.held[txn.ID]
-	for item := range set {
-		st, ok := m.items[item]
-		if !ok {
+	mask := txn.shardSet.Load()
+	for i := 0; mask != 0; i++ {
+		bit := uint64(1) << uint(i)
+		if mask&bit == 0 {
+			continue
+		}
+		mask &^= bit
+		sh := m.shards[i]
+		sh.mu.Lock()
+		m.releaseInShard(sh, txn, drop)
+		sh.mu.Unlock()
+	}
+}
+
+// releaseInShard applies a release pass to one shard. Caller holds sh.mu.
+func (m *Manager) releaseInShard(sh *shard, txn *TxnInfo, drop func(*grant) bool) {
+	hs, ok := sh.held[txn.ID]
+	if !ok {
+		return
+	}
+	keep := hs.items[:0]
+	for _, item := range hs.items {
+		st, stOK := sh.items[item]
+		if !stOK {
 			continue
 		}
 		remaining := false
 		out := st.grants[:0]
 		for _, g := range st.grants {
 			if g.txn.ID == txn.ID && drop(g) {
+				sh.freeGrant(g)
 				continue
 			}
 			if g.txn.ID == txn.ID {
@@ -499,16 +547,17 @@ func (m *Manager) releaseWhere(txn *TxnInfo, drop func(*grant) bool) {
 			out = append(out, g)
 		}
 		st.grants = out
-		if !remaining {
-			delete(set, item)
+		if remaining {
+			keep = append(keep, item)
 		}
 		// Re-examine the queue even if nothing was dropped here: exposure
 		// conflicts depend on the holder's breakpoint, which advances at
 		// exactly the step boundaries where release passes run.
-		m.grantPass(item, st)
+		m.grantPass(sh, item, st)
 	}
-	if len(set) == 0 {
-		delete(m.held, txn.ID)
+	hs.items = keep
+	if len(keep) == 0 {
+		sh.dropHeld(txn.ID, hs)
 	}
 }
 
@@ -549,23 +598,30 @@ func (m *Manager) ReleaseAll(txn *TxnInfo) {
 // CancelWait aborts txn's blocked request, if any, making it return
 // ErrAborted. Used by the engine to kill victims picked by external policy.
 func (m *Manager) CancelWait(txn TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if w, ok := m.waiting[txn]; ok && !w.granted && w.err == nil {
+	w := m.reg.get(txn)
+	if w == nil {
+		return
+	}
+	sh := w.sh
+	sh.mu.Lock()
+	if !w.granted && w.err == nil {
 		w.err = ErrAborted
-		m.removeWaiter(w)
+		m.removeWaiter(sh, w)
 		w.ch <- struct{}{}
 	}
+	sh.mu.Unlock()
 }
 
 // HeldItems returns the items on which txn currently holds any entry,
 // useful for tests and debugging.
 func (m *Manager) HeldItems(txn TxnID) []Item {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var out []Item
-	for item := range m.held[txn] {
-		out = append(out, item)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		if hs, ok := sh.held[txn]; ok {
+			out = append(out, hs.items...)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -573,9 +629,10 @@ func (m *Manager) HeldItems(txn TxnID) []Item {
 // HoldsConventional reports whether txn holds a conventional lock of at
 // least mode want on item.
 func (m *Manager) HoldsConventional(txn TxnID, item Item, want Mode) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st, ok := m.items[item]
+	sh := m.shardOf(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.items[item]
 	if !ok {
 		return false
 	}
@@ -583,20 +640,32 @@ func (m *Manager) HoldsConventional(txn TxnID, item Item, want Mode) bool {
 	return g != nil && covers(g.mode, want)
 }
 
-// ByClass returns a copy of the per-class wait tallies.
+// ByClass returns the per-class wait tallies, aggregated across shards.
 func (m *Manager) ByClass() map[string]ClassStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]ClassStats, len(m.byClass))
-	for k, v := range m.byClass {
-		out[k] = *v
+	out := make(map[string]ClassStats)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for k, v := range sh.byClass {
+			name := k.String()
+			agg := out[name]
+			agg.Waits += v.Waits
+			agg.WaitNanos += v.WaitNanos
+			out[name] = agg
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
-// Snapshot returns a copy of the counters.
+// Snapshot returns the counters, aggregated across shards.
 func (m *Manager) Snapshot() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	var s Stats
+	for _, sh := range m.shards {
+		s.Acquisitions += sh.stats.acquisitions.Load()
+		s.Waits += sh.stats.waits.Load()
+		s.WaitNanos += sh.stats.waitNanos.Load()
+		s.Deadlocks += sh.stats.deadlocks.Load()
+		s.VictimsForComp += sh.stats.victimsForComp.Load()
+	}
+	return s
 }

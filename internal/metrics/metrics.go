@@ -10,11 +10,28 @@ import (
 	"time"
 )
 
+// recorderStripes is the number of independently locked partitions of the
+// recorder. Transaction types hash onto stripes, so terminals recording
+// different types never contend, and same-type recording contends only on
+// one stripe's mutex instead of a recorder-wide one.
+const recorderStripes = 16
+
+// initialSamples preallocates each series' sample buffer so the first few
+// thousand records append without growing under the stripe lock.
+const initialSamples = 1024
+
 // Recorder accumulates response-time samples per transaction type. It is
-// safe for concurrent use by terminal goroutines.
+// safe for concurrent use by terminal goroutines; the series map is striped
+// so the harness does not serialize the workload it measures.
 type Recorder struct {
+	stripes [recorderStripes]stripe
+}
+
+type stripe struct {
 	mu     sync.Mutex
 	series map[string]*series
+	// Pad stripes apart so neighbouring mutexes do not share a cache line.
+	_ [64]byte
 }
 
 type series struct {
@@ -25,7 +42,24 @@ type series struct {
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{series: make(map[string]*series)}
+	r := &Recorder{}
+	for i := range r.stripes {
+		r.stripes[i].series = make(map[string]*series)
+	}
+	return r
+}
+
+// stripeFor routes a transaction type to its stripe (FNV-1a).
+func (r *Recorder) stripeFor(txnType string) *stripe {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(txnType); i++ {
+		h = (h ^ uint32(txnType[i])) * prime32
+	}
+	return &r.stripes[h%recorderStripes]
 }
 
 // Record adds one completed transaction's response time. Rollbacks (user
@@ -33,12 +67,13 @@ func NewRecorder() *Recorder {
 // answer — but are tallied separately; hard errors are excluded from the
 // response-time population.
 func (r *Recorder) Record(txnType string, d time.Duration, outcome Outcome) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s, ok := r.series[txnType]
+	st := r.stripeFor(txnType)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.series[txnType]
 	if !ok {
-		s = &series{}
-		r.series[txnType] = s
+		s = &series{durations: make([]time.Duration, 0, initialSamples)}
+		st.series[txnType] = s
 	}
 	switch outcome {
 	case Committed:
@@ -106,11 +141,14 @@ func summarize(durs []time.Duration, rollbacks, errors int) Summary {
 
 // ByType returns one summary per transaction type.
 func (r *Recorder) ByType() map[string]Summary {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[string]Summary, len(r.series))
-	for name, s := range r.series {
-		out[name] = summarize(s.durations, s.rollbacks, s.errors)
+	out := make(map[string]Summary)
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		for name, s := range st.series {
+			out[name] = summarize(s.durations, s.rollbacks, s.errors)
+		}
+		st.mu.Unlock()
 	}
 	return out
 }
@@ -118,14 +156,17 @@ func (r *Recorder) ByType() map[string]Summary {
 // Total returns the merged summary over all types — the paper's "total
 // average response time" metric.
 func (r *Recorder) Total() Summary {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var all []time.Duration
 	rollbacks, errors := 0, 0
-	for _, s := range r.series {
-		all = append(all, s.durations...)
-		rollbacks += s.rollbacks
-		errors += s.errors
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		for _, s := range st.series {
+			all = append(all, s.durations...)
+			rollbacks += s.rollbacks
+			errors += s.errors
+		}
+		st.mu.Unlock()
 	}
 	return summarize(all, rollbacks, errors)
 }
@@ -133,11 +174,14 @@ func (r *Recorder) Total() Summary {
 // Count returns the number of completed (committed or rolled back)
 // transactions — the throughput numerator.
 func (r *Recorder) Count() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	n := 0
-	for _, s := range r.series {
-		n += len(s.durations)
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		for _, s := range st.series {
+			n += len(s.durations)
+		}
+		st.mu.Unlock()
 	}
 	return n
 }
