@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"accdb/internal/core"
+	"accdb/internal/trace"
+)
+
+// debugServer serves the live observability endpoints while a benchmark run
+// is in flight:
+//
+//	/metrics         engine, lock, WAL and trace counters in Prometheus
+//	                 text exposition format
+//	/debug/locks     lock-table snapshot: per-shard held locks (with the
+//	                 paper's A/D/C kinds) and wait queues, as text
+//	/debug/waitsfor  the waits-for graph in Graphviz DOT form
+//	/debug/pprof/*   the standard Go profiler endpoints
+//
+// The engine pointer is swapped atomically each time the experiment harness
+// builds a fresh system (one per sweep point per mode), so the endpoints
+// always observe the system currently under load.
+type debugServer struct {
+	eng    atomic.Pointer[core.Engine]
+	tracer *trace.Tracer
+}
+
+func newDebugServer(tr *trace.Tracer) *debugServer {
+	return &debugServer{tracer: tr}
+}
+
+// SetEngine publishes the engine currently under load (experiment.Config's
+// OnEngine hook).
+func (s *debugServer) SetEngine(e *core.Engine) { s.eng.Store(e) }
+
+// start listens on addr and serves in the background. The listener error is
+// returned synchronously so a bad -metrics-addr fails fast.
+func (s *debugServer) start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/debug/locks", s.locks)
+	mux.HandleFunc("/debug/waitsfor", s.waitsFor)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return nil
+}
+
+// metrics renders the counters in the Prometheus text exposition format.
+func (s *debugServer) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	eng := s.eng.Load()
+	if eng != nil {
+		es := eng.Snapshot()
+		counter("accdb_txn_commits_total", "Committed transactions.", es.Commits)
+		counter("accdb_txn_user_aborts_total", "User-initiated aborts.", es.UserAborts)
+		counter("accdb_txn_compensations_total", "Compensated rollbacks.", es.Compensations)
+		counter("accdb_txn_comp_failures_total", "Failed compensations.", es.CompFailures)
+		counter("accdb_txn_step_retries_total", "Forward-step retries after scheduling aborts.", es.StepRetries)
+		counter("accdb_txn_retries_total", "Whole-transaction restarts.", es.TxnRetries)
+
+		ls := eng.Locks().Stats()
+		counter("accdb_lock_acquisitions_total", "Lock acquisitions.", ls.Acquisitions)
+		counter("accdb_lock_waits_total", "Blocked lock requests.", ls.Waits)
+		fmt.Fprintf(w, "# HELP accdb_lock_wait_seconds_total Total time spent blocked on locks.\n"+
+			"# TYPE accdb_lock_wait_seconds_total counter\naccdb_lock_wait_seconds_total %g\n",
+			float64(ls.WaitNanos)/1e9)
+		counter("accdb_lock_deadlocks_total", "Deadlocks detected.", ls.Deadlocks)
+		counter("accdb_lock_victims_for_comp_total", "Forward steps aborted for a compensation.", ls.VictimsForComp)
+
+		snap := eng.Locks().Snapshot()
+		gauge("accdb_lock_held_grants", "Currently held lock-table entries.", snap.GrantCount())
+		gauge("accdb_lock_waiters", "Currently blocked lock requests.", snap.WaiterCount())
+		gauge("accdb_lock_waitsfor_edges", "Current waits-for graph edges.", len(snap.Edges))
+
+		ws := eng.Log().Snapshot()
+		counter("accdb_wal_records_total", "Log records appended.", ws.Records)
+		counter("accdb_wal_forces_total", "Log forces.", ws.Forces)
+		counter("accdb_wal_bytes_total", "Encoded log bytes.", ws.Bytes)
+	}
+	if s.tracer != nil {
+		counter("accdb_trace_emitted_total", "Events accepted by the trace bus.", s.tracer.Emitted())
+		counter("accdb_trace_dropped_total", "Events dropped by trace backpressure.", s.tracer.Drops())
+		counter("accdb_trace_sink_errors_total", "Trace batches the sink rejected.", s.tracer.SinkErrors())
+	}
+}
+
+// locks renders the lock-table snapshot as text.
+func (s *debugServer) locks(w http.ResponseWriter, _ *http.Request) {
+	eng := s.eng.Load()
+	if eng == nil {
+		http.Error(w, "no engine under load yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, eng.Locks().Snapshot().String())
+}
+
+// waitsFor renders the waits-for graph as Graphviz DOT.
+func (s *debugServer) waitsFor(w http.ResponseWriter, _ *http.Request) {
+	eng := s.eng.Load()
+	if eng == nil {
+		http.Error(w, "no engine under load yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	fmt.Fprint(w, eng.Locks().Snapshot().DOT())
+}

@@ -23,7 +23,12 @@ import (
 	"accdb/internal/core"
 	"accdb/internal/experiment"
 	"accdb/internal/lock"
+	"accdb/internal/trace"
 )
+
+// closeTrace flushes and closes the -trace output; set when tracing is on so
+// both the normal exit and fatal() finish the file.
+var closeTrace func()
 
 func main() {
 	var (
@@ -39,6 +44,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		termList = flag.String("terminals", "", "comma-separated terminal counts (default 4,8,16,24,32,48,60)")
 		verbose  = flag.Bool("v", false, "print per-system detail")
+		traceOut = flag.String("trace", "", "write structured events to this file (.json: Chrome trace_event for chrome://tracing; otherwise JSONL)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/locks, /debug/waitsfor and /debug/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -50,6 +57,39 @@ func main() {
 	cfg.ForceLatency = *force
 	cfg.Servers = *servers
 	cfg.Seed = *seed
+
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		var sink trace.Sink
+		if strings.HasSuffix(*traceOut, ".json") {
+			sink = trace.NewChromeSink(f)
+		} else {
+			sink = trace.NewJSONLSink(f)
+		}
+		tr = trace.New(sink)
+		cfg.Tracer = tr
+		closeTrace = func() {
+			if err := tr.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "accbench: closing trace:", err)
+			}
+			if n := tr.Drops(); n > 0 {
+				fmt.Fprintf(os.Stderr, "accbench: trace dropped %d events under backpressure\n", n)
+			}
+			closeTrace = nil
+		}
+		defer closeTrace()
+	}
+	if *metrics != "" {
+		dbg := newDebugServer(tr)
+		if err := dbg.start(*metrics); err != nil {
+			fatal(err)
+		}
+		cfg.OnEngine = dbg.SetEngine
+	}
 
 	terminals := experiment.DefaultTerminals
 	if *termList != "" {
@@ -211,5 +251,8 @@ func withMode(cfg experiment.Config, mode core.Mode) experiment.Config {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "accbench:", err)
+	if closeTrace != nil {
+		closeTrace() // os.Exit skips defers; finish the trace file first
+	}
 	os.Exit(1)
 }

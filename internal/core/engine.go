@@ -8,6 +8,7 @@ import (
 
 	"accdb/internal/interference"
 	"accdb/internal/lock"
+	"accdb/internal/trace"
 	"accdb/internal/wal"
 )
 
@@ -84,6 +85,11 @@ type Options struct {
 	Env ExecEnv
 	// RecordHistory captures a conflict-checkable access history (tests).
 	RecordHistory bool
+	// Tracer, when non-nil, receives structured events from every layer:
+	// transaction/step/compensation lifecycle from the engine, lock events
+	// from the lock manager, append/force events from the log. Nil disables
+	// tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // Stats aggregates engine counters.
@@ -104,6 +110,7 @@ type Engine struct {
 	lm     *lock.Manager
 	log    *wal.Log
 	env    ExecEnv
+	tracer *trace.Tracer
 
 	nextTxn atomic.Uint64
 
@@ -134,13 +141,19 @@ func New(db *DB, tables *interference.Tables, opt Options) *Engine {
 	}
 	lm := lock.NewManager(tables)
 	lm.WaitTimeout = opt.WaitTimeout
+	log := wal.New(opt.ForceLatency)
+	if opt.Tracer != nil {
+		lm.SetTracer(opt.Tracer)
+		log.SetTracer(opt.Tracer)
+	}
 	e := &Engine{
 		opt:    opt,
 		db:     db,
 		tables: tables,
 		lm:     lm,
-		log:    wal.New(opt.ForceLatency),
+		log:    log,
 		env:    env,
+		tracer: opt.Tracer,
 		types:  make(map[string]*TxnType),
 	}
 	if opt.RecordHistory {
@@ -158,6 +171,9 @@ func (e *Engine) Log() *wal.Log { return e.log }
 
 // Locks returns the lock manager (tests and stats).
 func (e *Engine) Locks() *lock.Manager { return e.lm }
+
+// Tracer returns the attached event bus, or nil when tracing is disabled.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
 // Mode returns the configured scheduler mode.
 func (e *Engine) Mode() Mode { return e.opt.Mode }

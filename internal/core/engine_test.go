@@ -551,7 +551,7 @@ func TestDeadlockStepRetryTransparent(t *testing.T) {
 	if s.balance(t, 5) != 100 || s.balance(t, 6) != 100 {
 		t.Fatal("balances corrupted by retry")
 	}
-	ls := s.eng.Locks().Snapshot()
+	ls := s.eng.Locks().Stats()
 	if ls.Deadlocks == 0 {
 		t.Fatal("expected at least one deadlock")
 	}

@@ -7,8 +7,20 @@ import (
 
 	"accdb/internal/interference"
 	"accdb/internal/lock"
+	"accdb/internal/trace"
 	"accdb/internal/wal"
 )
+
+// emitTxn sends one engine-layer event. Callers nil-check e.tracer first so
+// the disabled path never builds the event. step < 0 means not step-scoped.
+func (e *Engine) emitTxn(kind trace.Kind, txn uint64, step int, item string, dur int64, extra string) {
+	ev := trace.Ev(kind, txn)
+	if step >= 0 {
+		ev.Step = int16(step)
+	}
+	ev.Item, ev.Dur, ev.Extra = item, dur, extra
+	e.tracer.Emit(ev)
+}
 
 // Run executes one instance of the named transaction type with the given
 // arguments under the engine's scheduler mode. It returns nil on commit, a
@@ -84,6 +96,10 @@ func (e *Engine) runDecomposedOnce(tt *TxnType, args any) error {
 		steps: tt.stepsFor(args),
 		info:  lock.NewTxnInfo(lock.TxnID(e.nextTxn.Add(1)), tt.ID),
 	}
+	start := time.Now()
+	if e.tracer != nil {
+		e.emitTxn(trace.KindTxnBegin, uint64(txn.info.ID), -1, tt.Name, 0, "")
+	}
 	e.log.Append(wal.Record{Type: wal.TBegin, Txn: uint64(txn.info.ID), TxnType: tt.Name})
 
 	for j := range txn.steps {
@@ -96,6 +112,9 @@ func (e *Engine) runDecomposedOnce(tt *TxnType, args any) error {
 	e.logForce(wal.Record{Type: wal.TCommit, Txn: uint64(txn.info.ID)})
 	e.lm.ReleaseAll(txn.info)
 	e.commits.Add(1)
+	if e.tracer != nil {
+		e.emitTxn(trace.KindTxnCommit, uint64(txn.info.ID), -1, tt.Name, int64(time.Since(start)), "")
+	}
 	e.recordCommit(txn)
 	return nil
 }
@@ -126,6 +145,10 @@ func retryBackoff(attempt int, salt uint64) {
 func (e *Engine) runStep(txn *txnState, j int) error {
 	for attempt := 0; ; attempt++ {
 		e.log.Append(wal.Record{Type: wal.TStepBegin, Txn: uint64(txn.info.ID), Step: int32(j)})
+		if e.tracer != nil {
+			e.emitTxn(trace.KindStepBegin, uint64(txn.info.ID), j, txn.steps[j].Name, 0, "")
+		}
+		stepStart := time.Now()
 		tc := &Ctx{
 			e: e, txn: txn, stepIdx: j,
 			stepType: txn.steps[j].Type,
@@ -137,12 +160,19 @@ func (e *Engine) runStep(txn *txnState, j int) error {
 		}
 		if err == nil {
 			e.finishStep(txn, tc, j)
+			if e.tracer != nil {
+				e.emitTxn(trace.KindStepEnd, uint64(txn.info.ID), j, txn.steps[j].Name,
+					int64(time.Since(stepStart)), "")
+			}
 			return nil
 		}
 		tc.undo()
 		e.lm.ReleaseStepAbort(txn.info)
 		if isLockAbort(err) && attempt < e.opt.MaxStepRetries {
 			e.stepRetries.Add(1)
+			if e.tracer != nil {
+				e.emitTxn(trace.KindStepRetry, uint64(txn.info.ID), j, txn.steps[j].Name, 0, err.Error())
+			}
 			continue
 		}
 		return err
@@ -170,6 +200,10 @@ func (e *Engine) stepPrologue(tc *Ctx, j int) error {
 				}
 				if err := e.lm.Acquire(tc.txn.info, item, req); err != nil {
 					return err
+				}
+				if e.tracer != nil {
+					e.emitTxn(trace.KindAssertCheck, uint64(tc.txn.info.ID),
+						j, item.String(), 0, a.Name)
 				}
 			}
 		}
@@ -247,9 +281,15 @@ func (e *Engine) rollback(txn *txnState, j int, cause error) error {
 		e.log.Append(wal.Record{Type: wal.TAbort, Txn: uint64(txn.info.ID)})
 		e.lm.ReleaseAll(txn.info)
 		if isLockAbort(cause) {
+			if e.tracer != nil {
+				e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, txn.tt.Name, 0, "scheduling")
+			}
 			return cause // nothing exposed: the caller restarts the transaction
 		}
 		e.userAborts.Add(1)
+		if e.tracer != nil {
+			e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, txn.tt.Name, 0, "user")
+		}
 		return fmt.Errorf("core: %s aborted: %w", txn.tt.Name, cause)
 	}
 	if err := e.compensate(txn, completed); err != nil {
@@ -269,6 +309,11 @@ func (e *Engine) compensate(txn *txnState, completed int) error {
 	}
 	for attempt := 0; ; attempt++ {
 		e.log.Append(wal.Record{Type: wal.TCompBegin, Txn: uint64(txn.info.ID), Step: int32(completed)})
+		if e.tracer != nil {
+			// Step carries the number of completed forward steps being undone.
+			e.emitTxn(trace.KindCompBegin, uint64(txn.info.ID), completed, tt.Name, 0, "")
+		}
+		compStart := time.Now()
 		tc := &Ctx{
 			e: e, txn: txn,
 			stepIdx:      completed,
@@ -280,6 +325,10 @@ func (e *Engine) compensate(txn *txnState, completed int) error {
 			e.logForce(wal.Record{Type: wal.TCompDone, Txn: uint64(txn.info.ID)})
 			e.lm.ReleaseAll(txn.info)
 			e.compensations.Add(1)
+			if e.tracer != nil {
+				e.emitTxn(trace.KindCompDone, uint64(txn.info.ID), completed, tt.Name,
+					int64(time.Since(compStart)), "")
+			}
 			e.recordCommit(txn) // compensation publishes a (compensated) outcome
 			return nil
 		}
@@ -314,6 +363,10 @@ func (e *Engine) runBaseline(tt *TxnType, args any) error {
 			steps: tt.stepsFor(args),
 			info:  lock.NewTxnInfo(lock.TxnID(e.nextTxn.Add(1)), interference.LegacyTxn),
 		}
+		start := time.Now()
+		if e.tracer != nil {
+			e.emitTxn(trace.KindTxnBegin, uint64(txn.info.ID), -1, tt.Name, 0, "")
+		}
 		e.log.Append(wal.Record{Type: wal.TBegin, Txn: uint64(txn.info.ID), TxnType: tt.Name})
 		e.log.Append(wal.Record{Type: wal.TStepBegin, Txn: uint64(txn.info.ID), Step: 0})
 		tc := &Ctx{e: e, txn: txn, stepType: interference.LegacyStep}
@@ -330,6 +383,9 @@ func (e *Engine) runBaseline(tt *TxnType, args any) error {
 			e.logForce(wal.Record{Type: wal.TCommit, Txn: uint64(txn.info.ID)})
 			e.lm.ReleaseAll(txn.info)
 			e.commits.Add(1)
+			if e.tracer != nil {
+				e.emitTxn(trace.KindTxnCommit, uint64(txn.info.ID), -1, tt.Name, int64(time.Since(start)), "")
+			}
 			e.recordCommit(txn)
 			return nil
 		}
@@ -340,12 +396,20 @@ func (e *Engine) runBaseline(tt *TxnType, args any) error {
 		if isLockAbort(err) {
 			if attempt < e.opt.MaxTxnRetries {
 				e.txnRetries.Add(1)
+				if e.tracer != nil {
+					e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, tt.Name, 0, "scheduling")
+				}
 				retryBackoff(attempt, uint64(txn.info.ID))
 				continue
 			}
-			return fmt.Errorf("core: %s: %w: %v", tt.Name, ErrRetriesExhausted, err)
+			// Double-wrap so callers can classify both the exhaustion and the
+			// underlying scheduling cause (deadlock vs timeout).
+			return fmt.Errorf("core: %s: %w: %w", tt.Name, ErrRetriesExhausted, err)
 		}
 		e.userAborts.Add(1)
+		if e.tracer != nil {
+			e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, tt.Name, 0, "user")
+		}
 		return fmt.Errorf("core: %s aborted: %w", tt.Name, err)
 	}
 }

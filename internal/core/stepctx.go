@@ -7,6 +7,7 @@ import (
 	"accdb/internal/interference"
 	"accdb/internal/lock"
 	"accdb/internal/storage"
+	"accdb/internal/trace"
 	"accdb/internal/wal"
 )
 
@@ -88,6 +89,10 @@ func (tc *Ctx) acquire(item lock.Item, mode lock.Mode) error {
 				}
 				if err := tc.e.lm.Acquire(tc.txn.info, item, req); err != nil {
 					return err
+				}
+				if tc.e.tracer != nil {
+					tc.e.emitTxn(trace.KindAssertCheck, uint64(tc.txn.info.ID),
+						tc.stepIdx, item.String(), 0, a.Name)
 				}
 			}
 		}

@@ -15,6 +15,7 @@ import (
 	"accdb/internal/metrics"
 	"accdb/internal/sim"
 	"accdb/internal/tpcc"
+	"accdb/internal/trace"
 )
 
 // Config parameterizes one run of one system.
@@ -46,6 +47,18 @@ type Config struct {
 
 	// EagerAssertionLocks selects the simplified §3.3 variant (ablation).
 	EagerAssertionLocks bool
+
+	// RollbackPercent overrides the share of new-orders that abort via an
+	// unused item number; zero means the benchmark default (1%). Raising it
+	// exercises the compensation path (trace acceptance tests use this).
+	RollbackPercent int
+	// Tracer, when non-nil, is attached to the engine so every layer emits
+	// structured events to it for the run.
+	Tracer *trace.Tracer
+	// OnEngine, when non-nil, is called with the freshly built engine before
+	// the load starts — the hook the live debug endpoints use to observe the
+	// system mid-run.
+	OnEngine func(*core.Engine)
 }
 
 // Defaults fills a baseline parameterization that reproduces the paper's
@@ -102,12 +115,19 @@ func Run(cfg Config) (*RunResult, error) {
 		ForceLatency:        cfg.ForceLatency,
 		Env:                 env,
 		EagerAssertionLocks: cfg.EagerAssertionLocks,
+		Tracer:              cfg.Tracer,
 	})
 	if _, err := tpcc.Register(eng, types, cfg.Scale); err != nil {
 		return nil, err
 	}
+	if cfg.OnEngine != nil {
+		cfg.OnEngine(eng)
+	}
 	wcfg := tpcc.DefaultWorkloadConfig(cfg.Scale)
 	wcfg.DistrictSkew = cfg.Skew
+	if cfg.RollbackPercent > 0 {
+		wcfg.RollbackPercent = cfg.RollbackPercent
+	}
 	w := tpcc.NewWorkload(eng, wcfg)
 
 	res := sim.Run(sim.Config{
@@ -128,7 +148,7 @@ func Run(cfg Config) (*RunResult, error) {
 		Completed:  res.Completed,
 		Throughput: res.Throughput(),
 		Engine:     eng.Snapshot(),
-		Locks:      eng.Locks().Snapshot(),
+		Locks:      eng.Locks().Stats(),
 		LockClass:  eng.Locks().ByClass(),
 		Consistent: len(violations) == 0,
 		Violations: violations,

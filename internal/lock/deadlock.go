@@ -1,5 +1,7 @@
 package lock
 
+import "accdb/internal/trace"
+
 // Deadlock handling (§3.4 of the paper).
 //
 // A deadlock is detected by finding a cycle in the waits-for graph at the
@@ -62,13 +64,19 @@ func (m *Manager) resolveDeadlock(w *waiter) error {
 		}
 		vs := victim.sh
 		vs.mu.Lock()
+		killed := false
 		if !victim.granted && victim.err == nil {
 			victim.err = ErrAborted
 			m.removeWaiter(vs, victim)
 			victim.ch <- struct{}{}
 			vs.stats.victimsForComp.Add(1)
+			killed = true
 		}
 		vs.mu.Unlock()
+		if killed && m.tracer != nil {
+			m.emitLock(trace.KindDeadlockVictim, victim.txn.ID, victim.item, vs,
+				victim.req.Mode.String(), 0, "for-compensation")
+		}
 		// Re-check: w may sit on several overlapping cycles.
 	}
 }
@@ -121,6 +129,13 @@ func (m *Manager) blockerTxns(w *waiter) []TxnID {
 	if !ok {
 		return nil
 	}
+	return m.blockersLocked(w, st)
+}
+
+// blockersLocked computes w's current blockers from its item's state. Caller
+// holds w's shard latch. Shared by deadlock detection and the waits-for
+// snapshot (snapshot.go).
+func (m *Manager) blockersLocked(w *waiter, st *lockState) []TxnID {
 	seen := make(map[TxnID]bool)
 	var out []TxnID
 	add := func(id TxnID) {

@@ -227,7 +227,7 @@ func TestDeadlockVictimIsCycleCloser(t *testing.T) {
 	if err := <-got1; err != nil {
 		t.Fatal(err)
 	}
-	if m.Snapshot().Deadlocks == 0 {
+	if m.Stats().Deadlocks == 0 {
 		t.Fatal("deadlock not counted")
 	}
 }
@@ -253,8 +253,8 @@ func TestCompensatingStepNeverVictim(t *testing.T) {
 	if err := <-csDone; err != nil {
 		t.Fatal(err)
 	}
-	if m.Snapshot().VictimsForComp != 1 {
-		t.Fatalf("VictimsForComp = %d", m.Snapshot().VictimsForComp)
+	if m.Stats().VictimsForComp != 1 {
+		t.Fatalf("VictimsForComp = %d", m.Stats().VictimsForComp)
 	}
 }
 

@@ -4,6 +4,15 @@ import (
 	"time"
 
 	"accdb/internal/interference"
+	"accdb/internal/trace"
+)
+
+// Mode tags for the paper's non-conventional entry kinds, as they appear in
+// trace events and snapshots: A = assertional lock, D = displayed (exposed)
+// intermediate state mark, C = compensation reservation.
+const (
+	tagExposure    = "D"
+	tagReservation = "C"
 )
 
 type grantKind uint8
@@ -41,6 +50,7 @@ type waiter struct {
 	req  Request
 	item Item
 	sh   *shard
+	conv bool // conversion request (trace events tag these as upgrades)
 
 	granted bool
 	err     error
@@ -78,6 +88,11 @@ type Manager struct {
 	shardMask uint64
 
 	reg waitRegistry
+
+	// tracer is the structured event bus; nil disables tracing. Every emit
+	// site nil-checks first, so the disabled cost is one predictable branch
+	// (BenchmarkTraceDisabled).
+	tracer *trace.Tracer
 }
 
 // ClassStats aggregates wait behaviour for one (table, level, mode) class;
@@ -118,6 +133,18 @@ func NewManagerWithShards(oracle Oracle, n int) *Manager {
 
 // ShardCount reports the number of lock-table partitions.
 func (m *Manager) ShardCount() int { return len(m.shards) }
+
+// SetTracer attaches the structured event bus; nil disables tracing. Call
+// before the manager serves requests.
+func (m *Manager) SetTracer(t *trace.Tracer) { m.tracer = t }
+
+// emitLock sends one lock-layer event. Callers nil-check m.tracer first so
+// the disabled path never builds the event.
+func (m *Manager) emitLock(kind trace.Kind, txn TxnID, item Item, sh *shard, mode string, dur int64, extra string) {
+	ev := trace.Ev(kind, uint64(txn))
+	ev.Mode, ev.Item, ev.Shard, ev.Dur, ev.Extra = mode, item.String(), sh.idx, dur, extra
+	m.tracer.Emit(ev)
+}
 
 // conflictsWithGrant reports whether request (txn, req) conflicts with an
 // existing grant g. Same-transaction entries never conflict.
@@ -243,9 +270,14 @@ func (m *Manager) Acquire(txn *TxnInfo, item Item, req Request) error {
 			conv := req
 			conv.Mode = want
 			if !m.anyGrantConflict(txn, conv, st) {
+				old := g.mode
 				g.mode = want
 				g.step = req.Step
 				sh.mu.Unlock()
+				if m.tracer != nil {
+					m.emitLock(trace.KindLockUpgrade, txn.ID, item, sh,
+						want.String(), 0, old.String()+"->"+want.String())
+				}
 				return nil
 			}
 			return m.wait(txn, item, sh, st, conv, true)
@@ -260,6 +292,9 @@ func (m *Manager) Acquire(txn *TxnInfo, item Item, req Request) error {
 	if !m.anyGrantConflict(txn, req, st) && !m.anyWaiterConflict(txn, req, st) {
 		m.install(txn, item, sh, st, req)
 		sh.mu.Unlock()
+		if m.tracer != nil {
+			m.emitLock(trace.KindLockAcquire, txn.ID, item, sh, req.Mode.String(), 0, "")
+		}
 		return nil
 	}
 	return m.wait(txn, item, sh, st, req, false)
@@ -314,7 +349,7 @@ func (m *Manager) install(txn *TxnInfo, item Item, sh *shard, st *lockState, req
 // wait enqueues the request, publishes it in the waits-for registry, runs
 // deadlock detection, and parks. Called with sh.mu held; releases it.
 func (m *Manager) wait(txn *TxnInfo, item Item, sh *shard, st *lockState, req Request, conversion bool) error {
-	w := &waiter{txn: txn, req: req, item: item, sh: sh, ch: make(chan struct{}, 1)}
+	w := &waiter{txn: txn, req: req, item: item, sh: sh, conv: conversion, ch: make(chan struct{}, 1)}
 	if conversion {
 		// Conversions go ahead of plain requests (behind other conversions)
 		// to avoid the classic convoy behind a full queue.
@@ -330,6 +365,9 @@ func (m *Manager) wait(txn *TxnInfo, item Item, sh *shard, st *lockState, req Re
 	}
 	sh.stats.waits.Add(1)
 	sh.mu.Unlock()
+	if m.tracer != nil {
+		m.emitLock(trace.KindLockWait, txn.ID, item, sh, req.Mode.String(), 0, "")
+	}
 
 	// Publish before detecting: the last member of a cycle to publish is
 	// guaranteed to see every other member when its own detection runs.
@@ -350,7 +388,12 @@ func (m *Manager) wait(txn *TxnInfo, item Item, sh *shard, st *lockState, req Re
 		m.removeWaiter(sh, w)
 		sh.mu.Unlock()
 		m.reg.remove(txn.ID, w)
-		sh.recordWait(w.item, w.req.Mode, uint64(time.Since(start)))
+		waited := time.Since(start)
+		sh.recordWait(w.item, w.req.Mode, uint64(waited))
+		if m.tracer != nil {
+			m.emitLock(trace.KindDeadlockVictim, txn.ID, item, sh,
+				req.Mode.String(), int64(waited), "self")
+		}
 		return err
 	}
 
@@ -370,7 +413,12 @@ func (m *Manager) wait(txn *TxnInfo, item Item, sh *shard, st *lockState, req Re
 			sh.mu.Unlock()
 			m.reg.remove(txn.ID, w)
 			// Timed-out waits count toward contention attribution too.
-			sh.recordWait(w.item, w.req.Mode, uint64(time.Since(start)))
+			waited := time.Since(start)
+			sh.recordWait(w.item, w.req.Mode, uint64(waited))
+			if m.tracer != nil {
+				m.emitLock(trace.KindLockTimeout, txn.ID, item, sh,
+					req.Mode.String(), int64(waited), "")
+			}
 			return ErrTimeout
 		}
 		sh.mu.Unlock()
@@ -388,7 +436,11 @@ func (m *Manager) finishWait(w *waiter, start time.Time) error {
 	sh.mu.Lock()
 	granted, err := w.granted, w.err
 	sh.mu.Unlock()
-	sh.recordWait(w.item, w.req.Mode, uint64(time.Since(start)))
+	waited := time.Since(start)
+	sh.recordWait(w.item, w.req.Mode, uint64(waited))
+	if m.tracer != nil {
+		m.emitWaitOutcome(w, granted, err, int64(waited))
+	}
 	if err != nil {
 		return err
 	}
@@ -396,6 +448,26 @@ func (m *Manager) finishWait(w *waiter, start time.Time) error {
 		return ErrAborted
 	}
 	return nil
+}
+
+// emitWaitOutcome maps a finished wait to its trace event. The
+// for-compensation victim kill additionally emits its own KindDeadlockVictim
+// at the kill site (deadlock.go), so here an externally aborted wait is a
+// plain lock.abort.
+func (m *Manager) emitWaitOutcome(w *waiter, granted bool, err error, waited int64) {
+	mode := w.req.Mode.String()
+	switch {
+	case err == ErrTimeout:
+		m.emitLock(trace.KindLockTimeout, w.txn.ID, w.item, w.sh, mode, waited, "")
+	case err == ErrDeadlock:
+		m.emitLock(trace.KindDeadlockVictim, w.txn.ID, w.item, w.sh, mode, waited, "self")
+	case err != nil || !granted:
+		m.emitLock(trace.KindLockAbort, w.txn.ID, w.item, w.sh, mode, waited, "")
+	case w.conv:
+		m.emitLock(trace.KindLockUpgrade, w.txn.ID, w.item, w.sh, mode, waited, "waited")
+	default:
+		m.emitLock(trace.KindLockGrant, w.txn.ID, w.item, w.sh, mode, waited, "")
+	}
 }
 
 // isConversion reports whether w is a conversion (its txn already holds a
@@ -460,10 +532,10 @@ func (m *Manager) conflictsAhead(w *waiter, st *lockState, i int) bool {
 func (m *Manager) AttachExposure(txn *TxnInfo, item Item) {
 	sh := m.shardOf(item)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	st := sh.state(item)
 	for _, g := range st.grants {
 		if g.kind == kindExposure && g.txn.ID == txn.ID {
+			sh.mu.Unlock()
 			return
 		}
 	}
@@ -471,6 +543,10 @@ func (m *Manager) AttachExposure(txn *TxnInfo, item Item) {
 	g.txn, g.kind, g.stepSeq = txn, kindExposure, txn.CompletedSteps()
 	st.grants = append(st.grants, g)
 	sh.noteHeld(txn, item)
+	sh.mu.Unlock()
+	if m.tracer != nil {
+		m.emitLock(trace.KindLockAcquire, txn.ID, item, sh, tagExposure, 0, "")
+	}
 }
 
 // AttachReservation records that a compensating step of type cs may later
@@ -482,16 +558,17 @@ func (m *Manager) AttachReservation(txn *TxnInfo, item Item, cs interference.Ste
 	}
 	sh := m.shardOf(item)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	st := sh.state(item)
 	for _, g := range st.grants {
 		if g.kind == kindReservation && g.txn.ID == txn.ID {
 			for _, have := range g.csTypes {
 				if have == cs {
+					sh.mu.Unlock()
 					return
 				}
 			}
 			g.csTypes = append(g.csTypes, cs)
+			sh.mu.Unlock()
 			return
 		}
 	}
@@ -500,6 +577,10 @@ func (m *Manager) AttachReservation(txn *TxnInfo, item Item, cs interference.Ste
 	g.csTypes = append(g.csTypes, cs)
 	st.grants = append(st.grants, g)
 	sh.noteHeld(txn, item)
+	sh.mu.Unlock()
+	if m.tracer != nil {
+		m.emitLock(trace.KindLockAcquire, txn.ID, item, sh, tagReservation, 0, "")
+	}
 }
 
 // releaseWhere removes txn's grants matching keep==false and re-runs grant
@@ -604,12 +685,17 @@ func (m *Manager) CancelWait(txn TxnID) {
 	}
 	sh := w.sh
 	sh.mu.Lock()
+	cancelled := false
 	if !w.granted && w.err == nil {
 		w.err = ErrAborted
 		m.removeWaiter(sh, w)
 		w.ch <- struct{}{}
+		cancelled = true
 	}
 	sh.mu.Unlock()
+	if cancelled && m.tracer != nil {
+		m.emitLock(trace.KindLockAbort, txn, w.item, sh, w.req.Mode.String(), 0, "cancel")
+	}
 }
 
 // HeldItems returns the items on which txn currently holds any entry,
@@ -657,8 +743,10 @@ func (m *Manager) ByClass() map[string]ClassStats {
 	return out
 }
 
-// Snapshot returns the counters, aggregated across shards.
-func (m *Manager) Snapshot() Stats {
+// Stats returns the counters, aggregated across shards. (Renamed from
+// Snapshot: Manager.Snapshot now returns the structural lock-table dump in
+// snapshot.go.)
+func (m *Manager) Stats() Stats {
 	var s Stats
 	for _, sh := range m.shards {
 		s.Acquisitions += sh.stats.acquisitions.Load()

@@ -105,6 +105,8 @@ type shard struct {
 
 	// bit is this shard's position in TxnInfo.shardSet.
 	bit uint64
+	// idx is the shard's index, tagged onto trace events and snapshots.
+	idx int16
 
 	// Pad shards apart so neighbouring shards' latches and counters do not
 	// share a cache line.
@@ -117,6 +119,7 @@ func newShard(i int) *shard {
 		held:    make(map[TxnID]*heldSet),
 		byClass: make(map[classKey]*ClassStats),
 		bit:     1 << uint(i),
+		idx:     int16(i),
 	}
 }
 

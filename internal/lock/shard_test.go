@@ -68,7 +68,7 @@ func TestCrossShardDeadlock(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.ReleaseAll(t1)
-	if m.Snapshot().Deadlocks == 0 {
+	if m.Stats().Deadlocks == 0 {
 		t.Fatal("cross-shard deadlock not counted")
 	}
 }
@@ -128,8 +128,8 @@ func TestCrossShardCompensatingNeverVictim(t *testing.T) {
 	if err := <-csDone; err != nil {
 		t.Fatal(err)
 	}
-	if m.Snapshot().VictimsForComp != 1 {
-		t.Fatalf("VictimsForComp = %d, want 1", m.Snapshot().VictimsForComp)
+	if m.Stats().VictimsForComp != 1 {
+		t.Fatalf("VictimsForComp = %d, want 1", m.Stats().VictimsForComp)
 	}
 }
 
@@ -173,7 +173,7 @@ func TestCancelWaitVsTimeoutRace(t *testing.T) {
 	if err := m.Acquire(probe, it, conv(ModeX)); err != nil {
 		t.Fatalf("queue not clean after race rounds: %v", err)
 	}
-	st := m.Snapshot()
+	st := m.Stats()
 	if st.Waits == 0 || st.WaitNanos == 0 {
 		t.Fatalf("wait stats lost on timeout/cancel paths: %+v", st)
 	}
@@ -191,7 +191,7 @@ func TestTimedOutWaitsAttributed(t *testing.T) {
 	if err := m.Acquire(w, it, conv(ModeX)); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("got %v, want ErrTimeout", err)
 	}
-	st := m.Snapshot()
+	st := m.Stats()
 	if st.WaitNanos == 0 {
 		t.Fatal("timed-out wait missing from WaitNanos")
 	}

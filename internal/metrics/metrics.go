@@ -1,11 +1,15 @@
 // Package metrics collects the measurements the paper's experiments report:
 // per-transaction-type response times and completion counts, from which the
 // benchmark harness computes the non-ACC/ACC ratios plotted in Figures 2-4.
+//
+// Response-time series are fixed-size log-bucketed histograms (see
+// histogram.go): memory stays bounded however long a run lasts, summaries
+// are O(buckets) instead of O(n log n), and per-type series merge into the
+// paper's "total average response time" by bucket-wise addition.
 package metrics
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 )
@@ -15,10 +19,6 @@ import (
 // different types never contend, and same-type recording contends only on
 // one stripe's mutex instead of a recorder-wide one.
 const recorderStripes = 16
-
-// initialSamples preallocates each series' sample buffer so the first few
-// thousand records append without growing under the stripe lock.
-const initialSamples = 1024
 
 // Recorder accumulates response-time samples per transaction type. It is
 // safe for concurrent use by terminal goroutines; the series map is striped
@@ -35,9 +35,11 @@ type stripe struct {
 }
 
 type series struct {
-	durations []time.Duration
+	hist      Histogram
 	errors    int
 	rollbacks int
+	deadlocks int
+	timeouts  int
 }
 
 // NewRecorder returns an empty recorder.
@@ -65,24 +67,43 @@ func (r *Recorder) stripeFor(txnType string) *stripe {
 // Record adds one completed transaction's response time. Rollbacks (user
 // aborts and compensations) count as completions — the terminal got an
 // answer — but are tallied separately; hard errors are excluded from the
-// response-time population.
+// response-time population, with deadlock-victim aborts and lock-wait
+// timeouts attributed to their own counters instead of the generic error
+// tally.
 func (r *Recorder) Record(txnType string, d time.Duration, outcome Outcome) {
 	st := r.stripeFor(txnType)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	s, ok := st.series[txnType]
 	if !ok {
-		s = &series{durations: make([]time.Duration, 0, initialSamples)}
+		s = &series{}
 		st.series[txnType] = s
 	}
 	switch outcome {
 	case Committed:
-		s.durations = append(s.durations, d)
+		s.hist.Observe(d)
 	case RolledBack:
-		s.durations = append(s.durations, d)
+		s.hist.Observe(d)
 		s.rollbacks++
+	case Deadlocked:
+		s.deadlocks++
+	case TimedOut:
+		s.timeouts++
 	case Failed:
 		s.errors++
+	}
+}
+
+// Reset clears every series so the recorder can be reused across experiment
+// runs without reallocating its stripes.
+func (r *Recorder) Reset() {
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		for name := range st.series {
+			delete(st.series, name)
+		}
+		st.mu.Unlock()
 	}
 }
 
@@ -91,9 +112,18 @@ type Outcome int
 
 // Outcomes.
 const (
+	// Committed is a successful commit.
 	Committed Outcome = iota
+	// RolledBack is a user abort or a compensated rollback: the terminal
+	// got an answer, so it counts as a completion.
 	RolledBack
+	// Failed is a hard error not otherwise classified.
 	Failed
+	// Deadlocked is a transaction abandoned as a deadlock victim after its
+	// retry budget (distinct from Failed so contention loss is visible).
+	Deadlocked
+	// TimedOut is a transaction abandoned by the lock-wait safety net.
+	TimedOut
 )
 
 // Summary describes one series (or the merged total).
@@ -101,6 +131,8 @@ type Summary struct {
 	Count     int
 	Rollbacks int
 	Errors    int
+	Deadlocks int
+	Timeouts  int
 	Mean      time.Duration
 	P50       time.Duration
 	P95       time.Duration
@@ -110,33 +142,41 @@ type Summary struct {
 
 // String renders the summary compactly.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v rollbacks=%d errors=%d",
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v rollbacks=%d errors=%d deadlocks=%d timeouts=%d",
 		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
 		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
-		s.Max.Round(time.Microsecond), s.Rollbacks, s.Errors)
+		s.Max.Round(time.Microsecond), s.Rollbacks, s.Errors, s.Deadlocks, s.Timeouts)
 }
 
-func summarize(durs []time.Duration, rollbacks, errors int) Summary {
-	s := Summary{Count: len(durs), Rollbacks: rollbacks, Errors: errors}
-	if len(durs) == 0 {
-		return s
+// summarize reduces one series to its summary. Percentiles use linear
+// interpolation between ranks (Histogram.Quantile); the seed's truncating
+// int(p*(n-1)) selection biased them low.
+func summarize(s *series) Summary {
+	out := Summary{
+		Count:     int(s.hist.Count()),
+		Rollbacks: s.rollbacks,
+		Errors:    s.errors,
+		Deadlocks: s.deadlocks,
+		Timeouts:  s.timeouts,
 	}
-	sorted := append([]time.Duration(nil), durs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var total time.Duration
-	for _, d := range sorted {
-		total += d
+	if out.Count == 0 {
+		return out
 	}
-	s.Mean = total / time.Duration(len(sorted))
-	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(sorted)-1))
-		return sorted[i]
-	}
-	s.P50 = pct(0.50)
-	s.P95 = pct(0.95)
-	s.P99 = pct(0.99)
-	s.Max = sorted[len(sorted)-1]
-	return s
+	out.Mean = s.hist.Mean()
+	out.P50 = s.hist.Quantile(0.50)
+	out.P95 = s.hist.Quantile(0.95)
+	out.P99 = s.hist.Quantile(0.99)
+	out.Max = s.hist.Max()
+	return out
+}
+
+// merge folds src into dst (histogram and outcome tallies).
+func (dst *series) merge(src *series) {
+	dst.hist.Merge(&src.hist)
+	dst.errors += src.errors
+	dst.rollbacks += src.rollbacks
+	dst.deadlocks += src.deadlocks
+	dst.timeouts += src.timeouts
 }
 
 // ByType returns one summary per transaction type.
@@ -146,7 +186,7 @@ func (r *Recorder) ByType() map[string]Summary {
 		st := &r.stripes[i]
 		st.mu.Lock()
 		for name, s := range st.series {
-			out[name] = summarize(s.durations, s.rollbacks, s.errors)
+			out[name] = summarize(s)
 		}
 		st.mu.Unlock()
 	}
@@ -156,32 +196,29 @@ func (r *Recorder) ByType() map[string]Summary {
 // Total returns the merged summary over all types — the paper's "total
 // average response time" metric.
 func (r *Recorder) Total() Summary {
-	var all []time.Duration
-	rollbacks, errors := 0, 0
+	var all series
 	for i := range r.stripes {
 		st := &r.stripes[i]
 		st.mu.Lock()
 		for _, s := range st.series {
-			all = append(all, s.durations...)
-			rollbacks += s.rollbacks
-			errors += s.errors
+			all.merge(s)
 		}
 		st.mu.Unlock()
 	}
-	return summarize(all, rollbacks, errors)
+	return summarize(&all)
 }
 
 // Count returns the number of completed (committed or rolled back)
 // transactions — the throughput numerator.
 func (r *Recorder) Count() int {
-	n := 0
+	n := uint64(0)
 	for i := range r.stripes {
 		st := &r.stripes[i]
 		st.mu.Lock()
 		for _, s := range st.series {
-			n += len(s.durations)
+			n += s.hist.Count()
 		}
 		st.mu.Unlock()
 	}
-	return n
+	return int(n)
 }

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -62,6 +63,133 @@ func TestSummaryString(t *testing.T) {
 	out := fmt.Sprint(r.ByType()["a"])
 	if out == "" {
 		t.Fatal("empty String")
+	}
+}
+
+// TestPercentileInterpolation pins the satellite fix: percentiles
+// interpolate between ranks instead of truncating int(p*(n-1)). With two
+// samples the seed returned the smaller as p50; interpolation must land
+// near the middle (within histogram bucket resolution, ~3%).
+func TestPercentileInterpolation(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 10*time.Millisecond, Committed)
+	r.Record("a", 30*time.Millisecond, Committed)
+	p50 := r.ByType()["a"].P50
+	if p50 < 15*time.Millisecond || p50 > 25*time.Millisecond {
+		t.Fatalf("P50 = %v, want ≈20ms (rank interpolation)", p50)
+	}
+	// p=0 and p=1 stay pinned to the extremes.
+	var h Histogram
+	h.Observe(10 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	if q := h.Quantile(1); q != 30*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+	if q := h.Quantile(0); q > 11*time.Millisecond {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+}
+
+func TestHistogramAccuracy(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, 5000 * time.Microsecond},
+		{0.95, 9500 * time.Microsecond},
+		{0.99, 9900 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.p)
+		err := float64(got-tc.want) / float64(tc.want)
+		if err < 0 {
+			err = -err
+		}
+		if err > 0.05 {
+			t.Fatalf("Quantile(%v) = %v, want %v ±5%%", tc.p, got, tc.want)
+		}
+	}
+	if h.Max() != 10000*time.Microsecond {
+		t.Fatalf("Max = %v (must be exact)", h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Millisecond)
+	b.Observe(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Mean() != 2*time.Millisecond || a.Max() != 3*time.Millisecond {
+		t.Fatalf("merged: count=%d mean=%v max=%v", a.Count(), a.Mean(), a.Max())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Max() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestHistogramBucketsCoverInt64(t *testing.T) {
+	// Every value must land in a valid bucket whose bounds contain it.
+	for _, v := range []int64{0, 1, 31, 32, 33, 1023, 1 << 20, 1<<62 + 12345, 1<<63 - 1} {
+		i := bucketOf(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, i)
+		}
+		lo, width := bucketBounds(i)
+		if v < lo || (width > 0 && v >= lo+width && lo+width > lo) {
+			t.Fatalf("value %d outside bucket %d bounds [%d, %d)", v, i, lo, lo+width)
+		}
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", time.Millisecond, Committed)
+	r.Record("b", time.Millisecond, Failed)
+	r.Reset()
+	if r.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", r.Count())
+	}
+	if total := r.Total(); total.Errors != 0 || total.Count != 0 {
+		t.Fatalf("Total after Reset = %+v", total)
+	}
+	// Reuse after Reset works.
+	r.Record("a", 2*time.Millisecond, Committed)
+	if r.Count() != 1 {
+		t.Fatalf("Count after reuse = %d", r.Count())
+	}
+}
+
+func TestDeadlockAndTimeoutOutcomes(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", time.Millisecond, Committed)
+	r.Record("a", time.Second, Deadlocked)
+	r.Record("a", time.Second, Deadlocked)
+	r.Record("a", time.Second, TimedOut)
+	r.Record("a", time.Second, Failed)
+	s := r.ByType()["a"]
+	if s.Count != 1 {
+		t.Fatalf("Count = %d (aborted txns must not join the population)", s.Count)
+	}
+	if s.Deadlocks != 2 || s.Timeouts != 1 || s.Errors != 1 {
+		t.Fatalf("deadlocks=%d timeouts=%d errors=%d", s.Deadlocks, s.Timeouts, s.Errors)
+	}
+	if s.Max != time.Millisecond {
+		t.Fatalf("Max = %v (aborted durations must not count)", s.Max)
+	}
+	out := s.String()
+	if !strings.Contains(out, "deadlocks=2") || !strings.Contains(out, "timeouts=1") {
+		t.Fatalf("String() = %q missing outcome counters", out)
+	}
+	total := r.Total()
+	if total.Deadlocks != 2 || total.Timeouts != 1 {
+		t.Fatalf("Total = %+v", total)
 	}
 }
 

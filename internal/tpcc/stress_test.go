@@ -124,7 +124,7 @@ func TestStressMixACCWithEnv(t *testing.T) {
 	}
 	mu.Unlock()
 	st := eng.Snapshot()
-	ls := eng.Locks().Snapshot()
+	ls := eng.Locks().Stats()
 	t.Logf("violations=%d failedTxns=%d commits=%d aborts=%d comps=%d stepRetries=%d txnRetries=%d deadlocks=%d victimsForComp=%d",
 		bad, n, st.Commits, st.UserAborts, st.Compensations, st.StepRetries, st.TxnRetries, ls.Deadlocks, ls.VictimsForComp)
 	if bad > 0 {

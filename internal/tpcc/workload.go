@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"accdb/internal/core"
+	"accdb/internal/lock"
 	"accdb/internal/metrics"
 	"accdb/internal/sim"
 )
@@ -246,6 +247,11 @@ func outcome(err error) (metrics.Outcome, error) {
 		return metrics.Committed, nil
 	case core.IsCompensated(err) || errors.Is(err, core.ErrUserAbort):
 		return metrics.RolledBack, nil
+	case errors.Is(err, lock.ErrDeadlock):
+		// Abandoned as a deadlock victim after the retry budget.
+		return metrics.Deadlocked, err
+	case errors.Is(err, lock.ErrTimeout):
+		return metrics.TimedOut, err
 	default:
 		return metrics.Failed, err
 	}

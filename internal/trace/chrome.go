@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// ChromeSink encodes events in the Chrome trace_event JSON array format, so
+// a run can be opened directly in chrome://tracing or Perfetto. Each
+// transaction maps to a track (tid = txn id); events with a duration render
+// as complete ("ph":"X") slices ending at the event's timestamp, the rest as
+// instants ("ph":"i").
+//
+// The format reference is the "Trace Event Format" document; only the small
+// subset below is emitted.
+type ChromeSink struct {
+	w     *bufio.Writer
+	c     io.Closer
+	mu    sync.Mutex
+	first bool
+}
+
+// NewChromeSink creates a Chrome trace sink over w. If w is an io.Closer it
+// is closed by Close.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{w: bufio.NewWriterSize(w, 1<<16), first: true}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Write implements Sink.
+func (s *ChromeSink) Write(batch []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf []byte
+	for _, ev := range batch {
+		buf = buf[:0]
+		if s.first {
+			buf = append(buf, "[\n"...)
+			s.first = false
+		} else {
+			buf = append(buf, ",\n"...)
+		}
+		buf = appendChromeJSON(buf, ev)
+		if _, err := s.w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close terminates the JSON array and releases the writer.
+func (s *ChromeSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.first {
+		_, err = s.w.WriteString("[]\n")
+	} else {
+		_, err = s.w.WriteString("\n]\n")
+	}
+	if ferr := s.w.Flush(); err == nil {
+		err = ferr
+	}
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// appendChromeJSON renders one trace_event object. Timestamps are in
+// microseconds per the format; durations likewise. A duration event's TS is
+// its end, so the slice start is TS-Dur.
+func appendChromeJSON(dst []byte, ev Event) []byte {
+	durUS := ev.Dur / 1000
+	tsUS := ev.TS / 1000
+	dst = append(dst, `{"name":`...)
+	dst = strconv.AppendQuote(dst, ev.Kind.String())
+	dst = append(dst, `,"cat":`...)
+	dst = strconv.AppendQuote(dst, chromeCategory(ev.Kind))
+	if durationKind(ev.Kind) && durUS > 0 {
+		dst = append(dst, `,"ph":"X","ts":`...)
+		dst = strconv.AppendInt(dst, tsUS-durUS, 10)
+		dst = append(dst, `,"dur":`...)
+		dst = strconv.AppendInt(dst, durUS, 10)
+	} else {
+		dst = append(dst, `,"ph":"i","s":"t","ts":`...)
+		dst = strconv.AppendInt(dst, tsUS, 10)
+	}
+	dst = append(dst, `,"pid":1,"tid":`...)
+	dst = strconv.AppendUint(dst, ev.Txn, 10)
+	dst = append(dst, `,"args":{`...)
+	argFirst := true
+	arg := func(k, v string) {
+		if !argFirst {
+			dst = append(dst, ',')
+		}
+		argFirst = false
+		dst = strconv.AppendQuote(dst, k)
+		dst = append(dst, ':')
+		dst = strconv.AppendQuote(dst, v)
+	}
+	if ev.Mode != "" {
+		arg("mode", ev.Mode)
+	}
+	if ev.Item != "" {
+		arg("item", ev.Item)
+	}
+	if ev.Shard >= 0 {
+		arg("shard", strconv.Itoa(int(ev.Shard)))
+	}
+	if ev.Step >= 0 {
+		arg("step", strconv.Itoa(int(ev.Step)))
+	}
+	if ev.Extra != "" {
+		arg("extra", ev.Extra)
+	}
+	return append(dst, "}}"...)
+}
+
+// durationKind reports whether the kind's Dur field is a duration (vs a
+// size) and should render as a slice.
+func durationKind(k Kind) bool {
+	switch k {
+	case KindTxnCommit, KindStepEnd, KindCompDone, KindLockGrant,
+		KindLockTimeout, KindLockAbort, KindWALForce:
+		return true
+	}
+	return false
+}
+
+// chromeCategory groups kinds into tracks-friendly categories.
+func chromeCategory(k Kind) string {
+	switch k {
+	case KindTxnBegin, KindTxnCommit, KindTxnAbort:
+		return "txn"
+	case KindStepBegin, KindStepEnd, KindStepRetry:
+		return "step"
+	case KindAssertCheck:
+		return "assert"
+	case KindCompBegin, KindCompDone:
+		return "comp"
+	case KindLockAcquire, KindLockWait, KindLockGrant, KindLockUpgrade,
+		KindLockTimeout, KindLockAbort, KindDeadlockVictim:
+		return "lock"
+	case KindWALAppend, KindWALForce:
+		return "wal"
+	}
+	return "misc"
+}

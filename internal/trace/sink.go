@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Sink consumes event batches from the tracer's drainer. Write is called
+// from a single goroutine; Close is called once, after the last Write.
+// Implementations that also expose read APIs (MemorySink) must synchronize
+// internally.
+type Sink interface {
+	Write(batch []Event) error
+	Close() error
+}
+
+// MemorySink retains the most recent events in a bounded ring. It backs
+// tests and the live debug endpoints.
+type MemorySink struct {
+	mu     sync.Mutex
+	ring   []Event
+	next   int
+	filled bool
+	total  uint64
+}
+
+// NewMemorySink creates a ring retaining up to capacity events (minimum 1).
+func NewMemorySink(capacity int) *MemorySink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MemorySink{ring: make([]Event, capacity)}
+}
+
+// Write implements Sink.
+func (s *MemorySink) Write(batch []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ev := range batch {
+		s.ring[s.next] = ev
+		s.next++
+		if s.next == len(s.ring) {
+			s.next, s.filled = 0, true
+		}
+	}
+	s.total += uint64(len(batch))
+	return nil
+}
+
+// Close implements Sink.
+func (s *MemorySink) Close() error { return nil }
+
+// Events returns the retained events, oldest first.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.filled {
+		return append([]Event(nil), s.ring[:s.next]...)
+	}
+	out := make([]Event, 0, len(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	return append(out, s.ring[:s.next]...)
+}
+
+// Total returns the number of events ever written, including ones the ring
+// has since evicted.
+func (s *MemorySink) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// JSONLSink encodes each event as one JSON object per line. The encoder is
+// hand-rolled: the bus must not make the observed system pay encoding/json's
+// reflection on every event.
+type JSONLSink struct {
+	w  *bufio.Writer
+	c  io.Closer
+	mu sync.Mutex
+}
+
+// NewJSONLSink creates a JSONL sink over w. If w is an io.Closer it is
+// closed by Close.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Write implements Sink.
+func (s *JSONLSink) Write(batch []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf []byte
+	for _, ev := range batch {
+		buf = appendEventJSON(buf[:0], ev)
+		buf = append(buf, '\n')
+		if _, err := s.w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// appendEventJSON renders ev as a single-line JSON object. Zero-valued
+// optional fields are omitted so traces stay compact.
+func appendEventJSON(dst []byte, ev Event) []byte {
+	dst = append(dst, `{"ts":`...)
+	dst = strconv.AppendInt(dst, ev.TS, 10)
+	dst = append(dst, `,"kind":`...)
+	dst = strconv.AppendQuote(dst, ev.Kind.String())
+	if ev.Txn != 0 {
+		dst = append(dst, `,"txn":`...)
+		dst = strconv.AppendUint(dst, ev.Txn, 10)
+	}
+	if ev.Step >= 0 {
+		dst = append(dst, `,"step":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Step), 10)
+	}
+	if ev.Shard >= 0 {
+		dst = append(dst, `,"shard":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Shard), 10)
+	}
+	if ev.Mode != "" {
+		dst = append(dst, `,"mode":`...)
+		dst = strconv.AppendQuote(dst, ev.Mode)
+	}
+	if ev.Item != "" {
+		dst = append(dst, `,"item":`...)
+		dst = strconv.AppendQuote(dst, ev.Item)
+	}
+	if ev.Dur != 0 {
+		dst = append(dst, `,"dur":`...)
+		dst = strconv.AppendInt(dst, ev.Dur, 10)
+	}
+	if ev.Extra != "" {
+		dst = append(dst, `,"extra":`...)
+		dst = strconv.AppendQuote(dst, ev.Extra)
+	}
+	return append(dst, '}')
+}

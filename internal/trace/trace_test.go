@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemorySinkRoundTrip(t *testing.T) {
+	sink := NewMemorySink(1024)
+	tr := New(sink)
+	ev := Ev(KindLockAcquire, 7)
+	ev.Mode, ev.Item, ev.Shard = "X", "stock[row/01]", 3
+	tr.Emit(ev)
+	tr.Flush()
+	got := sink.Events()
+	if len(got) != 1 {
+		t.Fatalf("events = %d, want 1", len(got))
+	}
+	if got[0].Kind != KindLockAcquire || got[0].Txn != 7 || got[0].Mode != "X" ||
+		got[0].Item != "stock[row/01]" || got[0].Shard != 3 || got[0].Step != -1 {
+		t.Fatalf("event = %+v", got[0])
+	}
+	if got[0].TS == 0 {
+		t.Fatal("TS not stamped")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemorySinkRingEviction(t *testing.T) {
+	sink := NewMemorySink(4)
+	for i := 0; i < 10; i++ {
+		ev := Ev(KindWALAppend, uint64(i))
+		ev.TS = int64(i + 1)
+		if err := sink.Write([]Event{ev}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := sink.Events()
+	if len(got) != 4 {
+		t.Fatalf("retained = %d, want 4", len(got))
+	}
+	for i, ev := range got {
+		if want := uint64(6 + i); ev.Txn != want {
+			t.Fatalf("events[%d].Txn = %d, want %d (oldest-first)", i, ev.Txn, want)
+		}
+	}
+	if sink.Total() != 10 {
+		t.Fatalf("Total = %d", sink.Total())
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	sink := NewMemorySink(1 << 16)
+	tr := New(sink)
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ev := Ev(KindLockAcquire, uint64(g*per+i))
+				ev.Mode = "S"
+				tr.Emit(ev)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Emitted(); got != goroutines*per {
+		t.Fatalf("Emitted = %d, want %d", got, goroutines*per)
+	}
+	if got := sink.Total() + tr.Drops(); got != goroutines*per {
+		t.Fatalf("delivered(%d) + dropped(%d) = %d, want %d",
+			sink.Total(), tr.Drops(), got, goroutines*per)
+	}
+}
+
+// blockingSink stalls every write until released, forcing the handoff queue
+// to fill so backpressure drops become observable.
+type blockingSink struct {
+	release chan struct{}
+	written chan int
+}
+
+func (s *blockingSink) Write(batch []Event) error {
+	<-s.release
+	s.written <- len(batch)
+	return nil
+}
+
+func (s *blockingSink) Close() error { return nil }
+
+func TestBackpressureDropsAreCounted(t *testing.T) {
+	sink := &blockingSink{
+		release: make(chan struct{}),
+		written: make(chan int, 1<<20),
+	}
+	tr := New(sink)
+	// Saturate: one batch stalls in the sink, queueCap batches fill the
+	// queue, the rest must be dropped. Spread across txn IDs to fill every
+	// stripe.
+	const total = (queueCap + 64) * stripeCap * 2
+	for i := 0; i < total; i++ {
+		tr.Emit(Ev(KindWALAppend, uint64(i)))
+	}
+	if tr.Drops() == 0 {
+		t.Fatal("no drops recorded under a stalled sink")
+	}
+	close(sink.release)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	close(sink.written)
+	for n := range sink.written {
+		delivered += n
+	}
+	if got := uint64(delivered) + tr.Drops(); got != tr.Emitted() {
+		t.Fatalf("delivered(%d) + dropped(%d) = %d, want emitted %d",
+			delivered, tr.Drops(), got, tr.Emitted())
+	}
+}
+
+func TestEmitAfterCloseDrops(t *testing.T) {
+	tr := New(NewMemorySink(16))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit(Ev(KindTxnBegin, 1))
+	if tr.Drops() != 1 {
+		t.Fatalf("Drops = %d, want 1", tr.Drops())
+	}
+}
+
+// errSink fails every write so sink-error accounting is observable.
+type errSink struct{}
+
+func (errSink) Write([]Event) error { return errors.New("sink: boom") }
+func (errSink) Close() error        { return nil }
+
+func TestSinkErrorsCounted(t *testing.T) {
+	tr := New(errSink{})
+	tr.Emit(Ev(KindTxnBegin, 1))
+	tr.Flush()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.SinkErrors() == 0 {
+		t.Fatal("sink error not counted")
+	}
+}
+
+func TestJSONLSinkOutput(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := New(sink)
+	ev := Ev(KindLockGrant, 42)
+	ev.Mode, ev.Item, ev.Shard, ev.Dur, ev.Extra = "A", `district[row/"k"]`, 5, 1500, "assert:1"
+	tr.Emit(ev)
+	ev2 := Ev(KindStepBegin, 42)
+	ev2.Step = 2
+	tr.Emit(ev2)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	scan := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for scan.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(scan.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", scan.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	if lines[0]["kind"] != "lock.grant" || lines[0]["mode"] != "A" ||
+		lines[0]["item"] != `district[row/"k"]` || lines[0]["dur"] != float64(1500) {
+		t.Fatalf("line 0 = %v", lines[0])
+	}
+	if _, hasStep := lines[0]["step"]; hasStep {
+		t.Fatal("non-step event serialized a step field")
+	}
+	if lines[1]["step"] != float64(2) {
+		t.Fatalf("line 1 = %v", lines[1])
+	}
+}
+
+// goldenEvents is a fixed scenario covering instants, slices, and every
+// escape-worthy tag; timestamps are pinned so the output is deterministic.
+func goldenEvents() []Event {
+	mk := func(kind Kind, txn uint64, ts, dur int64) Event {
+		ev := Ev(kind, txn)
+		ev.TS, ev.Dur = ts, dur
+		return ev
+	}
+	begin := mk(KindTxnBegin, 1, 1_000_000, 0)
+	begin.Item = "new_order"
+	step := mk(KindStepBegin, 1, 2_000_000, 0)
+	step.Step = 0
+	acq := mk(KindLockAcquire, 1, 3_000_000, 0)
+	acq.Mode, acq.Item, acq.Shard = "IX", "stock", 2
+	wait := mk(KindLockWait, 2, 4_000_000, 0)
+	wait.Mode, wait.Item, wait.Shard = "X", `stock[row/3132]`, 2
+	grant := mk(KindLockGrant, 2, 9_000_000, 5_000_000)
+	grant.Mode, grant.Item, grant.Shard = "X", `stock[row/3132]`, 2
+	victim := mk(KindDeadlockVictim, 3, 9_500_000, 0)
+	victim.Extra = "self"
+	force := mk(KindWALForce, 1, 10_000_000, 100_000)
+	stepEnd := mk(KindStepEnd, 1, 11_000_000, 9_000_000)
+	stepEnd.Step = 0
+	commit := mk(KindTxnCommit, 1, 12_000_000, 11_000_000)
+	return []Event{begin, step, acq, wait, grant, victim, force, stepEnd, commit}
+}
+
+func TestChromeSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	if err := sink.Write(goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be valid JSON of the trace_event array form.
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	if len(parsed) != len(goldenEvents()) {
+		t.Fatalf("parsed %d trace events, want %d", len(parsed), len(goldenEvents()))
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	want, err := os.ReadFile(golden)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if werr := os.WriteFile(golden, buf.Bytes(), 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		t.Skip("golden updated")
+	}
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(want), bytes.TrimSpace(buf.Bytes())) {
+		t.Fatalf("chrome trace diverged from golden file\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeSinkEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil || len(parsed) != 0 {
+		t.Fatalf("empty chrome trace = %q (err %v)", buf.Bytes(), err)
+	}
+}
+
+func TestFlushIsPromptUnderLoad(t *testing.T) {
+	sink := NewMemorySink(1 << 12)
+	tr := New(sink)
+	for i := 0; i < 100; i++ {
+		tr.Emit(Ev(KindTxnBegin, uint64(i)))
+	}
+	done := make(chan struct{})
+	go func() { tr.Flush(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Flush did not complete")
+	}
+	if sink.Total() != 100 {
+		t.Fatalf("Total = %d after Flush, want 100", sink.Total())
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"accdb/internal/storage"
+	"accdb/internal/trace"
 )
 
 // Type enumerates log record types.
@@ -104,7 +105,15 @@ type Log struct {
 	buf     []byte
 	flushed LSN
 	stats   Stats
+
+	// tracer is the structured event bus; nil disables tracing. Emit sites
+	// nil-check first so the disabled cost is one predictable branch.
+	tracer *trace.Tracer
 }
+
+// SetTracer attaches the structured event bus; nil disables tracing. Call
+// before the log serves appends.
+func (l *Log) SetTracer(t *trace.Tracer) { l.tracer = t }
 
 // New creates a log with the given simulated force latency.
 func New(forceLatency time.Duration) *Log {
@@ -115,11 +124,19 @@ func New(forceLatency time.Duration) *Log {
 // durable until a Force covers its LSN.
 func (l *Log) Append(rec Record) LSN {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	before := len(l.buf)
 	l.buf = encodeRecord(l.buf, rec)
 	l.stats.Records++
 	l.stats.Bytes = uint64(len(l.buf))
-	return LSN(len(l.buf))
+	lsn := LSN(len(l.buf))
+	l.mu.Unlock()
+	if l.tracer != nil {
+		ev := trace.Ev(trace.KindWALAppend, rec.Txn)
+		ev.Mode = rec.Type.String()
+		ev.Dur = int64(int(lsn) - before) // record size in bytes
+		l.tracer.Emit(ev)
+	}
+	return lsn
 }
 
 // AppendForce appends rec and forces the log through it.
@@ -140,8 +157,14 @@ func (l *Log) ForceTo(lsn LSN) {
 	l.flushed = lsn
 	l.stats.Forces++
 	l.mu.Unlock()
+	start := time.Now()
 	if l.ForceLatency > 0 {
 		time.Sleep(l.ForceLatency)
+	}
+	if l.tracer != nil {
+		ev := trace.Ev(trace.KindWALForce, 0)
+		ev.Dur = int64(time.Since(start)) // force latency paid
+		l.tracer.Emit(ev)
 	}
 }
 
