@@ -46,8 +46,17 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-system detail")
 		traceOut = flag.String("trace", "", "write structured events to this file (.json: Chrome trace_event for chrome://tracing; otherwise JSONL)")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/locks, /debug/waitsfor and /debug/pprof on this address (e.g. :6060)")
+		walDir   = flag.String("wal-dir", "", "back the log with CRC-framed segment files in this directory instead of the in-memory log")
+		faultPt  = flag.String("fault", "", "run one crash-matrix case: trip this fault point (see -fault list) mid-load, recover, verify; 'all' runs every point, 'list' prints the catalog")
+		faultNth = flag.Uint64("fault-nth", 3, "fire the -fault point on its nth hit")
+		faultSd  = flag.Int64("fault-seed", 42, "seed for the -fault controller and load (a (point, seed, nth) triple replays exactly)")
 	)
 	flag.Parse()
+
+	if *faultPt != "" {
+		runFault(*faultPt, *faultNth, *faultSd, *walDir)
+		return
+	}
 
 	cfg := experiment.Defaults()
 	cfg.Duration = *duration
@@ -57,6 +66,7 @@ func main() {
 	cfg.ForceLatency = *force
 	cfg.Servers = *servers
 	cfg.Seed = *seed
+	cfg.WALDir = *walDir
 
 	var tr *trace.Tracer
 	if *traceOut != "" {

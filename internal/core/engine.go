@@ -90,6 +90,10 @@ type Options struct {
 	// from the lock manager, append/force events from the log. Nil disables
 	// tracing at zero cost.
 	Tracer *trace.Tracer
+	// Log, when non-nil, is the write-ahead log the engine appends to —
+	// typically a disk-backed log from wal.Open. Nil creates a memory-only
+	// log with ForceLatency.
+	Log *wal.Log
 }
 
 // Stats aggregates engine counters.
@@ -141,7 +145,10 @@ func New(db *DB, tables *interference.Tables, opt Options) *Engine {
 	}
 	lm := lock.NewManager(tables)
 	lm.WaitTimeout = opt.WaitTimeout
-	log := wal.New(opt.ForceLatency)
+	log := opt.Log
+	if log == nil {
+		log = wal.New(opt.ForceLatency)
+	}
 	if opt.Tracer != nil {
 		lm.SetTracer(opt.Tracer)
 		log.SetTracer(opt.Tracer)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"accdb/internal/interference"
 	"accdb/internal/lock"
 	"accdb/internal/storage"
 	"accdb/internal/wal"
@@ -15,14 +16,45 @@ import (
 // Transactions left with a completed prefix and no commit are then
 // compensated using the work area saved in their last forced end-of-step
 // record.
+//
+// Restart recovery runs in three passes over the durable log image:
+//
+//  1. Analysis (wal.Analyze) classifies every transaction and tolerates the
+//     torn tail a mid-append crash leaves.
+//  2. Redo (Analysis.Apply) reapplies, in log order, the writes of every
+//     completed step and completed compensation over the loaded base state.
+//  3. Undo-by-compensation: for each transaction with exposed interstep
+//     state, the engine re-acquires its D-locks (exposure marks) and C-locks
+//     (compensation reservations) on the items its completed steps wrote,
+//     then runs the compensating step under them — so transactions admitted
+//     after recovery observe exactly the protocol a live compensation gives.
+
+// CompensatedTxn identifies one transaction rolled back by compensation
+// during recovery.
+type CompensatedTxn struct {
+	// ID is the transaction's original log identity.
+	ID uint64
+	// Type is the registered transaction type name.
+	Type string
+	// Args is the decoded work area — the same value the compensating step
+	// received. Consistency checkers use it to account for identifiers the
+	// rolled-back transaction consumed (e.g. TPC-C order numbers).
+	Args any
+}
 
 // RecoverResult summarizes a recovery run.
 type RecoverResult struct {
 	// Committed is the number of transactions that had committed.
 	Committed int
 	// Compensated lists the transactions rolled back by compensation during
-	// recovery, by type name.
+	// recovery, by type name (in transaction-ID order).
 	Compensated []string
+	// CompensatedTxns carries the same transactions with their decoded work
+	// areas, for consistency accounting.
+	CompensatedTxns []CompensatedTxn
+	// TornTail records tail damage found in the log image, if any. A Clean
+	// tear is the normal mark of a mid-append crash.
+	TornTail *wal.ErrTornTail
 	// Analysis is the underlying log analysis.
 	Analysis *wal.Analysis
 }
@@ -30,11 +62,21 @@ type RecoverResult struct {
 // Recover rebuilds database state from a log image. The engine's catalog
 // must hold the pre-log base state (for the experiments: the freshly loaded
 // initial database, matching an archive copy plus log in a disk system).
-// After replay, every pending multi-step transaction is compensated.
+// After replay, every pending multi-step transaction is compensated under
+// re-acquired exposure and reservation locks, and the engine's transaction
+// IDs are advanced past every logged ID so post-recovery work cannot collide
+// with logged history — a second crash during or after recovery analyzes
+// cleanly.
 func (e *Engine) Recover(logData []byte) (*RecoverResult, error) {
 	analysis, err := wal.Analyze(logData)
 	if err != nil {
 		return nil, err
+	}
+	if torn := analysis.TornTail; torn != nil && !torn.Clean() {
+		// A non-clean tear means durable records were destroyed — committed
+		// work may be missing from the prefix. Redo would silently produce a
+		// state inconsistent with what the system once acknowledged.
+		return nil, fmt.Errorf("core: recovery: log is damaged beyond a crash tail: %w", torn)
 	}
 	err = analysis.Apply(logData, func(table string, pk storage.Key, after storage.Row) {
 		t := e.db.Catalog.Table(table)
@@ -45,7 +87,16 @@ func (e *Engine) Recover(logData []byte) (*RecoverResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &RecoverResult{Analysis: analysis}
+	// New transactions — the re-admitted workload, and the compensations
+	// below — must not reuse logged IDs, or a second crash would interleave
+	// two unrelated histories under one ID.
+	for {
+		cur := e.nextTxn.Load()
+		if cur >= analysis.MaxTxn || e.nextTxn.CompareAndSwap(cur, analysis.MaxTxn) {
+			break
+		}
+	}
+	res := &RecoverResult{Analysis: analysis, TornTail: analysis.TornTail}
 	for _, t := range analysis.Txns {
 		if t.Committed {
 			res.Committed++
@@ -63,16 +114,48 @@ func (e *Engine) Recover(logData []byte) (*RecoverResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: recovery: decoding work area of %s: %w", pending.Type, err)
 		}
+		// The compensation runs under the transaction's ORIGINAL identity, so
+		// its CompBegin/CompDone records land in the log under the logged ID
+		// — a second crash after this point re-analyzes the transaction as
+		// compensated instead of compensating it twice.
 		txn := &txnState{
 			tt:   tt,
 			args: args,
-			info: lock.NewTxnInfo(lock.TxnID(e.nextTxn.Add(1)), tt.ID),
+			info: lock.NewTxnInfo(lock.TxnID(pending.ID), tt.ID),
 		}
 		txn.info.SetCompletedSteps(pending.CompletedSteps)
+		// Re-acquire the D- and C-locks the crash dissolved: the completed
+		// steps' written items are in exposed interstep state until the
+		// compensation commits, and the reservation is what guarantees the
+		// compensating step cannot deadlock against post-recovery traffic.
+		compType := interference.NoStep
+		if tt.Comp != nil {
+			compType = tt.Comp.Type
+		}
+		for _, w := range pending.Written {
+			item := lock.RowItem(w.Table, w.PK)
+			e.lm.AttachExposure(txn.info, item)
+			e.lm.AttachReservation(txn.info, item, compType)
+		}
 		if err := e.compensate(txn, pending.CompletedSteps); err != nil {
 			return nil, err
 		}
 		res.Compensated = append(res.Compensated, tt.Name)
+		res.CompensatedTxns = append(res.CompensatedTxns, CompensatedTxn{
+			ID: pending.ID, Type: tt.Name, Args: args,
+		})
 	}
 	return res, nil
+}
+
+// RecoverLog is Recover over a reopened disk-backed log: it recovers from
+// the log's durable image so the engine can resume appending to the same
+// log afterwards. wal.Open already truncated any torn tail physically, so
+// the image analyzes clean; the tear Open found is carried into the result.
+func (e *Engine) RecoverLog(l *wal.Log) (*RecoverResult, error) {
+	res, err := e.Recover(l.Recovered())
+	if res != nil && res.TornTail == nil {
+		res.TornTail = l.TornTail()
+	}
+	return res, err
 }

@@ -5,11 +5,21 @@ import (
 	"fmt"
 	"time"
 
+	"accdb/internal/fault"
 	"accdb/internal/interference"
 	"accdb/internal/lock"
 	"accdb/internal/trace"
 	"accdb/internal/wal"
 )
+
+func init() {
+	fault.Declare("core.eos.force.crash", fault.Crash,
+		"process dies at an end-of-step force: the step's writes and work area never became durable")
+	fault.Declare("core.commit.force.crash", fault.Crash,
+		"process dies at the commit force: every step completed but the commit record is lost")
+	fault.Declare("core.comp.force.crash", fault.Crash,
+		"process dies at the compensation-done force: recovery must compensate again")
+}
 
 // emitTxn sends one engine-layer event. Callers nil-check e.tracer first so
 // the disabled path never builds the event. step < 0 means not step-scoped.
@@ -125,15 +135,39 @@ func (e *Engine) runDecomposedOnce(tt *TxnType, args any) error {
 // overhead and are included in the measured results". The force I/O itself
 // is latency, paid outside any server.
 func (e *Engine) logForce(rec wal.Record) {
+	if fault.Enabled() {
+		// Crash at the most revealing instants: the record is built but its
+		// force never completes, so durability ends just before it.
+		var point string
+		switch rec.Type {
+		case wal.TEndOfStep:
+			point = "core.eos.force.crash"
+		case wal.TCommit:
+			point = "core.commit.force.crash"
+		case wal.TCompDone:
+			point = "core.comp.force.crash"
+		}
+		if point != "" {
+			if o := fault.Point(point); o.Effect == fault.Crash {
+				e.log.Crash()
+			}
+		}
+	}
 	e.env.Statement(func() {})
 	e.log.AppendForce(rec)
 }
 
-// retryBackoff sleeps briefly before a transaction restart, with jitter
-// derived from the transaction identity: two victims of the same deadlock
-// must not re-collide in lockstep forever.
+// retryBackoff sleeps before a transaction restart: exponential in the
+// attempt number with a cap, plus jitter derived from the transaction
+// identity — two victims of the same deadlock must not re-collide in
+// lockstep forever, and repeat offenders must yield the contended items for
+// progressively longer.
 func retryBackoff(attempt int, salt uint64) {
-	d := time.Duration(attempt+1) * 100 * time.Microsecond
+	shift := attempt
+	if shift > 7 {
+		shift = 7 // cap the exponential at 12.8ms base
+	}
+	d := (100 * time.Microsecond) << shift
 	d += time.Duration(salt%17) * 53 * time.Microsecond
 	time.Sleep(d)
 }

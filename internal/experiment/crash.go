@@ -1,0 +1,229 @@
+package experiment
+
+// The crash matrix: for every registered fault injection point, run a TPC-C
+// mix against a disk-backed system, trip the point, restart (fresh base
+// state + reopened log), recover, and verify the twelve-component TPC-C
+// consistency constraint — then re-admit load on the recovered engine and
+// verify again. DESIGN.md §10 documents the protocol this harness checks:
+// recovery is only trusted because every durability transition has been
+// crashed through.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accdb/internal/core"
+	"accdb/internal/fault"
+	"accdb/internal/metrics"
+	"accdb/internal/tpcc"
+	"accdb/internal/wal"
+)
+
+// CrashConfig parameterizes one crash-matrix case.
+type CrashConfig struct {
+	// Point is the injection point to trip, with its natural effect
+	// (typically one entry of fault.Points()).
+	Point fault.Info
+	// Nth fires the effect on the point's nth hit (default 3 — past the
+	// trivial first-use cases).
+	Nth uint64
+	// Seed drives the load generator, the fault controller, and the initial
+	// database load; one (point, seed, nth) triple replays exactly.
+	Seed int64
+	// WALDir is the segment directory (required; caller owns cleanup).
+	WALDir string
+	// Terminals is the concurrent driver count (default 8).
+	Terminals int
+	// MaxOps stops the doomed run if the point has not fired after this many
+	// transactions (default 4000).
+	MaxOps int
+	// RerunOps is how many transactions the recovered engine runs before the
+	// final consistency check (default 300).
+	RerunOps int
+	// Scale is the database cardinality (default a small crash-matrix scale).
+	Scale tpcc.Scale
+	// SegmentSize is the WAL rotation threshold; kept small so rotation
+	// points get exercised (default 32 KiB).
+	SegmentSize int64
+}
+
+// CrashResult reports one crash-matrix case.
+type CrashResult struct {
+	// Fired reports whether the armed point actually tripped during the run
+	// (a Delay point counts as fired once it has been hit).
+	Fired bool
+	// Committed is the number of committed transactions recovery found.
+	Committed int
+	// Compensated is how many transactions recovery rolled back by
+	// compensating step.
+	Compensated int
+	// TornTail is the tail damage the reopened log reported, if any.
+	TornTail *wal.ErrTornTail
+	// Violations is the consistency check on the recovered, quiescent state.
+	Violations []error
+	// RerunCompleted and RerunViolations cover the post-recovery load: the
+	// recovered engine must not merely hold a consistent state but keep
+	// producing them.
+	RerunCompleted  int
+	RerunViolations []error
+}
+
+// CrashScale is the default crash-matrix cardinality: small enough that a
+// case runs in well under a second, hot enough that the mix exercises
+// multi-step interleaving and compensation.
+func CrashScale() tpcc.Scale {
+	return tpcc.Scale{
+		Warehouses: 1, Districts: 4, CustomersPerDistrict: 20,
+		Items: 50, InitialOrdersPerDistrict: 20, NewOrderBacklog: 8,
+	}
+}
+
+type crashSystem struct {
+	db  *core.DB
+	eng *core.Engine
+	log *wal.Log
+	w   *tpcc.Workload
+}
+
+// buildCrashSystem loads the base state (deterministic in cfg.Seed) and
+// assembles an ACC engine over a disk-backed log in cfg.WALDir.
+func buildCrashSystem(cfg CrashConfig) (*crashSystem, error) {
+	db := core.NewDB()
+	if err := tpcc.CreateSchema(db); err != nil {
+		return nil, err
+	}
+	if err := tpcc.Load(db, cfg.Scale, cfg.Seed); err != nil {
+		return nil, err
+	}
+	l, err := wal.Open(cfg.WALDir, wal.Options{SegmentSize: cfg.SegmentSize})
+	if err != nil {
+		return nil, err
+	}
+	types := tpcc.BuildTypes()
+	eng := core.New(db, types.Tables, core.Options{
+		Mode:        core.ModeACC,
+		WaitTimeout: 10 * time.Second,
+		Log:         l,
+	})
+	if _, err := tpcc.Register(eng, types, cfg.Scale); err != nil {
+		l.Close()
+		return nil, err
+	}
+	wcfg := tpcc.DefaultWorkloadConfig(cfg.Scale)
+	// A fifth of new-orders roll back via the unused-item rule, keeping the
+	// compensation path hot so comp-force fault points fire quickly.
+	wcfg.RollbackPercent = 20
+	return &crashSystem{db: db, eng: eng, log: l, w: tpcc.NewWorkload(eng, wcfg)}, nil
+}
+
+// RunCrash executes one crash-matrix case: doomed run, crash, restart,
+// recovery, consistency check, re-run, consistency check.
+func RunCrash(cfg CrashConfig) (*CrashResult, error) {
+	if cfg.Nth == 0 {
+		cfg.Nth = 3
+	}
+	if cfg.Terminals == 0 {
+		cfg.Terminals = 8
+	}
+	if cfg.MaxOps == 0 {
+		cfg.MaxOps = 4000
+	}
+	if cfg.RerunOps == 0 {
+		cfg.RerunOps = 300
+	}
+	if cfg.Scale.Warehouses == 0 {
+		cfg.Scale = CrashScale()
+	}
+	if cfg.SegmentSize == 0 {
+		cfg.SegmentSize = 32 << 10
+	}
+	if cfg.WALDir == "" {
+		return nil, fmt.Errorf("experiment: crash case needs a WAL directory")
+	}
+
+	// Phase 1: the doomed run.
+	sys, err := buildCrashSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := fault.NewController(cfg.Seed)
+	spec := fault.Spec{Effect: cfg.Point.Effect, Nth: cfg.Nth}
+	if cfg.Point.Effect == fault.Delay {
+		spec.Nth = 0 // stall every hit; there is no crash to wait for
+		if cfg.MaxOps > 1000 {
+			cfg.MaxOps = 1000 // every force pays the stall; bound the run
+		}
+	}
+	ctrl.Arm(cfg.Point.Name, spec)
+	ctrl.Activate()
+
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Terminals; i++ {
+		wg.Add(1)
+		go func(term int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(term)*7919))
+			for {
+				select {
+				case <-ctrl.Crashed():
+					return
+				default:
+				}
+				if ops.Add(1) > int64(cfg.MaxOps) {
+					return
+				}
+				sys.w.Next(r, term).Run()
+			}
+		}(i)
+	}
+	wg.Wait()
+	fault.Deactivate()
+
+	res := &CrashResult{}
+	switch cfg.Point.Effect {
+	case fault.Delay:
+		res.Fired = ctrl.Hits(cfg.Point.Name) > 0
+		// No crash: quiesce cleanly so restart still exercises Open.
+		sys.log.Force()
+	default:
+		res.Fired = ctrl.FiredPoint() == cfg.Point.Name
+	}
+	sys.log.Close()
+
+	// Phase 2: restart — fresh base state (same seed, so byte-identical to
+	// the doomed system's starting point), reopened log, recovery.
+	sys2, err := buildCrashSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sys2.log.Close()
+	if tt := sys2.log.TornTail(); tt != nil && !tt.Clean() {
+		return res, fmt.Errorf("experiment: crash left corrupt (not torn) log: %w", tt)
+	}
+	rres, err := sys2.eng.RecoverLog(sys2.log)
+	if err != nil {
+		return res, err
+	}
+	res.Committed = rres.Committed
+	res.Compensated = len(rres.Compensated)
+	res.TornTail = rres.TornTail
+	holes := tpcc.HolesFromRecovery(rres)
+	res.Violations = tpcc.CheckConsistency(sys2.db, cfg.Scale, holes)
+
+	// Phase 3: the recovered engine re-admits load against the same log.
+	sys2.w.MergeHoles(holes)
+	sys2.w.AdvanceHistoryID(1 << 20)
+	r := rand.New(rand.NewSource(cfg.Seed ^ 0x5eedca5e))
+	for i := 0; i < cfg.RerunOps; i++ {
+		if out, _ := sys2.w.Next(r, i%cfg.Terminals).Run(); out == metrics.Committed {
+			res.RerunCompleted++
+		}
+	}
+	sys2.log.Force()
+	res.RerunViolations = tpcc.CheckConsistency(sys2.db, cfg.Scale, sys2.w.Holes())
+	return res, nil
+}

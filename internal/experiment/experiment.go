@@ -16,6 +16,7 @@ import (
 	"accdb/internal/sim"
 	"accdb/internal/tpcc"
 	"accdb/internal/trace"
+	"accdb/internal/wal"
 )
 
 // Config parameterizes one run of one system.
@@ -59,6 +60,10 @@ type Config struct {
 	// the load starts — the hook the live debug endpoints use to observe the
 	// system mid-run.
 	OnEngine func(*core.Engine)
+	// WALDir, when non-empty, backs the engine's log with CRC-framed segment
+	// files in that directory (wal.Open) instead of the in-memory log; the
+	// engine then pays real write+fsync per force on top of ForceLatency.
+	WALDir string
 }
 
 // Defaults fills a baseline parameterization that reproduces the paper's
@@ -109,6 +114,15 @@ func Run(cfg Config) (*RunResult, error) {
 	}
 	types := tpcc.BuildTypes()
 	env := sim.NewEnv(cfg.Servers, cfg.ServiceTime, cfg.ComputeTime)
+	var dlog *wal.Log
+	if cfg.WALDir != "" {
+		var err error
+		dlog, err = wal.Open(cfg.WALDir, wal.Options{ForceLatency: cfg.ForceLatency})
+		if err != nil {
+			return nil, err
+		}
+		defer dlog.Close()
+	}
 	eng := core.New(db, types.Tables, core.Options{
 		Mode:                cfg.Mode,
 		WaitTimeout:         30 * time.Second,
@@ -116,6 +130,7 @@ func Run(cfg Config) (*RunResult, error) {
 		Env:                 env,
 		EagerAssertionLocks: cfg.EagerAssertionLocks,
 		Tracer:              cfg.Tracer,
+		Log:                 dlog,
 	})
 	if _, err := tpcc.Register(eng, types, cfg.Scale); err != nil {
 		return nil, err

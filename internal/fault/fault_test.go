@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledPointIsZero(t *testing.T) {
+	Deactivate()
+	if o := Point("nope"); o.Effect != None {
+		t.Fatalf("inactive point returned %v", o)
+	}
+}
+
+func TestNthHitFiresOnce(t *testing.T) {
+	c := NewController(1)
+	c.Arm("p", Spec{Effect: Crash, Nth: 3})
+	c.Activate()
+	defer Deactivate()
+	for i := 1; i <= 5; i++ {
+		o := Point("p")
+		if (i == 3) != (o.Effect == Crash) {
+			t.Fatalf("hit %d: effect %v", i, o.Effect)
+		}
+	}
+	select {
+	case <-c.Crashed():
+	default:
+		t.Fatal("Crashed channel not closed after crash fired")
+	}
+	if c.FiredPoint() != "p" {
+		t.Fatalf("FiredPoint = %q", c.FiredPoint())
+	}
+	if c.Hits("p") != 5 {
+		t.Fatalf("Hits = %d", c.Hits("p"))
+	}
+}
+
+func TestDeterministicTornFraction(t *testing.T) {
+	frac := func() float64 {
+		c := NewController(42)
+		c.Arm("p", Spec{Effect: Torn, Nth: 1})
+		c.Activate()
+		defer Deactivate()
+		return Point("p").KeepFrac
+	}
+	a, b := frac(), frac()
+	if a != b {
+		t.Fatalf("same seed drew different fractions: %v vs %v", a, b)
+	}
+	if a < 0 || a >= 1 {
+		t.Fatalf("KeepFrac out of range: %v", a)
+	}
+}
+
+func TestErrorOutcomeTyped(t *testing.T) {
+	c := NewController(7)
+	c.Arm("io", Spec{Effect: Error, Nth: 1})
+	c.Activate()
+	defer Deactivate()
+	o := Point("io")
+	var ie *InjectedError
+	if !errors.As(o.Err, &ie) || ie.Pointname != "io" {
+		t.Fatalf("expected InjectedError for io, got %v", o.Err)
+	}
+}
+
+func TestDelayFiresEveryHitWhenNthZero(t *testing.T) {
+	c := NewController(9)
+	c.Arm("d", Spec{Effect: Delay, Nth: 0, Delay: time.Microsecond})
+	c.Activate()
+	defer Deactivate()
+	for i := 0; i < 3; i++ {
+		if o := Point("d"); o.Effect != Delay || o.Delay <= 0 {
+			t.Fatalf("hit %d: %+v", i, o)
+		}
+	}
+	select {
+	case <-c.Crashed():
+		t.Fatal("delay must not crash")
+	default:
+	}
+}
+
+func TestDeclareAndPoints(t *testing.T) {
+	Declare("zz.test.crash", Crash, "test point")
+	found := false
+	for _, p := range Points() {
+		if p.Name == "zz.test.crash" {
+			found = true
+			if p.Effect != Crash {
+				t.Fatalf("effect = %v", p.Effect)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("declared point not enumerated")
+	}
+}

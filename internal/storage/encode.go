@@ -35,7 +35,9 @@ func MarshalRow(dst []byte, row Row) []byte {
 // bytes consumed.
 func UnmarshalRow(b []byte) (Row, int, error) {
 	n, sz := binary.Uvarint(b)
-	if sz <= 0 {
+	// Each column costs at least one byte, so a count beyond the remaining
+	// bytes is garbage; the bound also keeps the allocation below sane.
+	if sz <= 0 || n > uint64(len(b)) {
 		return nil, 0, fmt.Errorf("storage: bad row header")
 	}
 	off := sz

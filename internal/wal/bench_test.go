@@ -1,0 +1,158 @@
+package wal
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"accdb/internal/fault"
+	"accdb/internal/storage"
+)
+
+// benchRecord is a representative end-of-step record: txn + step + a small
+// work area, the shape the ACC forces at every step boundary.
+func benchRecord(txn uint64) Record {
+	return Record{
+		Type: TEndOfStep, Txn: txn, Step: 1,
+		WorkArea: []byte("work-area-0123456789abcdef"),
+	}
+}
+
+// BenchmarkMemoryAppend pins the in-memory append hot path with fault
+// injection disabled — the no-regression bar the fault package must clear
+// (EXPERIMENTS.md records the numbers).
+func BenchmarkMemoryAppend(b *testing.B) {
+	l := New(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Append(benchRecord(uint64(i)))
+	}
+}
+
+// BenchmarkFaultPointDisabled measures the disabled injection check alone:
+// one atomic load and a nil compare, the cost every hot path pays per
+// declared point when no controller is active.
+func BenchmarkFaultPointDisabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if o := fault.Point("wal.append.crash"); o.Effect != fault.None {
+			b.Fatal("no controller is active")
+		}
+	}
+}
+
+// BenchmarkFileForceSerial measures a single writer paying a real
+// write+fsync per force — the per-record floor group commit amortizes.
+func BenchmarkFileForceSerial(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{SegmentSize: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.AppendForce(benchRecord(uint64(i)))
+	}
+	b.StopTimer()
+	st := l.Snapshot()
+	b.ReportMetric(float64(st.Forces)/float64(b.N), "fsyncs/op")
+}
+
+// BenchmarkFileGroupCommit drives parallel committers through AppendForce on
+// a disk-backed log: the group-commit leader flushes the whole appended tail,
+// so fsyncs/op drops well below 1 as parallelism rises.
+func BenchmarkFileGroupCommit(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{SegmentSize: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	var txn atomic.Uint64
+	b.ReportAllocs()
+	b.SetParallelism(4) // 4×GOMAXPROCS committers
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.AppendForce(benchRecord(txn.Add(1)))
+		}
+	})
+	b.StopTimer()
+	st := l.Snapshot()
+	b.ReportMetric(float64(st.Forces)/float64(b.N), "fsyncs/op")
+}
+
+// fillLog appends n committed two-step transactions to l and forces them.
+func fillLog(l *Log, n int) {
+	for i := 0; i < n; i++ {
+		txn := uint64(i + 1)
+		l.Append(Record{Type: TBegin, Txn: txn, TxnType: "transfer"})
+		for step := int32(0); step < 2; step++ {
+			l.Append(Record{Type: TStepBegin, Txn: txn, Step: step})
+			l.Append(Record{Type: TWrite, Txn: txn, Table: "accounts",
+				PK:    storage.EncodeKey(storage.I64(int64(i))),
+				After: storage.Row{storage.I64(int64(i)), storage.Str("row-image")}})
+			l.Append(Record{Type: TEndOfStep, Txn: txn, Step: step,
+				WorkArea: []byte("work-area")})
+		}
+		l.Append(Record{Type: TCommit, Txn: txn})
+	}
+	l.Force()
+}
+
+// BenchmarkAnalyze measures the recovery analysis pass (classification +
+// written-item tracking) over a 10k-transaction image; b.SetBytes makes the
+// throughput comparable to raw log-scan speed.
+func BenchmarkAnalyze(b *testing.B) {
+	mem := New(0)
+	fillLog(mem, 10_000)
+	img := mem.Bytes()
+	b.SetBytes(int64(len(img)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := Analyze(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.MaxTxn != 10_000 {
+			b.Fatalf("MaxTxn = %d", a.MaxTxn)
+		}
+	}
+}
+
+// BenchmarkRecoveryOpen measures restart cost end to end at the WAL layer:
+// re-open the segment directory (CRC scan + torn-tail check), analyze, and
+// redo-apply — everything below the engine in a recovery.
+func BenchmarkRecoveryOpen(b *testing.B) {
+	dir := b.TempDir()
+	seed, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fillLog(seed, 10_000)
+	size := int64(len(seed.Bytes()))
+	seed.Close()
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := Analyze(l.Recovered())
+		if err != nil {
+			b.Fatal(err)
+		}
+		applied := 0
+		err = a.Apply(l.Recovered(), func(string, storage.Key, storage.Row) { applied++ })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if applied == 0 {
+			b.Fatal("no redo")
+		}
+		l.Close()
+	}
+}

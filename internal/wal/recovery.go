@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -14,6 +15,14 @@ import (
 // been observed by committed transactions. Analyze produces exactly that
 // plan: the writes to replay and the transactions still owing compensation.
 
+// WrittenItem identifies one tuple a transaction durably wrote (in a
+// completed step). Recovery re-attaches D- and C-locks on these items for
+// transactions that still owe compensation.
+type WrittenItem struct {
+	Table string
+	PK    storage.Key
+}
+
 // TxnState summarizes one transaction's fate as recorded in the log.
 type TxnState struct {
 	ID             uint64
@@ -23,6 +32,10 @@ type TxnState struct {
 	Committed      bool
 	Aborted        bool
 	Compensated    bool
+	// Written lists the items mutated by completed steps, in log order
+	// (duplicates possible). For a transaction that NeedsCompensation these
+	// are the items whose interstep state is exposed.
+	Written []WrittenItem
 }
 
 // NeedsCompensation reports whether the transaction must be compensated
@@ -35,6 +48,16 @@ func (t *TxnState) NeedsCompensation() bool {
 // Analysis is the outcome of scanning a log image.
 type Analysis struct {
 	Txns map[uint64]*TxnState
+
+	// MaxTxn is the largest transaction ID seen in the log; a recovering
+	// engine must issue new IDs above it.
+	MaxTxn uint64
+
+	// TornTail, when non-nil, records that the image ended in a damaged
+	// frame: analysis covers only the valid prefix. A Clean() tear is the
+	// expected mark of a mid-append crash; a non-clean one means durable
+	// records were destroyed and the caller should refuse to proceed.
+	TornTail *ErrTornTail
 
 	// completedAttempt records, per (txn, unit), which execution attempt
 	// reached its end-of-step record. A step aborted by deadlock and retried
@@ -67,20 +90,32 @@ func Analyze(data []byte) (*Analysis, error) {
 		return t
 	}
 	attempts := make(map[unitKey]int)
+	// Writes of the current (possibly doomed) attempt, per txn; promoted to
+	// TxnState.Written only when the attempt's end-of-step record arrives.
+	inFlight := make(map[uint64][]WrittenItem)
 	err := Replay(data, func(r Record) error {
 		t := get(r.Txn)
+		if r.Txn > a.MaxTxn {
+			a.MaxTxn = r.Txn
+		}
 		switch r.Type {
 		case TBegin:
 			t.Type = r.TxnType
 		case TStepBegin:
 			attempts[unitKey{r.Txn, r.Step}]++
+			inFlight[r.Txn] = inFlight[r.Txn][:0]
 		case TCompBegin:
 			attempts[unitKey{r.Txn, compUnit}]++
+			inFlight[r.Txn] = inFlight[r.Txn][:0]
+		case TWrite:
+			inFlight[r.Txn] = append(inFlight[r.Txn], WrittenItem{Table: r.Table, PK: r.PK})
 		case TEndOfStep:
 			k := unitKey{r.Txn, r.Step}
 			a.completedAttempt[k] = attempts[k]
 			t.CompletedSteps = int(r.Step) + 1
 			t.WorkArea = r.WorkArea
+			t.Written = append(t.Written, inFlight[r.Txn]...)
+			inFlight[r.Txn] = inFlight[r.Txn][:0]
 		case TCommit:
 			t.Committed = true
 		case TAbort:
@@ -89,10 +124,16 @@ func Analyze(data []byte) (*Analysis, error) {
 			k := unitKey{r.Txn, compUnit}
 			a.completedAttempt[k] = attempts[k]
 			t.Compensated = true
+			inFlight[r.Txn] = inFlight[r.Txn][:0]
 		}
 		return nil
 	})
-	if err != nil {
+	var torn *ErrTornTail
+	if errors.As(err, &torn) {
+		// A damaged tail is the normal mark of a crash: analysis covers the
+		// valid prefix and records what was dropped for the caller to judge.
+		a.TornTail = torn
+	} else if err != nil {
 		return nil, err
 	}
 	return a, nil
@@ -106,7 +147,7 @@ func (a *Analysis) Apply(data []byte, apply func(table string, pk storage.Key, a
 	// current unit and attempt per transaction, from step/comp markers.
 	current := make(map[uint64]unitKey)
 	attempts := make(map[unitKey]int)
-	return Replay(data, func(r Record) error {
+	err := Replay(data, func(r Record) error {
 		switch r.Type {
 		case TStepBegin:
 			k := unitKey{r.Txn, r.Step}
@@ -127,6 +168,12 @@ func (a *Analysis) Apply(data []byte, apply func(table string, pk storage.Key, a
 		}
 		return nil
 	})
+	var torn *ErrTornTail
+	if errors.As(err, &torn) {
+		// Same image Analyze already accepted; the tear is already recorded.
+		return nil
+	}
+	return err
 }
 
 // Pending returns the transactions that still owe compensation, in

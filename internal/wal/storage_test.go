@@ -1,0 +1,359 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"accdb/internal/fault"
+	"accdb/internal/storage"
+)
+
+func openT(t *testing.T, dir string, opt Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func TestOpenRoundtripAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	want := sampleRecords()
+	for _, rec := range want {
+		l.Append(rec)
+	}
+	l.Force()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openT(t, dir, Options{})
+	if l2.TornTail() != nil {
+		t.Fatalf("clean restart reported torn tail: %v", l2.TornTail())
+	}
+	var got []Record
+	if err := Replay(l2.Recovered(), func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	// New appends continue the LSN space and survive another restart.
+	lsn := l2.Append(Record{Type: TBegin, Txn: 99, TxnType: "late"})
+	if lsn <= LSN(len(l2.Recovered())) {
+		t.Fatalf("append LSN %d not past recovered prefix %d", lsn, len(l2.Recovered()))
+	}
+	l2.Force()
+	l2.Close()
+
+	l3 := openT(t, dir, Options{})
+	n := 0
+	if err := Replay(l3.Recovered(), func(r Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want)+1 {
+		t.Fatalf("after second restart recovered %d records, want %d", n, len(want)+1)
+	}
+}
+
+func TestOpenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	for _, rec := range sampleRecords() {
+		l.Append(rec)
+	}
+	l.Force()
+	durable := len(l.Recovered()) + lenBuf(l)
+	l.Close()
+
+	// Simulate a crash mid-append: a few garbage bytes after the last frame.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := filepath.Join(dir, segs[len(segs)-1])
+	f, err := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x05, 0xAA, 0xBB}) // length byte + partial payload
+	f.Close()
+
+	l2 := openT(t, dir, Options{})
+	torn := l2.TornTail()
+	if torn == nil {
+		t.Fatal("torn tail not reported")
+	}
+	if !torn.Clean() || torn.Offset != int64(durable) || torn.DiscardedBytes != 3 {
+		t.Fatalf("torn = %+v, want clean tear at %d of 3 bytes", torn, durable)
+	}
+	if len(l2.Recovered()) != durable {
+		t.Fatalf("recovered %d bytes, want %d", len(l2.Recovered()), durable)
+	}
+	// The truncation is physical: a third open sees a clean log.
+	l2.Close()
+	l3 := openT(t, dir, Options{})
+	if l3.TornTail() != nil {
+		t.Fatalf("tear survived physical truncation: %v", l3.TornTail())
+	}
+}
+
+func lenBuf(l *Log) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{SegmentSize: 128})
+	var want []Record
+	for i := uint64(1); i <= 40; i++ {
+		r := Record{Type: TBegin, Txn: i, TxnType: "rotate-me-around"}
+		want = append(want, r)
+		l.AppendForce(r)
+	}
+	l.Close()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %v", segs)
+	}
+	l2 := openT(t, dir, Options{SegmentSize: 128})
+	n := 0
+	if err := Replay(l2.Recovered(), func(r Record) error {
+		if r.Txn != want[n].Txn {
+			t.Fatalf("record %d: txn %d, want %d", n, r.Txn, want[n].Txn)
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("recovered %d records, want %d", n, len(want))
+	}
+}
+
+func TestGroupCommitConcurrentForces(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	const writers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.AppendForce(Record{Type: TCommit, Txn: uint64(w*each + i + 1)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Snapshot()
+	if st.Records != writers*each {
+		t.Fatalf("records = %d", st.Records)
+	}
+	if st.Forces >= writers*each {
+		t.Fatalf("group commit absorbed nothing: %d forces for %d forced appends",
+			st.Forces, writers*each)
+	}
+	l.Close()
+	l2 := openT(t, dir, Options{})
+	n := 0
+	if err := Replay(l2.Recovered(), func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*each {
+		t.Fatalf("recovered %d records, want %d", n, writers*each)
+	}
+}
+
+func TestCrashDiscardsUnsyncedBytes(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	l.AppendForce(Record{Type: TBegin, Txn: 1, TxnType: "a"})
+	l.Append(Record{Type: TCommit, Txn: 1}) // never forced
+	l.Crash()
+	// Post-crash activity must be invisible to recovery.
+	l.Append(Record{Type: TBegin, Txn: 2, TxnType: "b"})
+	l.Force()
+	l.Close()
+
+	l2 := openT(t, dir, Options{})
+	var got []Record
+	if err := Replay(l2.Recovered(), func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Type != TBegin || got[0].Txn != 1 {
+		t.Fatalf("recovered %+v, want only the forced BEGIN of txn 1", got)
+	}
+}
+
+func TestTornWriteFaultLeavesRecoverablePrefix(t *testing.T) {
+	dir := t.TempDir()
+	c := fault.NewController(1234)
+	c.Arm("wal.write.partial", fault.Spec{Effect: fault.Torn, Nth: 3})
+	c.Activate()
+	defer fault.Deactivate()
+
+	l := openT(t, dir, Options{})
+	for i := uint64(1); i <= 10; i++ {
+		l.AppendForce(Record{Type: TCommit, Txn: i})
+	}
+	if !l.Crashed() {
+		t.Fatal("log did not freeze after torn write")
+	}
+	select {
+	case <-c.Crashed():
+	default:
+		t.Fatal("controller did not observe the crash")
+	}
+	l.Close()
+	fault.Deactivate()
+
+	l2 := openT(t, dir, Options{})
+	torn := l2.TornTail()
+	if torn == nil {
+		t.Fatal("torn write left no reported tear")
+	}
+	if !torn.Clean() {
+		t.Fatalf("torn write misreported as corruption: %+v", torn)
+	}
+	n := 0
+	if err := Replay(l2.Recovered(), func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("recovered %d records, want the 2 synced before the torn third force", n)
+	}
+}
+
+func TestSyncCrashFaultKeepsOnlySyncedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	c := fault.NewController(99)
+	c.Arm("wal.sync.crash", fault.Spec{Effect: fault.Crash, Nth: 2})
+	c.Activate()
+	defer fault.Deactivate()
+
+	l := openT(t, dir, Options{})
+	for i := uint64(1); i <= 5; i++ {
+		l.AppendForce(Record{Type: TCommit, Txn: i})
+	}
+	if !l.Crashed() {
+		t.Fatal("log did not freeze after sync crash")
+	}
+	l.Close()
+	fault.Deactivate()
+
+	l2 := openT(t, dir, Options{})
+	if l2.TornTail() != nil {
+		t.Fatalf("pre-fsync crash should cut on a record boundary, got %v", l2.TornTail())
+	}
+	n := 0
+	if err := Replay(l2.Recovered(), func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d records, want only the 1 from the first sync", n)
+	}
+}
+
+func TestSyncErrorFreezesLog(t *testing.T) {
+	dir := t.TempDir()
+	c := fault.NewController(7)
+	c.Arm("wal.sync.error", fault.Spec{Effect: fault.Error, Nth: 1})
+	c.Activate()
+	defer fault.Deactivate()
+
+	l := openT(t, dir, Options{})
+	l.AppendForce(Record{Type: TCommit, Txn: 1})
+	if !l.Crashed() {
+		t.Fatal("log did not freeze after fsync error")
+	}
+	var ie *fault.InjectedError
+	if err := l.Err(); err == nil {
+		t.Fatal("injected error not surfaced via Err")
+	} else if !errors.As(err, &ie) {
+		t.Fatalf("Err() = %v, want *fault.InjectedError", err)
+	}
+}
+
+func TestAnalyzeToleratesTornTail(t *testing.T) {
+	l := New(0)
+	l.Append(Record{Type: TBegin, Txn: 1, TxnType: "a"})
+	l.Append(Record{Type: TStepBegin, Txn: 1, Step: 0})
+	l.Append(Record{Type: TWrite, Txn: 1, Table: "t",
+		PK: storage.EncodeKey(storage.I64(7)), After: storage.Row{storage.I64(7)}})
+	l.Append(Record{Type: TEndOfStep, Txn: 1, Step: 0, WorkArea: []byte("wa")})
+	cut := len(l.Bytes())
+	l.Append(Record{Type: TCommit, Txn: 1})
+	data := l.Bytes()[:cut+3] // tear mid-commit-record
+
+	a, err := Analyze(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TornTail == nil || !a.TornTail.Clean() {
+		t.Fatalf("TornTail = %+v", a.TornTail)
+	}
+	if a.MaxTxn != 1 {
+		t.Fatalf("MaxTxn = %d", a.MaxTxn)
+	}
+	st := a.Txns[1]
+	if st.Committed || !st.NeedsCompensation() {
+		t.Fatalf("txn behind the tear misclassified: %+v", st)
+	}
+	if len(st.Written) != 1 || st.Written[0].Table != "t" {
+		t.Fatalf("Written = %+v", st.Written)
+	}
+	// Apply tolerates the same tear and replays the completed step.
+	applied := 0
+	if err := a.Apply(data, func(string, storage.Key, storage.Row) { applied++ }); err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied %d writes, want 1", applied)
+	}
+}
+
+func TestAnalyzeWrittenSkipsDoomedAttempts(t *testing.T) {
+	l := New(0)
+	pk := func(i int64) storage.Key { return storage.EncodeKey(storage.I64(i)) }
+	recs := []Record{
+		{Type: TBegin, Txn: 1, TxnType: "a"},
+		{Type: TStepBegin, Txn: 1, Step: 0},
+		{Type: TWrite, Txn: 1, Table: "t", PK: pk(1)}, // attempt aborted
+		{Type: TStepBegin, Txn: 1, Step: 0},
+		{Type: TWrite, Txn: 1, Table: "t", PK: pk(2)},
+		{Type: TEndOfStep, Txn: 1, Step: 0},
+		{Type: TStepBegin, Txn: 1, Step: 1},
+		{Type: TWrite, Txn: 1, Table: "t", PK: pk(3)}, // step never completed
+	}
+	for _, r := range recs {
+		l.Append(r)
+	}
+	a, err := Analyze(l.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := a.Txns[1].Written
+	if len(w) != 1 || !bytes.Equal([]byte(w[0].PK), []byte(pk(2))) {
+		t.Fatalf("Written = %+v, want only pk 2", w)
+	}
+}

@@ -13,9 +13,11 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"time"
 
+	"accdb/internal/fault"
 	"accdb/internal/storage"
 	"accdb/internal/trace"
 )
@@ -92,19 +94,44 @@ type Stats struct {
 	Bytes   uint64
 }
 
-// Log is an append-only, binary-encoded log buffer with simulated force
-// latency.
+// Log is the append-only, binary-encoded write-ahead log. It exists in two
+// configurations behind the same API:
+//
+//   - memory-only (New): records live in a buffer and "durability" is the
+//     flushed watermark plus a simulated force latency — the test double
+//     the experiments and most unit tests use;
+//   - disk-backed (Open): forces additionally write the buffered tail to
+//     CRC-framed segment files and fsync, with group commit — concurrent
+//     ForceTo callers coalesce behind one leader's sync.
+//
+// Crash simulation (fault package, Log.Crash) freezes durability in either
+// configuration: later appends and forces change nothing a recovery would
+// see, exactly as after a kill -9.
 type Log struct {
 	// ForceLatency is slept on every Force call, simulating the group-commit
 	// I/O the paper's system paid on each forced record. It is charged
 	// outside the buffer mutex so concurrent forces overlap, as they do on a
-	// real controller.
+	// real controller. Disk-backed logs pay the real fsync instead and
+	// usually leave this zero.
 	ForceLatency time.Duration
 
 	mu      sync.Mutex
-	buf     []byte
-	flushed LSN
+	prefix  []byte // recovered durable image (disk-backed logs only)
+	buf     []byte // records appended since New/Open
+	flushed LSN    // global durable watermark (≥ len(prefix))
 	stats   Stats
+	crashed bool // simulated crash: durability frozen
+
+	// fs is the segment-file backend; nil for memory-only logs.
+	fs *fileStorage
+	// flushMu serializes disk flushes; the holder is the group-commit
+	// leader and syncs everything appended so far.
+	flushMu   sync.Mutex
+	fsWritten LSN // global offset already handed to fs (under flushMu)
+	ioErr     error
+	// tornTail, for disk-backed logs, records the tail damage Open found
+	// and truncated, if any.
+	tornTail *ErrTornTail
 
 	// tracer is the structured event bus; nil disables tracing. Emit sites
 	// nil-check first so the disabled cost is one predictable branch.
@@ -123,12 +150,16 @@ func New(forceLatency time.Duration) *Log {
 // Append encodes and appends rec, returning its end LSN. The record is not
 // durable until a Force covers its LSN.
 func (l *Log) Append(rec Record) LSN {
+	if o := fault.Point("wal.append.crash"); o.Effect == fault.Crash {
+		l.Crash()
+	}
 	l.mu.Lock()
-	before := len(l.buf)
+	base := len(l.prefix)
+	before := base + len(l.buf)
 	l.buf = encodeRecord(l.buf, rec)
 	l.stats.Records++
-	l.stats.Bytes = uint64(len(l.buf))
-	lsn := LSN(len(l.buf))
+	lsn := LSN(base + len(l.buf))
+	l.stats.Bytes = uint64(lsn)
 	l.mu.Unlock()
 	if l.tracer != nil {
 		ev := trace.Ev(trace.KindWALAppend, rec.Txn)
@@ -146,18 +177,68 @@ func (l *Log) AppendForce(rec Record) LSN {
 	return lsn
 }
 
-// ForceTo makes the log durable through lsn, paying the simulated latency if
-// anything needed writing.
+// ForceTo makes the log durable through lsn. Memory-only logs advance the
+// flushed watermark and pay the simulated latency; disk-backed logs write
+// and fsync under group commit — the caller that wins the flush mutex
+// syncs everything appended so far, and concurrent callers whose LSN that
+// sync covered return without touching the disk.
 func (l *Log) ForceTo(lsn LSN) {
 	l.mu.Lock()
-	if l.flushed >= lsn {
+	if l.flushed >= lsn || l.crashed {
 		l.mu.Unlock()
 		return
 	}
-	l.flushed = lsn
+	if l.fs == nil {
+		l.flushed = lsn
+		l.stats.Forces++
+		l.mu.Unlock()
+		l.payForceLatency(time.Now())
+		return
+	}
+	l.mu.Unlock()
+
+	start := time.Now()
+	l.flushMu.Lock()
+	l.mu.Lock()
+	if l.flushed >= lsn || l.crashed {
+		// A concurrent leader's group commit covered us while we waited.
+		l.mu.Unlock()
+		l.flushMu.Unlock()
+		return
+	}
+	// Group commit: take the whole appended tail, not just our record.
+	base := LSN(len(l.prefix))
+	tail := base + LSN(len(l.buf))
+	chunk := append([]byte(nil), l.buf[l.fsWritten-base:tail-base]...)
+	l.mu.Unlock()
+
+	err := l.fs.write(chunk)
+	if err == nil {
+		err = l.fs.sync()
+	}
+	l.mu.Lock()
+	if err != nil {
+		// A write or sync failure (injected or real) means durability from
+		// here on is gone; freeze the log exactly like a crash so recovery
+		// sees only what made it to disk.
+		l.ioErr = err
+		l.crashed = true
+		l.mu.Unlock()
+		l.flushMu.Unlock()
+		return
+	}
+	l.fsWritten = tail
+	l.flushed = tail
 	l.stats.Forces++
 	l.mu.Unlock()
-	start := time.Now()
+	l.flushMu.Unlock()
+	l.payForceLatency(start)
+}
+
+// payForceLatency charges the simulated force I/O time and emits the trace
+// event. start is when the force began (disk-backed forces include the real
+// fsync time in the event's duration).
+func (l *Log) payForceLatency(start time.Time) {
 	if l.ForceLatency > 0 {
 		time.Sleep(l.ForceLatency)
 	}
@@ -169,21 +250,82 @@ func (l *Log) ForceTo(lsn LSN) {
 }
 
 // Force forces the whole log.
-func (l *Log) Force() { l.ForceTo(LSN(l.len())) }
+func (l *Log) Force() { l.ForceTo(l.tailLSN()) }
 
-func (l *Log) len() int {
+func (l *Log) tailLSN() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.buf)
+	return LSN(len(l.prefix) + len(l.buf))
 }
 
-// Bytes returns a copy of the encoded log (a crash "snapshot" for recovery
-// tests). Passing a durableOnly=true view would model losing unforced tail
-// records; callers wanting that use DurableBytes.
+// Crash simulates a process kill: durability freezes at its current
+// watermark. Later appends and forces still mutate the in-memory buffer
+// (the doomed process keeps running until the harness stops it) but change
+// nothing a recovery — DurableBytes, or reopening the directory — would
+// see. Disk-backed logs also truncate the segment files to the synced
+// prefix, discarding written-but-unsynced bytes the way a real crash
+// discards the page cache.
+func (l *Log) Crash() {
+	l.mu.Lock()
+	if l.crashed {
+		l.mu.Unlock()
+		return
+	}
+	l.crashed = true
+	fs := l.fs
+	l.mu.Unlock()
+	if fs != nil {
+		fs.freezeToSynced()
+	}
+}
+
+// Crashed reports whether the log has taken a simulated crash (or frozen
+// itself after an I/O error).
+func (l *Log) Crashed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.crashed
+}
+
+// Err returns the first write/sync error the log absorbed, if any. The log
+// freezes (as after Crash) rather than failing appends, so the engine keeps
+// scheduling; callers that care about durability loss poll this.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ioErr
+}
+
+// TornTail reports the tail damage Open found and truncated, or nil. Always
+// nil for memory-only logs.
+func (l *Log) TornTail() *ErrTornTail { return l.tornTail }
+
+// Recovered returns the durable image Open read back from disk — the input
+// to recovery analysis. Nil for memory-only logs (use DurableBytes after a
+// simulated crash instead).
+func (l *Log) Recovered() []byte { return l.prefix }
+
+// Close flushes nothing (durability is the caller's responsibility via
+// Force) and closes the segment files of a disk-backed log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	fs := l.fs
+	l.mu.Unlock()
+	if fs == nil {
+		return nil
+	}
+	return fs.close()
+}
+
+// Bytes returns a copy of the encoded log including any recovered prefix (a
+// crash "snapshot" for recovery tests). Callers wanting only what survives
+// a crash use DurableBytes.
 func (l *Log) Bytes() []byte {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]byte(nil), l.buf...)
+	out := make([]byte, 0, len(l.prefix)+len(l.buf))
+	out = append(out, l.prefix...)
+	return append(out, l.buf...)
 }
 
 // DurableBytes returns only the forced prefix of the log — what survives a
@@ -191,7 +333,12 @@ func (l *Log) Bytes() []byte {
 func (l *Log) DurableBytes() []byte {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]byte(nil), l.buf[:l.flushed]...)
+	out := make([]byte, 0, l.flushed)
+	out = append(out, l.prefix...)
+	if rest := int(l.flushed) - len(l.prefix); rest > 0 {
+		out = append(out, l.buf[:rest]...)
+	}
+	return out
 }
 
 // Snapshot returns the counters.
@@ -202,8 +349,11 @@ func (l *Log) Snapshot() Stats {
 }
 
 func encodeRecord(dst []byte, r Record) []byte {
-	// Layout: uvarint payload length, then payload:
-	// type byte, uvarint txn, type-specific fields.
+	// Layout: uvarint payload length, payload, CRC32-IEEE of the payload
+	// (4 bytes little-endian). Payload: type byte, uvarint txn,
+	// type-specific fields. The per-record CRC is what makes a torn tail
+	// decidable: a complete frame whose checksum fails is corruption, not a
+	// mid-append crash.
 	payload := make([]byte, 0, 64)
 	payload = append(payload, byte(r.Type))
 	payload = binary.AppendUvarint(payload, r.Txn)
@@ -238,28 +388,125 @@ func encodeRecord(dst []byte, r Record) []byte {
 		panic(fmt.Sprintf("wal: encoding unknown record type %d", r.Type))
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
-	return append(dst, payload...)
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
 }
 
-// Replay decodes records from data in order, invoking fn for each. A
-// truncated final record — the normal result of a crash mid-append — is
-// ignored; corruption elsewhere is reported.
-func Replay(data []byte, fn func(Record) error) error {
+// ErrTornTail reports that the log image ends in bytes that do not form
+// complete, checksum-valid records. Replay delivers every record before
+// Offset and stops cleanly there; the error tells the caller exactly what
+// was dropped and whether it looks like a mid-append crash or mid-log
+// corruption.
+type ErrTornTail struct {
+	// Offset is the byte offset of the first frame that could not be
+	// delivered.
+	Offset int64
+	// DiscardedBytes is how many bytes from Offset to the end of the image
+	// were dropped.
+	DiscardedBytes int64
+	// DiscardedRecords counts complete, CRC-valid records found after the
+	// bad frame by continuing the length walk. Zero for a clean crash
+	// tail; nonzero means a corrupt record mid-log cut off later records
+	// that had themselves survived.
+	DiscardedRecords int
+	// Corrupt is true when the frame at Offset is structurally complete
+	// but fails its CRC (or decodes to garbage) — damage, not a crash.
+	// False means the image simply ends mid-frame.
+	Corrupt bool
+}
+
+// Error implements error.
+func (e *ErrTornTail) Error() string {
+	kind := "torn tail"
+	if e.Corrupt {
+		kind = "corrupt record"
+	}
+	return fmt.Sprintf("wal: %s at offset %d (%d bytes, %d later records discarded)",
+		kind, e.Offset, e.DiscardedBytes, e.DiscardedRecords)
+}
+
+// Clean reports whether the damage is consistent with a crash mid-append —
+// a single incomplete frame at the very end — as opposed to corruption
+// that destroyed records known to have been durable.
+func (e *ErrTornTail) Clean() bool { return !e.Corrupt && e.DiscardedRecords == 0 }
+
+// frame extracts the frame starting at off: payload bounds and whether the
+// frame is structurally complete and CRC-valid. ok=false with
+// complete=false means the frame runs past the end of data (torn);
+// complete=true with ok=false means CRC failure (corrupt).
+func frame(data []byte, off int) (payloadStart, payloadEnd int, complete, ok bool) {
+	l, n := binary.Uvarint(data[off:])
+	if n <= 0 || l > uint64(len(data)) {
+		return 0, 0, false, false
+	}
+	payloadStart = off + n
+	end := payloadStart + int(l) + 4 // payload + CRC
+	if end > len(data) || end < off {
+		return 0, 0, false, false
+	}
+	payloadEnd = payloadStart + int(l)
+	sum := binary.LittleEndian.Uint32(data[payloadEnd : payloadEnd+4])
+	return payloadStart, payloadEnd, true, crc32.ChecksumIEEE(data[payloadStart:payloadEnd]) == sum
+}
+
+// scanValid walks the frame structure of data and returns the length of
+// the valid prefix, plus a torn-tail report if the image does not end on a
+// clean record boundary.
+func scanValid(data []byte) (int, *ErrTornTail) {
 	off := 0
 	for off < len(data) {
-		l, n := binary.Uvarint(data[off:])
-		if n <= 0 || off+n+int(l) > len(data) {
-			return nil // truncated tail record: discard, as recovery would
+		_, end, complete, ok := frame(data, off)
+		if complete && ok {
+			off = end + 4
+			continue
 		}
-		payload := data[off+n : off+n+int(l)]
-		off += n + int(l)
-		rec, err := decodeRecord(payload)
+		torn := &ErrTornTail{
+			Offset:         int64(off),
+			DiscardedBytes: int64(len(data) - off),
+			Corrupt:        complete, // complete frame, bad CRC
+		}
+		if complete {
+			// Count CRC-valid records after the corrupt one: the walk's
+			// framing is still intact, so we know what the corruption cut
+			// off.
+			for next := end + 4; next < len(data); {
+				_, nend, ncomplete, nok := frame(data, next)
+				if !ncomplete || !nok {
+					break
+				}
+				torn.DiscardedRecords++
+				next = nend + 4
+			}
+		}
+		return off, torn
+	}
+	return off, nil
+}
+
+// Replay decodes records from data in order, invoking fn for each. When the
+// image does not end on a clean record boundary — a crash mid-append, a
+// torn write, or corruption — Replay delivers every record before the
+// damage and then returns *ErrTornTail describing what was dropped; the
+// caller decides whether a non-Clean tear is acceptable. Errors from fn
+// abort the replay and are returned as-is.
+func Replay(data []byte, fn func(Record) error) error {
+	valid, torn := scanValid(data)
+	off := 0
+	for off < valid {
+		ps, pe, _, _ := frame(data, off)
+		rec, err := decodeRecord(data[ps:pe])
 		if err != nil {
+			// A CRC-valid frame that does not decode is an encoder/decoder
+			// mismatch, not disk damage; surface it loudly.
 			return fmt.Errorf("wal: record at offset %d: %w", off, err)
 		}
+		off = pe + 4
 		if err := fn(rec); err != nil {
 			return err
 		}
+	}
+	if torn != nil {
+		return torn
 	}
 	return nil
 }
@@ -279,7 +526,7 @@ func decodeRecord(p []byte) (Record, error) {
 	p = p[n:]
 	getString := func() (string, error) {
 		l, n := binary.Uvarint(p)
-		if n <= 0 || n+int(l) > len(p) {
+		if n <= 0 || l > uint64(len(p)) || n+int(l) > len(p) {
 			return "", fmt.Errorf("bad string")
 		}
 		s := string(p[n : n+int(l)])
@@ -333,7 +580,7 @@ func decodeRecord(p []byte) (Record, error) {
 		r.Step = int32(v)
 		p = p[n:]
 		l, n2 := binary.Uvarint(p)
-		if n2 <= 0 || n2+int(l) > len(p) {
+		if n2 <= 0 || l > uint64(len(p)) || n2+int(l) > len(p) {
 			return r, fmt.Errorf("bad work area")
 		}
 		r.WorkArea = append([]byte(nil), p[n2:n2+int(l)]...)

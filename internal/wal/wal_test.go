@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -89,23 +90,75 @@ func TestRecordRoundtripQuick(t *testing.T) {
 	}
 }
 
-func TestReplayIgnoresTruncatedTail(t *testing.T) {
+func TestReplayReportsTruncatedTail(t *testing.T) {
 	l := New(0)
 	for _, rec := range sampleRecords() {
 		l.Append(rec)
 	}
 	full := l.Bytes()
 	whole := 0
-	Replay(full, func(Record) error { whole++; return nil })
-	// Any truncation must replay a prefix without error.
-	for cut := 0; cut < len(full); cut += 7 {
+	if err := Replay(full, func(Record) error { whole++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Any truncation must replay the valid prefix and then surface a typed
+	// ErrTornTail naming the damage offset — never a silent discard.
+	for cut := 0; cut < len(full); cut++ {
 		n := 0
-		if err := Replay(full[:cut], func(Record) error { n++; return nil }); err != nil {
-			t.Fatalf("cut %d: %v", cut, err)
-		}
+		err := Replay(full[:cut], func(Record) error { n++; return nil })
 		if n > whole {
 			t.Fatalf("cut %d replayed %d > %d records", cut, n, whole)
 		}
+		valid, _ := scanValid(full[:cut])
+		if valid == cut {
+			if err != nil {
+				t.Fatalf("cut %d on record boundary: unexpected error %v", cut, err)
+			}
+			continue
+		}
+		var torn *ErrTornTail
+		if !errors.As(err, &torn) {
+			t.Fatalf("cut %d: want *ErrTornTail, got %v", cut, err)
+		}
+		if torn.Offset != int64(valid) || torn.DiscardedBytes != int64(cut-valid) {
+			t.Fatalf("cut %d: torn = %+v, valid prefix = %d", cut, torn, valid)
+		}
+		if !torn.Clean() {
+			t.Fatalf("cut %d: pure truncation reported as corruption: %+v", cut, torn)
+		}
+	}
+}
+
+func TestReplayDetectsMidLogCorruption(t *testing.T) {
+	l := New(0)
+	for _, rec := range sampleRecords() {
+		l.Append(rec)
+	}
+	full := append([]byte(nil), l.Bytes()...)
+	// Damage a payload byte inside the third record, leaving framing intact.
+	_, e1, _, _ := frame(full, 0)
+	_, e2, _, _ := frame(full, e1+4)
+	ps3, _, _, _ := frame(full, e2+4)
+	full[ps3] ^= 0xFF
+	n := 0
+	err := Replay(full, func(Record) error { n++; return nil })
+	var torn *ErrTornTail
+	if !errors.As(err, &torn) {
+		t.Fatalf("want *ErrTornTail, got %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d records before the corruption, want 2", n)
+	}
+	if !torn.Corrupt {
+		t.Fatal("complete frame with bad CRC not flagged Corrupt")
+	}
+	if torn.Clean() {
+		t.Fatal("mid-log corruption reported as a clean crash tail")
+	}
+	if torn.DiscardedRecords != len(sampleRecords())-3 {
+		t.Fatalf("DiscardedRecords = %d, want %d", torn.DiscardedRecords, len(sampleRecords())-3)
+	}
+	if torn.Offset != int64(e2+4) {
+		t.Fatalf("Offset = %d, want %d", torn.Offset, e2+4)
 	}
 }
 

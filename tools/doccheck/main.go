@@ -1,0 +1,167 @@
+// Command doccheck enforces the repository's documentation floor without
+// external dependencies, so it runs in the offline build: every package must
+// carry a godoc package comment, and — in the packages named by -exported —
+// every exported top-level declaration must carry a doc comment. CI runs it
+// alongside revive's exported rule; doccheck is the part that works with the
+// standard library alone.
+//
+// Usage:
+//
+//	go run ./tools/doccheck [-exported dir1,dir2] [root]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	exported := flag.String("exported", "internal/lock,internal/core",
+		"comma-separated package dirs whose exported declarations must all be documented")
+	flag.Parse()
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+
+	strict := make(map[string]bool)
+	for _, d := range strings.Split(*exported, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			strict[filepath.Clean(d)] = true
+		}
+	}
+
+	files := map[string][]string{} // package dir -> non-test .go files
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir, _ := filepath.Rel(root, filepath.Dir(path))
+		files[dir] = append(files[dir], path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+
+	dirs := make([]string, 0, len(files))
+	for d := range files {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	var problems []string
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		sort.Strings(files[dir])
+		pkgDoc := false
+		pkgName := ""
+		for _, path := range files[dir] {
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: %v", path, err))
+				continue
+			}
+			pkgName = f.Name.Name
+			if f.Doc != nil {
+				pkgDoc = true
+			}
+			if strict[dir] {
+				problems = append(problems, undocumented(fset, f)...)
+			}
+		}
+		if !pkgDoc && pkgName != "" {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkgName))
+		}
+	}
+
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problems\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// undocumented reports every exported top-level declaration in f that lacks
+// a doc comment: funcs and methods (when the receiver type is exported too),
+// and types, consts and vars — a spec inside a grouped declaration may carry
+// its own comment instead of the group's.
+func undocumented(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil && !exportedRecv(d.Recv) {
+				continue
+			}
+			report(d.Pos(), "function", d.Name.Name)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							report(n.Pos(), "value", n.Name)
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedRecv reports whether a method's receiver type is exported.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
