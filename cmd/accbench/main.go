@@ -50,11 +50,21 @@ func main() {
 		faultPt  = flag.String("fault", "", "run one crash-matrix case: trip this fault point (see -fault list) mid-load, recover, verify; 'all' runs every point, 'list' prints the catalog")
 		faultNth = flag.Uint64("fault-nth", 3, "fire the -fault point on its nth hit")
 		faultSd  = flag.Int64("fault-seed", 42, "seed for the -fault controller and load (a (point, seed, nth) triple replays exactly)")
+		netAddr  = flag.String("net", "", "drive TPC-C over the wire against a running accd at this address instead of in-process")
+		netTerms = flag.Int("net-terminals", 64, "terminal count for -net")
+		netPool  = flag.Int("net-pool", 8, "client connection pool size for -net")
 	)
 	flag.Parse()
 
 	if *faultPt != "" {
 		runFault(*faultPt, *faultNth, *faultSd, *walDir)
+		return
+	}
+
+	if *netAddr != "" {
+		if err := runNet(*netAddr, *netTerms, *netPool, *duration, *warmup, *think, *seed, *verbose); err != nil {
+			fatal(err)
+		}
 		return
 	}
 

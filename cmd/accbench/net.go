@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"accdb/internal/sim"
+	"accdb/internal/tpcc"
+	"accdb/pkg/accclient"
+)
+
+// runNet drives the TPC-C closed loop against a remote accd instead of an
+// in-process engine: each terminal's transactions go through a shared
+// accclient pool, so the measured path includes the wire protocol,
+// admission control, and the client's retry policy. The server owns the
+// database, so no consistency check runs here — accd verifies it at drain.
+func runNet(addr string, terminals, pool int, duration, warmup, think time.Duration, seed int64, verbose bool) error {
+	cli, err := accclient.Dial(addr, accclient.WithPoolSize(pool))
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	cfg := tpcc.DefaultWorkloadConfig(tpcc.DefaultScale())
+	w := tpcc.NewRemoteWorkload(func(name string, args any) error {
+		return cli.Run(context.Background(), name, args)
+	}, cfg)
+
+	fmt.Printf("== network TPC-C against %s: %d terminals, pool %d ==\n", addr, terminals, pool)
+	res := sim.Run(sim.Config{
+		Terminals: terminals,
+		Duration:  duration,
+		Warmup:    warmup,
+		ThinkTime: think,
+		Seed:      seed,
+	}, w)
+
+	total := res.Recorder.Total()
+	fmt.Printf("throughput %.1f txn/s  %s\n", res.Throughput(), total)
+	st := cli.Stats()
+	fmt.Printf("client: requests=%d attempts=%d retries=%d transport_errors=%d\n",
+		st.Requests, st.Attempts, st.Retries, st.TransportErrors)
+	if verbose {
+		byType := res.Recorder.ByType()
+		names := make([]string, 0, len(byType))
+		for name := range byType {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-12s %s\n", name, byType[name])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+// Command accd serves an ACC engine's registered transaction types over TCP.
+// It loads a deterministic TPC-C database at startup, listens on -addr with
+// the length-prefixed wire protocol (internal/server/wire), and admits at
+// most -max-inflight concurrent requests — beyond that clients get a fast
+// queue-full refusal instead of unbounded queueing.
+//
+// SIGTERM or SIGINT starts a graceful drain: the listener closes, new
+// requests are refused with a draining status, in-flight transactions run to
+// completion (commit or §3.4 compensation), the write-ahead log is forced,
+// and — unless -check=false — the twelve-component TPC-C consistency
+// constraint is verified over the final database, with compensated
+// new-order holes observed server-side. Violations exit non-zero, so a CI
+// smoke run asserts end-to-end integrity just by checking the exit code.
+//
+// With -metrics-addr set, /metrics serves the engine, admission, and per-RPC
+// latency counters in Prometheus text format.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"accdb/internal/core"
+	"accdb/internal/server"
+	"accdb/internal/tpcc"
+	"accdb/internal/trace"
+	"accdb/internal/wal"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7654", "listen address for the wire protocol")
+		mode         = flag.String("mode", "acc", "scheduler: acc | baseline | two-level")
+		maxInFlight  = flag.Int("max-inflight", server.DefaultMaxInFlight, "admission bound on concurrently executing requests")
+		waitTimeout  = flag.Duration("wait-timeout", 10*time.Second, "lock-wait safety net")
+		force        = flag.Duration("force", 0, "simulated log force latency (memory log)")
+		walDir       = flag.String("wal-dir", "", "back the log with segment files in this directory")
+		seed         = flag.Int64("seed", 1, "TPC-C load seed")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics on this address (e.g. :6061)")
+		traceOut     = flag.String("trace", "", "write structured events to this file (.json: Chrome trace_event; otherwise JSONL)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain; in-flight work past it is cancelled (and compensated)")
+		check        = flag.Bool("check", true, "verify TPC-C consistency after the drain; violations exit non-zero")
+		ready        = flag.String("ready-fd", "", "write one line with the bound address to this file once listening (harness handshake)")
+	)
+	flag.Parse()
+
+	var m core.Mode
+	switch *mode {
+	case "acc":
+		m = core.ModeACC
+	case "baseline":
+		m = core.ModeBaseline
+	case "two-level":
+		m = core.ModeTwoLevel
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if strings.HasSuffix(*traceOut, ".json") {
+			tr = trace.New(trace.NewChromeSink(f))
+		} else {
+			tr = trace.New(trace.NewJSONLSink(f))
+		}
+		defer func() {
+			if err := tr.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "accd: closing trace:", err)
+			}
+		}()
+	}
+
+	scale := tpcc.DefaultScale()
+	db := core.NewDB()
+	if err := tpcc.CreateSchema(db); err != nil {
+		fatal(err)
+	}
+	if err := tpcc.Load(db, scale, *seed); err != nil {
+		fatal(err)
+	}
+	types := tpcc.BuildTypes()
+	var dlog *wal.Log
+	if *walDir != "" {
+		var err error
+		dlog, err = wal.Open(*walDir, wal.Options{ForceLatency: *force})
+		if err != nil {
+			fatal(err)
+		}
+		defer dlog.Close()
+	}
+	eng := core.New(db, types.Tables,
+		core.WithMode(m),
+		core.WithWaitTimeout(*waitTimeout),
+		core.WithForceLatency(*force),
+		core.WithTracer(tr),
+		core.WithWAL(dlog),
+	)
+	if _, err := tpcc.Register(eng, types, scale); err != nil {
+		fatal(err)
+	}
+
+	protos := tpcc.ArgsPrototypes()
+	holes := tpcc.NewHoleTracker()
+	srv := server.New(server.Config{
+		Engine: eng,
+		NewArgs: func(name string) any {
+			if f, ok := protos[name]; ok {
+				return f()
+			}
+			return nil
+		},
+		MaxInFlight: *maxInFlight,
+		Tracer:      tr,
+		OnOutcome:   holes.Observe,
+	})
+
+	if *metricsAddr != "" {
+		if err := serveMetrics(*metricsAddr, eng, srv); err != nil {
+			fatal(err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "accd: serving %s TPC-C on %s (max in-flight %d)\n",
+		m, ln.Addr(), *maxInFlight)
+	if *ready != "" {
+		if err := os.WriteFile(*ready, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "accd: %v: draining (timeout %v)\n", sig, *drainTimeout)
+	case err := <-serveErr:
+		fatal(fmt.Errorf("accd: serve: %w", err))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "accd: drain incomplete:", err)
+	}
+	st := srv.Stats()
+	es := eng.Snapshot()
+	fmt.Fprintf(os.Stderr,
+		"accd: drained: admitted=%d rejected_full=%d rejected_draining=%d commits=%d compensations=%d\n",
+		st.Admitted, st.RejectedFull, st.RejectedDraining, es.Commits, es.Compensations)
+
+	if *check {
+		if errs := tpcc.CheckConsistency(db, scale, holes.Holes()); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "accd: consistency violation:", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "accd: consistency check passed")
+	}
+}
+
+// serveMetrics mounts /metrics with the engine counters and the server's
+// admission and latency series.
+func serveMetrics(addr string, eng *core.Engine, srv *server.Server) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		es := eng.Snapshot()
+		counter := func(name, help string, v uint64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		}
+		counter("accdb_txn_commits_total", "Committed transactions.", es.Commits)
+		counter("accdb_txn_user_aborts_total", "User-initiated aborts.", es.UserAborts)
+		counter("accdb_txn_compensations_total", "Compensated rollbacks.", es.Compensations)
+		counter("accdb_txn_comp_failures_total", "Failed compensations.", es.CompFailures)
+		counter("accdb_txn_step_retries_total", "Forward-step retries.", es.StepRetries)
+		counter("accdb_txn_retries_total", "Whole-transaction restarts.", es.TxnRetries)
+		srv.WriteMetrics(w)
+	})
+	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go hs.Serve(ln)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "accd:", err)
+	os.Exit(1)
+}

@@ -124,7 +124,7 @@ func main() {
 	}
 	tables := b.Build()
 
-	eng := core.New(db, tables, core.Options{Mode: core.ModeACC})
+	eng := core.New(db, tables, core.WithMode(core.ModeACC))
 
 	colCount := counter.Schema.MustCol("current_order_number")
 	colPrice := orders.Schema.MustCol("price")

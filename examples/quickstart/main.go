@@ -51,7 +51,7 @@ func main() {
 
 	// 3. Engine over the tables; the baseline mode would run the same code
 	// serializably.
-	eng := core.New(db, tables, core.Options{Mode: core.ModeACC})
+	eng := core.New(db, tables, core.WithMode(core.ModeACC))
 
 	balCol := accounts.Schema.MustCol("balance")
 	type transferArgs struct{ from, to, amount int64 }

@@ -66,7 +66,7 @@ func build(dir string) (*bank, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := core.New(db, tables, core.Options{Mode: core.ModeACC, Log: l})
+	eng := core.New(db, tables, core.WithMode(core.ModeACC), core.WithWAL(l))
 
 	balCol := accounts.Schema.MustCol("balance")
 	add := func(tc *core.Ctx, id, delta int64) error {

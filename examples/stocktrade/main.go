@@ -58,7 +58,7 @@ func main() {
 	b.AllowInterleaveEverywhere(csBuy, buyTxn)
 	tables := b.Build()
 
-	eng := core.New(db, tables, core.Options{Mode: core.ModeACC, RecordHistory: true})
+	eng := core.New(db, tables, core.WithMode(core.ModeACC), core.WithRecordHistory(true))
 
 	priceCol := orders.Schema.MustCol("price")
 	sharesCol := orders.Schema.MustCol("shares")

@@ -128,11 +128,20 @@ type Engine struct {
 	stepRetries   atomic.Uint64
 	txnRetries    atomic.Uint64
 
+	closed atomic.Bool
+
 	hist *history
 }
 
-// New creates an engine over db using the design-time interference tables.
-func New(db *DB, tables *interference.Tables, opt Options) *Engine {
+// New creates an engine over db using the design-time interference tables,
+// configured by functional options (WithMode, WithTracer, WithWAL, ...).
+// With no options the engine runs the ACC scheduler inline with a
+// memory-only log.
+func New(db *DB, tables *interference.Tables, opts ...Option) *Engine {
+	var opt Options
+	for _, apply := range opts {
+		apply(&opt)
+	}
 	if opt.MaxStepRetries == 0 {
 		opt.MaxStepRetries = 1 // the paper's recurrence rule
 	}
@@ -168,6 +177,21 @@ func New(db *DB, tables *interference.Tables, opt Options) *Engine {
 	}
 	return e
 }
+
+// Close marks the engine closed and forces the write-ahead log: subsequent
+// Run calls fail fast with ErrEngineClosed. It does not interrupt
+// transactions already in flight (the server drains them first) and does
+// not close an externally-provided log — the opener owns its lifecycle.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	e.log.Force()
+	return nil
+}
+
+// Closed reports whether Close was called.
+func (e *Engine) Closed() bool { return e.closed.Load() }
 
 // DB returns the underlying database.
 func (e *Engine) DB() *DB { return e.db }

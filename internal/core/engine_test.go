@@ -77,7 +77,7 @@ func newTestSys(t *testing.T, mode Mode, opts ...func(*Options)) *testSys {
 	for _, f := range opts {
 		f(&o)
 	}
-	s.eng = New(s.db, tables, o)
+	s.eng = New(s.db, tables, WithOptions(o))
 
 	s.assertion = &Assertion{
 		ID:   s.aInFlight,
@@ -485,7 +485,7 @@ func TestRecoveryRejectsUnknownType(t *testing.T) {
 	<-crashed
 	img := s.eng.Log().DurableBytes()
 	// An engine without the type registered cannot recover it.
-	empty := New(NewDB(), interference.NewBuilder().Build(), Options{})
+	empty := New(NewDB(), interference.NewBuilder().Build())
 	if _, err := empty.Recover(img); err == nil {
 		t.Fatal("recovery with unknown type accepted")
 	}
@@ -559,7 +559,7 @@ func TestDeadlockStepRetryTransparent(t *testing.T) {
 
 func TestHistoryDisabledByDefault(t *testing.T) {
 	db := NewDB()
-	eng := New(db, interference.NewBuilder().Build(), Options{})
+	eng := New(db, interference.NewBuilder().Build())
 	if eng.History() != nil {
 		t.Fatal("history should be nil when disabled")
 	}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"time"
+
+	"accdb/internal/trace"
+	"accdb/internal/wal"
+)
+
+// Option configures an Engine at construction. New applies options in order
+// over the zero Options value, so later options win; WithOptions replaces
+// the whole record at once for callers that assemble an Options struct from
+// external configuration.
+type Option func(*Options)
+
+// WithMode selects the scheduler (ModeACC, ModeBaseline, ModeTwoLevel).
+func WithMode(m Mode) Option {
+	return func(o *Options) { o.Mode = m }
+}
+
+// WithWaitTimeout bounds individual lock waits (safety net; 0 = forever).
+func WithWaitTimeout(d time.Duration) Option {
+	return func(o *Options) { o.WaitTimeout = d }
+}
+
+// WithForceLatency sets the simulated log-force I/O time paid per forced
+// record (per end-of-step under the ACC; per commit in the baseline).
+func WithForceLatency(d time.Duration) Option {
+	return func(o *Options) { o.ForceLatency = d }
+}
+
+// WithMaxStepRetries sets how many times a deadlock-victim step restarts
+// before the transaction is rolled back by compensation (the paper's
+// recurrence rule is 1, the default).
+func WithMaxStepRetries(n int) Option {
+	return func(o *Options) { o.MaxStepRetries = n }
+}
+
+// WithMaxTxnRetries bounds whole-transaction restarts.
+func WithMaxTxnRetries(n int) Option {
+	return func(o *Options) { o.MaxTxnRetries = n }
+}
+
+// WithEagerAssertionLocks selects the simplified §3.3 algorithm that locks
+// an assertion's whole footprint before the step runs (requires
+// Assertion.Items).
+func WithEagerAssertionLocks(eager bool) Option {
+	return func(o *Options) { o.EagerAssertionLocks = eager }
+}
+
+// WithEnv injects execution costs (the simulation testbed's server pool);
+// nil executes inline.
+func WithEnv(env ExecEnv) Option {
+	return func(o *Options) { o.Env = env }
+}
+
+// WithRecordHistory captures a conflict-checkable access history (tests).
+func WithRecordHistory(record bool) Option {
+	return func(o *Options) { o.RecordHistory = record }
+}
+
+// WithTracer attaches the structured event bus to every layer; nil disables
+// tracing at zero cost.
+func WithTracer(t *trace.Tracer) Option {
+	return func(o *Options) { o.Tracer = t }
+}
+
+// WithWAL backs the engine with an existing write-ahead log — typically a
+// disk-backed log from wal.Open. Nil keeps the default memory-only log.
+func WithWAL(l *wal.Log) Option {
+	return func(o *Options) { o.Log = l }
+}
+
+// WithOptions replaces the entire Options record. It exists for callers
+// that build configuration dynamically (the experiment harness, tests) and
+// composes with the targeted options: later options still override fields.
+func WithOptions(o Options) Option {
+	return func(dst *Options) { *dst = o }
+}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"time"
 
@@ -35,28 +35,59 @@ func (e *Engine) emitTxn(kind trace.Kind, txn uint64, step int, item string, dur
 // Run executes one instance of the named transaction type with the given
 // arguments under the engine's scheduler mode. It returns nil on commit, a
 // *CompensatedError or ErrUserAbort-wrapping error on rollback, and other
-// errors on failure.
+// errors on failure. It is RunContext under context.Background().
 func (e *Engine) Run(name string, args any) error {
+	return e.RunContext(context.Background(), name, args)
+}
+
+// RunContext is Run under a caller context. Cancellation and deadlines
+// propagate into lock waits: a cancelled ctx aborts an in-progress wait,
+// and the transaction rolls back — by compensation (§3.4) if any step had
+// completed, by in-place undo otherwise. Compensation itself always runs
+// to completion regardless of ctx; its effects must not be half-applied.
+func (e *Engine) RunContext(ctx context.Context, name string, args any) error {
 	tt := e.Type(name)
 	if tt == nil {
-		return fmt.Errorf("core: unknown transaction type %q", name)
+		return fmt.Errorf("%w: %q", ErrUnknownTxnType, name)
 	}
-	return e.RunType(tt, args)
+	return e.RunTypeContext(ctx, tt, args)
 }
 
 // RunType is Run for an already-resolved type.
 func (e *Engine) RunType(tt *TxnType, args any) error {
-	if e.opt.Mode == ModeBaseline {
-		return e.runBaseline(tt, args)
+	return e.RunTypeContext(context.Background(), tt, args)
+}
+
+// RunTypeContext is RunContext for an already-resolved type.
+func (e *Engine) RunTypeContext(ctx context.Context, tt *TxnType, args any) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return e.runDecomposed(tt, args)
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if e.opt.Mode == ModeBaseline {
+		return e.runBaseline(ctx, tt, args)
+	}
+	return e.runDecomposed(ctx, tt, args)
 }
 
 // RunLegacy executes an undecomposed (ad-hoc) transaction: a single
 // strict-2PL unit whose lock requests carry the legacy tags, so under the
 // ACC it is completely isolated from intermediate states of multi-step
-// transactions (§3.3 end).
+// transactions (§3.3 end). It is RunLegacyContext under
+// context.Background().
 func (e *Engine) RunLegacy(name string, body func(tc *Ctx) error) error {
+	return e.RunLegacyContext(context.Background(), name, body)
+}
+
+// RunLegacyContext is RunLegacy under a caller context; it folds into the
+// same run path as every other transaction, so cancellation, retry, and
+// close semantics are identical.
+func (e *Engine) RunLegacyContext(ctx context.Context, name string, body func(tc *Ctx) error) error {
 	tt := &TxnType{
 		Name: name,
 		ID:   interference.LegacyTxn,
@@ -64,33 +95,21 @@ func (e *Engine) RunLegacy(name string, body func(tc *Ctx) error) error {
 			Name: name, Type: interference.LegacyStep, Body: body,
 		}},
 	}
-	if e.opt.Mode == ModeBaseline {
-		return e.runBaseline(tt, nil)
-	}
-	return e.runDecomposed(tt, nil)
-}
-
-// isLockAbort reports whether err is a retryable scheduling abort.
-func isLockAbort(err error) bool {
-	return errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrAborted) ||
-		errors.Is(err, lock.ErrTimeout)
+	return e.RunTypeContext(ctx, tt, nil)
 }
 
 // runDecomposed executes tt under the ACC (or two-level) scheduler. A
 // scheduling abort before any step has completed restarts the whole
 // transaction (nothing was exposed, so a restart is free); once a step has
 // completed, rollback goes through compensation instead.
-func (e *Engine) runDecomposed(tt *TxnType, args any) error {
+func (e *Engine) runDecomposed(ctx context.Context, tt *TxnType, args any) error {
 	for attempt := 0; ; attempt++ {
-		err := e.runDecomposedOnce(tt, args)
-		// Only a clean scheduling abort (nothing exposed, everything undone
-		// in place) restarts. A compensated rollback is a final outcome —
-		// its effects were semantically reversed and its identifiers (order
-		// numbers) consumed — and a failed compensation is never retried.
-		var cf *CompensationFailedError
-		if err != nil && isLockAbort(err) &&
-			!IsCompensated(err) && !errors.As(err, &cf) &&
-			attempt < e.opt.MaxTxnRetries {
+		err := e.runDecomposedOnce(ctx, tt, args)
+		// Retryable covers exactly the clean scheduling aborts (nothing
+		// exposed, everything undone in place): a compensated rollback is a
+		// final outcome, a failed compensation is never retried, and a
+		// cancelled caller gets its cancellation back, not another attempt.
+		if Retryable(err) && ctx.Err() == nil && attempt < e.opt.MaxTxnRetries {
 			e.txnRetries.Add(1)
 			retryBackoff(attempt, e.nextTxn.Load())
 			continue
@@ -99,10 +118,11 @@ func (e *Engine) runDecomposed(tt *TxnType, args any) error {
 	}
 }
 
-func (e *Engine) runDecomposedOnce(tt *TxnType, args any) error {
+func (e *Engine) runDecomposedOnce(ctx context.Context, tt *TxnType, args any) error {
 	txn := &txnState{
 		tt:    tt,
 		args:  args,
+		ctx:   ctx,
 		steps: tt.stepsFor(args),
 		info:  lock.NewTxnInfo(lock.TxnID(e.nextTxn.Add(1)), tt.ID),
 	}
@@ -178,6 +198,12 @@ func retryBackoff(attempt int, salt uint64) {
 // compensates (§3.4).
 func (e *Engine) runStep(txn *txnState, j int) error {
 	for attempt := 0; ; attempt++ {
+		// A cancelled caller stops making forward progress at the next step
+		// (or retry) boundary; the rollback path decides between plain abort
+		// and compensation.
+		if err := txn.ctx.Err(); err != nil {
+			return err
+		}
 		e.log.Append(wal.Record{Type: wal.TStepBegin, Txn: uint64(txn.info.ID), Step: int32(j)})
 		if e.tracer != nil {
 			e.emitTxn(trace.KindStepBegin, uint64(txn.info.ID), j, txn.steps[j].Name, 0, "")
@@ -202,7 +228,7 @@ func (e *Engine) runStep(txn *txnState, j int) error {
 		}
 		tc.undo()
 		e.lm.ReleaseStepAbort(txn.info)
-		if isLockAbort(err) && attempt < e.opt.MaxStepRetries {
+		if Retryable(err) && attempt < e.opt.MaxStepRetries {
 			e.stepRetries.Add(1)
 			if e.tracer != nil {
 				e.emitTxn(trace.KindStepRetry, uint64(txn.info.ID), j, txn.steps[j].Name, 0, err.Error())
@@ -232,7 +258,7 @@ func (e *Engine) stepPrologue(tc *Ctx, j int) error {
 					Mode: lock.ModeA, Step: tc.stepType,
 					Assertion: a.ID, Compensating: tc.compensating,
 				}
-				if err := e.lm.Acquire(tc.txn.info, item, req); err != nil {
+				if err := e.lm.AcquireCtx(tc.lockCtx(), tc.txn.info, item, req); err != nil {
 					return err
 				}
 				if e.tracer != nil {
@@ -314,11 +340,20 @@ func (e *Engine) rollback(txn *txnState, j int, cause error) error {
 	if completed == 0 {
 		e.log.Append(wal.Record{Type: wal.TAbort, Txn: uint64(txn.info.ID)})
 		e.lm.ReleaseAll(txn.info)
-		if isLockAbort(cause) {
+		if Retryable(cause) {
 			if e.tracer != nil {
 				e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, txn.tt.Name, 0, "scheduling")
 			}
 			return cause // nothing exposed: the caller restarts the transaction
+		}
+		if canceled(cause) {
+			// The caller went away before anything was exposed: the undo
+			// already happened in place, so this is neither a user abort nor
+			// a scheduling abort — just the cancellation, propagated.
+			if e.tracer != nil {
+				e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, txn.tt.Name, 0, "canceled")
+			}
+			return fmt.Errorf("core: %s canceled: %w", txn.tt.Name, cause)
 		}
 		e.userAborts.Add(1)
 		if e.tracer != nil {
@@ -372,7 +407,7 @@ func (e *Engine) compensate(txn *txnState, completed int) error {
 		// progress, so scheduling aborts are retried persistently (with a
 		// short backoff to break convoys); a non-retryable error is a
 		// programming error in the transaction declaration.
-		if isLockAbort(err) && attempt < 100 {
+		if Retryable(err) && attempt < 100 {
 			e.stepRetries.Add(1)
 			// Jitter by transaction identity so two compensations that
 			// victimize each other cannot retry in lockstep forever.
@@ -389,11 +424,15 @@ func (e *Engine) compensate(txn *txnState, completed int) error {
 // runBaseline executes tt as the unmodified system would: all step bodies
 // in one strict-2PL unit, everything released at commit, one forced commit
 // record, and whole-transaction restart on deadlock.
-func (e *Engine) runBaseline(tt *TxnType, args any) error {
+func (e *Engine) runBaseline(ctx context.Context, tt *TxnType, args any) error {
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		txn := &txnState{
 			tt:    tt,
 			args:  args,
+			ctx:   ctx,
 			steps: tt.stepsFor(args),
 			info:  lock.NewTxnInfo(lock.TxnID(e.nextTxn.Add(1)), interference.LegacyTxn),
 		}
@@ -427,8 +466,8 @@ func (e *Engine) runBaseline(tt *TxnType, args any) error {
 		tc.undo()
 		e.log.Append(wal.Record{Type: wal.TAbort, Txn: uint64(txn.info.ID)})
 		e.lm.ReleaseAll(txn.info)
-		if isLockAbort(err) {
-			if attempt < e.opt.MaxTxnRetries {
+		if Retryable(err) {
+			if ctx.Err() == nil && attempt < e.opt.MaxTxnRetries {
 				e.txnRetries.Add(1)
 				if e.tracer != nil {
 					e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, tt.Name, 0, "scheduling")
@@ -439,6 +478,12 @@ func (e *Engine) runBaseline(tt *TxnType, args any) error {
 			// Double-wrap so callers can classify both the exhaustion and the
 			// underlying scheduling cause (deadlock vs timeout).
 			return fmt.Errorf("core: %s: %w: %w", tt.Name, ErrRetriesExhausted, err)
+		}
+		if canceled(err) {
+			if e.tracer != nil {
+				e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, tt.Name, 0, "canceled")
+			}
+			return fmt.Errorf("core: %s canceled: %w", tt.Name, err)
 		}
 		e.userAborts.Add(1)
 		if e.tracer != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -44,6 +45,9 @@ type txnState struct {
 	args  any
 	steps []Step
 	info  *lock.TxnInfo
+	// ctx is the caller's context; forward-step lock waits abort when it
+	// is cancelled. Nil (recovery-built states) behaves as Background.
+	ctx context.Context
 }
 
 // Args returns the transaction's argument value (its work area).
@@ -74,10 +78,21 @@ func (tc *Ctx) request(mode lock.Mode) lock.Request {
 	return lock.Request{Mode: mode, Step: tc.stepType, Compensating: tc.compensating}
 }
 
+// lockCtx returns the context under which this step's lock requests wait:
+// the transaction's caller context for forward steps, Background for
+// compensating steps — a compensation must run to completion even after
+// the caller has gone away (§3.4); the reservation locks guarantee it can.
+func (tc *Ctx) lockCtx() context.Context {
+	if tc.compensating || tc.txn.ctx == nil {
+		return context.Background()
+	}
+	return tc.txn.ctx
+}
+
 // acquire takes one conventional lock and, in ACC mode, attaches assertional
 // locks for every active assertion covering the item.
 func (tc *Ctx) acquire(item lock.Item, mode lock.Mode) error {
-	if err := tc.e.lm.Acquire(tc.txn.info, item, tc.request(mode)); err != nil {
+	if err := tc.e.lm.AcquireCtx(tc.lockCtx(), tc.txn.info, item, tc.request(mode)); err != nil {
 		return err
 	}
 	if tc.e.opt.Mode == ModeACC {
@@ -87,7 +102,7 @@ func (tc *Ctx) acquire(item lock.Item, mode lock.Mode) error {
 					Mode: lock.ModeA, Step: tc.stepType,
 					Assertion: a.ID, Compensating: tc.compensating,
 				}
-				if err := tc.e.lm.Acquire(tc.txn.info, item, req); err != nil {
+				if err := tc.e.lm.AcquireCtx(tc.lockCtx(), tc.txn.info, item, req); err != nil {
 					return err
 				}
 				if tc.e.tracer != nil {

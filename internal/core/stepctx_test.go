@@ -39,7 +39,7 @@ func newOpSys(t *testing.T) *opSys {
 	s.txn = b.TxnType("op", 1)
 	s.step = b.StepType("op")
 	b.AllowInterleaveEverywhere(s.step, s.txn)
-	s.eng = New(s.db, b.Build(), Options{WaitTimeout: 5 * time.Second})
+	s.eng = New(s.db, b.Build(), WithWaitTimeout(5*time.Second))
 	for r := int64(1); r <= 2; r++ {
 		for sku := int64(1); sku <= 5; sku++ {
 			if err := s.inv.Insert(storage.Row{storage.I64(r), storage.I64(sku), storage.I64(sku * 10)}); err != nil {
@@ -113,7 +113,7 @@ func TestCtxScanPartitionIsolatedFromOtherPartitions(t *testing.T) {
 	b := interference.NewBuilder()
 	txn := b.TxnType("x", 1)
 	step := b.StepType("x")
-	eng := New(db2, b.Build(), Options{})
+	eng := New(db2, b.Build())
 	err = eng.RunType(&TxnType{Name: "x", ID: txn, Steps: []Step{{
 		Name: "x", Type: step,
 		Body: func(tc *Ctx) error {
@@ -360,7 +360,7 @@ func TestTwoLevelGateSerializesFalseConflicts(t *testing.T) {
 			b.AllowInterleaveEverywhere(st, txn)
 		}
 		b.PrefixSafe(txn, 1, a)
-		eng := New(db, b.Build(), Options{Mode: mode, WaitTimeout: 5 * time.Second})
+		eng := New(db, b.Build(), WithMode(mode), WithWaitTimeout(5*time.Second))
 		assert := &Assertion{
 			ID: a, Name: "mine-stable",
 			Covers: func(args any, item lock.Item) bool {

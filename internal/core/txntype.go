@@ -160,50 +160,5 @@ func activeAssertions(steps []Step, j int) []*Assertion {
 	return out
 }
 
-// Errors surfaced by Run.
-var (
-	// ErrUserAbort is returned (possibly wrapped) by a step body to request
-	// rollback of the transaction.
-	ErrUserAbort = errors.New("core: transaction aborted by application")
-	// ErrRetriesExhausted reports that a transaction could not complete
-	// within the configured retry budget.
-	ErrRetriesExhausted = errors.New("core: retries exhausted")
-)
-
-// CompensatedError reports that a transaction was rolled back by running its
-// compensating step; Cause preserves the triggering error.
-type CompensatedError struct {
-	Txn   string
-	Cause error
-}
-
-// Error implements error.
-func (e *CompensatedError) Error() string {
-	return fmt.Sprintf("core: %s compensated: %v", e.Txn, e.Cause)
-}
-
-// Unwrap exposes the cause.
-func (e *CompensatedError) Unwrap() error { return e.Cause }
-
-// IsCompensated reports whether err indicates a compensated rollback.
-func IsCompensated(err error) bool {
-	var ce *CompensatedError
-	return errors.As(err, &ce)
-}
-
-// CompensationFailedError reports that a compensating step could not
-// complete; the database may hold the transaction's partial effects. This is
-// a serious condition (the paper's design makes it unreachable when
-// reservations are declared correctly) and is never retried.
-type CompensationFailedError struct {
-	Txn   string
-	Cause error
-}
-
-// Error implements error.
-func (e *CompensationFailedError) Error() string {
-	return fmt.Sprintf("core: compensation of %s failed: %v", e.Txn, e.Cause)
-}
-
-// Unwrap exposes the cause.
-func (e *CompensationFailedError) Unwrap() error { return e.Cause }
+// Run's error taxonomy (ErrUserAbort, CompensatedError, Retryable, ...)
+// lives in errors.go.

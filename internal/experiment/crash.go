@@ -103,11 +103,11 @@ func buildCrashSystem(cfg CrashConfig) (*crashSystem, error) {
 		return nil, err
 	}
 	types := tpcc.BuildTypes()
-	eng := core.New(db, types.Tables, core.Options{
-		Mode:        core.ModeACC,
-		WaitTimeout: 10 * time.Second,
-		Log:         l,
-	})
+	eng := core.New(db, types.Tables,
+		core.WithMode(core.ModeACC),
+		core.WithWaitTimeout(10*time.Second),
+		core.WithWAL(l),
+	)
 	if _, err := tpcc.Register(eng, types, cfg.Scale); err != nil {
 		l.Close()
 		return nil, err

@@ -123,15 +123,15 @@ func Run(cfg Config) (*RunResult, error) {
 		}
 		defer dlog.Close()
 	}
-	eng := core.New(db, types.Tables, core.Options{
-		Mode:                cfg.Mode,
-		WaitTimeout:         30 * time.Second,
-		ForceLatency:        cfg.ForceLatency,
-		Env:                 env,
-		EagerAssertionLocks: cfg.EagerAssertionLocks,
-		Tracer:              cfg.Tracer,
-		Log:                 dlog,
-	})
+	eng := core.New(db, types.Tables,
+		core.WithMode(cfg.Mode),
+		core.WithWaitTimeout(30*time.Second),
+		core.WithForceLatency(cfg.ForceLatency),
+		core.WithEnv(env),
+		core.WithEagerAssertionLocks(cfg.EagerAssertionLocks),
+		core.WithTracer(cfg.Tracer),
+		core.WithWAL(dlog),
+	)
 	if _, err := tpcc.Register(eng, types, cfg.Scale); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"context"
 	"time"
 
 	"accdb/internal/interference"
@@ -251,6 +252,15 @@ func (st *lockState) findAssertional(txn TxnID, a interference.AssertionID) *gra
 // granted, the request is chosen as a deadlock victim, the wait is cancelled,
 // or the wait budget expires.
 func (m *Manager) Acquire(txn *TxnInfo, item Item, req Request) error {
+	return m.AcquireCtx(context.Background(), txn, item, req)
+}
+
+// AcquireCtx is Acquire under a caller context: a cancelled or expired ctx
+// aborts a blocked wait and returns ctx's error, so a disconnected client
+// (or an expired deadline) stops waiting immediately and the engine can
+// roll the transaction back by compensation. The fast path — the lock is
+// granted without waiting — never consults ctx.
+func (m *Manager) AcquireCtx(ctx context.Context, txn *TxnInfo, item Item, req Request) error {
 	sh := m.shardOf(item)
 	sh.stats.acquisitions.Add(1)
 	sh.mu.Lock()
@@ -280,7 +290,7 @@ func (m *Manager) Acquire(txn *TxnInfo, item Item, req Request) error {
 				}
 				return nil
 			}
-			return m.wait(txn, item, sh, st, conv, true)
+			return m.wait(ctx, txn, item, sh, st, conv, true)
 		}
 	} else {
 		if st.findAssertional(txn.ID, req.Assertion) != nil {
@@ -297,7 +307,7 @@ func (m *Manager) Acquire(txn *TxnInfo, item Item, req Request) error {
 		}
 		return nil
 	}
-	return m.wait(txn, item, sh, st, req, false)
+	return m.wait(ctx, txn, item, sh, st, req, false)
 }
 
 // anyGrantConflict reports a conflict between req and any current grant.
@@ -347,8 +357,9 @@ func (m *Manager) install(txn *TxnInfo, item Item, sh *shard, st *lockState, req
 }
 
 // wait enqueues the request, publishes it in the waits-for registry, runs
-// deadlock detection, and parks. Called with sh.mu held; releases it.
-func (m *Manager) wait(txn *TxnInfo, item Item, sh *shard, st *lockState, req Request, conversion bool) error {
+// deadlock detection, and parks until the grant, the wait budget, or ctx.
+// Called with sh.mu held; releases it.
+func (m *Manager) wait(ctx context.Context, txn *TxnInfo, item Item, sh *shard, st *lockState, req Request, conversion bool) error {
 	w := &waiter{txn: txn, req: req, item: item, sh: sh, conv: conversion, ch: make(chan struct{}, 1)}
 	if conversion {
 		// Conversions go ahead of plain requests (behind other conversions)
@@ -406,25 +417,44 @@ func (m *Manager) wait(txn *TxnInfo, item Item, sh *shard, st *lockState, req Re
 	select {
 	case <-w.ch:
 	case <-timeout:
-		sh.mu.Lock()
-		if !w.granted && w.err == nil {
-			w.err = ErrTimeout
-			m.removeWaiter(sh, w)
-			sh.mu.Unlock()
-			m.reg.remove(txn.ID, w)
-			// Timed-out waits count toward contention attribution too.
-			waited := time.Since(start)
-			sh.recordWait(w.item, w.req.Mode, uint64(waited))
-			if m.tracer != nil {
-				m.emitLock(trace.KindLockTimeout, txn.ID, item, sh,
-					req.Mode.String(), int64(waited), "")
-			}
+		if abandoned := m.abandonWait(w, start, ErrTimeout, trace.KindLockTimeout, ""); abandoned {
 			return ErrTimeout
 		}
-		sh.mu.Unlock()
+		<-w.ch // finalized concurrently; consume the signal
+	case <-ctx.Done():
+		// The caller gave up: a disconnected session or an expired deadline.
+		// The wait is withdrawn and the ctx error propagates so the engine
+		// rolls the transaction back (by compensation if steps completed).
+		if abandoned := m.abandonWait(w, start, ctx.Err(), trace.KindLockAbort, "ctx"); abandoned {
+			return ctx.Err()
+		}
 		<-w.ch // finalized concurrently; consume the signal
 	}
 	return m.finishWait(w, start)
+}
+
+// abandonWait finalizes a parked waiter from the waiting side (wait budget
+// elapsed or caller context done). It reports true when this call claimed
+// the outcome; false means the grantor finalized concurrently and the
+// caller must consume the signal and honour that outcome instead. Abandoned
+// waits count toward contention attribution like any other wait.
+func (m *Manager) abandonWait(w *waiter, start time.Time, cause error, kind trace.Kind, extra string) bool {
+	sh := w.sh
+	sh.mu.Lock()
+	if w.granted || w.err != nil {
+		sh.mu.Unlock()
+		return false
+	}
+	w.err = cause
+	m.removeWaiter(sh, w)
+	sh.mu.Unlock()
+	m.reg.remove(w.txn.ID, w)
+	waited := time.Since(start)
+	sh.recordWait(w.item, w.req.Mode, uint64(waited))
+	if m.tracer != nil {
+		m.emitLock(kind, w.txn.ID, w.item, sh, w.req.Mode.String(), int64(waited), extra)
+	}
+	return true
 }
 
 // finishWait withdraws a signalled waiter from the registry, records the

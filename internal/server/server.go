@@ -1,0 +1,437 @@
+// Package server is accd's network front end: it exposes an engine's
+// registered transaction types over a TCP wire protocol (internal/server/wire)
+// with per-connection sessions, bounded admission, and graceful drain.
+//
+// Each connection is a session: a reader goroutine decodes frames, admitted
+// requests execute concurrently (the protocol is pipelined — responses are
+// correlated by request id, not order), and responses are written under a
+// per-connection mutex. Every request runs under the connection's context:
+// when the client disconnects mid-transaction the context is cancelled, the
+// engine aborts any in-progress lock wait, and completed steps are
+// compensated (§3.4) — a vanished client never strands exposure marks or
+// reservations in the lock table.
+//
+// Admission is a fixed budget of in-flight requests. When the budget is
+// exhausted new requests fail fast with StatusQueueFull instead of queueing
+// unboundedly; the client decides whether to back off and retry. Shutdown
+// drains: the listener closes, new requests get StatusDraining, in-flight
+// requests run to completion (commit or compensation), the WAL is forced,
+// and only then do the sessions close.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accdb/internal/core"
+	"accdb/internal/metrics"
+	"accdb/internal/server/wire"
+	"accdb/internal/trace"
+)
+
+// DefaultMaxInFlight bounds concurrently executing requests when Config
+// leaves MaxInFlight zero.
+const DefaultMaxInFlight = 128
+
+// Config configures a Server.
+type Config struct {
+	// Engine executes the transactions. Required.
+	Engine *core.Engine
+	// NewArgs returns a fresh argument record to decode a request's JSON
+	// into, or nil if the transaction type takes no arguments the server
+	// knows how to decode. Required for any type clients may invoke —
+	// transaction bodies type-assert their argument records, so decoding
+	// into a generic map would panic them.
+	NewArgs func(txnType string) any
+	// MaxInFlight bounds concurrently executing requests across all
+	// connections; beyond it requests fail fast with StatusQueueFull.
+	// Zero means DefaultMaxInFlight.
+	MaxInFlight int
+	// Tracer, when non-nil, receives rpc.begin/rpc.end/rpc.reject events.
+	Tracer *trace.Tracer
+	// OnOutcome, when non-nil, observes every executed request after its
+	// response is determined: the decoded (post-execution) argument record
+	// and the engine's error. Serialized per request goroutine, so the
+	// hook must be safe for concurrent calls. accd uses it to track
+	// compensated order numbers for the TPC-C consistency check.
+	OnOutcome func(txnType string, args any, err error)
+}
+
+// Stats is a snapshot of the server's admission and session counters.
+type Stats struct {
+	// Admitted counts requests that passed admission control.
+	Admitted uint64
+	// RejectedFull counts requests refused with StatusQueueFull.
+	RejectedFull uint64
+	// RejectedDraining counts requests refused with StatusDraining.
+	RejectedDraining uint64
+	// BadRequests counts undecodable or unknown-type requests.
+	BadRequests uint64
+	// InFlight is the number of requests executing right now.
+	InFlight int64
+	// Conns is the number of open sessions right now.
+	Conns int64
+	// Draining reports whether Shutdown has begun.
+	Draining bool
+}
+
+// Server serves an engine's transaction types over the wire protocol.
+type Server struct {
+	cfg    Config
+	eng    *core.Engine
+	sem    chan struct{}
+	rec    *metrics.Recorder
+	tracer *trace.Tracer
+
+	admitted         atomic.Uint64
+	rejectedFull     atomic.Uint64
+	rejectedDraining atomic.Uint64
+	badRequests      atomic.Uint64
+	inFlightN        atomic.Int64
+	connsN           atomic.Int64
+	nextRPC          atomic.Uint64
+
+	draining atomic.Bool
+	inflight sync.WaitGroup // admitted requests, until their response is written
+	sessions sync.WaitGroup // session goroutines
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[*session]struct{}
+}
+
+// New creates a server for cfg. Serve or ListenAndServe starts it.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		panic("server: Config.Engine is required")
+	}
+	max := cfg.MaxInFlight
+	if max <= 0 {
+		max = DefaultMaxInFlight
+	}
+	return &Server{
+		cfg:    cfg,
+		eng:    cfg.Engine,
+		sem:    make(chan struct{}, max),
+		rec:    metrics.NewRecorder(),
+		tracer: cfg.Tracer,
+		conns:  make(map[*session]struct{}),
+	}
+}
+
+// Metrics returns the per-transaction-type RPC latency recorder.
+func (s *Server) Metrics() *metrics.Recorder { return s.rec }
+
+// Stats snapshots the admission counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Admitted:         s.admitted.Load(),
+		RejectedFull:     s.rejectedFull.Load(),
+		RejectedDraining: s.rejectedDraining.Load(),
+		BadRequests:      s.badRequests.Load(),
+		InFlight:         s.inFlightN.Load(),
+		Conns:            s.connsN.Load(),
+		Draining:         s.draining.Load(),
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts sessions on ln until Shutdown closes it. It returns nil
+// after a clean drain-initiated close and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		sess := s.newSession(c)
+		s.sessions.Add(1)
+		go sess.loop()
+	}
+}
+
+// Addr returns the listener address (for tests binding port 0), or nil
+// before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown drains the server: stop accepting, refuse new requests with
+// StatusDraining, let in-flight requests finish (commit or compensate),
+// force the WAL by closing the engine, then close the sessions. If ctx
+// expires first the remaining sessions are torn down immediately — their
+// contexts cancel and in-progress transactions compensate — and ctx's error
+// is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+		s.eng.Close() // forces the write-ahead log
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.closeSessions()
+	s.sessions.Wait()
+	if err == nil && !s.eng.Closed() {
+		s.eng.Close()
+	}
+	return err
+}
+
+func (s *Server) closeSessions() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for sess := range s.conns {
+		sess.close()
+	}
+}
+
+func (s *Server) emitRPC(kind trace.Kind, id uint64, name string, dur int64, extra string) {
+	if s.tracer == nil {
+		return
+	}
+	ev := trace.Ev(kind, id)
+	ev.TS = s.tracer.Now()
+	ev.Item = name
+	ev.Dur = dur
+	ev.Extra = extra
+	s.tracer.Emit(ev)
+}
+
+// session is one client connection.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	wmu sync.Mutex // serializes response frames
+
+	reqs sync.WaitGroup // requests spawned by this session
+
+	closeOnce sync.Once
+}
+
+func (s *Server) newSession(c net.Conn) *session {
+	ctx, cancel := context.WithCancel(context.Background())
+	sess := &session{srv: s, conn: c, ctx: ctx, cancel: cancel}
+	s.mu.Lock()
+	s.conns[sess] = struct{}{}
+	s.mu.Unlock()
+	s.connsN.Add(1)
+	return sess
+}
+
+// close tears the session down: the connection unblocks the reader, and the
+// context aborts any lock wait a request of this session is parked in.
+func (sess *session) close() {
+	sess.closeOnce.Do(func() {
+		sess.cancel()
+		sess.conn.Close()
+	})
+}
+
+// loop is the session's reader: it decodes frames and dispatches requests
+// until the connection closes, then waits for this session's in-flight
+// requests (cancelled by close, or finishing normally) before returning.
+func (sess *session) loop() {
+	s := sess.srv
+	defer s.sessions.Done()
+	defer func() {
+		sess.close()
+		sess.reqs.Wait()
+		s.mu.Lock()
+		delete(s.conns, sess)
+		s.mu.Unlock()
+		s.connsN.Add(-1)
+	}()
+	for {
+		req, err := wire.ReadRequest(sess.conn)
+		if err != nil {
+			return // disconnect or protocol corruption: drop the session
+		}
+		switch req.Op {
+		case wire.OpPing:
+			sess.respond(&wire.Response{ID: req.ID, Status: wire.StatusOK})
+		case wire.OpRun:
+			sess.dispatch(req)
+		default:
+			s.badRequests.Add(1)
+			sess.respond(&wire.Response{
+				ID: req.ID, Status: wire.StatusBadRequest,
+				Msg: fmt.Sprintf("unknown op %d", req.Op),
+			})
+		}
+	}
+}
+
+// dispatch applies admission control and, if admitted, runs the request in
+// its own goroutine so the session can keep reading pipelined requests.
+func (sess *session) dispatch(req *wire.Request) {
+	s := sess.srv
+	rpcID := s.nextRPC.Add(1)
+	if s.draining.Load() {
+		s.rejectedDraining.Add(1)
+		s.emitRPC(trace.KindRPCReject, rpcID, req.Name, 0, "draining")
+		sess.respond(&wire.Response{ID: req.ID, Status: wire.StatusDraining, Msg: "server draining"})
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejectedFull.Add(1)
+		s.emitRPC(trace.KindRPCReject, rpcID, req.Name, 0, "queue-full")
+		sess.respond(&wire.Response{ID: req.ID, Status: wire.StatusQueueFull, Msg: "admission queue full"})
+		return
+	}
+	s.admitted.Add(1)
+	s.inFlightN.Add(1)
+	s.inflight.Add(1)
+	sess.reqs.Add(1)
+	go sess.run(rpcID, req)
+}
+
+// run executes one admitted request and writes its response.
+func (sess *session) run(rpcID uint64, req *wire.Request) {
+	s := sess.srv
+	defer func() {
+		<-s.sem
+		s.inFlightN.Add(-1)
+		s.inflight.Done()
+		sess.reqs.Done()
+	}()
+	s.emitRPC(trace.KindRPCBegin, rpcID, req.Name, 0, sess.conn.RemoteAddr().String())
+	start := time.Now()
+
+	resp := &wire.Response{ID: req.ID}
+	var args any
+	if s.eng.Type(req.Name) == nil {
+		s.badRequests.Add(1)
+		resp.Status = wire.StatusUnknownType
+		resp.Msg = fmt.Sprintf("unknown transaction type %q", req.Name)
+	} else if args = sess.newArgs(req.Name); args == nil {
+		s.badRequests.Add(1)
+		resp.Status = wire.StatusUnknownType
+		resp.Msg = fmt.Sprintf("no argument prototype for %q", req.Name)
+	} else if len(req.Args) > 0 && json.Unmarshal(req.Args, args) != nil {
+		s.badRequests.Add(1)
+		resp.Status = wire.StatusBadRequest
+		resp.Msg = fmt.Sprintf("malformed arguments for %q", req.Name)
+	} else {
+		err := s.eng.RunContext(sess.ctx, req.Name, args)
+		resp.Status, resp.Msg = statusOf(err)
+		// The argument record is the transaction's work area: re-encode it
+		// so the client observes assigned identifiers — also after a
+		// compensated rollback, whose consumed identifiers the client's
+		// bookkeeping may need (TPC-C order-number holes).
+		if out, merr := json.Marshal(args); merr == nil {
+			resp.Result = out
+		}
+		dur := time.Since(start)
+		s.rec.Record(req.Name, dur, outcomeOf(err))
+		if s.cfg.OnOutcome != nil {
+			s.cfg.OnOutcome(req.Name, args, err)
+		}
+	}
+	s.emitRPC(trace.KindRPCEnd, rpcID, req.Name, int64(time.Since(start)), resp.Status.String())
+	sess.respond(resp)
+}
+
+func (sess *session) newArgs(name string) any {
+	if sess.srv.cfg.NewArgs == nil {
+		return nil
+	}
+	return sess.srv.cfg.NewArgs(name)
+}
+
+// respond writes one response frame. Write errors are ignored: the reader
+// loop notices the dead connection and tears the session down.
+func (sess *session) respond(resp *wire.Response) {
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	_ = wire.WriteResponse(sess.conn, resp)
+}
+
+// statusOf maps the engine's error taxonomy onto wire status codes.
+// Compensated rollbacks are classified first: a CompensatedError matches
+// ErrAborted (and may wrap a deadlock or cancellation cause), but the wire
+// must report that compensation ran — the client's bookkeeping depends on
+// the distinction.
+func statusOf(err error) (wire.Status, string) {
+	switch {
+	case err == nil:
+		return wire.StatusOK, ""
+	case core.IsCompensated(err):
+		return wire.StatusCompensated, err.Error()
+	case errors.Is(err, core.ErrUnknownTxnType):
+		return wire.StatusUnknownType, err.Error()
+	case errors.Is(err, core.ErrEngineClosed):
+		return wire.StatusDraining, err.Error()
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return wire.StatusCanceled, err.Error()
+	case errors.Is(err, core.ErrDeadlockVictim):
+		return wire.StatusDeadlock, err.Error()
+	case errors.Is(err, core.ErrLockTimeout):
+		return wire.StatusLockTimeout, err.Error()
+	case errors.Is(err, core.ErrAborted):
+		return wire.StatusAborted, err.Error()
+	default:
+		return wire.StatusInternal, err.Error()
+	}
+}
+
+// outcomeOf maps the engine's error taxonomy onto metrics outcomes, the
+// same classification the in-process benchmark driver uses.
+func outcomeOf(err error) metrics.Outcome {
+	switch {
+	case err == nil:
+		return metrics.Committed
+	case core.IsCompensated(err), errors.Is(err, core.ErrUserAbort):
+		return metrics.RolledBack
+	case errors.Is(err, core.ErrDeadlockVictim):
+		return metrics.Deadlocked
+	case errors.Is(err, core.ErrLockTimeout):
+		return metrics.TimedOut
+	default:
+		return metrics.Failed
+	}
+}

@@ -1,0 +1,614 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accdb/internal/core"
+	"math/rand"
+
+	"accdb/internal/interference"
+	"accdb/internal/server/wire"
+	"accdb/internal/storage"
+	"accdb/internal/tpcc"
+)
+
+// moveArgs is the argument record of the test transaction; exported fields
+// make it wire-encodable.
+type moveArgs struct {
+	ID      int64
+	Account int64
+}
+
+// moveSys is a two-step "move" system behind a server: step 1 journals,
+// step 2 bumps an account balance; compensation removes the journal entry.
+type moveSys struct {
+	eng *core.Engine
+	db  *core.DB
+	srv *Server
+	ln  net.Listener
+
+	serveDone chan error
+}
+
+func newMoveSys(t *testing.T, cfg func(*Config)) *moveSys {
+	t.Helper()
+	db := core.NewDB()
+	accounts := db.MustCreateTable(storage.MustSchema("accounts", []storage.Column{
+		{Name: "id", Kind: storage.KindInt},
+		{Name: "balance", Kind: storage.KindInt},
+	}, "id"))
+	db.MustCreateTable(storage.MustSchema("journal", []storage.Column{
+		{Name: "id", Kind: storage.KindInt},
+		{Name: "account", Kind: storage.KindInt},
+	}, "id"))
+	for i := 1; i <= 4; i++ {
+		if err := accounts.Insert(storage.Row{storage.Int(i), storage.I64(100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	b := interference.NewBuilder()
+	txnMove := b.TxnType("move", 2)
+	stJournal := b.StepType("journal")
+	stUpdate := b.StepType("update")
+	stComp := b.StepType("comp")
+
+	eng := core.New(db, b.Build(),
+		core.WithMode(core.ModeACC),
+		core.WithWaitTimeout(10*time.Second),
+	)
+	eng.MustRegister(&core.TxnType{
+		Name: "move",
+		ID:   txnMove,
+		Steps: []core.Step{
+			{
+				Name: "journal", Type: stJournal,
+				Body: func(tc *core.Ctx) error {
+					a := tc.Args().(*moveArgs)
+					return tc.Insert("journal", storage.Row{
+						storage.I64(a.ID), storage.I64(a.Account),
+					})
+				},
+			},
+			{
+				Name: "update", Type: stUpdate,
+				Body: func(tc *core.Ctx) error {
+					a := tc.Args().(*moveArgs)
+					return tc.Update("accounts", []storage.Value{storage.I64(a.Account)},
+						func(row storage.Row) error {
+							row[1] = storage.I64(row[1].Int64() + 1)
+							return nil
+						})
+				},
+			},
+		},
+		Comp: &core.Compensation{
+			Type: stComp,
+			Body: func(tc *core.Ctx, completed int) error {
+				a := tc.Args().(*moveArgs)
+				if completed >= 1 {
+					return tc.Delete("journal", storage.I64(a.ID))
+				}
+				return nil
+			},
+		},
+	})
+
+	c := Config{
+		Engine:  eng,
+		NewArgs: func(string) any { return &moveArgs{} },
+	}
+	if cfg != nil {
+		cfg(&c)
+	}
+	srv := New(c)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &moveSys{eng: eng, db: db, srv: srv, ln: ln, serveDone: make(chan error, 1)}
+	go func() { s.serveDone <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return s
+}
+
+// rawConn is a minimal synchronous client for tests that need precise
+// control over the connection (abrupt closes, pipelining).
+type rawConn struct {
+	t *testing.T
+	c net.Conn
+}
+
+func dialRaw(t *testing.T, addr net.Addr) *rawConn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rawConn{t: t, c: c}
+}
+
+func (rc *rawConn) send(id uint64, name string, args any) {
+	rc.t.Helper()
+	payload, err := json.Marshal(args)
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	if err := wire.WriteRequest(rc.c, &wire.Request{ID: id, Op: wire.OpRun, Name: name, Args: payload}); err != nil {
+		rc.t.Fatal(err)
+	}
+}
+
+func (rc *rawConn) recv() *wire.Response {
+	rc.t.Helper()
+	resp, err := wire.ReadResponse(rc.c)
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	return resp
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRunOverWire covers the basic request/response cycle including the
+// work-area echo, and the error statuses for unknown types and bad JSON.
+func TestRunOverWire(t *testing.T) {
+	s := newMoveSys(t, nil)
+	rc := dialRaw(t, s.ln.Addr())
+	defer rc.c.Close()
+
+	rc.send(1, "move", &moveArgs{ID: 10, Account: 2})
+	resp := rc.recv()
+	if resp.ID != 1 || resp.Status != wire.StatusOK {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	var out moveArgs
+	if err := json.Unmarshal(resp.Result, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 10 || out.Account != 2 {
+		t.Fatalf("work area mangled: %+v", out)
+	}
+
+	rc.send(2, "no-such", &moveArgs{})
+	if resp := rc.recv(); resp.Status != wire.StatusUnknownType {
+		t.Fatalf("want unknown-type, got %+v", resp)
+	}
+
+	if err := wire.WriteRequest(rc.c, &wire.Request{ID: 3, Op: wire.OpRun, Name: "move", Args: []byte("{oops")}); err != nil {
+		t.Fatal(err)
+	}
+	if resp := rc.recv(); resp.Status != wire.StatusBadRequest {
+		t.Fatalf("want bad-request, got %+v", resp)
+	}
+
+	if err := wire.WriteRequest(rc.c, &wire.Request{ID: 4, Op: wire.OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	if resp := rc.recv(); resp.ID != 4 || resp.Status != wire.StatusOK {
+		t.Fatalf("ping failed: %+v", resp)
+	}
+}
+
+// TestDisconnectCompensates is the tentpole integrity property: a client
+// that vanishes mid-transaction — blocked in a lock wait with one step
+// already durable — must have its wait aborted, its completed prefix
+// compensated, and every lock (conventional and the paper's A/D/C marks)
+// released.
+func TestDisconnectCompensates(t *testing.T) {
+	s := newMoveSys(t, nil)
+
+	// An in-process blocker camps on account 1's X lock.
+	held := make(chan struct{})
+	release := make(chan struct{})
+	blockerDone := make(chan error, 1)
+	go func() {
+		blockerDone <- s.eng.RunLegacy("blocker", func(tc *core.Ctx) error {
+			err := tc.Update("accounts", []storage.Value{storage.I64(1)},
+				func(storage.Row) error { return nil })
+			if err != nil {
+				return err
+			}
+			close(held)
+			<-release
+			return nil
+		})
+	}()
+	<-held
+
+	// The remote move completes step 1 (journal insert, exposure +
+	// reservation marks attached) and parks in step 2's lock wait.
+	rc := dialRaw(t, s.ln.Addr())
+	rc.send(1, "move", &moveArgs{ID: 77, Account: 1})
+	waitFor(t, "the move to block in the lock wait", func() bool {
+		return len(s.eng.Locks().Snapshot().Edges) > 0
+	})
+
+	// Client vanishes. The session context cancels, the wait aborts, and
+	// compensation (running under a background context) undoes step 1.
+	rc.c.Close()
+	waitFor(t, "compensation after disconnect", func() bool {
+		return s.eng.Snapshot().Compensations == 1
+	})
+
+	close(release)
+	if err := <-blockerDone; err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+
+	// Every lock is gone: conventional grants, assertional locks, exposure
+	// marks, and compensation reservations.
+	waitFor(t, "an empty lock table", func() bool {
+		snap := s.eng.Locks().Snapshot()
+		for _, sh := range snap.Shards {
+			for _, item := range sh.Items {
+				if len(item.Grants) > 0 || len(item.Queue) > 0 {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	waitFor(t, "the session to be reaped", func() bool {
+		return s.srv.Stats().Conns == 0
+	})
+
+	// The journal entry is compensated away; the account row is untouched
+	// and immediately lockable.
+	if err := s.eng.Run("move", &moveArgs{ID: 78, Account: 1}); err != nil {
+		t.Fatalf("post-disconnect move: %v", err)
+	}
+	count := 0
+	err := s.eng.RunLegacy("count", func(tc *core.Ctx) error {
+		count = 0
+		return tc.Scan("journal", func(storage.Row) error {
+			count++
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("journal rows = %d, want 1 (the disconnected move's entry compensated away)", count)
+	}
+}
+
+// TestAdmissionControl verifies the bounded in-flight budget: with
+// MaxInFlight=1 and the single slot parked in a lock wait, a second request
+// fails fast with queue-full rather than queueing.
+func TestAdmissionControl(t *testing.T) {
+	s := newMoveSys(t, func(c *Config) { c.MaxInFlight = 1 })
+
+	held := make(chan struct{})
+	release := make(chan struct{})
+	blockerDone := make(chan error, 1)
+	go func() {
+		blockerDone <- s.eng.RunLegacy("blocker", func(tc *core.Ctx) error {
+			err := tc.Update("accounts", []storage.Value{storage.I64(1)},
+				func(storage.Row) error { return nil })
+			if err != nil {
+				return err
+			}
+			close(held)
+			<-release
+			return nil
+		})
+	}()
+	<-held
+
+	rc := dialRaw(t, s.ln.Addr())
+	defer rc.c.Close()
+	rc.send(1, "move", &moveArgs{ID: 50, Account: 1}) // occupies the only slot
+	waitFor(t, "the slot to fill", func() bool { return s.srv.Stats().InFlight == 1 })
+
+	rc.send(2, "move", &moveArgs{ID: 51, Account: 2})
+	resp := rc.recv()
+	if resp.ID != 2 || resp.Status != wire.StatusQueueFull {
+		t.Fatalf("want queue-full for request 2, got %+v", resp)
+	}
+	if got := s.srv.Stats().RejectedFull; got != 1 {
+		t.Fatalf("RejectedFull = %d, want 1", got)
+	}
+
+	close(release)
+	if err := <-blockerDone; err != nil {
+		t.Fatal(err)
+	}
+	if resp := rc.recv(); resp.ID != 1 || resp.Status != wire.StatusOK {
+		t.Fatalf("request 1 should commit after the blocker releases: %+v", resp)
+	}
+}
+
+// TestPipelining issues many concurrent requests on one connection and
+// checks every response arrives, correlated by id.
+func TestPipelining(t *testing.T) {
+	s := newMoveSys(t, nil)
+	rc := dialRaw(t, s.ln.Addr())
+	defer rc.c.Close()
+
+	const n = 32
+	for i := 1; i <= n; i++ {
+		rc.send(uint64(i), "move", &moveArgs{ID: int64(100 + i), Account: int64(i%4 + 1)})
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < n; i++ {
+		resp := rc.recv()
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("request %d: %+v", resp.ID, resp)
+		}
+		if seen[resp.ID] {
+			t.Fatalf("duplicate response id %d", resp.ID)
+		}
+		seen[resp.ID] = true
+	}
+	if st := s.eng.Snapshot(); st.Commits != n {
+		t.Fatalf("commits = %d, want %d", st.Commits, n)
+	}
+}
+
+// TestDrainUnderTPCCLoad is the graceful-shutdown property at the scale the
+// design demands: 64 concurrent TPC-C client connections in full flight,
+// Shutdown mid-load, every in-flight transaction finishes (commit or
+// compensation), and the twelve-component consistency constraint holds over
+// the final database — with compensated order-number holes observed
+// server-side through the OnOutcome hook.
+func TestDrainUnderTPCCLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full TPC-C load")
+	}
+	scale := tpcc.DefaultScale()
+	db := core.NewDB()
+	if err := tpcc.CreateSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := tpcc.Load(db, scale, 1); err != nil {
+		t.Fatal(err)
+	}
+	types := tpcc.BuildTypes()
+	eng := core.New(db, types.Tables,
+		core.WithMode(core.ModeACC),
+		core.WithWaitTimeout(20*time.Second),
+	)
+	if _, err := tpcc.Register(eng, types, scale); err != nil {
+		t.Fatal(err)
+	}
+	protos := tpcc.ArgsPrototypes()
+	holes := tpcc.NewHoleTracker()
+	srv := New(Config{
+		Engine:      eng,
+		NewArgs:     func(name string) any { return protos[name]() },
+		MaxInFlight: 256,
+		OnOutcome:   holes.Observe,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	// 64 terminals, each with its own TCP connection, hammering the mix.
+	const terminals = 64
+	w := tpcc.NewRemoteWorkload(nil, tpcc.DefaultWorkloadConfig(scale))
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for term := 0; term < terminals; term++ {
+		wg.Add(1)
+		go func(term int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			r := rand.New(rand.NewSource(int64(1000 + term)))
+			var id uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id++
+				name, args := w.DrawArgs(r, term)
+				payload, _ := json.Marshal(args)
+				if err := wire.WriteRequest(conn, &wire.Request{ID: id, Op: wire.OpRun, Name: name, Args: payload}); err != nil {
+					return // server closed the session post-drain
+				}
+				resp, err := wire.ReadResponse(conn)
+				if err != nil {
+					return
+				}
+				switch resp.Status {
+				case wire.StatusOK, wire.StatusCompensated, wire.StatusAborted:
+					completed.Add(1)
+				case wire.StatusDraining:
+					return
+				case wire.StatusQueueFull:
+					// over-admission pressure: back off implicitly via loop
+				default:
+					t.Errorf("terminal %d: unexpected status %s: %s", term, resp.Status, resp.Msg)
+					return
+				}
+			}
+		}(term)
+	}
+
+	// Let the load build, then drain mid-flight.
+	waitFor(t, "sustained load", func() bool { return completed.Load() > 500 })
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+
+	st := srv.Stats()
+	es := eng.Snapshot()
+	t.Logf("drained: admitted=%d rejected_full=%d rejected_draining=%d commits=%d compensations=%d",
+		st.Admitted, st.RejectedFull, st.RejectedDraining, es.Commits, es.Compensations)
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight after drain = %d", st.InFlight)
+	}
+	if !eng.Closed() {
+		t.Fatal("engine not closed after drain")
+	}
+	if es.Commits == 0 {
+		t.Fatal("no commits before drain — load never ran")
+	}
+	if errs := tpcc.CheckConsistency(db, scale, holes.Holes()); len(errs) > 0 {
+		for _, e := range errs {
+			t.Error(e)
+		}
+		t.Fatalf("%d consistency violations after drain", len(errs))
+	}
+}
+
+// TestDrainRefusesNewWork checks the drain fast-path: once Shutdown begins,
+// new requests on existing sessions get StatusDraining.
+func TestDrainRefusesNewWork(t *testing.T) {
+	s := newMoveSys(t, nil)
+	rc := dialRaw(t, s.ln.Addr())
+	defer rc.c.Close()
+
+	// One committed request proves the session works.
+	rc.send(1, "move", &moveArgs{ID: 60, Account: 3})
+	if resp := rc.recv(); resp.Status != wire.StatusOK {
+		t.Fatalf("pre-drain move: %+v", resp)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.srv.Shutdown(ctx) }()
+	waitFor(t, "drain to begin", func() bool { return s.srv.Stats().Draining })
+
+	// The session may already be torn down (drain had nothing in flight);
+	// either a draining refusal or a closed connection is acceptable.
+	err := wire.WriteRequest(rc.c, mustReq(2, "move", &moveArgs{ID: 61, Account: 3}))
+	if err == nil {
+		if resp, rerr := wire.ReadResponse(rc.c); rerr == nil && resp.Status != wire.StatusDraining {
+			t.Fatalf("want draining refusal, got %+v", resp)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if !s.eng.Closed() {
+		t.Fatal("drain must close the engine (forcing the WAL)")
+	}
+	if err := s.eng.Run("move", &moveArgs{ID: 62, Account: 3}); !errors.Is(err, core.ErrEngineClosed) {
+		t.Fatalf("engine should refuse post-drain work, got %v", err)
+	}
+}
+
+func mustReq(id uint64, name string, args any) *wire.Request {
+	payload, err := json.Marshal(args)
+	if err != nil {
+		panic(err)
+	}
+	return &wire.Request{ID: id, Op: wire.OpRun, Name: name, Args: payload}
+}
+
+// BenchmarkServerThroughput measures end-to-end wire throughput of the
+// default TPC-C mix: parallel clients, one connection per proc, full
+// request/decode/run/encode/response cycle per operation.
+func BenchmarkServerThroughput(b *testing.B) {
+	scale := tpcc.DefaultScale()
+	db := core.NewDB()
+	if err := tpcc.CreateSchema(db); err != nil {
+		b.Fatal(err)
+	}
+	if err := tpcc.Load(db, scale, 1); err != nil {
+		b.Fatal(err)
+	}
+	types := tpcc.BuildTypes()
+	eng := core.New(db, types.Tables,
+		core.WithMode(core.ModeACC),
+		core.WithWaitTimeout(20*time.Second),
+	)
+	if _, err := tpcc.Register(eng, types, scale); err != nil {
+		b.Fatal(err)
+	}
+	protos := tpcc.ArgsPrototypes()
+	srv := New(Config{
+		Engine:      eng,
+		NewArgs:     func(name string) any { return protos[name]() },
+		MaxInFlight: 512,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	w := tpcc.NewRemoteWorkload(nil, tpcc.DefaultWorkloadConfig(scale))
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		term := int(worker.Add(1))
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		r := rand.New(rand.NewSource(int64(term)))
+		var id uint64
+		for pb.Next() {
+			id++
+			name, args := w.DrawArgs(r, term)
+			payload, _ := json.Marshal(args)
+			if err := wire.WriteRequest(conn, &wire.Request{ID: id, Op: wire.OpRun, Name: name, Args: payload}); err != nil {
+				b.Error(err)
+				return
+			}
+			resp, err := wire.ReadResponse(conn)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if resp.Status == wire.StatusInternal {
+				b.Errorf("internal error: %s", resp.Msg)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	total := srv.Metrics().Total()
+	b.ReportMetric(float64(total.Count)/b.Elapsed().Seconds(), "txn/s")
+	_ = fmt.Sprintf("%v", total)
+}

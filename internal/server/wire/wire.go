@@ -1,0 +1,270 @@
+// Package wire defines accd's length-prefixed binary framing. Both ends of
+// the connection — internal/server and pkg/accclient — encode and decode
+// through this package, so the frame layout is written down exactly once.
+//
+// Every frame is a 4-byte big-endian length (of the remainder) followed by
+// the payload. A request payload is
+//
+//	uint64  request id (client-chosen; echoed verbatim in the response)
+//	uint8   op          (OpRun, OpPing)
+//	uint16  name length
+//	bytes   transaction type name (OpRun; empty for OpPing)
+//	bytes   JSON-encoded transaction arguments (the rest of the frame)
+//
+// and a response payload is
+//
+//	uint64  request id
+//	uint8   status code (see Status)
+//	uint16  message length
+//	bytes   human-readable error message (empty on success)
+//	bytes   JSON-encoded result (the rest of the frame)
+//
+// The result is the transaction's argument record re-encoded after
+// execution: ACC transactions use their arguments as the §4.1 work area, so
+// output fields (an assigned order number, a fetched balance) travel back in
+// the same JSON object the client sent. Responses are correlated by request
+// id, never by order — the server answers out of order when pipelined
+// requests finish out of order.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op selects what a request asks the server to do.
+type Op uint8
+
+const (
+	// OpRun executes a registered transaction type.
+	OpRun Op = 1
+	// OpPing is a no-op round trip (health checks, pool liveness probes).
+	OpPing Op = 2
+)
+
+// Status classifies the outcome of a request. The codes mirror the engine's
+// error taxonomy (internal/core) so a client can reconstruct an errors.Is
+// compatible error without parsing message text.
+type Status uint8
+
+const (
+	// StatusOK means the transaction committed; the result field holds the
+	// re-encoded work area.
+	StatusOK Status = iota
+	// StatusCompensated means the transaction rolled back by compensation
+	// (§3.4): its steps' effects were semantically reversed. Final — the
+	// work area may still carry assigned identifiers the client must
+	// observe (e.g. a consumed order number).
+	StatusCompensated
+	// StatusAborted means the transaction aborted before exposing anything
+	// (user abort). Final.
+	StatusAborted
+	// StatusDeadlock means the transaction was abandoned as a deadlock
+	// victim after the server-side retry budget. Retryable.
+	StatusDeadlock
+	// StatusLockTimeout means a lock wait exceeded the engine's budget.
+	// Retryable.
+	StatusLockTimeout
+	// StatusCanceled means the request's context ended (client disconnect
+	// or server-side cancellation) before the transaction completed.
+	StatusCanceled
+	// StatusUnknownType means the named transaction type is not registered.
+	StatusUnknownType
+	// StatusQueueFull means admission control refused the request because
+	// the in-flight limit was reached. Nothing executed; retry later.
+	StatusQueueFull
+	// StatusDraining means the server is shutting down and accepts no new
+	// work. Nothing executed; retry against another server.
+	StatusDraining
+	// StatusBadRequest means the frame was structurally valid but the
+	// request could not be decoded (malformed JSON args, bad op).
+	StatusBadRequest
+	// StatusInternal is any other server-side failure.
+	StatusInternal
+)
+
+// String names the status for logs and metrics labels.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusCompensated:
+		return "compensated"
+	case StatusAborted:
+		return "aborted"
+	case StatusDeadlock:
+		return "deadlock"
+	case StatusLockTimeout:
+		return "lock-timeout"
+	case StatusCanceled:
+		return "canceled"
+	case StatusUnknownType:
+		return "unknown-type"
+	case StatusQueueFull:
+		return "queue-full"
+	case StatusDraining:
+		return "draining"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Retryable reports whether the status describes a transient outcome where
+// retrying the identical request may succeed: scheduling aborts and
+// admission refusals. Final outcomes (ok, compensated, aborted) and caller
+// mistakes (unknown type, bad request) are not retryable.
+func (s Status) Retryable() bool {
+	switch s {
+	case StatusDeadlock, StatusLockTimeout, StatusQueueFull:
+		return true
+	default:
+		return false
+	}
+}
+
+// Request is one decoded request frame.
+type Request struct {
+	// ID correlates the response; the server echoes it verbatim.
+	ID uint64
+	// Op is the requested operation.
+	Op Op
+	// Name is the transaction type to run (OpRun).
+	Name string
+	// Args is the JSON-encoded argument record.
+	Args []byte
+}
+
+// Response is one decoded response frame.
+type Response struct {
+	// ID echoes the request id.
+	ID uint64
+	// Status classifies the outcome.
+	Status Status
+	// Msg is a human-readable elaboration (empty on success).
+	Msg string
+	// Result is the JSON re-encoding of the transaction's work area.
+	Result []byte
+}
+
+// MaxFrame bounds a single frame's payload. Requests are argument records
+// and responses are work areas — a megabyte is far beyond any sane
+// transaction, so larger lengths are treated as protocol corruption rather
+// than honored with an allocation.
+const MaxFrame = 1 << 20
+
+// ErrFrameTooLarge reports a length prefix above MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
+
+var byteOrder = binary.BigEndian
+
+// WriteRequest encodes req as one frame. It issues a single Write, so
+// concurrent callers serialized by a mutex cannot interleave frames.
+func WriteRequest(w io.Writer, req *Request) error {
+	if len(req.Name) > 0xFFFF {
+		return fmt.Errorf("wire: transaction type name %d bytes long", len(req.Name))
+	}
+	n := 8 + 1 + 2 + len(req.Name) + len(req.Args)
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+n)
+	byteOrder.PutUint32(buf[0:], uint32(n))
+	byteOrder.PutUint64(buf[4:], req.ID)
+	buf[12] = byte(req.Op)
+	byteOrder.PutUint16(buf[13:], uint16(len(req.Name)))
+	copy(buf[15:], req.Name)
+	copy(buf[15+len(req.Name):], req.Args)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadRequest decodes one request frame.
+func ReadRequest(r io.Reader) (*Request, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < 8+1+2 {
+		return nil, fmt.Errorf("wire: short request frame (%d bytes)", len(payload))
+	}
+	req := &Request{
+		ID: byteOrder.Uint64(payload[0:]),
+		Op: Op(payload[8]),
+	}
+	nameLen := int(byteOrder.Uint16(payload[9:]))
+	if 11+nameLen > len(payload) {
+		return nil, fmt.Errorf("wire: request name length %d overruns frame", nameLen)
+	}
+	req.Name = string(payload[11 : 11+nameLen])
+	req.Args = payload[11+nameLen:]
+	return req, nil
+}
+
+// WriteResponse encodes resp as one frame in a single Write.
+func WriteResponse(w io.Writer, resp *Response) error {
+	msg := resp.Msg
+	if len(msg) > 0xFFFF {
+		msg = msg[:0xFFFF]
+	}
+	n := 8 + 1 + 2 + len(msg) + len(resp.Result)
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+n)
+	byteOrder.PutUint32(buf[0:], uint32(n))
+	byteOrder.PutUint64(buf[4:], resp.ID)
+	buf[12] = byte(resp.Status)
+	byteOrder.PutUint16(buf[13:], uint16(len(msg)))
+	copy(buf[15:], msg)
+	copy(buf[15+len(msg):], resp.Result)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadResponse decodes one response frame.
+func ReadResponse(r io.Reader) (*Response, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < 8+1+2 {
+		return nil, fmt.Errorf("wire: short response frame (%d bytes)", len(payload))
+	}
+	resp := &Response{
+		ID:     byteOrder.Uint64(payload[0:]),
+		Status: Status(payload[8]),
+	}
+	msgLen := int(byteOrder.Uint16(payload[9:]))
+	if 11+msgLen > len(payload) {
+		return nil, fmt.Errorf("wire: response message length %d overruns frame", msgLen)
+	}
+	resp.Msg = string(payload[11 : 11+msgLen])
+	resp.Result = payload[11+msgLen:]
+	return resp, nil
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err // io.EOF between frames is a clean close
+	}
+	n := byteOrder.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // mid-frame close is not clean
+		}
+		return nil, err
+	}
+	return payload, nil
+}

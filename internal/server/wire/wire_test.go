@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Request{ID: 42, Op: OpRun, Name: "new_order", Args: []byte(`{"WID":1}`)}
+	if err := WriteRequest(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Op != in.Op || out.Name != in.Name || !bytes.Equal(out.Args, in.Args) {
+		t.Fatalf("round trip mangled request: %+v -> %+v", in, out)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Response{ID: 7, Status: StatusCompensated, Msg: "rolled back", Result: []byte(`{"ONum":9}`)}
+	if err := WriteResponse(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Status != in.Status || out.Msg != in.Msg || !bytes.Equal(out.Result, in.Result) {
+		t.Fatalf("round trip mangled response: %+v -> %+v", in, out)
+	}
+}
+
+func TestEmptyFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{ID: 1, Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "" || len(out.Args) != 0 {
+		t.Fatalf("ping grew fields: %+v", out)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	big := &Request{ID: 1, Op: OpRun, Name: "x", Args: make([]byte, MaxFrame)}
+	if err := WriteRequest(io.Discard, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge writing, got %v", err)
+	}
+	// A hostile length prefix must be rejected before allocation.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadRequest(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge reading, got %v", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{ID: 3, Op: OpRun, Name: "payment"}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadRequest(bytes.NewReader(cut)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF on mid-frame close, got %v", err)
+	}
+	// Clean close between frames is io.EOF.
+	if _, err := ReadRequest(strings.NewReader("")); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF between frames, got %v", err)
+	}
+}
+
+func TestOverrunLengths(t *testing.T) {
+	// name length claims more bytes than the frame holds
+	payload := []byte{
+		0, 0, 0, 11, // frame length
+		0, 0, 0, 0, 0, 0, 0, 1, // id
+		1,       // op
+		0xFF, 1, // name length 0xFF01 overruns
+	}
+	if _, err := ReadRequest(bytes.NewReader(payload)); err == nil {
+		t.Fatal("want error for overrunning name length")
+	}
+}
+
+func TestStatusStringsAndRetryability(t *testing.T) {
+	for st, want := range map[Status]bool{
+		StatusOK: false, StatusCompensated: false, StatusAborted: false,
+		StatusDeadlock: true, StatusLockTimeout: true, StatusQueueFull: true,
+		StatusCanceled: false, StatusUnknownType: false, StatusDraining: false,
+		StatusBadRequest: false, StatusInternal: false,
+	} {
+		if st.Retryable() != want {
+			t.Errorf("%s.Retryable() = %v, want %v", st, st.Retryable(), want)
+		}
+		if strings.HasPrefix(st.String(), "status(") {
+			t.Errorf("status %d has no name", uint8(st))
+		}
+	}
+}

@@ -34,12 +34,12 @@ func TestStressMixACCWithEnv(t *testing.T) {
 		t.Fatal(err)
 	}
 	types := BuildTypes()
-	eng := core.New(db, types.Tables, core.Options{
-		Mode:         core.ModeACC,
-		WaitTimeout:  20 * time.Second,
-		ForceLatency: 20 * time.Microsecond,
-		Env:          sim.NewEnv(3, 50*time.Microsecond, 0),
-	})
+	eng := core.New(db, types.Tables,
+		core.WithMode(core.ModeACC),
+		core.WithWaitTimeout(20*time.Second),
+		core.WithForceLatency(20*time.Microsecond),
+		core.WithEnv(sim.NewEnv(3, 50*time.Microsecond, 0)),
+	)
 	if _, err := Register(eng, types, scale); err != nil {
 		t.Fatal(err)
 	}

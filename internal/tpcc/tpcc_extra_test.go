@@ -155,7 +155,7 @@ func TestDistrictSkew(t *testing.T) {
 	CreateSchema(db)
 	Load(db, scale, 1)
 	types := BuildTypes()
-	eng := core.New(db, types.Tables, core.Options{})
+	eng := core.New(db, types.Tables)
 	Register(eng, types, scale)
 	cfg := DefaultWorkloadConfig(scale)
 	cfg.DistrictSkew = 0.5
@@ -238,11 +238,11 @@ func TestACCNonSerializableButConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 	types := BuildTypes()
-	eng := core.New(db, types.Tables, core.Options{
-		Mode:          core.ModeACC,
-		WaitTimeout:   20 * time.Second,
-		RecordHistory: true,
-	})
+	eng := core.New(db, types.Tables,
+		core.WithMode(core.ModeACC),
+		core.WithWaitTimeout(20*time.Second),
+		core.WithRecordHistory(true),
+	)
 	if _, err := Register(eng, types, scale); err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestTPCCCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	types := BuildTypes()
-	eng2 := core.New(db2, types.Tables, core.Options{Mode: core.ModeACC})
+	eng2 := core.New(db2, types.Tables, core.WithMode(core.ModeACC))
 	if _, err := Register(eng2, types, scale); err != nil {
 		t.Fatal(err)
 	}

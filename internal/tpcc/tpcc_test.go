@@ -21,10 +21,10 @@ func testSystem(t *testing.T, mode core.Mode, scale Scale) (*core.Engine, *Workl
 		t.Fatal(err)
 	}
 	types := BuildTypes()
-	eng := core.New(db, types.Tables, core.Options{
-		Mode:        mode,
-		WaitTimeout: 20 * time.Second,
-	})
+	eng := core.New(db, types.Tables,
+		core.WithMode(mode),
+		core.WithWaitTimeout(20*time.Second),
+	)
 	if _, err := Register(eng, types, scale); err != nil {
 		t.Fatal(err)
 	}

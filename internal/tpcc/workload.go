@@ -53,11 +53,18 @@ func DefaultWorkloadConfig(s Scale) WorkloadConfig {
 	}
 }
 
-// Workload generates TPC-C transactions against an engine. It also tracks
+// RunFunc executes one transaction by type name: the in-process engine's
+// Run, or a network client's. The argument record doubles as the work area,
+// so the executor must leave output fields (an assigned order number)
+// visible in it — the accclient pool does, by decoding the response's
+// re-encoded work area back into args.
+type RunFunc func(name string, args any) error
+
+// Workload generates TPC-C transactions against a RunFunc. It also tracks
 // the order-number holes left by compensated new-orders, which the
 // consistency checker needs to verify the numbering conditions.
 type Workload struct {
-	eng *core.Engine
+	run RunFunc
 	cfg WorkloadConfig
 
 	hID atomic.Int64
@@ -74,7 +81,14 @@ type DistrictKey struct {
 // NewWorkload binds a generator to an engine whose database was loaded at
 // cfg.Scale and whose transaction types are registered.
 func NewWorkload(eng *core.Engine, cfg WorkloadConfig) *Workload {
-	w := &Workload{eng: eng, cfg: cfg, holes: make(map[DistrictKey]map[int64]bool)}
+	return NewRemoteWorkload(eng.Run, cfg)
+}
+
+// NewRemoteWorkload binds a generator to an arbitrary executor — the TPC-C
+// driver's -net mode passes an accclient pool's Run here and the terminals
+// become network clients of accd.
+func NewRemoteWorkload(run RunFunc, cfg WorkloadConfig) *Workload {
+	w := &Workload{run: run, cfg: cfg, holes: make(map[DistrictKey]map[int64]bool)}
 	w.hID.Store(int64(cfg.Scale.Warehouses*cfg.Scale.Districts*cfg.Scale.CustomersPerDistrict) + 1)
 	return w
 }
@@ -201,16 +215,34 @@ func (w *Workload) StockLevelArgs(r *rand.Rand, terminal int) *StockLevelArgs {
 	}
 }
 
-// Next implements sim.Generator: it draws a transaction type from the mix
-// and returns a runnable instance.
-func (w *Workload) Next(r *rand.Rand, terminal int) sim.Txn {
+// DrawArgs draws the next transaction from the mix and returns its type
+// name and a fresh argument record without executing it — for drivers that
+// carry the request themselves (the wire-protocol tests and benchmark
+// harness encode the record and ship it to accd).
+func (w *Workload) DrawArgs(r *rand.Rand, terminal int) (string, any) {
 	m := w.cfg.Mix
 	roll := r.Intn(100)
 	switch {
 	case roll < m.NewOrder:
-		a := w.NewOrderArgs(r)
-		return sim.Txn{Type: "new_order", Run: func() (metrics.Outcome, error) {
-			err := w.eng.Run("new_order", a)
+		return "new_order", w.NewOrderArgs(r)
+	case roll < m.NewOrder+m.Payment:
+		return "payment", w.PaymentArgs(r)
+	case roll < m.NewOrder+m.Payment+m.OrderStatus:
+		return "order_status", w.OrderStatusArgs(r)
+	case roll < m.NewOrder+m.Payment+m.OrderStatus+m.Delivery:
+		return "delivery", w.DeliveryArgs(r)
+	default:
+		return "stock_level", w.StockLevelArgs(r, terminal)
+	}
+}
+
+// Next implements sim.Generator: it draws a transaction type from the mix
+// and returns a runnable instance.
+func (w *Workload) Next(r *rand.Rand, terminal int) sim.Txn {
+	name, args := w.DrawArgs(r, terminal)
+	if a, ok := args.(*NewOrderArgs); ok {
+		return sim.Txn{Type: name, Run: func() (metrics.Outcome, error) {
+			err := w.run(name, a)
 			if core.IsCompensated(err) {
 				// Compensation leaves the order number as a hole (§4); a
 				// plain abort restored the counter, so no hole.
@@ -218,27 +250,10 @@ func (w *Workload) Next(r *rand.Rand, terminal int) sim.Txn {
 			}
 			return outcome(err)
 		}}
-	case roll < m.NewOrder+m.Payment:
-		a := w.PaymentArgs(r)
-		return sim.Txn{Type: "payment", Run: func() (metrics.Outcome, error) {
-			return outcome(w.eng.Run("payment", a))
-		}}
-	case roll < m.NewOrder+m.Payment+m.OrderStatus:
-		a := w.OrderStatusArgs(r)
-		return sim.Txn{Type: "order_status", Run: func() (metrics.Outcome, error) {
-			return outcome(w.eng.Run("order_status", a))
-		}}
-	case roll < m.NewOrder+m.Payment+m.OrderStatus+m.Delivery:
-		a := w.DeliveryArgs(r)
-		return sim.Txn{Type: "delivery", Run: func() (metrics.Outcome, error) {
-			return outcome(w.eng.Run("delivery", a))
-		}}
-	default:
-		a := w.StockLevelArgs(r, terminal)
-		return sim.Txn{Type: "stock_level", Run: func() (metrics.Outcome, error) {
-			return outcome(w.eng.Run("stock_level", a))
-		}}
 	}
+	return sim.Txn{Type: name, Run: func() (metrics.Outcome, error) {
+		return outcome(w.run(name, args))
+	}}
 }
 
 func outcome(err error) (metrics.Outcome, error) {

@@ -129,7 +129,7 @@ func appendChromeJSON(dst []byte, ev Event) []byte {
 func durationKind(k Kind) bool {
 	switch k {
 	case KindTxnCommit, KindStepEnd, KindCompDone, KindLockGrant,
-		KindLockTimeout, KindLockAbort, KindWALForce:
+		KindLockTimeout, KindLockAbort, KindWALForce, KindRPCEnd:
 		return true
 	}
 	return false
@@ -151,6 +151,8 @@ func chromeCategory(k Kind) string {
 		return "lock"
 	case KindWALAppend, KindWALForce:
 		return "wal"
+	case KindRPCBegin, KindRPCEnd, KindRPCReject:
+		return "rpc"
 	}
 	return "misc"
 }

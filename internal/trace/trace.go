@@ -93,6 +93,15 @@ const (
 	KindWALAppend
 	// KindWALForce marks a log force; Dur is the force latency paid.
 	KindWALForce
+	// KindRPCBegin marks a network request admitted by the accd server;
+	// Item carries the transaction type name, Extra the remote address.
+	KindRPCBegin
+	// KindRPCEnd marks an admitted network request completing; Dur is the
+	// server-side latency, Extra the wire status it answered with.
+	KindRPCEnd
+	// KindRPCReject marks a request refused before execution; Extra is the
+	// refusal cause ("queue-full", "draining", "unknown-type", "bad-request").
+	KindRPCReject
 
 	kindMax
 )
@@ -116,6 +125,9 @@ var kindNames = [...]string{
 	KindDeadlockVictim: "lock.victim",
 	KindWALAppend:      "wal.append",
 	KindWALForce:       "wal.force",
+	KindRPCBegin:       "rpc.begin",
+	KindRPCEnd:         "rpc.end",
+	KindRPCReject:      "rpc.reject",
 }
 
 // String names the kind as it appears in sink output.

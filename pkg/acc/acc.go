@@ -1,0 +1,145 @@
+// Package acc is the stable public facade over the assertional concurrency
+// control engine. Application code — and everything outside internal/ —
+// should program against this package rather than internal/core: the aliases
+// here are the supported surface, so the engine's internals can move without
+// breaking callers.
+//
+// A minimal in-process program looks like:
+//
+//	db := acc.NewDB()
+//	// create tables, build interference tables ...
+//	eng := acc.New(db, tables, acc.WithMode(acc.ModeACC))
+//	eng.MustRegister(myTxnType)
+//	err := eng.RunContext(ctx, "new-order", &args)
+//
+// RunContext propagates ctx into every lock wait: cancelling the context
+// aborts the wait, rolls the transaction back (compensating completed steps
+// per §3.4 of the paper), and returns an error wrapping ctx.Err().
+// Compensation itself always runs to completion under a background context —
+// a cancelled client never leaves exposure marks or reservations behind.
+//
+// Failures classify with errors.Is against the exported sentinels
+// (ErrAborted, ErrDeadlockVictim, ErrLockTimeout, ErrUnknownTxnType,
+// ErrEngineClosed); Retryable folds the taxonomy into the one question retry
+// loops ask. The accd network server and the accclient pool speak the same
+// taxonomy over the wire.
+package acc
+
+import (
+	"accdb/internal/core"
+)
+
+// Engine schedules registered transaction types over a DB. It is an alias of
+// the internal engine, so values interoperate with internal packages.
+type Engine = core.Engine
+
+// DB is the partitioned in-memory database the engine schedules over.
+type DB = core.DB
+
+// NewDB creates an empty database.
+func NewDB() *DB { return core.NewDB() }
+
+// New creates an engine over db using the design-time interference tables,
+// configured by functional options. See the With* options.
+var New = core.New
+
+// Option configures an Engine at construction.
+type Option = core.Option
+
+// Options is the full configuration record; most callers use the targeted
+// With* options instead and reach for WithOptions only when assembling
+// configuration dynamically.
+type Options = core.Options
+
+// Mode selects the scheduler.
+type Mode = core.Mode
+
+// Scheduler modes (see the Mode constants in the engine).
+const (
+	// ModeACC is the one-level assertional scheduler of §3.2-3.3.
+	ModeACC = core.ModeACC
+	// ModeBaseline treats the whole transaction as one strict-2PL unit.
+	ModeBaseline = core.ModeBaseline
+	// ModeTwoLevel is the earlier two-level design kept for ablations.
+	ModeTwoLevel = core.ModeTwoLevel
+)
+
+// Functional options re-exported from the engine.
+var (
+	// WithMode selects the scheduler mode.
+	WithMode = core.WithMode
+	// WithWaitTimeout bounds individual lock waits.
+	WithWaitTimeout = core.WithWaitTimeout
+	// WithForceLatency sets the simulated log-force I/O time.
+	WithForceLatency = core.WithForceLatency
+	// WithMaxStepRetries bounds deadlock-victim step restarts.
+	WithMaxStepRetries = core.WithMaxStepRetries
+	// WithMaxTxnRetries bounds whole-transaction restarts.
+	WithMaxTxnRetries = core.WithMaxTxnRetries
+	// WithEagerAssertionLocks selects the simplified §3.3 algorithm.
+	WithEagerAssertionLocks = core.WithEagerAssertionLocks
+	// WithEnv injects execution costs.
+	WithEnv = core.WithEnv
+	// WithRecordHistory captures a conflict-checkable access history.
+	WithRecordHistory = core.WithRecordHistory
+	// WithTracer attaches the structured event bus.
+	WithTracer = core.WithTracer
+	// WithWAL backs the engine with an existing write-ahead log.
+	WithWAL = core.WithWAL
+	// WithOptions replaces the entire Options record at once.
+	WithOptions = core.WithOptions
+)
+
+// TxnType is a registered multi-step transaction: steps, assertions, and
+// compensations per §2-3 of the paper.
+type TxnType = core.TxnType
+
+// Step is one strict-2PL unit of a decomposed transaction.
+type Step = core.Step
+
+// Assertion is a predicate a step exposes for later steps to rely on.
+type Assertion = core.Assertion
+
+// Compensation semantically reverses a completed step during rollback.
+type Compensation = core.Compensation
+
+// Ctx is the per-step execution context handed to step bodies.
+type Ctx = core.Ctx
+
+// Stats aggregates engine counters.
+type Stats = core.Stats
+
+// The public error taxonomy. Classify with errors.Is/errors.As.
+var (
+	// ErrUnknownTxnType reports a Run against an unregistered type name.
+	ErrUnknownTxnType = core.ErrUnknownTxnType
+	// ErrEngineClosed reports a Run against a closed engine.
+	ErrEngineClosed = core.ErrEngineClosed
+	// ErrAborted is the root of every final rollback.
+	ErrAborted = core.ErrAborted
+	// ErrUserAbort is returned by a step body to request rollback.
+	ErrUserAbort = core.ErrUserAbort
+	// ErrRetriesExhausted reports an exhausted retry budget.
+	ErrRetriesExhausted = core.ErrRetriesExhausted
+	// ErrDeadlockVictim reports a deadlock-victim abort.
+	ErrDeadlockVictim = core.ErrDeadlockVictim
+	// ErrLockTimeout reports a lock wait that exceeded its budget.
+	ErrLockTimeout = core.ErrLockTimeout
+)
+
+// CompensatedError reports that a transaction was rolled back by running
+// compensations for its completed steps (§3.4). It matches ErrAborted under
+// errors.Is.
+type CompensatedError = core.CompensatedError
+
+// CompensationFailedError reports that a compensation itself could not
+// complete; the database may hold exposed uncompensated effects.
+type CompensationFailedError = core.CompensationFailedError
+
+// Retryable reports whether err is a transient scheduling outcome that a
+// fresh attempt of the same transaction may convert into a commit.
+func Retryable(err error) bool { return core.Retryable(err) }
+
+// IsCompensated reports whether err (or anything it wraps) is a
+// CompensatedError.
+func IsCompensated(err error) bool { return core.IsCompensated(err) }

@@ -1,0 +1,410 @@
+// Package accclient is the client for accd's wire protocol. A Client owns a
+// small pool of TCP connections; requests are pipelined — many in flight per
+// connection, correlated by request id — and outcomes that the engine's
+// taxonomy marks retryable (deadlock victim, lock timeout) plus admission
+// refusals (queue full) are retried automatically under the configured
+// policy.
+//
+// Errors returned by Run reconstruct the server-side taxonomy: errors.Is
+// against acc.ErrAborted / acc.ErrDeadlockVictim / acc.ErrLockTimeout /
+// acc.ErrUnknownTxnType works across the wire, and acc.IsCompensated
+// identifies compensated rollbacks — whose result payload the client still
+// decodes, because a compensated transaction may have consumed identifiers
+// (a TPC-C order number) the application's bookkeeping needs.
+package accclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accdb/internal/core"
+	"accdb/internal/server/wire"
+)
+
+// Package sentinels for admission and protocol failures. Engine outcomes
+// (aborts, deadlocks, timeouts, compensation) map onto the acc taxonomy
+// instead.
+var (
+	// ErrQueueFull reports a request refused by the server's admission
+	// control. Nothing executed; the request is safely retryable.
+	ErrQueueFull = errors.New("accclient: server queue full")
+	// ErrDraining reports a request refused because the server is shutting
+	// down. Nothing executed; retry against another server.
+	ErrDraining = errors.New("accclient: server draining")
+	// ErrBadRequest reports a request the server could not decode.
+	ErrBadRequest = errors.New("accclient: bad request")
+	// ErrClosed reports a Run on a closed client.
+	ErrClosed = errors.New("accclient: client closed")
+)
+
+// RetryPolicy bounds automatic retries of retryable outcomes.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt.
+	Max int
+	// Backoff is the sleep before the first retry; it doubles per retry.
+	Backoff time.Duration
+}
+
+// Options configures a Client.
+type Options struct {
+	// PoolSize is the number of TCP connections; requests round-robin over
+	// them. Zero means 4.
+	PoolSize int
+	// Retry bounds automatic retries. The zero policy retries once after
+	// 2ms, the paper's deadlock-recurrence rule applied at the client.
+	Retry RetryPolicy
+	// DialTimeout bounds each connection attempt. Zero means 5s.
+	DialTimeout time.Duration
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithPoolSize sets the connection pool size.
+func WithPoolSize(n int) Option { return func(o *Options) { o.PoolSize = n } }
+
+// WithRetry sets the retry policy.
+func WithRetry(p RetryPolicy) Option { return func(o *Options) { o.Retry = p } }
+
+// WithDialTimeout bounds each connection attempt.
+func WithDialTimeout(d time.Duration) Option { return func(o *Options) { o.DialTimeout = d } }
+
+// Stats counts client-side request activity.
+type Stats struct {
+	// Requests is the number of Run calls.
+	Requests uint64
+	// Attempts is the number of wire round trips (≥ Requests).
+	Attempts uint64
+	// Retries counts attempts beyond each request's first.
+	Retries uint64
+	// TransportErrors counts broken-connection failures.
+	TransportErrors uint64
+}
+
+// Client is a pooled, pipelined connection to one accd server.
+type Client struct {
+	addr string
+	opts Options
+
+	ids  atomic.Uint64
+	next atomic.Uint64
+
+	requests        atomic.Uint64
+	attempts        atomic.Uint64
+	retries         atomic.Uint64
+	transportErrors atomic.Uint64
+
+	closed atomic.Bool
+	slots  []*slot
+}
+
+// slot is one pool entry; the connection is dialed lazily and redialed
+// after transport failures.
+type slot struct {
+	mu sync.Mutex
+	c  *conn
+}
+
+// Dial creates a client for addr and verifies connectivity with one ping.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	var o Options
+	for _, apply := range opts {
+		apply(&o)
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4
+	}
+	if o.Retry.Max == 0 && o.Retry.Backoff == 0 {
+		o.Retry = RetryPolicy{Max: 1, Backoff: 2 * time.Millisecond}
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	c := &Client{addr: addr, opts: o, slots: make([]*slot, o.PoolSize)}
+	for i := range c.slots {
+		c.slots[i] = &slot{}
+	}
+	if err := c.Ping(context.Background()); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("accclient: dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Stats snapshots the client counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Requests:        c.requests.Load(),
+		Attempts:        c.attempts.Load(),
+		Retries:         c.retries.Load(),
+		TransportErrors: c.transportErrors.Load(),
+	}
+}
+
+// Close tears down the pool. In-flight requests fail with transport errors.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for _, s := range c.slots {
+		s.mu.Lock()
+		if s.c != nil {
+			s.c.shutdown(ErrClosed)
+			s.c = nil
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Ping round-trips a no-op request.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// Run executes the named transaction type on the server with the given
+// argument record. args is marshaled to JSON once; on a final outcome the
+// response's work area is unmarshaled back into args, so output fields
+// (assigned order numbers, fetched balances) appear in place, exactly as
+// with the in-process acc.Engine. Retryable outcomes are retried per the
+// policy with exponential backoff; ctx cancels the wait for a response (the
+// server finishes or compensates the in-flight attempt on its own).
+func (c *Client) Run(ctx context.Context, name string, args any) error {
+	c.requests.Add(1)
+	var payload []byte
+	if args != nil {
+		var err error
+		if payload, err = json.Marshal(args); err != nil {
+			return fmt.Errorf("accclient: marshal %s args: %w", name, err)
+		}
+	}
+	backoff := c.opts.Retry.Backoff
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if backoff > 0 {
+				select {
+				case <-time.After(backoff):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+				backoff *= 2
+			}
+		}
+		resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpRun, Name: name, Args: payload})
+		if err != nil {
+			// Transport failure: the attempt's fate is unknown, so blind
+			// retry could double-execute a non-idempotent transaction.
+			// Surface it; the application decides.
+			return err
+		}
+		err = statusError(name, resp)
+		if retryable(err) && attempt < c.opts.Retry.Max && ctx.Err() == nil {
+			continue
+		}
+		if len(resp.Result) > 0 && args != nil {
+			if uerr := json.Unmarshal(resp.Result, args); uerr != nil && err == nil {
+				err = fmt.Errorf("accclient: decode %s result: %w", name, uerr)
+			}
+		}
+		return err
+	}
+}
+
+// retryable extends the engine's predicate with client-side admission
+// refusals: a queue-full rejection executed nothing, so retrying is safe.
+func retryable(err error) bool {
+	return core.Retryable(err) || errors.Is(err, ErrQueueFull)
+}
+
+// statusError reconstructs an errors.Is-compatible error from a response.
+func statusError(name string, resp *wire.Response) error {
+	switch resp.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusCompensated:
+		return &core.CompensatedError{Txn: name, Cause: errors.New(resp.Msg)}
+	case wire.StatusAborted:
+		return fmt.Errorf("%w: %s", core.ErrAborted, resp.Msg)
+	case wire.StatusDeadlock:
+		return fmt.Errorf("%w: %s", core.ErrDeadlockVictim, resp.Msg)
+	case wire.StatusLockTimeout:
+		return fmt.Errorf("%w: %s", core.ErrLockTimeout, resp.Msg)
+	case wire.StatusCanceled:
+		return fmt.Errorf("%w: server reported %s", context.Canceled, resp.Msg)
+	case wire.StatusUnknownType:
+		return fmt.Errorf("%w: %s", core.ErrUnknownTxnType, resp.Msg)
+	case wire.StatusQueueFull:
+		return ErrQueueFull
+	case wire.StatusDraining:
+		return fmt.Errorf("%w: %s", ErrDraining, resp.Msg)
+	case wire.StatusBadRequest:
+		return fmt.Errorf("%w: %s", ErrBadRequest, resp.Msg)
+	default:
+		return fmt.Errorf("accclient: %s failed: %s (%s)", name, resp.Msg, resp.Status)
+	}
+}
+
+// roundTrip sends one request over a pooled connection and waits for its
+// response or ctx.
+func (c *Client) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	c.attempts.Add(1)
+	s := c.slots[c.next.Add(1)%uint64(len(c.slots))]
+	cn, err := s.get(c)
+	if err != nil {
+		c.transportErrors.Add(1)
+		return nil, err
+	}
+	req.ID = c.ids.Add(1)
+	ch, err := cn.send(req)
+	if err != nil {
+		c.transportErrors.Add(1)
+		s.retire(cn)
+		return nil, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.transportErrors.Add(1)
+			s.retire(cn)
+			return nil, cn.failure()
+		}
+		return resp, nil
+	case <-ctx.Done():
+		cn.forget(req.ID)
+		return nil, ctx.Err()
+	}
+}
+
+// get returns the slot's live connection, dialing if needed.
+func (s *slot) get(c *Client) (*conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c != nil && !s.c.broken() {
+		return s.c, nil
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("accclient: %w", err)
+	}
+	s.c = newConn(nc)
+	return s.c, nil
+}
+
+// retire drops cn from the slot so the next request redials.
+func (s *slot) retire(cn *conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c == cn {
+		s.c = nil
+	}
+	cn.shutdown(nil)
+}
+
+// conn is one pooled connection with a demultiplexing reader: responses
+// arrive in completion order and are routed to waiters by request id.
+type conn struct {
+	nc  net.Conn
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan *wire.Response
+	err     error
+}
+
+func newConn(nc net.Conn) *conn {
+	cn := &conn{nc: nc, pending: make(map[uint64]chan *wire.Response)}
+	go cn.readLoop()
+	return cn
+}
+
+func (cn *conn) readLoop() {
+	for {
+		resp, err := wire.ReadResponse(cn.nc)
+		if err != nil {
+			cn.shutdown(fmt.Errorf("accclient: connection lost: %w", err))
+			return
+		}
+		cn.mu.Lock()
+		ch := cn.pending[resp.ID]
+		delete(cn.pending, resp.ID)
+		cn.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// send registers the request id and writes the frame.
+func (cn *conn) send(req *wire.Request) (chan *wire.Response, error) {
+	ch := make(chan *wire.Response, 1)
+	cn.mu.Lock()
+	if cn.err != nil {
+		err := cn.err
+		cn.mu.Unlock()
+		return nil, err
+	}
+	cn.pending[req.ID] = ch
+	cn.mu.Unlock()
+
+	cn.wmu.Lock()
+	err := wire.WriteRequest(cn.nc, req)
+	cn.wmu.Unlock()
+	if err != nil {
+		cn.forget(req.ID)
+		return nil, fmt.Errorf("accclient: write: %w", err)
+	}
+	return ch, nil
+}
+
+// forget abandons a pending request (ctx cancellation): a late response is
+// dropped by the read loop.
+func (cn *conn) forget(id uint64) {
+	cn.mu.Lock()
+	delete(cn.pending, id)
+	cn.mu.Unlock()
+}
+
+// shutdown breaks the connection and fails every pending waiter by closing
+// its channel.
+func (cn *conn) shutdown(cause error) {
+	cn.mu.Lock()
+	if cn.err == nil {
+		if cause == nil {
+			cause = errors.New("accclient: connection retired")
+		}
+		cn.err = cause
+	}
+	pending := cn.pending
+	cn.pending = make(map[uint64]chan *wire.Response)
+	cn.mu.Unlock()
+	cn.nc.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+func (cn *conn) broken() bool {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.err != nil
+}
+
+func (cn *conn) failure() error {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.err != nil {
+		return cn.err
+	}
+	return errors.New("accclient: connection lost")
+}
