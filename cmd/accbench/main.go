@@ -47,6 +47,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write structured events to this file (.json: Chrome trace_event for chrome://tracing; otherwise JSONL)")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/locks, /debug/waitsfor and /debug/pprof on this address (e.g. :6060)")
 		walDir   = flag.String("wal-dir", "", "back the log with CRC-framed segment files in this directory instead of the in-memory log")
+		groupWin = flag.Duration("group-commit", 0, "with -wal-dir: group-commit window; a force leader waits this long so concurrent commits share one sync (0 disables)")
 		faultPt  = flag.String("fault", "", "run one crash-matrix case: trip this fault point (see -fault list) mid-load, recover, verify; 'all' runs every point, 'list' prints the catalog")
 		faultNth = flag.Uint64("fault-nth", 3, "fire the -fault point on its nth hit")
 		faultSd  = flag.Int64("fault-seed", 42, "seed for the -fault controller and load (a (point, seed, nth) triple replays exactly)")
@@ -77,6 +78,7 @@ func main() {
 	cfg.Servers = *servers
 	cfg.Seed = *seed
 	cfg.WALDir = *walDir
+	cfg.GroupWindow = *groupWin
 
 	var tr *trace.Tracer
 	if *traceOut != "" {

@@ -43,6 +43,7 @@ func main() {
 		waitTimeout  = flag.Duration("wait-timeout", 10*time.Second, "lock-wait safety net")
 		force        = flag.Duration("force", 0, "simulated log force latency (memory log)")
 		walDir       = flag.String("wal-dir", "", "back the log with segment files in this directory")
+		groupCommit  = flag.Duration("group-commit", 0, "cross-session group-commit window: a force leader waits this long so concurrent commits share one log sync (0 disables)")
 		seed         = flag.Int64("seed", 1, "TPC-C load seed")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics on this address (e.g. :6061)")
 		traceOut     = flag.String("trace", "", "write structured events to this file (.json: Chrome trace_event; otherwise JSONL)")
@@ -94,7 +95,7 @@ func main() {
 	var dlog *wal.Log
 	if *walDir != "" {
 		var err error
-		dlog, err = wal.Open(*walDir, wal.Options{ForceLatency: *force})
+		dlog, err = wal.Open(*walDir, wal.Options{ForceLatency: *force, GroupWindow: *groupCommit})
 		if err != nil {
 			fatal(err)
 		}

@@ -237,6 +237,15 @@ func (e *Engine) Type(name string) *TxnType {
 	return e.types[name]
 }
 
+// TypeBytes is Type keyed by a byte-slice name — a decoded wire request's
+// Name field — without allocating a string for the lookup. The returned
+// type's Name is the interned string the hot path should carry onward.
+func (e *Engine) TypeBytes(name []byte) *TxnType {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.types[string(name)]
+}
+
 // Snapshot returns the engine counters.
 func (e *Engine) Snapshot() Stats {
 	return Stats{

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"accdb/internal/fault"
@@ -290,7 +291,16 @@ func (e *Engine) finishStep(txn *txnState, tc *Ctx, j int) {
 		}
 	}
 	var area []byte
-	if tt.EncodeArgs != nil {
+	var areaBuf *[]byte
+	switch {
+	case tt.AppendArgs != nil:
+		// Append form: the work area is serialized into a pooled scratch.
+		// Append below copies it into the log synchronously, so the buffer
+		// is free again as soon as the record is in.
+		areaBuf = areaPool.Get().(*[]byte)
+		*areaBuf = tt.AppendArgs((*areaBuf)[:0], txn.args)
+		area = *areaBuf
+	case tt.EncodeArgs != nil:
 		area = tt.EncodeArgs(txn.args)
 	}
 	rec := wal.Record{
@@ -301,14 +311,26 @@ func (e *Engine) finishStep(txn *txnState, tc *Ctx, j int) {
 		// The commit record that follows immediately is forced; piggyback
 		// its processing too.
 		e.log.Append(rec)
+		if areaBuf != nil {
+			areaPool.Put(areaBuf)
+		}
 		txn.info.AdvanceStep()
 		return
 	}
 	e.logForce(rec)
+	if areaBuf != nil {
+		areaPool.Put(areaBuf)
+	}
 	txn.info.AdvanceStep()
 	e.lm.ReleaseConventional(txn.info)
 	e.releaseAssertions(txn, txn.steps[j].Pre)
 }
+
+// areaPool recycles work-area encode buffers across end-of-step records.
+var areaPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1<<10)
+	return &b
+}}
 
 // releaseAssertions drops the assertional locks of the given (now
 // discharged) precondition conjuncts.

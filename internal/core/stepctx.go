@@ -362,7 +362,10 @@ func (tc *Ctx) Update(table string, keyVals []storage.Value, mutate func(storage
 		}
 		before, uerr = t.Update(pk, row)
 		if uerr == nil {
-			tc.recordWrite(table, keyVals, pk, before, row.Clone())
+			// row is this call's private copy (t.Get cloned it, t.Update
+			// stored its own clone), so it can become the after image
+			// without another defensive copy.
+			tc.recordWrite(table, keyVals, pk, before, row)
 		}
 	})
 	return uerr

@@ -84,6 +84,12 @@ type TxnType struct {
 	// crash can be compensated. Optional: without it the transaction cannot
 	// be compensated after a crash (it still compensates normally online).
 	EncodeArgs func(args any) []byte
+	// AppendArgs, when non-nil, is EncodeArgs in append form: it serializes
+	// the work area onto dst and returns the extended slice, so the engine
+	// can reuse one pooled scratch buffer across end-of-step records
+	// instead of allocating per step. It must produce exactly the bytes
+	// EncodeArgs would.
+	AppendArgs func(dst []byte, args any) []byte
 	// DecodeArgs reverses EncodeArgs during crash recovery.
 	DecodeArgs func(data []byte) (any, error)
 	// InterStatementCompute opts this type into the environment's

@@ -48,6 +48,9 @@ type CrashConfig struct {
 	// SegmentSize is the WAL rotation threshold; kept small so rotation
 	// points get exercised (default 32 KiB).
 	SegmentSize int64
+	// GroupWindow is the WAL group-commit window; kept small but nonzero so
+	// the group-commit fault point gets exercised (default 100 µs).
+	GroupWindow time.Duration
 }
 
 // CrashResult reports one crash-matrix case.
@@ -98,7 +101,7 @@ func buildCrashSystem(cfg CrashConfig) (*crashSystem, error) {
 	if err := tpcc.Load(db, cfg.Scale, cfg.Seed); err != nil {
 		return nil, err
 	}
-	l, err := wal.Open(cfg.WALDir, wal.Options{SegmentSize: cfg.SegmentSize})
+	l, err := wal.Open(cfg.WALDir, wal.Options{SegmentSize: cfg.SegmentSize, GroupWindow: cfg.GroupWindow})
 	if err != nil {
 		return nil, err
 	}
@@ -139,6 +142,9 @@ func RunCrash(cfg CrashConfig) (*CrashResult, error) {
 	}
 	if cfg.SegmentSize == 0 {
 		cfg.SegmentSize = 32 << 10
+	}
+	if cfg.GroupWindow == 0 {
+		cfg.GroupWindow = 100 * time.Microsecond
 	}
 	if cfg.WALDir == "" {
 		return nil, fmt.Errorf("experiment: crash case needs a WAL directory")

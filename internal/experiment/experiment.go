@@ -64,6 +64,9 @@ type Config struct {
 	// files in that directory (wal.Open) instead of the in-memory log; the
 	// engine then pays real write+fsync per force on top of ForceLatency.
 	WALDir string
+	// GroupWindow, with WALDir set, enables cross-terminal group commit: a
+	// force leader waits this long so concurrent commits share one sync.
+	GroupWindow time.Duration
 }
 
 // Defaults fills a baseline parameterization that reproduces the paper's
@@ -117,7 +120,7 @@ func Run(cfg Config) (*RunResult, error) {
 	var dlog *wal.Log
 	if cfg.WALDir != "" {
 		var err error
-		dlog, err = wal.Open(cfg.WALDir, wal.Options{ForceLatency: cfg.ForceLatency})
+		dlog, err = wal.Open(cfg.WALDir, wal.Options{ForceLatency: cfg.ForceLatency, GroupWindow: cfg.GroupWindow})
 		if err != nil {
 			return nil, err
 		}

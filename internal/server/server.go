@@ -236,24 +236,44 @@ func (s *Server) emitRPC(kind trace.Kind, id uint64, name string, dur int64, ext
 	s.tracer.Emit(ev)
 }
 
+// drainFlushTimeout bounds how long a closing session waits for its final
+// response frames to reach a slow peer before the socket is torn down.
+const drainFlushTimeout = 2 * time.Second
+
 // session is one client connection.
 type session struct {
 	srv  *Server
 	conn net.Conn
+	bw   *wire.BatchWriter
 
 	ctx    context.Context
 	cancel context.CancelFunc
-
-	wmu sync.Mutex // serializes response frames
 
 	reqs sync.WaitGroup // requests spawned by this session
 
 	closeOnce sync.Once
 }
 
+// reqState carries one request through the session: the frame buffer it was
+// read into (Name and Args alias it) plus the decoded header. Pooled, so a
+// pipelined session allocates nothing per request.
+type reqState struct {
+	req wire.Request
+	buf []byte
+}
+
+var reqPool = sync.Pool{New: func() any { return new(reqState) }}
+
+// Static reject messages, so admission refusals — which are the steady
+// state at saturation — do not allocate.
+var (
+	msgDraining  = []byte("server draining")
+	msgQueueFull = []byte("admission queue full")
+)
+
 func (s *Server) newSession(c net.Conn) *session {
 	ctx, cancel := context.WithCancel(context.Background())
-	sess := &session{srv: s, conn: c, ctx: ctx, cancel: cancel}
+	sess := &session{srv: s, conn: c, bw: wire.NewBatchWriter(c), ctx: ctx, cancel: cancel}
 	s.mu.Lock()
 	s.conns[sess] = struct{}{}
 	s.mu.Unlock()
@@ -261,11 +281,16 @@ func (s *Server) newSession(c net.Conn) *session {
 	return sess
 }
 
-// close tears the session down: the connection unblocks the reader, and the
-// context aborts any lock wait a request of this session is parked in.
+// close tears the session down: already-enqueued responses are flushed (a
+// clean drain must deliver every final response; the write deadline bounds
+// a peer that stopped reading), the connection close unblocks the reader,
+// and the context aborts any lock wait a request of this session is parked
+// in.
 func (sess *session) close() {
 	sess.closeOnce.Do(func() {
 		sess.cancel()
+		sess.conn.SetWriteDeadline(time.Now().Add(drainFlushTimeout))
+		sess.bw.Close()
 		sess.conn.Close()
 	})
 }
@@ -285,95 +310,171 @@ func (sess *session) loop() {
 		s.connsN.Add(-1)
 	}()
 	for {
-		req, err := wire.ReadRequest(sess.conn)
+		st := reqPool.Get().(*reqState)
+		payload, err := wire.ReadFrame(sess.conn, &st.buf)
+		if err == nil {
+			err = wire.DecodeRequest(payload, &st.req)
+		}
 		if err != nil {
+			reqPool.Put(st)
 			return // disconnect or protocol corruption: drop the session
 		}
-		switch req.Op {
+		switch st.req.Op {
 		case wire.OpPing:
-			sess.respond(&wire.Response{ID: req.ID, Status: wire.StatusOK})
+			sess.respond(&wire.Response{ID: st.req.ID, Status: wire.StatusOK})
+			reqPool.Put(st)
 		case wire.OpRun:
-			sess.dispatch(req)
+			sess.dispatch(st) // dispatch owns st from here
 		default:
 			s.badRequests.Add(1)
 			sess.respond(&wire.Response{
-				ID: req.ID, Status: wire.StatusBadRequest,
-				Msg: fmt.Sprintf("unknown op %d", req.Op),
+				ID: st.req.ID, Status: wire.StatusBadRequest,
+				Msg: fmt.Appendf(nil, "unknown op %d", st.req.Op),
 			})
+			reqPool.Put(st)
 		}
 	}
 }
 
 // dispatch applies admission control and, if admitted, runs the request in
 // its own goroutine so the session can keep reading pipelined requests.
-func (sess *session) dispatch(req *wire.Request) {
+func (sess *session) dispatch(st *reqState) {
 	s := sess.srv
 	rpcID := s.nextRPC.Add(1)
 	if s.draining.Load() {
 		s.rejectedDraining.Add(1)
-		s.emitRPC(trace.KindRPCReject, rpcID, req.Name, 0, "draining")
-		sess.respond(&wire.Response{ID: req.ID, Status: wire.StatusDraining, Msg: "server draining"})
+		if s.tracer != nil {
+			s.emitRPC(trace.KindRPCReject, rpcID, string(st.req.Name), 0, "draining")
+		}
+		sess.respond(&wire.Response{ID: st.req.ID, Status: wire.StatusDraining, Msg: msgDraining})
+		reqPool.Put(st)
 		return
 	}
 	select {
 	case s.sem <- struct{}{}:
 	default:
 		s.rejectedFull.Add(1)
-		s.emitRPC(trace.KindRPCReject, rpcID, req.Name, 0, "queue-full")
-		sess.respond(&wire.Response{ID: req.ID, Status: wire.StatusQueueFull, Msg: "admission queue full"})
+		if s.tracer != nil {
+			s.emitRPC(trace.KindRPCReject, rpcID, string(st.req.Name), 0, "queue-full")
+		}
+		sess.respond(&wire.Response{ID: st.req.ID, Status: wire.StatusQueueFull, Msg: msgQueueFull})
+		reqPool.Put(st)
 		return
 	}
 	s.admitted.Add(1)
 	s.inFlightN.Add(1)
 	s.inflight.Add(1)
 	sess.reqs.Add(1)
-	go sess.run(rpcID, req)
+	go sess.run(rpcID, st)
 }
 
-// run executes one admitted request and writes its response.
-func (sess *session) run(rpcID uint64, req *wire.Request) {
+// run executes one admitted request and enqueues its response. The request
+// stays in the format it arrived in: binary args answer with a binary
+// result, JSON with JSON.
+func (sess *session) run(rpcID uint64, st *reqState) {
 	s := sess.srv
 	defer func() {
+		reqPool.Put(st)
 		<-s.sem
 		s.inFlightN.Add(-1)
 		s.inflight.Done()
 		sess.reqs.Done()
 	}()
-	s.emitRPC(trace.KindRPCBegin, rpcID, req.Name, 0, sess.conn.RemoteAddr().String())
+	// tt.Name is the engine's interned copy of the type name: everything
+	// downstream (metrics, traces, hooks) uses it so the request's
+	// byte-slice name never becomes a per-request string allocation.
+	tt := s.eng.TypeBytes(st.req.Name)
+	var traceName string
+	if s.tracer != nil {
+		if tt != nil {
+			traceName = tt.Name
+		} else {
+			traceName = string(st.req.Name)
+		}
+		s.emitRPC(trace.KindRPCBegin, rpcID, traceName, 0, sess.conn.RemoteAddr().String())
+	}
 	start := time.Now()
 
-	resp := &wire.Response{ID: req.ID}
+	var resp wire.Response
+	resp.ID = st.req.ID
+	var codec *wire.ArgCodec
 	var args any
-	if s.eng.Type(req.Name) == nil {
+	switch {
+	case tt == nil:
 		s.badRequests.Add(1)
 		resp.Status = wire.StatusUnknownType
-		resp.Msg = fmt.Sprintf("unknown transaction type %q", req.Name)
-	} else if args = sess.newArgs(req.Name); args == nil {
-		s.badRequests.Add(1)
-		resp.Status = wire.StatusUnknownType
-		resp.Msg = fmt.Sprintf("no argument prototype for %q", req.Name)
-	} else if len(req.Args) > 0 && json.Unmarshal(req.Args, args) != nil {
-		s.badRequests.Add(1)
-		resp.Status = wire.StatusBadRequest
-		resp.Msg = fmt.Sprintf("malformed arguments for %q", req.Name)
-	} else {
-		err := s.eng.RunContext(sess.ctx, req.Name, args)
-		resp.Status, resp.Msg = statusOf(err)
+		resp.Msg = fmt.Appendf(nil, "unknown transaction type %q", st.req.Name)
+	case st.req.Fmt == wire.FmtBinary:
+		if codec = wire.CodecForBytes(st.req.Name); codec == nil {
+			s.badRequests.Add(1)
+			resp.Status = wire.StatusBadRequest
+			resp.Msg = fmt.Appendf(nil, "no binary codec registered for %q", tt.Name)
+		} else {
+			args = codec.GetArgs()
+			if err := codec.Decode(st.req.Args, args); err != nil {
+				codec.PutArgs(args)
+				args = nil
+				s.badRequests.Add(1)
+				resp.Status = wire.StatusBadRequest
+				resp.Msg = fmt.Appendf(nil, "malformed binary arguments for %q: %v", tt.Name, err)
+			}
+		}
+	default:
+		if args = sess.newArgs(tt.Name); args == nil {
+			s.badRequests.Add(1)
+			resp.Status = wire.StatusUnknownType
+			resp.Msg = fmt.Appendf(nil, "no argument prototype for %q", tt.Name)
+		} else if len(st.req.Args) > 0 && json.Unmarshal(st.req.Args, args) != nil {
+			args = nil
+			s.badRequests.Add(1)
+			resp.Status = wire.StatusBadRequest
+			resp.Msg = fmt.Appendf(nil, "malformed arguments for %q", tt.Name)
+		}
+	}
+
+	var scratch *[]byte
+	if args != nil {
+		err := s.eng.RunTypeContext(sess.ctx, tt, args)
+		var msg string
+		resp.Status, msg = statusOf(err)
+		if msg != "" {
+			resp.Msg = []byte(msg)
+		}
 		// The argument record is the transaction's work area: re-encode it
 		// so the client observes assigned identifiers — also after a
 		// compensated rollback, whose consumed identifiers the client's
 		// bookkeeping may need (TPC-C order-number holes).
-		if out, merr := json.Marshal(args); merr == nil {
+		if codec != nil {
+			scratch = wire.GetBuffer()
+			*scratch = codec.Encode((*scratch)[:0], args)
+			resp.Fmt = wire.FmtBinary
+			resp.Result = *scratch
+		} else if out, merr := json.Marshal(args); merr == nil {
 			resp.Result = out
+		} else {
+			// The transaction already ran; a work area the client cannot
+			// observe must be an explicit failure, not a silent nil result.
+			resp.Status = wire.StatusInternal
+			resp.Msg = fmt.Appendf(nil, "result re-encode failed: %v", merr)
+			if s.tracer != nil {
+				s.emitRPC(trace.KindRPCError, rpcID, traceName, 0, "result-marshal: "+merr.Error())
+			}
 		}
-		dur := time.Since(start)
-		s.rec.Record(req.Name, dur, outcomeOf(err))
+		s.rec.Record(tt.Name, time.Since(start), outcomeOf(err))
 		if s.cfg.OnOutcome != nil {
-			s.cfg.OnOutcome(req.Name, args, err)
+			s.cfg.OnOutcome(tt.Name, args, err)
 		}
 	}
-	s.emitRPC(trace.KindRPCEnd, rpcID, req.Name, int64(time.Since(start)), resp.Status.String())
-	sess.respond(resp)
+	if s.tracer != nil {
+		s.emitRPC(trace.KindRPCEnd, rpcID, traceName, int64(time.Since(start)), resp.Status.String())
+	}
+	sess.respond(&resp)
+	if codec != nil && args != nil {
+		codec.PutArgs(args)
+	}
+	if scratch != nil {
+		wire.PutBuffer(scratch)
+	}
 }
 
 func (sess *session) newArgs(name string) any {
@@ -383,12 +484,27 @@ func (sess *session) newArgs(name string) any {
 	return sess.srv.cfg.NewArgs(name)
 }
 
-// respond writes one response frame. Write errors are ignored: the reader
-// loop notices the dead connection and tears the session down.
+// respond encodes one response into a pooled frame and hands it to the
+// session's batch writer, which coalesces concurrent responses into
+// vectored writes. Write errors are ignored: the reader loop notices the
+// dead connection and tears the session down.
 func (sess *session) respond(resp *wire.Response) {
-	sess.wmu.Lock()
-	defer sess.wmu.Unlock()
-	_ = wire.WriteResponse(sess.conn, resp)
+	buf := wire.GetBuffer()
+	b, err := wire.AppendResponse((*buf)[:0], resp)
+	if err != nil {
+		// The result outgrew the frame limit: report that instead of
+		// silently dropping the response.
+		resp.Fmt = wire.FmtJSON
+		resp.Result = nil
+		resp.Status = wire.StatusInternal
+		resp.Msg = []byte("response exceeds frame limit")
+		if b, err = wire.AppendResponse((*buf)[:0], resp); err != nil {
+			wire.PutBuffer(buf)
+			return
+		}
+	}
+	*buf = b
+	_ = sess.bw.Enqueue(buf)
 }
 
 // statusOf maps the engine's error taxonomy onto wire status codes.

@@ -1,0 +1,156 @@
+// BatchWriter: the shared frame-coalescing writer both ends of the
+// connection use. Senders enqueue encoded frames; one writer goroutine
+// drains the queue into a single vectored write (net.Buffers → writev on a
+// TCP conn) per wakeup. Under pipelining, frames pile up while the previous
+// write's syscall is in flight, so the syscall count is amortized across
+// the burst without any added latency — the writer never waits for a timer,
+// it writes whatever has accumulated the moment it wakes.
+
+package wire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// ErrWriterClosed reports an Enqueue after Close.
+var ErrWriterClosed = errors.New("wire: batch writer closed")
+
+// BatchWriter coalesces queued frames into vectored writes on one
+// connection. Enqueue transfers buffer ownership: frames are recycled to
+// the frame pool after they are written (or dropped on error/close), so a
+// steady-state sender allocates nothing.
+type BatchWriter struct {
+	w io.Writer
+
+	mu     sync.Mutex
+	cond   *sync.Cond // wakes the loop: frames queued, or closing
+	idle   *sync.Cond // wakes Flush: loop drained and recycled everything
+	queue  []*[]byte
+	busy   bool
+	closed bool
+	err    error
+
+	done chan struct{}
+}
+
+// NewBatchWriter starts a writer over w. Close releases it.
+func NewBatchWriter(w io.Writer) *BatchWriter {
+	bw := &BatchWriter{w: w, done: make(chan struct{})}
+	bw.cond = sync.NewCond(&bw.mu)
+	bw.idle = sync.NewCond(&bw.mu)
+	go bw.loop()
+	return bw
+}
+
+// Enqueue hands one encoded frame (from GetBuffer) to the writer, which
+// owns it from here: it is recycled after the write. On a closed or broken
+// writer the frame is recycled immediately and the failure returned — the
+// bytes will never reach the peer.
+func (bw *BatchWriter) Enqueue(frame *[]byte) error {
+	bw.mu.Lock()
+	if bw.closed || bw.err != nil {
+		err := bw.err
+		bw.mu.Unlock()
+		PutBuffer(frame)
+		if err == nil {
+			err = ErrWriterClosed
+		}
+		return err
+	}
+	bw.queue = append(bw.queue, frame)
+	bw.mu.Unlock()
+	bw.cond.Signal()
+	return nil
+}
+
+// Flush blocks until every frame enqueued before the call has been written
+// and recycled (or the writer broke). It returns the first write error.
+func (bw *BatchWriter) Flush() error {
+	bw.mu.Lock()
+	defer bw.mu.Unlock()
+	for (len(bw.queue) > 0 || bw.busy) && bw.err == nil {
+		bw.idle.Wait()
+	}
+	return bw.err
+}
+
+// Err returns the first write error, if any.
+func (bw *BatchWriter) Err() error {
+	bw.mu.Lock()
+	defer bw.mu.Unlock()
+	return bw.err
+}
+
+// Close flushes everything already enqueued, stops the writer, and returns
+// the first write error. It does not close the underlying connection — the
+// caller owns that, and typically closes it right after Close returns so
+// the final frames are on the wire first.
+func (bw *BatchWriter) Close() error {
+	bw.mu.Lock()
+	if !bw.closed {
+		bw.closed = true
+		bw.cond.Signal()
+	}
+	bw.mu.Unlock()
+	<-bw.done
+	return bw.Err()
+}
+
+// loop drains the queue: each wakeup takes every frame accumulated so far
+// and issues one vectored write. Two batch slices double-buffer so the
+// steady state allocates nothing.
+func (bw *BatchWriter) loop() {
+	defer close(bw.done)
+	var batch []*[]byte
+	var scratch [][]byte
+	// bufs escapes once (WriteTo takes its address); a per-flush local
+	// would cost a heap-allocated slice header every batch.
+	var bufs net.Buffers
+	for {
+		bw.mu.Lock()
+		bw.busy = false
+		bw.idle.Broadcast()
+		for len(bw.queue) == 0 && !bw.closed {
+			bw.cond.Wait()
+		}
+		bw.busy = true
+		batch, bw.queue = bw.queue, batch[:0]
+		// Enqueue refuses once closed is set, so the batch just taken is
+		// the final one: drain it, then stop.
+		stop := bw.closed
+		broken := bw.err != nil
+		bw.mu.Unlock()
+
+		if len(batch) > 0 && !broken {
+			// WriteTo consumes the net.Buffers header in place, so it gets a
+			// copy; scratch keeps its backing array across flushes.
+			scratch = scratch[:0]
+			for _, f := range batch {
+				scratch = append(scratch, *f)
+			}
+			bufs = net.Buffers(scratch)
+			if _, err := bufs.WriteTo(bw.w); err != nil {
+				bw.mu.Lock()
+				if bw.err == nil {
+					bw.err = err
+				}
+				bw.mu.Unlock()
+			}
+		}
+		for i, f := range batch {
+			PutBuffer(f)
+			batch[i] = nil
+		}
+		batch = batch[:0]
+		if stop {
+			bw.mu.Lock()
+			bw.busy = false
+			bw.idle.Broadcast()
+			bw.mu.Unlock()
+			return
+		}
+	}
+}

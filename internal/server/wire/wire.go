@@ -3,28 +3,44 @@
 // through this package, so the frame layout is written down exactly once.
 //
 // Every frame is a 4-byte big-endian length (of the remainder) followed by
-// the payload. A request payload is
+// the payload. Payloads open with a protocol version byte (Version); a
+// request payload is
 //
-//	uint64  request id (client-chosen; echoed verbatim in the response)
+//	uint8   version     (Version)
+//	uint64  request id  (client-chosen; echoed verbatim in the response)
 //	uint8   op          (OpRun, OpPing)
+//	uint8   args format (FmtJSON, FmtBinary)
 //	uint16  name length
 //	bytes   transaction type name (OpRun; empty for OpPing)
-//	bytes   JSON-encoded transaction arguments (the rest of the frame)
+//	bytes   encoded transaction arguments (the rest of the frame)
 //
 // and a response payload is
 //
+//	uint8   version
 //	uint64  request id
-//	uint8   status code (see Status)
+//	uint8   status code   (see Status)
+//	uint8   result format (FmtJSON, FmtBinary)
 //	uint16  message length
 //	bytes   human-readable error message (empty on success)
-//	bytes   JSON-encoded result (the rest of the frame)
+//	bytes   encoded result (the rest of the frame)
 //
 // The result is the transaction's argument record re-encoded after
 // execution: ACC transactions use their arguments as the §4.1 work area, so
 // output fields (an assigned order number, a fetched balance) travel back in
-// the same JSON object the client sent. Responses are correlated by request
-// id, never by order — the server answers out of order when pipelined
-// requests finish out of order.
+// the same record the client sent. Responses are correlated by request id,
+// never by order — the server answers out of order when pipelined requests
+// finish out of order.
+//
+// Argument records travel either as JSON (the universal fallback) or, for
+// transaction types with a registered ArgCodec, as a fixed-layout binary
+// work area. The format byte makes the choice per request, and the server
+// answers in the format the request used, so binary-speaking and
+// JSON-speaking clients interoperate against the same server.
+//
+// The package is built for an allocation-free steady state: frames encode
+// into pooled buffers (GetBuffer/PutBuffer), ReadFrame decodes into a
+// caller-reused buffer with Request/Response fields aliasing it, and
+// BatchWriter coalesces queued frames into single vectored writes.
 package wire
 
 import (
@@ -33,6 +49,12 @@ import (
 	"fmt"
 	"io"
 )
+
+// Version is the protocol version stamped on every payload. Version 2
+// introduced the version byte itself, the args/result format byte, and the
+// binary work-area codec; there is no interoperability with the unversioned
+// v1 layout.
+const Version = 2
 
 // Op selects what a request asks the server to do.
 type Op uint8
@@ -43,6 +65,29 @@ const (
 	// OpPing is a no-op round trip (health checks, pool liveness probes).
 	OpPing Op = 2
 )
+
+// Format says how an args or result field is encoded.
+type Format uint8
+
+const (
+	// FmtJSON is the universal fallback: the field is a JSON document.
+	FmtJSON Format = 0
+	// FmtBinary is the fixed-layout work-area encoding of a registered
+	// ArgCodec.
+	FmtBinary Format = 1
+)
+
+// String names the format for logs and error messages.
+func (f Format) String() string {
+	switch f {
+	case FmtJSON:
+		return "json"
+	case FmtBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("format(%d)", uint8(f))
+	}
+}
 
 // Status classifies the outcome of a request. The codes mirror the engine's
 // error taxonomy (internal/core) so a client can reconstruct an errors.Is
@@ -79,9 +124,11 @@ const (
 	// work. Nothing executed; retry against another server.
 	StatusDraining
 	// StatusBadRequest means the frame was structurally valid but the
-	// request could not be decoded (malformed JSON args, bad op).
+	// request could not be decoded (malformed args, bad op, binary args
+	// for a type with no registered codec).
 	StatusBadRequest
-	// StatusInternal is any other server-side failure.
+	// StatusInternal is any other server-side failure, including a result
+	// work area that failed to re-encode.
 	StatusInternal
 )
 
@@ -128,27 +175,34 @@ func (s Status) Retryable() bool {
 	}
 }
 
-// Request is one decoded request frame.
+// Request is one decoded request frame. After DecodeRequest, Name and Args
+// alias the payload buffer: they are valid until the caller recycles it.
 type Request struct {
 	// ID correlates the response; the server echoes it verbatim.
 	ID uint64
 	// Op is the requested operation.
 	Op Op
+	// Fmt says how Args is encoded.
+	Fmt Format
 	// Name is the transaction type to run (OpRun).
-	Name string
-	// Args is the JSON-encoded argument record.
+	Name []byte
+	// Args is the encoded argument record.
 	Args []byte
 }
 
-// Response is one decoded response frame.
+// Response is one decoded response frame. After DecodeResponse, Msg and
+// Result alias the payload buffer: they are valid until the caller recycles
+// it.
 type Response struct {
 	// ID echoes the request id.
 	ID uint64
 	// Status classifies the outcome.
 	Status Status
+	// Fmt says how Result is encoded.
+	Fmt Format
 	// Msg is a human-readable elaboration (empty on success).
-	Msg string
-	// Result is the JSON re-encoding of the transaction's work area.
+	Msg []byte
+	// Result is the re-encoding of the transaction's work area.
 	Result []byte
 }
 
@@ -161,105 +215,127 @@ const MaxFrame = 1 << 20
 // ErrFrameTooLarge reports a length prefix above MaxFrame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
 
+// ErrVersion reports a payload whose leading version byte is not Version —
+// an incompatible peer, or garbage on the wire.
+var ErrVersion = errors.New("wire: protocol version mismatch")
+
 var byteOrder = binary.BigEndian
 
-// WriteRequest encodes req as one frame. It issues a single Write, so
-// concurrent callers serialized by a mutex cannot interleave frames.
-func WriteRequest(w io.Writer, req *Request) error {
+// reqHeader is the fixed part of a request payload: version, id, op,
+// format, name length.
+const reqHeader = 1 + 8 + 1 + 1 + 2
+
+// respHeader is the fixed part of a response payload: version, id, status,
+// format, message length.
+const respHeader = 1 + 8 + 1 + 1 + 2
+
+// AppendRequest appends req as one complete frame (length prefix included)
+// and returns the extended buffer. The only errors are size violations.
+func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	if len(req.Name) > 0xFFFF {
-		return fmt.Errorf("wire: transaction type name %d bytes long", len(req.Name))
+		return dst, fmt.Errorf("wire: transaction type name %d bytes long", len(req.Name))
 	}
-	n := 8 + 1 + 2 + len(req.Name) + len(req.Args)
+	n := reqHeader + len(req.Name) + len(req.Args)
 	if n > MaxFrame {
-		return ErrFrameTooLarge
+		return dst, ErrFrameTooLarge
 	}
-	buf := make([]byte, 4+n)
-	byteOrder.PutUint32(buf[0:], uint32(n))
-	byteOrder.PutUint64(buf[4:], req.ID)
-	buf[12] = byte(req.Op)
-	byteOrder.PutUint16(buf[13:], uint16(len(req.Name)))
-	copy(buf[15:], req.Name)
-	copy(buf[15+len(req.Name):], req.Args)
-	_, err := w.Write(buf)
-	return err
+	dst = byteOrder.AppendUint32(dst, uint32(n))
+	dst = append(dst, Version)
+	dst = byteOrder.AppendUint64(dst, req.ID)
+	dst = append(dst, byte(req.Op), byte(req.Fmt))
+	dst = byteOrder.AppendUint16(dst, uint16(len(req.Name)))
+	dst = append(dst, req.Name...)
+	dst = append(dst, req.Args...)
+	return dst, nil
 }
 
-// ReadRequest decodes one request frame.
-func ReadRequest(r io.Reader) (*Request, error) {
-	payload, err := readFrame(r)
-	if err != nil {
-		return nil, err
-	}
-	if len(payload) < 8+1+2 {
-		return nil, fmt.Errorf("wire: short request frame (%d bytes)", len(payload))
-	}
-	req := &Request{
-		ID: byteOrder.Uint64(payload[0:]),
-		Op: Op(payload[8]),
-	}
-	nameLen := int(byteOrder.Uint16(payload[9:]))
-	if 11+nameLen > len(payload) {
-		return nil, fmt.Errorf("wire: request name length %d overruns frame", nameLen)
-	}
-	req.Name = string(payload[11 : 11+nameLen])
-	req.Args = payload[11+nameLen:]
-	return req, nil
-}
-
-// WriteResponse encodes resp as one frame in a single Write.
-func WriteResponse(w io.Writer, resp *Response) error {
+// AppendResponse appends resp as one complete frame (length prefix
+// included) and returns the extended buffer. An over-long message is
+// truncated rather than failed: it only elaborates the status.
+func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 	msg := resp.Msg
 	if len(msg) > 0xFFFF {
 		msg = msg[:0xFFFF]
 	}
-	n := 8 + 1 + 2 + len(msg) + len(resp.Result)
+	n := respHeader + len(msg) + len(resp.Result)
 	if n > MaxFrame {
-		return ErrFrameTooLarge
+		return dst, ErrFrameTooLarge
 	}
-	buf := make([]byte, 4+n)
-	byteOrder.PutUint32(buf[0:], uint32(n))
-	byteOrder.PutUint64(buf[4:], resp.ID)
-	buf[12] = byte(resp.Status)
-	byteOrder.PutUint16(buf[13:], uint16(len(msg)))
-	copy(buf[15:], msg)
-	copy(buf[15+len(msg):], resp.Result)
-	_, err := w.Write(buf)
-	return err
+	dst = byteOrder.AppendUint32(dst, uint32(n))
+	dst = append(dst, Version)
+	dst = byteOrder.AppendUint64(dst, resp.ID)
+	dst = append(dst, byte(resp.Status), byte(resp.Fmt))
+	dst = byteOrder.AppendUint16(dst, uint16(len(msg)))
+	dst = append(dst, msg...)
+	dst = append(dst, resp.Result...)
+	return dst, nil
 }
 
-// ReadResponse decodes one response frame.
-func ReadResponse(r io.Reader) (*Response, error) {
-	payload, err := readFrame(r)
-	if err != nil {
-		return nil, err
+// DecodeRequest decodes one request payload into req. Name and Args alias
+// payload.
+func DecodeRequest(payload []byte, req *Request) error {
+	if len(payload) < reqHeader {
+		return fmt.Errorf("wire: short request frame (%d bytes)", len(payload))
 	}
-	if len(payload) < 8+1+2 {
-		return nil, fmt.Errorf("wire: short response frame (%d bytes)", len(payload))
+	if payload[0] != Version {
+		return fmt.Errorf("%w: got %d, want %d", ErrVersion, payload[0], Version)
 	}
-	resp := &Response{
-		ID:     byteOrder.Uint64(payload[0:]),
-		Status: Status(payload[8]),
+	req.ID = byteOrder.Uint64(payload[1:])
+	req.Op = Op(payload[9])
+	req.Fmt = Format(payload[10])
+	nameLen := int(byteOrder.Uint16(payload[11:]))
+	if reqHeader+nameLen > len(payload) {
+		return fmt.Errorf("wire: request name length %d overruns frame", nameLen)
 	}
-	msgLen := int(byteOrder.Uint16(payload[9:]))
-	if 11+msgLen > len(payload) {
-		return nil, fmt.Errorf("wire: response message length %d overruns frame", msgLen)
-	}
-	resp.Msg = string(payload[11 : 11+msgLen])
-	resp.Result = payload[11+msgLen:]
-	return resp, nil
+	req.Name = payload[reqHeader : reqHeader+nameLen]
+	req.Args = payload[reqHeader+nameLen:]
+	return nil
 }
 
-// readFrame reads one length-prefixed payload.
-func readFrame(r io.Reader) ([]byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+// DecodeResponse decodes one response payload into resp. Msg and Result
+// alias payload.
+func DecodeResponse(payload []byte, resp *Response) error {
+	if len(payload) < respHeader {
+		return fmt.Errorf("wire: short response frame (%d bytes)", len(payload))
+	}
+	if payload[0] != Version {
+		return fmt.Errorf("%w: got %d, want %d", ErrVersion, payload[0], Version)
+	}
+	resp.ID = byteOrder.Uint64(payload[1:])
+	resp.Status = Status(payload[9])
+	resp.Fmt = Format(payload[10])
+	msgLen := int(byteOrder.Uint16(payload[11:]))
+	if respHeader+msgLen > len(payload) {
+		return fmt.Errorf("wire: response message length %d overruns frame", msgLen)
+	}
+	resp.Msg = payload[respHeader : respHeader+msgLen]
+	resp.Result = payload[respHeader+msgLen:]
+	return nil
+}
+
+// ReadFrame reads one length-prefixed payload into *buf, growing it only
+// when the frame exceeds its capacity, and returns the payload slice. The
+// caller owns *buf across calls — a session reuses one buffer for its whole
+// lifetime, so steady-state reads allocate nothing.
+func ReadFrame(r io.Reader, buf *[]byte) ([]byte, error) {
+	// The length prefix is read into the caller's buffer, not a local
+	// array: a local would escape through the io.ReadFull interface call
+	// and cost one heap allocation per frame.
+	if cap(*buf) < 4 {
+		*buf = make([]byte, 0, 4096)
+	}
+	hdr := (*buf)[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err // io.EOF between frames is a clean close
 	}
-	n := byteOrder.Uint32(lenBuf[:])
+	n := int(byteOrder.Uint32(hdr))
 	if n > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	payload := (*buf)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF // mid-frame close is not clean
@@ -267,4 +343,64 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return payload, nil
+}
+
+// WriteRequest encodes req as one frame through a pooled buffer. It issues
+// a single Write, so concurrent callers serialized by a mutex cannot
+// interleave frames. Batched senders use AppendRequest with a BatchWriter
+// instead.
+func WriteRequest(w io.Writer, req *Request) error {
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	b, err := AppendRequest((*buf)[:0], req)
+	if err != nil {
+		return err
+	}
+	*buf = b
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteResponse encodes resp as one frame in a single Write through a
+// pooled buffer.
+func WriteResponse(w io.Writer, resp *Response) error {
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	b, err := AppendResponse((*buf)[:0], resp)
+	if err != nil {
+		return err
+	}
+	*buf = b
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadRequest reads and decodes one request frame into fresh storage (the
+// convenience path for tests and simple tools; the server reads through
+// ReadFrame + DecodeRequest with pooled buffers).
+func ReadRequest(r io.Reader) (*Request, error) {
+	var buf []byte
+	payload, err := ReadFrame(r, &buf)
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{}
+	if err := DecodeRequest(payload, req); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ReadResponse reads and decodes one response frame into fresh storage.
+func ReadResponse(r io.Reader) (*Response, error) {
+	var buf []byte
+	payload, err := ReadFrame(r, &buf)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{}
+	if err := DecodeResponse(payload, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
 }

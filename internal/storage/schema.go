@@ -1,6 +1,9 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Column describes one attribute of a relation.
 type Column struct {
@@ -84,8 +87,21 @@ func (s *Schema) PKOf(row Row) []Value {
 	return out
 }
 
-// KeyOf computes the encoded primary key of a row.
-func (s *Schema) KeyOf(row Row) Key { return EncodeKey(s.PKOf(row)...) }
+// KeyOf computes the encoded primary key of a row. It encodes the key
+// columns in place rather than through PKOf, so the per-write hot path
+// (every Insert/Update/Delete keys the row) costs one allocation.
+func (s *Schema) KeyOf(row Row) Key {
+	var b strings.Builder
+	n := 0
+	for _, c := range s.PK {
+		n += keyLen(row[c])
+	}
+	b.Grow(n)
+	for _, c := range s.PK {
+		appendKeyVal(&b, row[c])
+	}
+	return Key(b.String())
+}
 
 // CheckRow verifies that a row matches the schema's arity and column kinds.
 func (s *Schema) CheckRow(row Row) error {

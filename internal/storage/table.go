@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -70,13 +71,20 @@ func (t *Table) AddIndex(def IndexDef) error {
 	return nil
 }
 
-// entryKey builds the index entry key: secondary values then the primary key.
+// entryKey builds the index entry key: secondary values then the primary
+// key, encoded in one pass so index maintenance costs one allocation.
 func (ix *secondaryIndex) entryKey(row Row, pk Key) Key {
-	vals := make([]Value, len(ix.cols))
-	for i, c := range ix.cols {
-		vals[i] = row[c]
+	var b strings.Builder
+	n := len(pk)
+	for _, c := range ix.cols {
+		n += keyLen(row[c])
 	}
-	return EncodeKey(vals...) + pk
+	b.Grow(n)
+	for _, c := range ix.cols {
+		appendKeyVal(&b, row[c])
+	}
+	b.WriteString(string(pk))
+	return Key(b.String())
 }
 
 // Len returns the number of rows.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // Kind enumerates the column types supported by the engine.
@@ -167,38 +168,69 @@ type Key string
 // terminated with 0x00 0x00 so that prefixes order correctly. Each value is
 // preceded by a one-byte kind tag so malformed mixes fail loudly on decode.
 func EncodeKey(vals ...Value) Key {
-	buf := make([]byte, 0, 16*len(vals))
+	var b strings.Builder
+	n := 0
 	for _, v := range vals {
-		buf = append(buf, byte(v.K))
-		switch v.K {
-		case KindInt:
-			var b [8]byte
-			binary.BigEndian.PutUint64(b[:], uint64(v.I)^(1<<63))
-			buf = append(buf, b[:]...)
-		case KindFloat:
-			bits := math.Float64bits(v.F)
-			if bits&(1<<63) != 0 {
-				bits = ^bits
-			} else {
-				bits |= 1 << 63
-			}
-			var b [8]byte
-			binary.BigEndian.PutUint64(b[:], bits)
-			buf = append(buf, b[:]...)
-		case KindString:
-			for i := 0; i < len(v.S); i++ {
-				c := v.S[i]
-				buf = append(buf, c)
-				if c == 0x00 {
-					buf = append(buf, 0xFF)
-				}
-			}
-			buf = append(buf, 0x00, 0x00)
-		default:
-			panic("storage: EncodeKey on zero Value")
-		}
+		n += keyLen(v)
 	}
-	return Key(buf)
+	b.Grow(n)
+	for _, v := range vals {
+		appendKeyVal(&b, v)
+	}
+	return Key(b.String())
+}
+
+// keyLen returns the exact encoded size of one value inside a key, so key
+// builders can Grow once and encode with no further allocation.
+func keyLen(v Value) int {
+	switch v.K {
+	case KindInt, KindFloat:
+		return 9
+	case KindString:
+		n := 3 + len(v.S) // kind tag + payload + 0x00 0x00 terminator
+		for i := 0; i < len(v.S); i++ {
+			if v.S[i] == 0x00 {
+				n++ // escaped to 0x00 0xFF
+			}
+		}
+		return n
+	default:
+		panic("storage: EncodeKey on zero Value")
+	}
+}
+
+// appendKeyVal encodes one value onto a pre-grown builder; the format is
+// documented on EncodeKey.
+func appendKeyVal(b *strings.Builder, v Value) {
+	b.WriteByte(byte(v.K))
+	switch v.K {
+	case KindInt:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(v.I)^(1<<63))
+		b.Write(buf[:])
+	case KindFloat:
+		bits := math.Float64bits(v.F)
+		if bits&(1<<63) != 0 {
+			bits = ^bits
+		} else {
+			bits |= 1 << 63
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], bits)
+		b.Write(buf[:])
+	case KindString:
+		for i := 0; i < len(v.S); i++ {
+			c := v.S[i]
+			b.WriteByte(c)
+			if c == 0x00 {
+				b.WriteByte(0xFF)
+			}
+		}
+		b.WriteByte(0x00)
+		b.WriteByte(0x00)
+	default:
+		panic("storage: EncodeKey on zero Value")
+	}
 }
 
 // DecodeKey reverses EncodeKey. It returns an error on malformed input so

@@ -1,10 +1,31 @@
 package tpcc
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"accdb/internal/storage"
 )
+
+// The append-form encoders below write storage.MarshalRow's exact byte
+// format (uvarint column count, then kind byte + payload per column)
+// without materializing the intermediate Row, so the engine's end-of-step
+// hot path serializes work areas into a reused scratch with no per-step
+// allocation. decode* keep reading through UnmarshalRow, which also keeps
+// old log images replayable.
+
+// colI64 appends one KindInt column.
+func colI64(dst []byte, v int64) []byte {
+	dst = append(dst, byte(storage.KindInt))
+	return binary.AppendVarint(dst, v)
+}
+
+// colStr appends one KindString column.
+func colStr(dst []byte, s string) []byte {
+	dst = append(dst, byte(storage.KindString))
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
 
 // Argument structs double as the transactions' work areas (§3.4, §5): steps
 // record into them the state a compensating step needs (assigned order
@@ -39,18 +60,25 @@ type NewOrderArgs struct {
 	Total     int64
 }
 
-func encodeNewOrder(v any) []byte {
+func encodeNewOrder(v any) []byte { return appendNewOrder(nil, v) }
+
+func appendNewOrder(dst []byte, v any) []byte {
 	a := v.(*NewOrderArgs)
 	inv := int64(0)
 	if a.InvalidItem {
 		inv = 1
 	}
-	row := storage.Row{
-		storage.I64(a.WID), storage.I64(a.DID), storage.I64(a.CID),
-		storage.I64(a.ONum), storage.I64(a.WTax), storage.I64(a.DTax),
-		storage.I64(a.CDiscount), storage.I64(a.Total), storage.I64(inv),
-		storage.I64(int64(len(a.Lines))),
-	}
+	dst = binary.AppendUvarint(dst, uint64(10+5*len(a.Lines)))
+	dst = colI64(dst, a.WID)
+	dst = colI64(dst, a.DID)
+	dst = colI64(dst, a.CID)
+	dst = colI64(dst, a.ONum)
+	dst = colI64(dst, a.WTax)
+	dst = colI64(dst, a.DTax)
+	dst = colI64(dst, a.CDiscount)
+	dst = colI64(dst, a.Total)
+	dst = colI64(dst, inv)
+	dst = colI64(dst, int64(len(a.Lines)))
 	for i, l := range a.Lines {
 		filled, amount := int64(0), int64(0)
 		if i < len(a.Filled) {
@@ -59,11 +87,13 @@ func encodeNewOrder(v any) []byte {
 		if i < len(a.Amounts) {
 			amount = a.Amounts[i]
 		}
-		row = append(row,
-			storage.I64(l.ItemID), storage.I64(l.SupplyW), storage.I64(l.Quantity),
-			storage.I64(filled), storage.I64(amount))
+		dst = colI64(dst, l.ItemID)
+		dst = colI64(dst, l.SupplyW)
+		dst = colI64(dst, l.Quantity)
+		dst = colI64(dst, filled)
+		dst = colI64(dst, amount)
 	}
-	return storage.MarshalRow(nil, row)
+	return dst
 }
 
 func decodeNewOrder(data []byte) (any, error) {
@@ -112,15 +142,21 @@ type PaymentArgs struct {
 	ResolvedCID int64
 }
 
-func encodePayment(v any) []byte {
+func encodePayment(v any) []byte { return appendPayment(nil, v) }
+
+func appendPayment(dst []byte, v any) []byte {
 	a := v.(*PaymentArgs)
-	row := storage.Row{
-		storage.I64(a.WID), storage.I64(a.DID), storage.I64(a.CWID),
-		storage.I64(a.CDID), storage.I64(a.CID), storage.Str(a.CLast),
-		storage.I64(a.Amount), storage.I64(a.HID), storage.I64(a.Date),
-		storage.I64(a.ResolvedCID),
-	}
-	return storage.MarshalRow(nil, row)
+	dst = binary.AppendUvarint(dst, 10)
+	dst = colI64(dst, a.WID)
+	dst = colI64(dst, a.DID)
+	dst = colI64(dst, a.CWID)
+	dst = colI64(dst, a.CDID)
+	dst = colI64(dst, a.CID)
+	dst = colStr(dst, a.CLast)
+	dst = colI64(dst, a.Amount)
+	dst = colI64(dst, a.HID)
+	dst = colI64(dst, a.Date)
+	return colI64(dst, a.ResolvedCID)
 }
 
 func decodePayment(data []byte) (any, error) {
@@ -154,17 +190,21 @@ type DeliveryArgs struct {
 
 func (a *DeliveryArgs) districts() int { return len(a.Claimed) }
 
-func encodeDelivery(v any) []byte {
+func encodeDelivery(v any) []byte { return appendDelivery(nil, v) }
+
+func appendDelivery(dst []byte, v any) []byte {
 	a := v.(*DeliveryArgs)
-	row := storage.Row{
-		storage.I64(a.WID), storage.I64(a.Carrier), storage.I64(a.Date),
-		storage.I64(int64(len(a.Claimed))),
-	}
+	dst = binary.AppendUvarint(dst, uint64(4+3*len(a.Claimed)))
+	dst = colI64(dst, a.WID)
+	dst = colI64(dst, a.Carrier)
+	dst = colI64(dst, a.Date)
+	dst = colI64(dst, int64(len(a.Claimed)))
 	for i := range a.Claimed {
-		row = append(row, storage.I64(a.Claimed[i]),
-			storage.I64(a.Amounts[i]), storage.I64(a.Customers[i]))
+		dst = colI64(dst, a.Claimed[i])
+		dst = colI64(dst, a.Amounts[i])
+		dst = colI64(dst, a.Customers[i])
 	}
-	return storage.MarshalRow(nil, row)
+	return dst
 }
 
 func decodeDelivery(data []byte) (any, error) {

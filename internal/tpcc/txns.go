@@ -188,6 +188,7 @@ func (reg *Registration) newOrderType() *core.TxnType {
 			Body: reg.noCompensate,
 		},
 		EncodeArgs: encodeNewOrder,
+		AppendArgs: appendNewOrder,
 		DecodeArgs: decodeNewOrder,
 	}
 }
@@ -365,6 +366,7 @@ func (reg *Registration) paymentType() *core.TxnType {
 			Body: reg.payCompensate,
 		},
 		EncodeArgs: encodePayment,
+		AppendArgs: appendPayment,
 		DecodeArgs: decodePayment,
 	}
 }

@@ -39,6 +39,7 @@ func (reg *Registration) deliveryType() *core.TxnType {
 			Body: reg.dlvCompensate,
 		},
 		EncodeArgs: encodeDelivery,
+		AppendArgs: appendDelivery,
 		DecodeArgs: decodeDelivery,
 	}
 }

@@ -1,0 +1,291 @@
+// Binary wire codecs for the TPC-C argument records. Each transaction
+// type's args travel between accclient and accd as a fixed-layout record —
+// 8-byte big-endian int64 scalars, u16-counted strings and slices — instead
+// of JSON, encoded into pooled buffers and decoded in place into pooled
+// records, so the network hot path allocates nothing per request. The
+// layouts are registered with internal/server/wire at init time; both ends
+// of the connection pick them up from the same registry.
+//
+// These codecs serve the wire only. The WAL work-area encodings in args.go
+// (storage.MarshalRow) are a separate, stable format — recovery replays
+// old log records, so the two must not be conflated.
+
+package tpcc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"accdb/internal/server/wire"
+)
+
+var wireOrder = binary.BigEndian
+
+func putI64(dst []byte, v int64) []byte { return wireOrder.AppendUint64(dst, uint64(v)) }
+
+func putI64s(dst []byte, vs []int64) []byte {
+	dst = wireOrder.AppendUint16(dst, uint16(len(vs)))
+	for _, v := range vs {
+		dst = wireOrder.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+func putStr(dst []byte, s string) []byte {
+	dst = wireOrder.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// reader cursors through a binary record with saturating bounds checks: a
+// failed read sets ok=false and every later read returns zero, so decode
+// bodies stay straight-line and check ok once at the end.
+type reader struct {
+	data []byte
+	ok   bool
+}
+
+func (r *reader) i64() int64 {
+	if !r.ok || len(r.data) < 8 {
+		r.ok = false
+		return 0
+	}
+	v := int64(wireOrder.Uint64(r.data))
+	r.data = r.data[8:]
+	return v
+}
+
+func (r *reader) count() int {
+	if !r.ok || len(r.data) < 2 {
+		r.ok = false
+		return 0
+	}
+	n := int(wireOrder.Uint16(r.data))
+	r.data = r.data[2:]
+	return n
+}
+
+// i64s reads a counted vector into dst's storage, preserving nil-ness for
+// an empty vector so decode(encode(x)) matches the JSON path exactly.
+func (r *reader) i64s(dst []int64) []int64 {
+	n := r.count()
+	if !r.ok || len(r.data) < 8*n {
+		r.ok = false
+		return dst[:0]
+	}
+	if n == 0 {
+		if dst == nil {
+			return nil
+		}
+		return dst[:0]
+	}
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, int64(wireOrder.Uint64(r.data)))
+		r.data = r.data[8:]
+	}
+	return dst
+}
+
+func (r *reader) strMid() string {
+	n := r.count()
+	if !r.ok || len(r.data) < n {
+		r.ok = false
+		return ""
+	}
+	s := string(r.data[:n])
+	r.data = r.data[n:]
+	return s
+}
+
+func (r *reader) done() error {
+	if !r.ok {
+		return fmt.Errorf("tpcc: truncated binary args")
+	}
+	if len(r.data) != 0 {
+		return fmt.Errorf("tpcc: %d trailing bytes in binary args", len(r.data))
+	}
+	return nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func init() {
+	wire.RegisterArgCodec(&wire.ArgCodec{
+		Name:  "new_order",
+		New:   func() any { return &NewOrderArgs{} },
+		Reset: func(v any) { *v.(*NewOrderArgs) = NewOrderArgs{Lines: v.(*NewOrderArgs).Lines[:0], Filled: v.(*NewOrderArgs).Filled[:0], Amounts: v.(*NewOrderArgs).Amounts[:0]} },
+		Encode: func(dst []byte, v any) []byte {
+			a := v.(*NewOrderArgs)
+			dst = putI64(dst, a.WID)
+			dst = putI64(dst, a.DID)
+			dst = putI64(dst, a.CID)
+			dst = putI64(dst, a.ONum)
+			dst = putI64(dst, a.WTax)
+			dst = putI64(dst, a.DTax)
+			dst = putI64(dst, a.CDiscount)
+			dst = putI64(dst, a.Total)
+			dst = append(dst, boolByte(a.InvalidItem))
+			dst = wireOrder.AppendUint16(dst, uint16(len(a.Lines)))
+			for _, l := range a.Lines {
+				dst = putI64(dst, l.ItemID)
+				dst = putI64(dst, l.SupplyW)
+				dst = putI64(dst, l.Quantity)
+			}
+			dst = putI64s(dst, a.Filled)
+			dst = putI64s(dst, a.Amounts)
+			return dst
+		},
+		Decode: func(data []byte, v any) error {
+			a := v.(*NewOrderArgs)
+			r := reader{data: data, ok: true}
+			a.WID = r.i64()
+			a.DID = r.i64()
+			a.CID = r.i64()
+			a.ONum = r.i64()
+			a.WTax = r.i64()
+			a.DTax = r.i64()
+			a.CDiscount = r.i64()
+			a.Total = r.i64()
+			if r.ok && len(r.data) >= 1 {
+				a.InvalidItem = r.data[0] == 1
+				r.data = r.data[1:]
+			} else {
+				r.ok = false
+			}
+			nLines := r.count()
+			if !r.ok || len(r.data) < 24*nLines {
+				return fmt.Errorf("tpcc: truncated new_order lines")
+			}
+			if nLines == 0 {
+				if a.Lines != nil {
+					a.Lines = a.Lines[:0]
+				}
+			} else {
+				a.Lines = a.Lines[:0]
+				for i := 0; i < nLines; i++ {
+					a.Lines = append(a.Lines, OrderLineReq{
+						ItemID:   r.i64(),
+						SupplyW:  r.i64(),
+						Quantity: r.i64(),
+					})
+				}
+			}
+			a.Filled = r.i64s(a.Filled)
+			a.Amounts = r.i64s(a.Amounts)
+			return r.done()
+		},
+	})
+
+	wire.RegisterArgCodec(&wire.ArgCodec{
+		Name:  "payment",
+		New:   func() any { return &PaymentArgs{} },
+		Reset: func(v any) { *v.(*PaymentArgs) = PaymentArgs{} },
+		Encode: func(dst []byte, v any) []byte {
+			a := v.(*PaymentArgs)
+			dst = putI64(dst, a.WID)
+			dst = putI64(dst, a.DID)
+			dst = putI64(dst, a.CWID)
+			dst = putI64(dst, a.CDID)
+			dst = putI64(dst, a.CID)
+			dst = putI64(dst, a.Amount)
+			dst = putI64(dst, a.HID)
+			dst = putI64(dst, a.Date)
+			dst = putI64(dst, a.ResolvedCID)
+			dst = putStr(dst, a.CLast)
+			return dst
+		},
+		Decode: func(data []byte, v any) error {
+			a := v.(*PaymentArgs)
+			r := reader{data: data, ok: true}
+			a.WID = r.i64()
+			a.DID = r.i64()
+			a.CWID = r.i64()
+			a.CDID = r.i64()
+			a.CID = r.i64()
+			a.Amount = r.i64()
+			a.HID = r.i64()
+			a.Date = r.i64()
+			a.ResolvedCID = r.i64()
+			a.CLast = r.strMid()
+			return r.done()
+		},
+	})
+
+	wire.RegisterArgCodec(&wire.ArgCodec{
+		Name:  "delivery",
+		New:   func() any { return &DeliveryArgs{} },
+		Reset: func(v any) { *v.(*DeliveryArgs) = DeliveryArgs{Claimed: v.(*DeliveryArgs).Claimed[:0], Amounts: v.(*DeliveryArgs).Amounts[:0], Customers: v.(*DeliveryArgs).Customers[:0]} },
+		Encode: func(dst []byte, v any) []byte {
+			a := v.(*DeliveryArgs)
+			dst = putI64(dst, a.WID)
+			dst = putI64(dst, a.Carrier)
+			dst = putI64(dst, a.Date)
+			dst = putI64s(dst, a.Claimed)
+			dst = putI64s(dst, a.Amounts)
+			dst = putI64s(dst, a.Customers)
+			return dst
+		},
+		Decode: func(data []byte, v any) error {
+			a := v.(*DeliveryArgs)
+			r := reader{data: data, ok: true}
+			a.WID = r.i64()
+			a.Carrier = r.i64()
+			a.Date = r.i64()
+			a.Claimed = r.i64s(a.Claimed)
+			a.Amounts = r.i64s(a.Amounts)
+			a.Customers = r.i64s(a.Customers)
+			return r.done()
+		},
+	})
+
+	wire.RegisterArgCodec(&wire.ArgCodec{
+		Name:  "order_status",
+		New:   func() any { return &OrderStatusArgs{} },
+		Reset: func(v any) { *v.(*OrderStatusArgs) = OrderStatusArgs{} },
+		Encode: func(dst []byte, v any) []byte {
+			a := v.(*OrderStatusArgs)
+			dst = putI64(dst, a.WID)
+			dst = putI64(dst, a.DID)
+			dst = putI64(dst, a.CID)
+			dst = putStr(dst, a.CLast)
+			return dst
+		},
+		Decode: func(data []byte, v any) error {
+			a := v.(*OrderStatusArgs)
+			r := reader{data: data, ok: true}
+			a.WID = r.i64()
+			a.DID = r.i64()
+			a.CID = r.i64()
+			a.CLast = r.strMid()
+			return r.done()
+		},
+	})
+
+	wire.RegisterArgCodec(&wire.ArgCodec{
+		Name:  "stock_level",
+		New:   func() any { return &StockLevelArgs{} },
+		Reset: func(v any) { *v.(*StockLevelArgs) = StockLevelArgs{} },
+		Encode: func(dst []byte, v any) []byte {
+			a := v.(*StockLevelArgs)
+			dst = putI64(dst, a.WID)
+			dst = putI64(dst, a.DID)
+			dst = putI64(dst, a.Threshold)
+			dst = putI64(dst, a.Orders)
+			return dst
+		},
+		Decode: func(data []byte, v any) error {
+			a := v.(*StockLevelArgs)
+			r := reader{data: data, ok: true}
+			a.WID = r.i64()
+			a.DID = r.i64()
+			a.Threshold = r.i64()
+			a.Orders = r.i64()
+			return r.done()
+		},
+	})
+}

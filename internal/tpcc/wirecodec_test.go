@@ -1,0 +1,211 @@
+package tpcc
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"accdb/internal/server/wire"
+)
+
+// randArgs builds one randomized instance per registered type, including
+// degenerate shapes (empty slices, empty strings, negative and extreme
+// values) the fixed layouts must carry exactly.
+func randArgs(rng *rand.Rand) map[string]any {
+	i64 := func() int64 { return rng.Int63() - rng.Int63() }
+	str := func() string {
+		// Printable ASCII only: JSON replaces invalid UTF-8 with U+FFFD,
+		// and the comparison is against the JSON path.
+		n := rng.Intn(17)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(' ' + rng.Intn(95))
+		}
+		return string(b)
+	}
+	vec := func() []int64 {
+		n := rng.Intn(6)
+		if n == 0 && rng.Intn(2) == 0 {
+			return nil
+		}
+		v := make([]int64, n)
+		for i := range v {
+			v[i] = i64()
+		}
+		return v
+	}
+	no := &NewOrderArgs{
+		WID: i64(), DID: i64(), CID: i64(),
+		InvalidItem: rng.Intn(2) == 1,
+		ONum:        i64(), WTax: i64(), DTax: i64(), CDiscount: i64(),
+		Filled: vec(), Amounts: vec(), Total: i64(),
+	}
+	for i, n := 0, rng.Intn(5); i < n; i++ {
+		no.Lines = append(no.Lines, OrderLineReq{ItemID: i64(), SupplyW: i64(), Quantity: i64()})
+	}
+	return map[string]any{
+		"new_order": no,
+		"payment": &PaymentArgs{
+			WID: i64(), DID: i64(), CWID: i64(), CDID: i64(), CID: i64(),
+			CLast: str(), Amount: i64(), HID: i64(), Date: i64(), ResolvedCID: i64(),
+		},
+		"delivery": &DeliveryArgs{
+			WID: i64(), Carrier: i64(), Date: i64(),
+			Claimed: vec(), Amounts: vec(), Customers: vec(),
+		},
+		"order_status": &OrderStatusArgs{WID: i64(), DID: i64(), CID: i64(), CLast: str()},
+		"stock_level":  &StockLevelArgs{WID: i64(), DID: i64(), Threshold: i64(), Orders: i64()},
+	}
+}
+
+// canonical renders an args record with nil and empty slices identified, so
+// the binary path (which does not distinguish them) can be compared against
+// the JSON path (which does).
+func canonical(t *testing.T, v any) string {
+	t.Helper()
+	rv := reflect.ValueOf(v).Elem()
+	cp := reflect.New(rv.Type())
+	cp.Elem().Set(rv)
+	for i := 0; i < cp.Elem().NumField(); i++ {
+		f := cp.Elem().Field(i)
+		if f.Kind() == reflect.Slice && f.IsNil() {
+			f.Set(reflect.MakeSlice(f.Type(), 0, 0))
+		}
+	}
+	b, err := json.Marshal(cp.Interface())
+	if err != nil {
+		t.Fatalf("canonical marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestBinaryCodecRoundTrip checks, for every registered TPC-C type, that
+// the binary wire layout carries exactly what the JSON path carries:
+// decode(encode(x)) == x and == jsonRoundTrip(x) for randomized records.
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 200; iter++ {
+		for name, orig := range randArgs(rng) {
+			c := wire.CodecFor(name)
+			if c == nil {
+				t.Fatalf("no codec registered for %q", name)
+			}
+			if !c.Handles(orig) {
+				t.Fatalf("%s codec does not handle its own type %T", name, orig)
+			}
+			enc := c.Encode(nil, orig)
+			dec := c.GetArgs()
+			if err := c.Decode(enc, dec); err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			want := canonical(t, orig)
+			if got := canonical(t, dec); got != want {
+				t.Fatalf("%s: binary round trip diverged\n got %s\nwant %s", name, got, want)
+			}
+			jb, err := json.Marshal(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jdec := c.GetArgs()
+			if err := json.Unmarshal(jb, jdec); err != nil {
+				t.Fatal(err)
+			}
+			if got := canonical(t, jdec); got != want {
+				t.Fatalf("%s: JSON round trip diverged\n got %s\nwant %s", name, got, want)
+			}
+			c.PutArgs(dec)
+			c.PutArgs(jdec)
+		}
+	}
+}
+
+// TestBinaryCodecInPlaceReuse decodes records of shrinking and growing
+// sizes into the same pooled instance: leftover state from a previous
+// decode must never leak through.
+func TestBinaryCodecInPlaceReuse(t *testing.T) {
+	c := wire.CodecFor("new_order")
+	big := &NewOrderArgs{
+		WID: 1, Lines: []OrderLineReq{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}},
+		Filled: []int64{10, 20, 30}, Amounts: []int64{1, 2, 3}, Total: 99,
+	}
+	small := &NewOrderArgs{WID: 2, Lines: []OrderLineReq{{9, 9, 9}}, Filled: []int64{5}, Amounts: []int64{6}}
+	dst := c.GetArgs()
+	for i := 0; i < 4; i++ {
+		src := big
+		if i%2 == 1 {
+			src = small
+		}
+		c.Reset(dst)
+		if err := c.Decode(c.Encode(nil, src), dst); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := canonical(t, dst), canonical(t, src); got != want {
+			t.Fatalf("reuse iteration %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+	c.PutArgs(dst)
+}
+
+// TestBinaryCodecEncodeAllocFree asserts encoding into a pooled buffer and
+// decoding into a pooled record allocate nothing once warm — the property
+// the server and client hot paths rely on.
+func TestBinaryCodecEncodeAllocFree(t *testing.T) {
+	c := wire.CodecFor("new_order")
+	src := &NewOrderArgs{
+		WID: 3, DID: 4, CID: 5,
+		Lines:  []OrderLineReq{{1, 1, 5}, {2, 1, 3}},
+		Filled: []int64{5, 3}, Amounts: []int64{50, 30}, Total: 80,
+	}
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	dst := c.GetArgs().(*NewOrderArgs)
+	defer c.PutArgs(dst)
+	run := func() {
+		*buf = c.Encode((*buf)[:0], src)
+		c.Reset(dst)
+		if err := c.Decode(*buf, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+		t.Fatalf("binary codec allocates %.1f objects per round trip, want 0", allocs)
+	}
+}
+
+// FuzzBinaryArgsDecode feeds hostile payloads to every registered codec:
+// decode must reject or accept without panicking, and anything accepted
+// must re-encode cleanly.
+func FuzzBinaryArgsDecode(f *testing.F) {
+	names := []string{"new_order", "payment", "delivery", "order_status", "stock_level"}
+	rng := rand.New(rand.NewSource(7))
+	for name, v := range randArgs(rng) {
+		c := wire.CodecFor(name)
+		f.Add(name, c.Encode(nil, v))
+	}
+	f.Add("payment", []byte{})
+	f.Add("delivery", []byte{0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, name string, data []byte) {
+		var c *wire.ArgCodec
+		for _, n := range names {
+			if n == name {
+				c = wire.CodecFor(n)
+			}
+		}
+		if c == nil {
+			return
+		}
+		v := c.GetArgs()
+		defer c.PutArgs(v)
+		if err := c.Decode(data, v); err != nil {
+			return
+		}
+		enc := c.Encode(nil, v)
+		w := c.GetArgs()
+		defer c.PutArgs(w)
+		if err := c.Decode(enc, w); err != nil {
+			t.Fatalf("%s: re-decode of accepted record failed: %v", name, err)
+		}
+	})
+}

@@ -102,6 +102,10 @@ const (
 	// KindRPCReject marks a request refused before execution; Extra is the
 	// refusal cause ("queue-full", "draining", "unknown-type", "bad-request").
 	KindRPCReject
+	// KindRPCError marks a server-side failure while answering an executed
+	// request — e.g. the result work area failed to re-encode. The request
+	// itself ran; Extra elaborates what went wrong afterwards.
+	KindRPCError
 
 	kindMax
 )
@@ -128,6 +132,7 @@ var kindNames = [...]string{
 	KindRPCBegin:       "rpc.begin",
 	KindRPCEnd:         "rpc.end",
 	KindRPCReject:      "rpc.reject",
+	KindRPCError:       "rpc.error",
 }
 
 // String names the kind as it appears in sink output.

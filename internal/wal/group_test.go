@@ -1,0 +1,141 @@
+package wal
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"accdb/internal/fault"
+)
+
+// TestGroupCommitCoalesces drives N concurrent committers through a log
+// with a group window and requires that one leader's force covered nearly
+// all of them: the whole point of cross-session group commit is syncs ≪
+// commits.
+func TestGroupCommitCoalesces(t *testing.T) {
+	const committers = 16
+	l := New(0)
+	l.SetGroupWindow(2 * time.Millisecond)
+	if l.GroupWindow() != 2*time.Millisecond {
+		t.Fatal("GroupWindow not recorded")
+	}
+
+	var wg sync.WaitGroup
+	lsns := make([]LSN, committers)
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsns[i] = l.AppendForce(Record{Type: TCommit, Txn: uint64(i + 1)})
+		}(i)
+	}
+	wg.Wait()
+
+	st := l.Snapshot()
+	if st.Forces >= committers/2 {
+		t.Fatalf("group commit did not coalesce: %d forces for %d commits", st.Forces, committers)
+	}
+	durable := LSN(len(l.DurableBytes()))
+	for i, lsn := range lsns {
+		if durable < lsn {
+			t.Fatalf("commit %d (lsn %d) not covered by group force (durable %d)", i, lsn, durable)
+		}
+	}
+}
+
+// TestGroupCommitDisk runs the same shape against a disk-backed log and
+// verifies every record survives a reopen — the group force must be a real
+// sync, not just a watermark.
+func TestGroupCommitDisk(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(dir, Options{GroupWindow: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const committers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.AppendForce(Record{Type: TCommit, Txn: uint64(i + 1)})
+		}(i)
+	}
+	wg.Wait()
+	st := l.Snapshot()
+	if st.Forces >= committers {
+		t.Fatalf("disk group commit did not coalesce: %d forces for %d commits", st.Forces, committers)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	seen := map[uint64]bool{}
+	if err := Replay(l2.Recovered(), func(r Record) error {
+		seen[r.Txn] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != committers {
+		t.Fatalf("reopen found %d commits, want %d", len(seen), committers)
+	}
+}
+
+// TestGroupCommitCrashPoint arms the group-window crash point: the leader
+// collects followers but dies before the force. Everyone must return (no
+// hung followers), nothing new may be durable, and the log must read as
+// crashed.
+func TestGroupCommitCrashPoint(t *testing.T) {
+	l := New(0)
+	l.SetGroupWindow(5 * time.Millisecond)
+
+	c := fault.NewController(42)
+	c.Arm("wal.group.force.crash", fault.Spec{Effect: fault.Crash, Nth: 1})
+	c.Activate()
+	defer fault.Deactivate()
+
+	const committers = 4
+	done := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		for i := 0; i < committers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				l.AppendForce(Record{Type: TCommit, Txn: uint64(i + 1)})
+			}(i)
+		}
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("followers hung after group-commit crash")
+	}
+	if !l.Crashed() {
+		t.Fatal("log did not crash at the group-commit point")
+	}
+	if n := len(l.DurableBytes()); n != 0 {
+		t.Fatalf("%d bytes became durable after a pre-force crash", n)
+	}
+}
+
+// TestGroupWindowZeroIsDirect confirms the knob's off position: with no
+// window, each force is immediate and counted individually.
+func TestGroupWindowZeroIsDirect(t *testing.T) {
+	l := New(0)
+	for i := 0; i < 3; i++ {
+		l.AppendForce(Record{Type: TCommit, Txn: uint64(i + 1)})
+	}
+	if st := l.Snapshot(); st.Forces != 3 {
+		t.Fatalf("ungrouped forces = %d, want 3", st.Forces)
+	}
+}

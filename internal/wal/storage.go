@@ -37,6 +37,8 @@ func init() {
 		"fsync fails (fsyncgate): the log must not trust anything written since the last sync")
 	fault.Declare("wal.sync.delay", fault.Delay,
 		"slow fsync stalls group commit, widening the window other terminals pile into")
+	fault.Declare("wal.group.force.crash", fault.Crash,
+		"process dies inside the group-commit window: followers queued behind the leader, but the group's force never happened")
 }
 
 // segment file naming.
@@ -300,6 +302,10 @@ type Options struct {
 	// ForceLatency adds simulated latency on top of the real fsync
 	// (default 0 for disk-backed logs).
 	ForceLatency time.Duration
+	// GroupWindow enables cross-caller group commit: a force leader waits
+	// up to this long for concurrent commits before issuing one shared
+	// sync (see Log.SetGroupWindow). 0 disables batching.
+	GroupWindow time.Duration
 }
 
 // Open opens (creating if needed) a disk-backed log in dir. It reads every
@@ -339,7 +345,9 @@ func Open(dir string, opt Options) (*Log, error) {
 	}
 	return &Log{
 		ForceLatency: opt.ForceLatency,
+		groupWindow:  opt.GroupWindow,
 		prefix:       image,
+		size:         LSN(valid),
 		flushed:      LSN(valid),
 		fsWritten:    LSN(valid),
 		fs:           fs,

@@ -111,7 +111,7 @@ func TestOpenTruncatesTornTail(t *testing.T) {
 func lenBuf(l *Log) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.buf)
+	return int(l.size) - len(l.prefix)
 }
 
 func TestSegmentRotation(t *testing.T) {

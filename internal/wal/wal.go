@@ -115,23 +115,42 @@ type Log struct {
 	// usually leave this zero.
 	ForceLatency time.Duration
 
-	mu      sync.Mutex
-	prefix  []byte // recovered durable image (disk-backed logs only)
-	buf     []byte // records appended since New/Open
-	flushed LSN    // global durable watermark (≥ len(prefix))
-	stats   Stats
-	crashed bool // simulated crash: durability frozen
+	// The appended image lives in fixed-size chunks rather than one
+	// growing []byte: a hot log reaches hundreds of megabytes, and slice
+	// doubling would re-copy the whole image every generation (growslice
+	// memmove was ~15% of server CPU before chunking). Chunks are sealed
+	// full and never moved; records never span a chunk boundary.
+	mu        sync.Mutex
+	prefix    []byte   // recovered durable image (disk-backed logs only)
+	chunks    [][]byte // sealed chunks appended since New/Open, in order
+	chunkBase []LSN    // absolute start offset of each sealed chunk
+	tail      []byte   // current chunk being filled
+	size      LSN      // absolute end of the log (prefix + chunks + tail)
+	payload   []byte   // retained encode scratch (guarded by mu)
+	flushed   LSN      // global durable watermark (≥ len(prefix))
+	stats     Stats
+	crashed   bool // simulated crash: durability frozen
 
 	// fs is the segment-file backend; nil for memory-only logs.
 	fs *fileStorage
 	// flushMu serializes disk flushes; the holder is the group-commit
 	// leader and syncs everything appended so far.
 	flushMu   sync.Mutex
-	fsWritten LSN // global offset already handed to fs (under flushMu)
+	flushBuf  []byte // retained flush scratch (guarded by flushMu)
+	fsWritten LSN    // global offset already handed to fs (under flushMu)
 	ioErr     error
 	// tornTail, for disk-backed logs, records the tail damage Open found
 	// and truncated, if any.
 	tornTail *ErrTornTail
+
+	// Group-commit scheduler (SetGroupWindow). gmu guards the window, the
+	// leader flag, and gcond; followers wait on gcond for the leader's
+	// force to cover them. Separate from mu/flushMu so a sleeping leader
+	// never blocks appends.
+	gmu         sync.Mutex
+	gcond       *sync.Cond
+	groupWindow time.Duration
+	gLeader     bool
 
 	// tracer is the structured event bus; nil disables tracing. Emit sites
 	// nil-check first so the disabled cost is one predictable branch.
@@ -147,6 +166,77 @@ func New(forceLatency time.Duration) *Log {
 	return &Log{ForceLatency: forceLatency}
 }
 
+// chunkSize is the sealed-chunk capacity of the in-memory image. Large
+// enough that chunk bookkeeping is negligible, small enough that a mostly
+// idle log stays cheap.
+const chunkSize = 256 << 10
+
+// uvarintLen is the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// appendRecordLocked frames the scratch payload (uvarint length, payload,
+// CRC) into the tail chunk, sealing it first if the frame does not fit.
+// Requires l.mu.
+func (l *Log) appendRecordLocked() {
+	need := uvarintLen(uint64(len(l.payload))) + len(l.payload) + 4
+	if cap(l.tail)-len(l.tail) < need {
+		if len(l.tail) > 0 {
+			l.chunks = append(l.chunks, l.tail)
+			l.chunkBase = append(l.chunkBase, l.size-LSN(len(l.tail)))
+		}
+		c := chunkSize
+		if need > c {
+			c = need
+		}
+		l.tail = make([]byte, 0, c)
+	}
+	l.tail = binary.AppendUvarint(l.tail, uint64(len(l.payload)))
+	l.tail = append(l.tail, l.payload...)
+	l.tail = binary.LittleEndian.AppendUint32(l.tail, crc32.ChecksumIEEE(l.payload))
+	l.size += LSN(need)
+}
+
+// copyRangeLocked appends the log bytes in [from, to) — absolute offsets at
+// or past the recovered prefix — to dst. Requires l.mu.
+func (l *Log) copyRangeLocked(dst []byte, from, to LSN) []byte {
+	for i, c := range l.chunks {
+		base, end := l.chunkBase[i], l.chunkBase[i]+LSN(len(c))
+		if end <= from {
+			continue
+		}
+		if base >= to {
+			return dst
+		}
+		s, e := LSN(0), LSN(len(c))
+		if from > base {
+			s = from - base
+		}
+		if to < end {
+			e = to - base
+		}
+		dst = append(dst, c[s:e]...)
+	}
+	tailBase := l.size - LSN(len(l.tail))
+	if to > tailBase && from < l.size {
+		s, e := LSN(0), l.size-tailBase
+		if from > tailBase {
+			s = from - tailBase
+		}
+		if to < l.size {
+			e = to - tailBase
+		}
+		dst = append(dst, l.tail[s:e]...)
+	}
+	return dst
+}
+
 // Append encodes and appends rec, returning its end LSN. The record is not
 // durable until a Force covers its LSN.
 func (l *Log) Append(rec Record) LSN {
@@ -154,17 +244,17 @@ func (l *Log) Append(rec Record) LSN {
 		l.Crash()
 	}
 	l.mu.Lock()
-	base := len(l.prefix)
-	before := base + len(l.buf)
-	l.buf = encodeRecord(l.buf, rec)
+	before := l.size
+	l.payload = encodePayload(l.payload[:0], rec)
+	l.appendRecordLocked()
 	l.stats.Records++
-	lsn := LSN(base + len(l.buf))
+	lsn := l.size
 	l.stats.Bytes = uint64(lsn)
 	l.mu.Unlock()
 	if l.tracer != nil {
 		ev := trace.Ev(trace.KindWALAppend, rec.Txn)
 		ev.Mode = rec.Type.String()
-		ev.Dur = int64(int(lsn) - before) // record size in bytes
+		ev.Dur = int64(lsn - before) // record size in bytes
 		l.tracer.Emit(ev)
 	}
 	return lsn
@@ -177,12 +267,86 @@ func (l *Log) AppendForce(rec Record) LSN {
 	return lsn
 }
 
+// SetGroupWindow enables cross-caller group commit: when d > 0, a ForceTo
+// whose LSN is not yet durable elects a leader that waits up to d for more
+// appends to arrive, then issues one force covering the whole tail.
+// Concurrent callers that land in the window ride the leader's force and
+// never touch the disk (or pay the simulated latency) themselves. d bounds
+// the extra commit latency a lone caller pays; 0 restores force-per-caller.
+// Safe to call concurrently with forces.
+func (l *Log) SetGroupWindow(d time.Duration) {
+	l.gmu.Lock()
+	l.groupWindow = d
+	l.gmu.Unlock()
+}
+
+// GroupWindow returns the current group-commit window.
+func (l *Log) GroupWindow() time.Duration {
+	l.gmu.Lock()
+	defer l.gmu.Unlock()
+	return l.groupWindow
+}
+
+// covered reports whether lsn is already durable — or never will be,
+// because the log crashed or froze.
+func (l *Log) covered(lsn LSN) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed >= lsn || l.crashed
+}
+
 // ForceTo makes the log durable through lsn. Memory-only logs advance the
 // flushed watermark and pay the simulated latency; disk-backed logs write
 // and fsync under group commit — the caller that wins the flush mutex
 // syncs everything appended so far, and concurrent callers whose LSN that
-// sync covered return without touching the disk.
+// sync covered return without touching the disk. With a group window set
+// (SetGroupWindow), callers additionally batch behind a leader that waits
+// out the window before forcing, so one sync covers every session that
+// committed inside it.
 func (l *Log) ForceTo(lsn LSN) {
+	l.gmu.Lock()
+	window := l.groupWindow
+	if window <= 0 {
+		l.gmu.Unlock()
+		l.forceDirect(lsn)
+		return
+	}
+	if l.gcond == nil {
+		l.gcond = sync.NewCond(&l.gmu)
+	}
+	for {
+		if l.covered(lsn) {
+			l.gmu.Unlock()
+			return
+		}
+		if l.gLeader {
+			// A leader is collecting the current group; it will broadcast
+			// after its force. Re-check coverage then — if its tail capture
+			// raced our append, the next iteration elects us leader.
+			l.gcond.Wait()
+			continue
+		}
+		l.gLeader = true
+		l.gmu.Unlock()
+
+		// The collection window: appends (and followers) pile in while we
+		// sleep. The crash point models dying here — followers queued, force
+		// never issued — so recovery must compensate the whole group.
+		time.Sleep(window)
+		if o := fault.Point("wal.group.force.crash"); o.Effect == fault.Crash {
+			l.Crash()
+		}
+		l.forceDirect(l.tailLSN())
+
+		l.gmu.Lock()
+		l.gLeader = false
+		l.gcond.Broadcast()
+	}
+}
+
+// forceDirect is the ungrouped force path: it makes the log durable through
+// lsn immediately, coalescing only with forces already in flight.
+func (l *Log) forceDirect(lsn LSN) {
 	l.mu.Lock()
 	if l.flushed >= lsn || l.crashed {
 		l.mu.Unlock()
@@ -207,12 +371,11 @@ func (l *Log) ForceTo(lsn LSN) {
 		return
 	}
 	// Group commit: take the whole appended tail, not just our record.
-	base := LSN(len(l.prefix))
-	tail := base + LSN(len(l.buf))
-	chunk := append([]byte(nil), l.buf[l.fsWritten-base:tail-base]...)
+	tail := l.size
+	l.flushBuf = l.copyRangeLocked(l.flushBuf[:0], l.fsWritten, tail)
 	l.mu.Unlock()
 
-	err := l.fs.write(chunk)
+	err := l.fs.write(l.flushBuf)
 	if err == nil {
 		err = l.fs.sync()
 	}
@@ -255,7 +418,7 @@ func (l *Log) Force() { l.ForceTo(l.tailLSN()) }
 func (l *Log) tailLSN() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return LSN(len(l.prefix) + len(l.buf))
+	return l.size
 }
 
 // Crash simulates a process kill: durability freezes at its current
@@ -323,9 +486,9 @@ func (l *Log) Close() error {
 func (l *Log) Bytes() []byte {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]byte, 0, len(l.prefix)+len(l.buf))
+	out := make([]byte, 0, l.size)
 	out = append(out, l.prefix...)
-	return append(out, l.buf...)
+	return l.copyRangeLocked(out, LSN(len(l.prefix)), l.size)
 }
 
 // DurableBytes returns only the forced prefix of the log — what survives a
@@ -335,8 +498,8 @@ func (l *Log) DurableBytes() []byte {
 	defer l.mu.Unlock()
 	out := make([]byte, 0, l.flushed)
 	out = append(out, l.prefix...)
-	if rest := int(l.flushed) - len(l.prefix); rest > 0 {
-		out = append(out, l.buf[:rest]...)
+	if l.flushed > LSN(len(l.prefix)) {
+		out = l.copyRangeLocked(out, LSN(len(l.prefix)), l.flushed)
 	}
 	return out
 }
@@ -348,13 +511,24 @@ func (l *Log) Snapshot() Stats {
 	return l.stats
 }
 
+// encodeRecord frames one record into dst — the allocating convenience
+// used by tests; the Append hot path frames via the log's retained
+// scratch instead.
 func encodeRecord(dst []byte, r Record) []byte {
-	// Layout: uvarint payload length, payload, CRC32-IEEE of the payload
-	// (4 bytes little-endian). Payload: type byte, uvarint txn,
-	// type-specific fields. The per-record CRC is what makes a torn tail
-	// decidable: a complete frame whose checksum fails is corruption, not a
-	// mid-append crash.
-	payload := make([]byte, 0, 64)
+	payload := encodePayload(nil, r)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// encodePayload appends the record's frame payload to dst and returns it.
+// Layout: uvarint payload length, payload, CRC32-IEEE of the payload
+// (4 bytes little-endian) — the length and CRC are added by the framer.
+// Payload: type byte, uvarint txn, type-specific fields. The per-record
+// CRC is what makes a torn tail decidable: a complete frame whose checksum
+// fails is corruption, not a mid-append crash.
+func encodePayload(dst []byte, r Record) []byte {
+	payload := dst
 	payload = append(payload, byte(r.Type))
 	payload = binary.AppendUvarint(payload, r.Txn)
 	putString := func(s string) {
@@ -387,9 +561,7 @@ func encodeRecord(dst []byte, r Record) []byte {
 	default:
 		panic(fmt.Sprintf("wal: encoding unknown record type %d", r.Type))
 	}
-	dst = binary.AppendUvarint(dst, uint64(len(payload)))
-	dst = append(dst, payload...)
-	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return payload
 }
 
 // ErrTornTail reports that the log image ends in bytes that do not form

@@ -163,26 +163,55 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// runState carries one Run's request across attempts: the request header
+// plus the buffers its Name and Args fields alias. Pooled, so a
+// binary-codec Run allocates nothing on the request path.
+type runState struct {
+	req     wire.Request
+	argBuf  []byte
+	nameBuf []byte
+}
+
+var runPool = sync.Pool{New: func() any { return new(runState) }}
+
 // Ping round-trips a no-op request.
 func (c *Client) Ping(ctx context.Context) error {
-	_, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpPing})
+	st := runPool.Get().(*runState)
+	defer runPool.Put(st)
+	st.req = wire.Request{Op: wire.OpPing}
+	rf, err := c.roundTrip(ctx, &st.req)
+	if rf != nil {
+		respPool.Put(rf)
+	}
 	return err
 }
 
 // Run executes the named transaction type on the server with the given
-// argument record. args is marshaled to JSON once; on a final outcome the
-// response's work area is unmarshaled back into args, so output fields
-// (assigned order numbers, fetched balances) appear in place, exactly as
-// with the in-process acc.Engine. Retryable outcomes are retried per the
-// policy with exponential backoff; ctx cancels the wait for a response (the
-// server finishes or compensates the in-flight attempt on its own).
+// argument record. A type with a registered wire.ArgCodec travels as a
+// fixed-layout binary record through pooled buffers; anything else is
+// marshaled to JSON once. On a final outcome the response's work area is
+// decoded back into args, so output fields (assigned order numbers, fetched
+// balances) appear in place, exactly as with the in-process acc.Engine.
+// Retryable outcomes are retried per the policy with exponential backoff;
+// ctx cancels the wait for a response (the server finishes or compensates
+// the in-flight attempt on its own). A server that rejects the binary
+// format — no codec registered on its side — is retried once in JSON, so
+// mixed deployments interoperate.
 func (c *Client) Run(ctx context.Context, name string, args any) error {
 	c.requests.Add(1)
-	var payload []byte
-	if args != nil {
-		var err error
-		if payload, err = json.Marshal(args); err != nil {
-			return fmt.Errorf("accclient: marshal %s args: %w", name, err)
+	st := runPool.Get().(*runState)
+	defer runPool.Put(st)
+	st.req = wire.Request{Op: wire.OpRun}
+	codec := wire.CodecFor(name)
+	if codec != nil && args != nil && codec.Handles(args) {
+		st.argBuf = codec.Encode(st.argBuf[:0], args)
+		st.req.Fmt = wire.FmtBinary
+		st.req.Name = codec.NameBytes()
+		st.req.Args = st.argBuf
+	} else {
+		codec = nil
+		if err := st.encodeJSON(name, args); err != nil {
+			return err
 		}
 	}
 	backoff := c.opts.Retry.Backoff
@@ -198,24 +227,59 @@ func (c *Client) Run(ctx context.Context, name string, args any) error {
 				backoff *= 2
 			}
 		}
-		resp, err := c.roundTrip(ctx, &wire.Request{Op: wire.OpRun, Name: name, Args: payload})
+		rf, err := c.roundTrip(ctx, &st.req)
 		if err != nil {
 			// Transport failure: the attempt's fate is unknown, so blind
 			// retry could double-execute a non-idempotent transaction.
 			// Surface it; the application decides.
 			return err
 		}
-		err = statusError(name, resp)
-		if retryable(err) && attempt < c.opts.Retry.Max && ctx.Err() == nil {
+		err = statusError(name, &rf.resp)
+		if codec != nil && errors.Is(err, ErrBadRequest) {
+			// The server has no binary codec for this type (an older
+			// build): fall back to JSON and resend. Nothing executed, so
+			// the resend is safe.
+			respPool.Put(rf)
+			codec = nil
+			if jerr := st.encodeJSON(name, args); jerr != nil {
+				return jerr
+			}
 			continue
 		}
-		if len(resp.Result) > 0 && args != nil {
-			if uerr := json.Unmarshal(resp.Result, args); uerr != nil && err == nil {
+		if retryable(err) && attempt < c.opts.Retry.Max && ctx.Err() == nil {
+			respPool.Put(rf)
+			continue
+		}
+		if len(rf.resp.Result) > 0 && args != nil {
+			var uerr error
+			if rf.resp.Fmt == wire.FmtBinary && codec != nil {
+				uerr = codec.Decode(rf.resp.Result, args)
+			} else {
+				uerr = json.Unmarshal(rf.resp.Result, args)
+			}
+			if uerr != nil && err == nil {
 				err = fmt.Errorf("accclient: decode %s result: %w", name, uerr)
 			}
 		}
+		respPool.Put(rf)
 		return err
 	}
+}
+
+// encodeJSON points st's request at a JSON encoding of args.
+func (st *runState) encodeJSON(name string, args any) error {
+	st.req.Fmt = wire.FmtJSON
+	st.nameBuf = append(st.nameBuf[:0], name...)
+	st.req.Name = st.nameBuf
+	st.req.Args = nil
+	if args != nil {
+		payload, err := json.Marshal(args)
+		if err != nil {
+			return fmt.Errorf("accclient: marshal %s args: %w", name, err)
+		}
+		st.req.Args = payload
+	}
+	return nil
 }
 
 // retryable extends the engine's predicate with client-side admission
@@ -230,7 +294,7 @@ func statusError(name string, resp *wire.Response) error {
 	case wire.StatusOK:
 		return nil
 	case wire.StatusCompensated:
-		return &core.CompensatedError{Txn: name, Cause: errors.New(resp.Msg)}
+		return &core.CompensatedError{Txn: name, Cause: errors.New(string(resp.Msg))}
 	case wire.StatusAborted:
 		return fmt.Errorf("%w: %s", core.ErrAborted, resp.Msg)
 	case wire.StatusDeadlock:
@@ -252,9 +316,26 @@ func statusError(name string, resp *wire.Response) error {
 	}
 }
 
+// respFrame is one received response: the decoded header plus the frame
+// buffer its Msg and Result fields alias. Pooled; the consumer returns it
+// with respPool.Put once done with the aliased fields.
+type respFrame struct {
+	resp wire.Response
+	buf  []byte
+}
+
+var respPool = sync.Pool{New: func() any { return new(respFrame) }}
+
+// chanPool recycles response rendezvous channels. A channel is re-pooled
+// only after its response was received — a channel abandoned on ctx
+// cancellation or closed by a connection shutdown may still be touched by
+// the read loop and must go to the garbage collector instead.
+var chanPool = sync.Pool{New: func() any { return make(chan *respFrame, 1) }}
+
 // roundTrip sends one request over a pooled connection and waits for its
-// response or ctx.
-func (c *Client) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+// response or ctx. The caller owns the returned respFrame and recycles it
+// with respPool.Put.
+func (c *Client) roundTrip(ctx context.Context, req *wire.Request) (*respFrame, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -266,20 +347,21 @@ func (c *Client) roundTrip(ctx context.Context, req *wire.Request) (*wire.Respon
 		return nil, err
 	}
 	req.ID = c.ids.Add(1)
-	ch, err := cn.send(req)
-	if err != nil {
+	ch := chanPool.Get().(chan *respFrame)
+	if err := cn.send(req, ch); err != nil {
 		c.transportErrors.Add(1)
 		s.retire(cn)
 		return nil, err
 	}
 	select {
-	case resp, ok := <-ch:
+	case rf, ok := <-ch:
 		if !ok {
 			c.transportErrors.Add(1)
 			s.retire(cn)
 			return nil, cn.failure()
 		}
-		return resp, nil
+		chanPool.Put(ch)
+		return rf, nil
 	case <-ctx.Done():
 		cn.forget(req.ID)
 		return nil, ctx.Err()
@@ -313,58 +395,73 @@ func (s *slot) retire(cn *conn) {
 
 // conn is one pooled connection with a demultiplexing reader: responses
 // arrive in completion order and are routed to waiters by request id.
+// Outgoing frames go through a BatchWriter, so pipelined senders coalesce
+// into vectored writes.
 type conn struct {
-	nc  net.Conn
-	wmu sync.Mutex
+	nc net.Conn
+	bw *wire.BatchWriter
 
 	mu      sync.Mutex
-	pending map[uint64]chan *wire.Response
+	pending map[uint64]chan *respFrame
 	err     error
 }
 
 func newConn(nc net.Conn) *conn {
-	cn := &conn{nc: nc, pending: make(map[uint64]chan *wire.Response)}
+	cn := &conn{nc: nc, bw: wire.NewBatchWriter(nc), pending: make(map[uint64]chan *respFrame)}
 	go cn.readLoop()
 	return cn
 }
 
 func (cn *conn) readLoop() {
 	for {
-		resp, err := wire.ReadResponse(cn.nc)
+		rf := respPool.Get().(*respFrame)
+		payload, err := wire.ReadFrame(cn.nc, &rf.buf)
+		if err == nil {
+			err = wire.DecodeResponse(payload, &rf.resp)
+		}
 		if err != nil {
+			respPool.Put(rf)
 			cn.shutdown(fmt.Errorf("accclient: connection lost: %w", err))
 			return
 		}
 		cn.mu.Lock()
-		ch := cn.pending[resp.ID]
-		delete(cn.pending, resp.ID)
+		ch := cn.pending[rf.resp.ID]
+		delete(cn.pending, rf.resp.ID)
 		cn.mu.Unlock()
 		if ch != nil {
-			ch <- resp
+			ch <- rf
+		} else {
+			respPool.Put(rf) // waiter gave up (ctx); drop the late response
 		}
 	}
 }
 
-// send registers the request id and writes the frame.
-func (cn *conn) send(req *wire.Request) (chan *wire.Response, error) {
-	ch := make(chan *wire.Response, 1)
+// send registers the request id and enqueues the encoded frame. A write
+// failure surfaces asynchronously: the read loop notices the broken
+// connection and fails every pending waiter.
+func (cn *conn) send(req *wire.Request, ch chan *respFrame) error {
 	cn.mu.Lock()
 	if cn.err != nil {
 		err := cn.err
 		cn.mu.Unlock()
-		return nil, err
+		return err
 	}
 	cn.pending[req.ID] = ch
 	cn.mu.Unlock()
 
-	cn.wmu.Lock()
-	err := wire.WriteRequest(cn.nc, req)
-	cn.wmu.Unlock()
+	buf := wire.GetBuffer()
+	b, err := wire.AppendRequest((*buf)[:0], req)
 	if err != nil {
+		wire.PutBuffer(buf)
 		cn.forget(req.ID)
-		return nil, fmt.Errorf("accclient: write: %w", err)
+		return fmt.Errorf("accclient: encode: %w", err)
 	}
-	return ch, nil
+	*buf = b
+	if err := cn.bw.Enqueue(buf); err != nil {
+		cn.forget(req.ID)
+		return fmt.Errorf("accclient: write: %w", err)
+	}
+	return nil
 }
 
 // forget abandons a pending request (ctx cancellation): a late response is
@@ -376,7 +473,8 @@ func (cn *conn) forget(id uint64) {
 }
 
 // shutdown breaks the connection and fails every pending waiter by closing
-// its channel.
+// its channel. The socket closes before the batch writer so a writer stuck
+// in a blocked write errors out instead of stalling the teardown.
 func (cn *conn) shutdown(cause error) {
 	cn.mu.Lock()
 	if cn.err == nil {
@@ -386,9 +484,10 @@ func (cn *conn) shutdown(cause error) {
 		cn.err = cause
 	}
 	pending := cn.pending
-	cn.pending = make(map[uint64]chan *wire.Response)
+	cn.pending = make(map[uint64]chan *respFrame)
 	cn.mu.Unlock()
 	cn.nc.Close()
+	cn.bw.Close()
 	for _, ch := range pending {
 		close(ch)
 	}

@@ -2,6 +2,7 @@ package accclient
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"net"
 	"sync"
@@ -75,7 +76,7 @@ type echoArgs struct {
 func TestRetriesDeadlockVictimExactlyOnce(t *testing.T) {
 	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response {
 		if n == 1 {
-			return &wire.Response{Status: wire.StatusDeadlock, Msg: "victim"}
+			return &wire.Response{Status: wire.StatusDeadlock, Msg: []byte("victim")}
 		}
 		return &wire.Response{Status: wire.StatusOK, Result: []byte(`{"In":1,"Out":99}`)}
 	})
@@ -104,7 +105,7 @@ func TestRetriesDeadlockVictimExactlyOnce(t *testing.T) {
 // that recurs surfaces as ErrDeadlockVictim after exactly two attempts.
 func TestRetryBudgetExhausted(t *testing.T) {
 	fs := newFakeServer(t, func(int64, *wire.Request) *wire.Response {
-		return &wire.Response{Status: wire.StatusDeadlock, Msg: "victim again"}
+		return &wire.Response{Status: wire.StatusDeadlock, Msg: []byte("victim again")}
 	})
 	cli, err := Dial(fs.ln.Addr().String(), WithPoolSize(1))
 	if err != nil {
@@ -128,12 +129,12 @@ func TestRetryBudgetExhausted(t *testing.T) {
 // one attempt, error taxonomy reconstructed, compensated result decoded.
 func TestNoRetryOnFinalOutcomes(t *testing.T) {
 	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response {
-		switch req.Name {
+		switch string(req.Name) {
 		case "aborted":
-			return &wire.Response{Status: wire.StatusAborted, Msg: "user said no"}
+			return &wire.Response{Status: wire.StatusAborted, Msg: []byte("user said no")}
 		default:
 			return &wire.Response{
-				Status: wire.StatusCompensated, Msg: "rolled back",
+				Status: wire.StatusCompensated, Msg: []byte("rolled back"),
 				Result: []byte(`{"In":7,"Out":41}`),
 			}
 		}
@@ -211,7 +212,7 @@ func TestCustomRetryPolicy(t *testing.T) {
 func TestContextCancelsResponseWait(t *testing.T) {
 	never := make(chan struct{})
 	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response {
-		if req.Name == "stall" {
+		if string(req.Name) == "stall" {
 			<-never
 		}
 		return &wire.Response{Status: wire.StatusOK}
@@ -237,7 +238,7 @@ func TestContextCancelsResponseWait(t *testing.T) {
 // TestUnknownTypeMapped: the taxonomy crosses the wire.
 func TestUnknownTypeMapped(t *testing.T) {
 	fs := newFakeServer(t, func(int64, *wire.Request) *wire.Response {
-		return &wire.Response{Status: wire.StatusUnknownType, Msg: `unknown transaction type "nope"`}
+		return &wire.Response{Status: wire.StatusUnknownType, Msg: []byte(`unknown transaction type "nope"`)}
 	})
 	cli, err := Dial(fs.ln.Addr().String(), WithPoolSize(1))
 	if err != nil {
@@ -249,6 +250,62 @@ func TestUnknownTypeMapped(t *testing.T) {
 	}
 	if got := fs.runs.Load(); got != 1 {
 		t.Fatalf("unknown type must not be retried: %d attempts", got)
+	}
+}
+
+type fallbackArgs struct {
+	In  int64
+	Out int64
+}
+
+// TestBinaryFallbackToJSON: a client holding a codec the server lacks (a
+// mixed-version deployment) gets StatusBadRequest for the binary format and
+// must transparently resend the request as JSON.
+func TestBinaryFallbackToJSON(t *testing.T) {
+	wire.RegisterArgCodec(&wire.ArgCodec{
+		Name:  "fallback_echo",
+		New:   func() any { return &fallbackArgs{} },
+		Reset: func(v any) { *v.(*fallbackArgs) = fallbackArgs{} },
+		Encode: func(dst []byte, v any) []byte {
+			a := v.(*fallbackArgs)
+			dst = binary.BigEndian.AppendUint64(dst, uint64(a.In))
+			return binary.BigEndian.AppendUint64(dst, uint64(a.Out))
+		},
+		Decode: func(data []byte, v any) error {
+			if len(data) != 16 {
+				return errors.New("bad length")
+			}
+			a := v.(*fallbackArgs)
+			a.In = int64(binary.BigEndian.Uint64(data))
+			a.Out = int64(binary.BigEndian.Uint64(data[8:]))
+			return nil
+		},
+	})
+	var sawBinary, sawJSON atomic.Int64
+	fs := newFakeServer(t, func(n int64, req *wire.Request) *wire.Response {
+		if req.Fmt == wire.FmtBinary {
+			// An older server: no codec for this type.
+			sawBinary.Add(1)
+			return &wire.Response{Status: wire.StatusBadRequest, Msg: []byte(`no binary codec registered for "fallback_echo"`)}
+		}
+		sawJSON.Add(1)
+		return &wire.Response{Status: wire.StatusOK, Fmt: wire.FmtJSON, Result: []byte(`{"In":5,"Out":50}`)}
+	})
+	cli, err := Dial(fs.ln.Addr().String(), WithPoolSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	args := &fallbackArgs{In: 5}
+	if err := cli.Run(context.Background(), "fallback_echo", args); err != nil {
+		t.Fatalf("binary-refusing server must be retried in JSON: %v", err)
+	}
+	if args.Out != 50 {
+		t.Fatalf("JSON fallback result not decoded: %+v", args)
+	}
+	if sawBinary.Load() != 1 || sawJSON.Load() != 1 {
+		t.Fatalf("want one binary then one JSON attempt, got binary=%d json=%d", sawBinary.Load(), sawJSON.Load())
 	}
 }
 
