@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"accdb/internal/core"
+	"accdb/internal/debughttp"
 	"accdb/internal/experiment"
 	"accdb/internal/lock"
 	"accdb/internal/trace"
@@ -45,7 +46,7 @@ func main() {
 		termList = flag.String("terminals", "", "comma-separated terminal counts (default 4,8,16,24,32,48,60)")
 		verbose  = flag.Bool("v", false, "print per-system detail")
 		traceOut = flag.String("trace", "", "write structured events to this file (.json: Chrome trace_event for chrome://tracing; otherwise JSONL)")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/locks, /debug/waitsfor and /debug/pprof on this address (e.g. :6060)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /debug/locks, /debug/waitsfor, /debug/anatomy and /debug/pprof on this address (e.g. :6060)")
 		walDir   = flag.String("wal-dir", "", "back the log with CRC-framed segment files in this directory instead of the in-memory log")
 		groupWin = flag.Duration("group-commit", 0, "with -wal-dir: group-commit window; a force leader waits this long so concurrent commits share one sync (0 disables)")
 		faultPt  = flag.String("fault", "", "run one crash-matrix case: trip this fault point (see -fault list) mid-load, recover, verify; 'all' runs every point, 'list' prints the catalog")
@@ -54,6 +55,8 @@ func main() {
 		netAddr  = flag.String("net", "", "drive TPC-C over the wire against a running accd at this address instead of in-process")
 		netTerms = flag.Int("net-terminals", 64, "terminal count for -net")
 		netPool  = flag.Int("net-pool", 8, "client connection pool size for -net")
+		slowThr  = flag.Duration("slow-txn-threshold", 0, "dump any transaction slower than this to -slow-txn-log as JSONL, with its full stage breakdown and event history (0 disables)")
+		slowLog  = flag.String("slow-txn-log", "slow-txns.jsonl", "destination for -slow-txn-threshold dumps")
 	)
 	flag.Parse()
 
@@ -105,9 +108,22 @@ func main() {
 		}
 		defer closeTrace()
 	}
+	// The latency-anatomy layer turns on with either consumer: the debug
+	// endpoint's live histograms, or the slow-transaction flight recorder.
+	if *metrics != "" || *slowThr > 0 {
+		acfg := trace.AnatomyConfig{SlowThreshold: *slowThr, Tracer: tr}
+		if *slowThr > 0 {
+			f, err := os.Create(*slowLog)
+			if err != nil {
+				fatal(err)
+			}
+			acfg.SlowWriter = f
+		}
+		cfg.Anatomy = trace.NewAnatomy(acfg)
+	}
 	if *metrics != "" {
-		dbg := newDebugServer(tr)
-		if err := dbg.start(*metrics); err != nil {
+		dbg := debughttp.New(tr, cfg.Anatomy)
+		if err := dbg.Start(*metrics); err != nil {
 			fatal(err)
 		}
 		cfg.OnEngine = dbg.SetEngine

@@ -12,8 +12,12 @@
 // new-order holes observed server-side. Violations exit non-zero, so a CI
 // smoke run asserts end-to-end integrity just by checking the exit code.
 //
-// With -metrics-addr set, /metrics serves the engine, admission, and per-RPC
-// latency counters in Prometheus text format.
+// With -metrics-addr set, the shared debug endpoint (internal/debughttp)
+// serves /metrics (engine, lock, WAL, latency-anatomy, admission and per-RPC
+// series in Prometheus text format), /debug/locks, /debug/waitsfor,
+// /debug/anatomy and /debug/pprof. With -slow-txn-threshold set, every
+// transaction slower than the threshold is dumped to -slow-txn-log as one
+// JSONL record carrying its full per-stage breakdown and event history.
 package main
 
 import (
@@ -21,7 +25,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +32,7 @@ import (
 	"time"
 
 	"accdb/internal/core"
+	"accdb/internal/debughttp"
 	"accdb/internal/server"
 	"accdb/internal/tpcc"
 	"accdb/internal/trace"
@@ -45,7 +49,9 @@ func main() {
 		walDir       = flag.String("wal-dir", "", "back the log with segment files in this directory")
 		groupCommit  = flag.Duration("group-commit", 0, "cross-session group-commit window: a force leader waits this long so concurrent commits share one log sync (0 disables)")
 		seed         = flag.Int64("seed", 1, "TPC-C load seed")
-		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics on this address (e.g. :6061)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/locks, /debug/waitsfor, /debug/anatomy and /debug/pprof on this address (e.g. :6061)")
+		slowThr      = flag.Duration("slow-txn-threshold", 0, "dump any transaction slower than this to -slow-txn-log as JSONL, with its full stage breakdown and event history (0 disables)")
+		slowLog      = flag.String("slow-txn-log", "slow-txns.jsonl", "destination for -slow-txn-threshold dumps")
 		traceOut     = flag.String("trace", "", "write structured events to this file (.json: Chrome trace_event; otherwise JSONL)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain; in-flight work past it is cancelled (and compensated)")
 		check        = flag.Bool("check", true, "verify TPC-C consistency after the drain; violations exit non-zero")
@@ -112,6 +118,23 @@ func main() {
 		fatal(err)
 	}
 
+	// The latency-anatomy layer turns on with either consumer: the debug
+	// endpoint's live histograms, or the slow-transaction flight recorder.
+	// It attaches to the server (not the engine): the server starts each
+	// request's span at frame read, so the engine must not start its own.
+	var anatomy *trace.Anatomy
+	if *metricsAddr != "" || *slowThr > 0 {
+		acfg := trace.AnatomyConfig{SlowThreshold: *slowThr, Tracer: tr}
+		if *slowThr > 0 {
+			f, err := os.Create(*slowLog)
+			if err != nil {
+				fatal(err)
+			}
+			acfg.SlowWriter = f
+		}
+		anatomy = trace.NewAnatomy(acfg)
+	}
+
 	protos := tpcc.ArgsPrototypes()
 	holes := tpcc.NewHoleTracker()
 	srv := server.New(server.Config{
@@ -124,11 +147,15 @@ func main() {
 		},
 		MaxInFlight: *maxInFlight,
 		Tracer:      tr,
+		Anatomy:     anatomy,
 		OnOutcome:   holes.Observe,
 	})
 
 	if *metricsAddr != "" {
-		if err := serveMetrics(*metricsAddr, eng, srv); err != nil {
+		dbg := debughttp.New(tr, anatomy)
+		dbg.SetEngine(eng)
+		dbg.SetRPCMetrics(srv.WriteMetrics)
+		if err := dbg.Start(*metricsAddr); err != nil {
 			fatal(err)
 		}
 	}
@@ -177,33 +204,6 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "accd: consistency check passed")
 	}
-}
-
-// serveMetrics mounts /metrics with the engine counters and the server's
-// admission and latency series.
-func serveMetrics(addr string, eng *core.Engine, srv *server.Server) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("metrics listener: %w", err)
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		es := eng.Snapshot()
-		counter := func(name, help string, v uint64) {
-			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-		}
-		counter("accdb_txn_commits_total", "Committed transactions.", es.Commits)
-		counter("accdb_txn_user_aborts_total", "User-initiated aborts.", es.UserAborts)
-		counter("accdb_txn_compensations_total", "Compensated rollbacks.", es.Compensations)
-		counter("accdb_txn_comp_failures_total", "Failed compensations.", es.CompFailures)
-		counter("accdb_txn_step_retries_total", "Forward-step retries.", es.StepRetries)
-		counter("accdb_txn_retries_total", "Whole-transaction restarts.", es.TxnRetries)
-		srv.WriteMetrics(w)
-	})
-	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go hs.Serve(ln)
-	return nil
 }
 
 func fatal(err error) {

@@ -90,6 +90,13 @@ type Options struct {
 	// from the lock manager, append/force events from the log. Nil disables
 	// tracing at zero cost.
 	Tracer *trace.Tracer
+	// Anatomy, when non-nil, is the latency-anatomy recorder (DESIGN.md §13).
+	// Callers that already carry a request span (the network server) pass it
+	// through RunTypeContextSpan; for span-less calls the engine starts a
+	// span of its own, so in-process harnesses get the same per-stage
+	// histograms and flight recorder as the network path. Nil disables
+	// anatomy at zero cost.
+	Anatomy *trace.Anatomy
 	// Log, when non-nil, is the write-ahead log the engine appends to —
 	// typically a disk-backed log from wal.Open. Nil creates a memory-only
 	// log with ForceLatency.
@@ -111,10 +118,11 @@ type Engine struct {
 	opt    Options
 	db     *DB
 	tables *interference.Tables
-	lm     *lock.Manager
-	log    *wal.Log
-	env    ExecEnv
-	tracer *trace.Tracer
+	lm      *lock.Manager
+	log     *wal.Log
+	env     ExecEnv
+	tracer  *trace.Tracer
+	anatomy *trace.Anatomy
 
 	nextTxn atomic.Uint64
 
@@ -163,14 +171,15 @@ func New(db *DB, tables *interference.Tables, opts ...Option) *Engine {
 		log.SetTracer(opt.Tracer)
 	}
 	e := &Engine{
-		opt:    opt,
-		db:     db,
-		tables: tables,
-		lm:     lm,
-		log:    log,
-		env:    env,
-		tracer: opt.Tracer,
-		types:  make(map[string]*TxnType),
+		opt:     opt,
+		db:      db,
+		tables:  tables,
+		lm:      lm,
+		log:     log,
+		env:     env,
+		tracer:  opt.Tracer,
+		anatomy: opt.Anatomy,
+		types:   make(map[string]*TxnType),
 	}
 	if opt.RecordHistory {
 		e.hist = newHistory()
@@ -205,6 +214,10 @@ func (e *Engine) Locks() *lock.Manager { return e.lm }
 
 // Tracer returns the attached event bus, or nil when tracing is disabled.
 func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// Anatomy returns the attached latency-anatomy recorder, or nil when
+// disabled.
+func (e *Engine) Anatomy() *trace.Anatomy { return e.anatomy }
 
 // Mode returns the configured scheduler mode.
 func (e *Engine) Mode() Mode { return e.opt.Mode }

@@ -65,6 +65,14 @@ func WithTracer(t *trace.Tracer) Option {
 	return func(o *Options) { o.Tracer = t }
 }
 
+// WithAnatomy attaches the latency-anatomy recorder (DESIGN.md §13): every
+// span-less Run acquires an engine-owned span, so per-stage histograms and
+// the slow-transaction flight recorder work for in-process callers too. Nil
+// disables anatomy at zero cost.
+func WithAnatomy(a *trace.Anatomy) Option {
+	return func(o *Options) { o.Anatomy = a }
+}
+
 // WithWAL backs the engine with an existing write-ahead log — typically a
 // disk-backed log from wal.Open. Nil keeps the default memory-only log.
 func WithWAL(l *wal.Log) Option {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -24,13 +25,45 @@ func init() {
 
 // emitTxn sends one engine-layer event. Callers nil-check e.tracer first so
 // the disabled path never builds the event. step < 0 means not step-scoped.
-func (e *Engine) emitTxn(kind trace.Kind, txn uint64, step int, item string, dur int64, extra string) {
-	ev := trace.Ev(kind, txn)
+// The transaction's trace id (when a latency-anatomy span is attached) rides
+// along so one request can be followed across client, server and engine.
+func (e *Engine) emitTxn(kind trace.Kind, txn *txnState, step int, item string, dur int64, extra string) {
+	ev := trace.Ev(kind, uint64(txn.info.ID))
+	if txn.span != nil {
+		ev.Trace = txn.span.TraceID
+	}
 	if step >= 0 {
 		ev.Step = int16(step)
 	}
 	ev.Item, ev.Dur, ev.Extra = item, dur, extra
 	e.tracer.Emit(ev)
+}
+
+// spanEvent mirrors an engine-layer transition into the transaction's
+// latency-anatomy span history. Unlike emitTxn it does not depend on the
+// tracer, so the flight recorder keeps the full per-transaction event
+// history even with the event bus detached.
+func (txn *txnState) spanEvent(kind trace.Kind, mode, item string, dur int64) {
+	if txn.span != nil {
+		txn.span.Event(kind, mode, item, dur)
+	}
+}
+
+// spanStatus classifies an engine outcome for engine-owned span records,
+// mirroring the wire status taxonomy the server stamps on request spans.
+func spanStatus(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case IsCompensated(err):
+		return "compensated"
+	case canceled(err):
+		return "canceled"
+	case errors.Is(err, ErrAborted):
+		return "aborted"
+	default:
+		return "error"
+	}
 }
 
 // Run executes one instance of the named transaction type with the given
@@ -61,6 +94,15 @@ func (e *Engine) RunType(tt *TxnType, args any) error {
 
 // RunTypeContext is RunContext for an already-resolved type.
 func (e *Engine) RunTypeContext(ctx context.Context, tt *TxnType, args any) error {
+	return e.RunTypeContextSpan(ctx, tt, args, nil)
+}
+
+// RunTypeContextSpan is RunTypeContext with a latency-anatomy span threaded
+// through every layer the transaction touches (DESIGN.md §13). The network
+// server passes the request's span; with sp nil and an Anatomy attached the
+// engine owns a span for the call, so in-process harnesses get the same
+// per-stage histograms and flight recorder as the network path.
+func (e *Engine) RunTypeContextSpan(ctx context.Context, tt *TxnType, args any, sp *trace.Span) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -70,10 +112,26 @@ func (e *Engine) RunTypeContext(ctx context.Context, tt *TxnType, args any) erro
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if e.opt.Mode == ModeBaseline {
-		return e.runBaseline(ctx, tt, args)
+	if sp == nil && e.anatomy != nil {
+		// Engine-owned span: the whole call is the engine phase; there are
+		// no wire stages around it to subtract.
+		sp = e.anatomy.Start(0, time.Time{})
+		sp.EnterEngine()
+		err := e.dispatch(ctx, tt, args, sp)
+		sp.ExitEngine()
+		sp.SetStatus(spanStatus(err))
+		sp.Finish()
+		return err
 	}
-	return e.runDecomposed(ctx, tt, args)
+	return e.dispatch(ctx, tt, args, sp)
+}
+
+// dispatch routes to the scheduler selected by the engine mode.
+func (e *Engine) dispatch(ctx context.Context, tt *TxnType, args any, sp *trace.Span) error {
+	if e.opt.Mode == ModeBaseline {
+		return e.runBaseline(ctx, tt, args, sp)
+	}
+	return e.runDecomposed(ctx, tt, args, sp)
 }
 
 // RunLegacy executes an undecomposed (ad-hoc) transaction: a single
@@ -103,9 +161,9 @@ func (e *Engine) RunLegacyContext(ctx context.Context, name string, body func(tc
 // scheduling abort before any step has completed restarts the whole
 // transaction (nothing was exposed, so a restart is free); once a step has
 // completed, rollback goes through compensation instead.
-func (e *Engine) runDecomposed(ctx context.Context, tt *TxnType, args any) error {
+func (e *Engine) runDecomposed(ctx context.Context, tt *TxnType, args any, sp *trace.Span) error {
 	for attempt := 0; ; attempt++ {
-		err := e.runDecomposedOnce(ctx, tt, args)
+		err := e.runDecomposedOnce(ctx, tt, args, sp)
 		// Retryable covers exactly the clean scheduling aborts (nothing
 		// exposed, everything undone in place): a compensated rollback is a
 		// final outcome, a failed compensation is never retried, and a
@@ -119,19 +177,26 @@ func (e *Engine) runDecomposed(ctx context.Context, tt *TxnType, args any) error
 	}
 }
 
-func (e *Engine) runDecomposedOnce(ctx context.Context, tt *TxnType, args any) error {
+func (e *Engine) runDecomposedOnce(ctx context.Context, tt *TxnType, args any, sp *trace.Span) error {
 	txn := &txnState{
 		tt:    tt,
 		args:  args,
 		ctx:   ctx,
 		steps: tt.stepsFor(args),
 		info:  lock.NewTxnInfo(lock.TxnID(e.nextTxn.Add(1)), tt.ID),
+		span:  sp,
 	}
+	// The lock manager charges this transaction's blocked time to the span's
+	// per-mode wait stages; on a retry the later attempt's identity wins and
+	// waits keep accumulating, which is the end-to-end truth.
+	txn.info.Span = sp
+	sp.SetTxn(uint64(txn.info.ID), tt.Name)
 	start := time.Now()
 	if e.tracer != nil {
-		e.emitTxn(trace.KindTxnBegin, uint64(txn.info.ID), -1, tt.Name, 0, "")
+		e.emitTxn(trace.KindTxnBegin, txn, -1, tt.Name, 0, "")
 	}
-	e.log.Append(wal.Record{Type: wal.TBegin, Txn: uint64(txn.info.ID), TxnType: tt.Name})
+	txn.spanEvent(trace.KindTxnBegin, "", tt.Name, 0)
+	e.log.AppendSpan(wal.Record{Type: wal.TBegin, Txn: uint64(txn.info.ID), TxnType: tt.Name}, sp)
 
 	for j := range txn.steps {
 		if err := e.runStep(txn, j); err != nil {
@@ -140,12 +205,13 @@ func (e *Engine) runDecomposedOnce(ctx context.Context, tt *TxnType, args any) e
 	}
 	// Commit: one forced record; conventional locks of the final step are
 	// held through the force so nothing uncommitted is ever exposed.
-	e.logForce(wal.Record{Type: wal.TCommit, Txn: uint64(txn.info.ID)})
+	e.logForce(txn, wal.Record{Type: wal.TCommit, Txn: uint64(txn.info.ID)})
 	e.lm.ReleaseAll(txn.info)
 	e.commits.Add(1)
 	if e.tracer != nil {
-		e.emitTxn(trace.KindTxnCommit, uint64(txn.info.ID), -1, tt.Name, int64(time.Since(start)), "")
+		e.emitTxn(trace.KindTxnCommit, txn, -1, tt.Name, int64(time.Since(start)), "")
 	}
+	txn.spanEvent(trace.KindTxnCommit, "", tt.Name, int64(time.Since(start)))
 	e.recordCommit(txn)
 	return nil
 }
@@ -154,8 +220,9 @@ func (e *Engine) runDecomposedOnce(ctx context.Context, tt *TxnType, args any) e
 // the record, saving the work area, updating the log tail) as one unit of
 // server CPU — the ACC overhead §5 measures: "these actions represent
 // overhead and are included in the measured results". The force I/O itself
-// is latency, paid outside any server.
-func (e *Engine) logForce(rec wal.Record) {
+// is latency, paid outside any server. The append and force are charged to
+// the transaction's span (wal_append and group_commit stages).
+func (e *Engine) logForce(txn *txnState, rec wal.Record) {
 	if fault.Enabled() {
 		// Crash at the most revealing instants: the record is built but its
 		// force never completes, so durability ends just before it.
@@ -175,7 +242,7 @@ func (e *Engine) logForce(rec wal.Record) {
 		}
 	}
 	e.env.Statement(func() {})
-	e.log.AppendForce(rec)
+	e.log.AppendForceSpan(rec, txn.span)
 }
 
 // retryBackoff sleeps before a transaction restart: exponential in the
@@ -205,10 +272,11 @@ func (e *Engine) runStep(txn *txnState, j int) error {
 		if err := txn.ctx.Err(); err != nil {
 			return err
 		}
-		e.log.Append(wal.Record{Type: wal.TStepBegin, Txn: uint64(txn.info.ID), Step: int32(j)})
+		e.log.AppendSpan(wal.Record{Type: wal.TStepBegin, Txn: uint64(txn.info.ID), Step: int32(j)}, txn.span)
 		if e.tracer != nil {
-			e.emitTxn(trace.KindStepBegin, uint64(txn.info.ID), j, txn.steps[j].Name, 0, "")
+			e.emitTxn(trace.KindStepBegin, txn, j, txn.steps[j].Name, 0, "")
 		}
+		txn.spanEvent(trace.KindStepBegin, "", txn.steps[j].Name, 0)
 		stepStart := time.Now()
 		tc := &Ctx{
 			e: e, txn: txn, stepIdx: j,
@@ -222,9 +290,10 @@ func (e *Engine) runStep(txn *txnState, j int) error {
 		if err == nil {
 			e.finishStep(txn, tc, j)
 			if e.tracer != nil {
-				e.emitTxn(trace.KindStepEnd, uint64(txn.info.ID), j, txn.steps[j].Name,
+				e.emitTxn(trace.KindStepEnd, txn, j, txn.steps[j].Name,
 					int64(time.Since(stepStart)), "")
 			}
+			txn.spanEvent(trace.KindStepEnd, "", txn.steps[j].Name, int64(time.Since(stepStart)))
 			return nil
 		}
 		tc.undo()
@@ -232,8 +301,9 @@ func (e *Engine) runStep(txn *txnState, j int) error {
 		if Retryable(err) && attempt < e.opt.MaxStepRetries {
 			e.stepRetries.Add(1)
 			if e.tracer != nil {
-				e.emitTxn(trace.KindStepRetry, uint64(txn.info.ID), j, txn.steps[j].Name, 0, err.Error())
+				e.emitTxn(trace.KindStepRetry, txn, j, txn.steps[j].Name, 0, err.Error())
 			}
+			txn.spanEvent(trace.KindStepRetry, "", txn.steps[j].Name, 0)
 			continue
 		}
 		return err
@@ -263,7 +333,7 @@ func (e *Engine) stepPrologue(tc *Ctx, j int) error {
 					return err
 				}
 				if e.tracer != nil {
-					e.emitTxn(trace.KindAssertCheck, uint64(tc.txn.info.ID),
+					e.emitTxn(trace.KindAssertCheck, tc.txn,
 						j, item.String(), 0, a.Name)
 				}
 			}
@@ -310,14 +380,14 @@ func (e *Engine) finishStep(txn *txnState, tc *Ctx, j int) {
 	if last {
 		// The commit record that follows immediately is forced; piggyback
 		// its processing too.
-		e.log.Append(rec)
+		e.log.AppendSpan(rec, txn.span)
 		if areaBuf != nil {
 			areaPool.Put(areaBuf)
 		}
 		txn.info.AdvanceStep()
 		return
 	}
-	e.logForce(rec)
+	e.logForce(txn, rec)
 	if areaBuf != nil {
 		areaPool.Put(areaBuf)
 	}
@@ -360,12 +430,13 @@ func (e *Engine) releaseAssertions(txn *txnState, pre []*Assertion) {
 func (e *Engine) rollback(txn *txnState, j int, cause error) error {
 	completed := txn.info.CompletedSteps()
 	if completed == 0 {
-		e.log.Append(wal.Record{Type: wal.TAbort, Txn: uint64(txn.info.ID)})
+		e.log.AppendSpan(wal.Record{Type: wal.TAbort, Txn: uint64(txn.info.ID)}, txn.span)
 		e.lm.ReleaseAll(txn.info)
 		if Retryable(cause) {
 			if e.tracer != nil {
-				e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, txn.tt.Name, 0, "scheduling")
+				e.emitTxn(trace.KindTxnAbort, txn, -1, txn.tt.Name, 0, "scheduling")
 			}
+			txn.spanEvent(trace.KindTxnAbort, "scheduling", txn.tt.Name, 0)
 			return cause // nothing exposed: the caller restarts the transaction
 		}
 		if canceled(cause) {
@@ -373,14 +444,16 @@ func (e *Engine) rollback(txn *txnState, j int, cause error) error {
 			// already happened in place, so this is neither a user abort nor
 			// a scheduling abort — just the cancellation, propagated.
 			if e.tracer != nil {
-				e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, txn.tt.Name, 0, "canceled")
+				e.emitTxn(trace.KindTxnAbort, txn, -1, txn.tt.Name, 0, "canceled")
 			}
+			txn.spanEvent(trace.KindTxnAbort, "canceled", txn.tt.Name, 0)
 			return fmt.Errorf("core: %s canceled: %w", txn.tt.Name, cause)
 		}
 		e.userAborts.Add(1)
 		if e.tracer != nil {
-			e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, txn.tt.Name, 0, "user")
+			e.emitTxn(trace.KindTxnAbort, txn, -1, txn.tt.Name, 0, "user")
 		}
+		txn.spanEvent(trace.KindTxnAbort, "user", txn.tt.Name, 0)
 		return fmt.Errorf("core: %s aborted: %w", txn.tt.Name, cause)
 	}
 	if err := e.compensate(txn, completed); err != nil {
@@ -399,11 +472,12 @@ func (e *Engine) compensate(txn *txnState, completed int) error {
 		return fmt.Errorf("core: %s has completed steps but no compensation", tt.Name)
 	}
 	for attempt := 0; ; attempt++ {
-		e.log.Append(wal.Record{Type: wal.TCompBegin, Txn: uint64(txn.info.ID), Step: int32(completed)})
+		e.log.AppendSpan(wal.Record{Type: wal.TCompBegin, Txn: uint64(txn.info.ID), Step: int32(completed)}, txn.span)
 		if e.tracer != nil {
 			// Step carries the number of completed forward steps being undone.
-			e.emitTxn(trace.KindCompBegin, uint64(txn.info.ID), completed, tt.Name, 0, "")
+			e.emitTxn(trace.KindCompBegin, txn, completed, tt.Name, 0, "")
 		}
+		txn.spanEvent(trace.KindCompBegin, "", tt.Name, 0)
 		compStart := time.Now()
 		tc := &Ctx{
 			e: e, txn: txn,
@@ -413,13 +487,14 @@ func (e *Engine) compensate(txn *txnState, completed int) error {
 		}
 		err := tt.Comp.Body(tc, completed)
 		if err == nil {
-			e.logForce(wal.Record{Type: wal.TCompDone, Txn: uint64(txn.info.ID)})
+			e.logForce(txn, wal.Record{Type: wal.TCompDone, Txn: uint64(txn.info.ID)})
 			e.lm.ReleaseAll(txn.info)
 			e.compensations.Add(1)
 			if e.tracer != nil {
-				e.emitTxn(trace.KindCompDone, uint64(txn.info.ID), completed, tt.Name,
+				e.emitTxn(trace.KindCompDone, txn, completed, tt.Name,
 					int64(time.Since(compStart)), "")
 			}
+			txn.spanEvent(trace.KindCompDone, "", tt.Name, int64(time.Since(compStart)))
 			e.recordCommit(txn) // compensation publishes a (compensated) outcome
 			return nil
 		}
@@ -446,7 +521,7 @@ func (e *Engine) compensate(txn *txnState, completed int) error {
 // runBaseline executes tt as the unmodified system would: all step bodies
 // in one strict-2PL unit, everything released at commit, one forced commit
 // record, and whole-transaction restart on deadlock.
-func (e *Engine) runBaseline(ctx context.Context, tt *TxnType, args any) error {
+func (e *Engine) runBaseline(ctx context.Context, tt *TxnType, args any, sp *trace.Span) error {
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -457,13 +532,17 @@ func (e *Engine) runBaseline(ctx context.Context, tt *TxnType, args any) error {
 			ctx:   ctx,
 			steps: tt.stepsFor(args),
 			info:  lock.NewTxnInfo(lock.TxnID(e.nextTxn.Add(1)), interference.LegacyTxn),
+			span:  sp,
 		}
+		txn.info.Span = sp
+		sp.SetTxn(uint64(txn.info.ID), tt.Name)
 		start := time.Now()
 		if e.tracer != nil {
-			e.emitTxn(trace.KindTxnBegin, uint64(txn.info.ID), -1, tt.Name, 0, "")
+			e.emitTxn(trace.KindTxnBegin, txn, -1, tt.Name, 0, "")
 		}
-		e.log.Append(wal.Record{Type: wal.TBegin, Txn: uint64(txn.info.ID), TxnType: tt.Name})
-		e.log.Append(wal.Record{Type: wal.TStepBegin, Txn: uint64(txn.info.ID), Step: 0})
+		txn.spanEvent(trace.KindTxnBegin, "", tt.Name, 0)
+		e.log.AppendSpan(wal.Record{Type: wal.TBegin, Txn: uint64(txn.info.ID), TxnType: tt.Name}, sp)
+		e.log.AppendSpan(wal.Record{Type: wal.TStepBegin, Txn: uint64(txn.info.ID), Step: 0}, sp)
 		tc := &Ctx{e: e, txn: txn, stepType: interference.LegacyStep}
 		var err error
 		for j := range txn.steps {
@@ -474,26 +553,28 @@ func (e *Engine) runBaseline(ctx context.Context, tt *TxnType, args any) error {
 			}
 		}
 		if err == nil {
-			e.log.Append(wal.Record{Type: wal.TEndOfStep, Txn: uint64(txn.info.ID), Step: 0})
-			e.logForce(wal.Record{Type: wal.TCommit, Txn: uint64(txn.info.ID)})
+			e.log.AppendSpan(wal.Record{Type: wal.TEndOfStep, Txn: uint64(txn.info.ID), Step: 0}, sp)
+			e.logForce(txn, wal.Record{Type: wal.TCommit, Txn: uint64(txn.info.ID)})
 			e.lm.ReleaseAll(txn.info)
 			e.commits.Add(1)
 			if e.tracer != nil {
-				e.emitTxn(trace.KindTxnCommit, uint64(txn.info.ID), -1, tt.Name, int64(time.Since(start)), "")
+				e.emitTxn(trace.KindTxnCommit, txn, -1, tt.Name, int64(time.Since(start)), "")
 			}
+			txn.spanEvent(trace.KindTxnCommit, "", tt.Name, int64(time.Since(start)))
 			e.recordCommit(txn)
 			return nil
 		}
 		// Serializable rollback: restore before-images; nothing was exposed.
 		tc.undo()
-		e.log.Append(wal.Record{Type: wal.TAbort, Txn: uint64(txn.info.ID)})
+		e.log.AppendSpan(wal.Record{Type: wal.TAbort, Txn: uint64(txn.info.ID)}, sp)
 		e.lm.ReleaseAll(txn.info)
 		if Retryable(err) {
 			if ctx.Err() == nil && attempt < e.opt.MaxTxnRetries {
 				e.txnRetries.Add(1)
 				if e.tracer != nil {
-					e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, tt.Name, 0, "scheduling")
+					e.emitTxn(trace.KindTxnAbort, txn, -1, tt.Name, 0, "scheduling")
 				}
+				txn.spanEvent(trace.KindTxnAbort, "scheduling", tt.Name, 0)
 				retryBackoff(attempt, uint64(txn.info.ID))
 				continue
 			}
@@ -503,14 +584,16 @@ func (e *Engine) runBaseline(ctx context.Context, tt *TxnType, args any) error {
 		}
 		if canceled(err) {
 			if e.tracer != nil {
-				e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, tt.Name, 0, "canceled")
+				e.emitTxn(trace.KindTxnAbort, txn, -1, tt.Name, 0, "canceled")
 			}
+			txn.spanEvent(trace.KindTxnAbort, "canceled", tt.Name, 0)
 			return fmt.Errorf("core: %s canceled: %w", tt.Name, err)
 		}
 		e.userAborts.Add(1)
 		if e.tracer != nil {
-			e.emitTxn(trace.KindTxnAbort, uint64(txn.info.ID), -1, tt.Name, 0, "user")
+			e.emitTxn(trace.KindTxnAbort, txn, -1, tt.Name, 0, "user")
 		}
+		txn.spanEvent(trace.KindTxnAbort, "user", tt.Name, 0)
 		return fmt.Errorf("core: %s aborted: %w", tt.Name, err)
 	}
 }

@@ -48,6 +48,9 @@ type txnState struct {
 	// ctx is the caller's context; forward-step lock waits abort when it
 	// is cancelled. Nil (recovery-built states) behaves as Background.
 	ctx context.Context
+	// span is the transaction's latency-anatomy span, nil when anatomy is
+	// disabled and on recovery-built states; every use is nil-safe.
+	span *trace.Span
 }
 
 // Args returns the transaction's argument value (its work area).
@@ -106,7 +109,7 @@ func (tc *Ctx) acquire(item lock.Item, mode lock.Mode) error {
 					return err
 				}
 				if tc.e.tracer != nil {
-					tc.e.emitTxn(trace.KindAssertCheck, uint64(tc.txn.info.ID),
+					tc.e.emitTxn(trace.KindAssertCheck, tc.txn,
 						tc.stepIdx, item.String(), 0, a.Name)
 				}
 			}
@@ -170,10 +173,10 @@ func (tc *Ctx) table(name string) (*storage.Table, error) {
 // written items for exposure and reservation marking at step end.
 func (tc *Ctx) recordWrite(table string, keyVals []storage.Value, pk storage.Key, before, after storage.Row) {
 	tc.writes = append(tc.writes, writeRec{table: table, pk: pk, before: before, after: after})
-	tc.e.log.Append(wal.Record{
+	tc.e.log.AppendSpan(wal.Record{
 		Type: wal.TWrite, Txn: uint64(tc.txn.info.ID),
 		Table: table, PK: pk, Before: before, After: after,
-	})
+	}, tc.txn.span)
 	if tc.wroteItems == nil {
 		tc.wroteItems = make(map[lock.Item]bool)
 	}

@@ -1,7 +1,24 @@
-package main
+// Package debughttp is the shared debug/observability HTTP endpoint both
+// accbench and accd mount behind their -metrics-addr flags:
+//
+//	/metrics         engine, lock, WAL, trace, latency-anatomy and (when
+//	                 wired) per-RPC counters in Prometheus text exposition
+//	                 format
+//	/debug/locks     lock-table snapshot: per-shard held locks (with the
+//	                 paper's A/D/C kinds) and wait queues, as text
+//	/debug/waitsfor  the waits-for graph in Graphviz DOT form
+//	/debug/anatomy   live per-stage latency breakdown (p50/p90/p99) plus the
+//	                 flight recorder's slowest recent transactions, as text
+//	/debug/pprof/*   the standard Go profiler endpoints
+//
+// The engine pointer is swapped atomically each time the owner builds a
+// fresh system (accbench builds one per sweep point per mode), so the
+// endpoints always observe the system currently under load.
+package debughttp
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -12,35 +29,35 @@ import (
 	"accdb/internal/trace"
 )
 
-// debugServer serves the live observability endpoints while a benchmark run
-// is in flight:
-//
-//	/metrics         engine, lock, WAL and trace counters in Prometheus
-//	                 text exposition format
-//	/debug/locks     lock-table snapshot: per-shard held locks (with the
-//	                 paper's A/D/C kinds) and wait queues, as text
-//	/debug/waitsfor  the waits-for graph in Graphviz DOT form
-//	/debug/pprof/*   the standard Go profiler endpoints
-//
-// The engine pointer is swapped atomically each time the experiment harness
-// builds a fresh system (one per sweep point per mode), so the endpoints
-// always observe the system currently under load.
-type debugServer struct {
-	eng    atomic.Pointer[core.Engine]
-	tracer *trace.Tracer
+// Server owns the debug endpoints. Configure with New and the setters, then
+// Start it; the zero-value fields simply omit their sections.
+type Server struct {
+	tracer  *trace.Tracer
+	anatomy *trace.Anatomy
+	eng     atomic.Pointer[core.Engine]
+
+	// rpc, when non-nil, appends the owner's RPC-layer series to /metrics
+	// (accd passes the network server's WriteMetrics). A func field instead
+	// of an interface keeps this package independent of internal/server.
+	rpc func(io.Writer)
 }
 
-func newDebugServer(tr *trace.Tracer) *debugServer {
-	return &debugServer{tracer: tr}
+// New creates a debug server over the given (possibly nil) trace bus and
+// latency-anatomy recorder.
+func New(tr *trace.Tracer, an *trace.Anatomy) *Server {
+	return &Server{tracer: tr, anatomy: an}
 }
 
-// SetEngine publishes the engine currently under load (experiment.Config's
-// OnEngine hook).
-func (s *debugServer) SetEngine(e *core.Engine) { s.eng.Store(e) }
+// SetEngine publishes the engine currently under load.
+func (s *Server) SetEngine(e *core.Engine) { s.eng.Store(e) }
 
-// start listens on addr and serves in the background. The listener error is
+// SetRPCMetrics registers an extra /metrics section writer (the network
+// server's admission and per-type latency series). Call before Start.
+func (s *Server) SetRPCMetrics(fn func(io.Writer)) { s.rpc = fn }
+
+// Start listens on addr and serves in the background. The listener error is
 // returned synchronously so a bad -metrics-addr fails fast.
-func (s *debugServer) start(addr string) error {
+func (s *Server) Start(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("metrics listener: %w", err)
@@ -49,6 +66,7 @@ func (s *debugServer) start(addr string) error {
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/debug/locks", s.locks)
 	mux.HandleFunc("/debug/waitsfor", s.waitsFor)
+	mux.HandleFunc("/debug/anatomy", s.anatomyText)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -60,7 +78,7 @@ func (s *debugServer) start(addr string) error {
 }
 
 // metrics renders the counters in the Prometheus text exposition format.
-func (s *debugServer) metrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -102,10 +120,16 @@ func (s *debugServer) metrics(w http.ResponseWriter, _ *http.Request) {
 		counter("accdb_trace_dropped_total", "Events dropped by trace backpressure.", s.tracer.Drops())
 		counter("accdb_trace_sink_errors_total", "Trace batches the sink rejected.", s.tracer.SinkErrors())
 	}
+	if s.anatomy != nil {
+		s.anatomy.WriteMetrics(w)
+	}
+	if s.rpc != nil {
+		s.rpc(w)
+	}
 }
 
 // locks renders the lock-table snapshot as text.
-func (s *debugServer) locks(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) locks(w http.ResponseWriter, _ *http.Request) {
 	eng := s.eng.Load()
 	if eng == nil {
 		http.Error(w, "no engine under load yet", http.StatusServiceUnavailable)
@@ -116,7 +140,7 @@ func (s *debugServer) locks(w http.ResponseWriter, _ *http.Request) {
 }
 
 // waitsFor renders the waits-for graph as Graphviz DOT.
-func (s *debugServer) waitsFor(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) waitsFor(w http.ResponseWriter, _ *http.Request) {
 	eng := s.eng.Load()
 	if eng == nil {
 		http.Error(w, "no engine under load yet", http.StatusServiceUnavailable)
@@ -124,4 +148,14 @@ func (s *debugServer) waitsFor(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/vnd.graphviz")
 	fmt.Fprint(w, eng.Locks().Snapshot().DOT())
+}
+
+// anatomyText renders the live per-stage latency breakdown.
+func (s *Server) anatomyText(w http.ResponseWriter, _ *http.Request) {
+	if s.anatomy == nil {
+		http.Error(w, "latency anatomy disabled", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.anatomy.WriteText(w)
 }

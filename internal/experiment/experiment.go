@@ -56,6 +56,10 @@ type Config struct {
 	// Tracer, when non-nil, is attached to the engine so every layer emits
 	// structured events to it for the run.
 	Tracer *trace.Tracer
+	// Anatomy, when non-nil, records a latency-anatomy span per transaction
+	// (engine-owned spans: the whole run is the engine phase), feeding the
+	// per-stage histograms and the slow-transaction flight recorder.
+	Anatomy *trace.Anatomy
 	// OnEngine, when non-nil, is called with the freshly built engine before
 	// the load starts — the hook the live debug endpoints use to observe the
 	// system mid-run.
@@ -133,6 +137,7 @@ func Run(cfg Config) (*RunResult, error) {
 		core.WithEnv(env),
 		core.WithEagerAssertionLocks(cfg.EagerAssertionLocks),
 		core.WithTracer(cfg.Tracer),
+		core.WithAnatomy(cfg.Anatomy),
 		core.WithWAL(dlog),
 	)
 	if _, err := tpcc.Register(eng, types, cfg.Scale); err != nil {

@@ -38,6 +38,7 @@ import (
 
 	"accdb/internal/interference"
 	"accdb/internal/storage"
+	"accdb/internal/trace"
 )
 
 // TxnID identifies a transaction instance.
@@ -206,6 +207,12 @@ type Oracle interface {
 type TxnInfo struct {
 	ID   TxnID
 	Type interference.TxnTypeID
+
+	// Span, when non-nil, is the transaction's latency-anatomy span: the
+	// manager charges blocked time to the per-mode lock-wait stages and
+	// records each wait in the span's event history. Only the transaction's
+	// own goroutine reads the field, so it needs no synchronization.
+	Span *trace.Span
 
 	completed atomic.Int32
 

@@ -53,6 +53,13 @@ type waiter struct {
 	sh   *shard
 	conv bool // conversion request (trace events tag these as upgrades)
 
+	// stage and blockedBy classify the wait for latency-anatomy spans: the
+	// per-mode lock-wait stage and the mode tag of the entry that blocked
+	// the request, both fixed at block time under the shard latch. Only set
+	// when txn.Span is non-nil.
+	stage     trace.SpanStage
+	blockedBy string
+
 	granted bool
 	err     error
 	ch      chan struct{}
@@ -356,11 +363,74 @@ func (m *Manager) install(txn *TxnInfo, item Item, sh *shard, st *lockState, req
 	sh.noteHeld(txn, item)
 }
 
+// blockStage classifies what is blocking the request, for span attribution:
+// the first conflicting grant's kind selects the per-mode lock-wait stage
+// (A/D/C tagged as in DESIGN.md §9; anything else is a conventional wait),
+// and its mode tag names what was waited on. A request queued only behind
+// earlier waiters classifies by the front waiter's would-be grant. Caller
+// holds the shard latch.
+func (m *Manager) blockStage(txn *TxnInfo, req Request, st *lockState) (trace.SpanStage, string) {
+	for _, g := range st.grants {
+		if m.conflictsWithGrant(txn, req, g) {
+			switch g.kind {
+			case kindAssertional:
+				return trace.StageLockA, "A"
+			case kindExposure:
+				return trace.StageLockD, tagExposure
+			case kindReservation:
+				return trace.StageLockC, tagReservation
+			default:
+				return trace.StageLockConv, g.mode.String()
+			}
+		}
+	}
+	for _, qw := range st.queue {
+		if m.conflictsWithWaiter(txn, req, qw) {
+			if qw.req.Mode == ModeA {
+				return trace.StageLockA, "A"
+			}
+			return trace.StageLockConv, qw.req.Mode.String()
+		}
+	}
+	return trace.StageLockConv, ""
+}
+
+// spanWait charges a finished wait to the waiter's lock stage and appends it
+// to the span's bounded event history. It runs on the waiting goroutine —
+// the only reader and writer of the span — after the outcome is finalized.
+func spanWait(w *waiter, waited time.Duration, kind trace.Kind) {
+	sp := w.txn.Span
+	if sp == nil {
+		return
+	}
+	sp.Add(w.stage, int64(waited))
+	sp.Event(kind, w.blockedBy, w.item.String(), int64(waited))
+}
+
+// spanWaitKind maps a finished wait's outcome to the event kind recorded in
+// the span history (mirroring emitWaitOutcome, minus the upgrade special
+// case — the span cares about where time went, not queue mechanics).
+func spanWaitKind(granted bool, err error) trace.Kind {
+	switch {
+	case err == ErrTimeout:
+		return trace.KindLockTimeout
+	case err == ErrDeadlock:
+		return trace.KindDeadlockVictim
+	case err != nil || !granted:
+		return trace.KindLockAbort
+	default:
+		return trace.KindLockGrant
+	}
+}
+
 // wait enqueues the request, publishes it in the waits-for registry, runs
 // deadlock detection, and parks until the grant, the wait budget, or ctx.
 // Called with sh.mu held; releases it.
 func (m *Manager) wait(ctx context.Context, txn *TxnInfo, item Item, sh *shard, st *lockState, req Request, conversion bool) error {
 	w := &waiter{txn: txn, req: req, item: item, sh: sh, conv: conversion, ch: make(chan struct{}, 1)}
+	if txn.Span != nil {
+		w.stage, w.blockedBy = m.blockStage(txn, req, st)
+	}
 	if conversion {
 		// Conversions go ahead of plain requests (behind other conversions)
 		// to avoid the classic convoy behind a full queue.
@@ -401,6 +471,7 @@ func (m *Manager) wait(ctx context.Context, txn *TxnInfo, item Item, sh *shard, 
 		m.reg.remove(txn.ID, w)
 		waited := time.Since(start)
 		sh.recordWait(w.item, w.req.Mode, uint64(waited))
+		spanWait(w, waited, trace.KindDeadlockVictim)
 		if m.tracer != nil {
 			m.emitLock(trace.KindDeadlockVictim, txn.ID, item, sh,
 				req.Mode.String(), int64(waited), "self")
@@ -451,6 +522,7 @@ func (m *Manager) abandonWait(w *waiter, start time.Time, cause error, kind trac
 	m.reg.remove(w.txn.ID, w)
 	waited := time.Since(start)
 	sh.recordWait(w.item, w.req.Mode, uint64(waited))
+	spanWait(w, waited, kind)
 	if m.tracer != nil {
 		m.emitLock(kind, w.txn.ID, w.item, sh, w.req.Mode.String(), int64(waited), extra)
 	}
@@ -468,6 +540,7 @@ func (m *Manager) finishWait(w *waiter, start time.Time) error {
 	sh.mu.Unlock()
 	waited := time.Since(start)
 	sh.recordWait(w.item, w.req.Mode, uint64(waited))
+	spanWait(w, waited, spanWaitKind(granted, err))
 	if m.tracer != nil {
 		m.emitWaitOutcome(w, granted, err, int64(waited))
 	}

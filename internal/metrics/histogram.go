@@ -81,6 +81,9 @@ func (h *Histogram) Mean() time.Duration {
 // Max returns the exact maximum observation.
 func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
 
+// Sum returns the exact sum of the observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum) }
+
 // Merge adds other's observations into h.
 func (h *Histogram) Merge(other *Histogram) {
 	for i, c := range other.counts {

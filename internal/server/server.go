@@ -55,6 +55,11 @@ type Config struct {
 	MaxInFlight int
 	// Tracer, when non-nil, receives rpc.begin/rpc.end/rpc.reject events.
 	Tracer *trace.Tracer
+	// Anatomy, when non-nil, records a latency-anatomy span per admitted
+	// request (DESIGN.md §13): queue, decode, engine stages, encode and
+	// batch-flush, keyed by the client-assigned trace id. Nil disables the
+	// whole layer at zero cost.
+	Anatomy *trace.Anatomy
 	// OnOutcome, when non-nil, observes every executed request after its
 	// response is determined: the decoded (post-execution) argument record
 	// and the engine's error. Serialized per request goroutine, so the
@@ -83,11 +88,12 @@ type Stats struct {
 
 // Server serves an engine's transaction types over the wire protocol.
 type Server struct {
-	cfg    Config
-	eng    *core.Engine
-	sem    chan struct{}
-	rec    *metrics.Recorder
-	tracer *trace.Tracer
+	cfg     Config
+	eng     *core.Engine
+	sem     chan struct{}
+	rec     *metrics.Recorder
+	tracer  *trace.Tracer
+	anatomy *trace.Anatomy
 
 	admitted         atomic.Uint64
 	rejectedFull     atomic.Uint64
@@ -116,12 +122,13 @@ func New(cfg Config) *Server {
 		max = DefaultMaxInFlight
 	}
 	return &Server{
-		cfg:    cfg,
-		eng:    cfg.Engine,
-		sem:    make(chan struct{}, max),
-		rec:    metrics.NewRecorder(),
-		tracer: cfg.Tracer,
-		conns:  make(map[*session]struct{}),
+		cfg:     cfg,
+		eng:     cfg.Engine,
+		sem:     make(chan struct{}, max),
+		rec:     metrics.NewRecorder(),
+		tracer:  cfg.Tracer,
+		anatomy: cfg.Anatomy,
+		conns:   make(map[*session]struct{}),
 	}
 }
 
@@ -224,12 +231,13 @@ func (s *Server) closeSessions() {
 	}
 }
 
-func (s *Server) emitRPC(kind trace.Kind, id uint64, name string, dur int64, extra string) {
+func (s *Server) emitRPC(kind trace.Kind, id, tr uint64, name string, dur int64, extra string) {
 	if s.tracer == nil {
 		return
 	}
 	ev := trace.Ev(kind, id)
 	ev.TS = s.tracer.Now()
+	ev.Trace = tr
 	ev.Item = name
 	ev.Dur = dur
 	ev.Extra = extra
@@ -260,6 +268,9 @@ type session struct {
 type reqState struct {
 	req wire.Request
 	buf []byte
+	// readAt is when the request's frame finished reading, stamped only
+	// when anatomy is enabled: it anchors the span's queue stage.
+	readAt time.Time
 }
 
 var reqPool = sync.Pool{New: func() any { return new(reqState) }}
@@ -319,6 +330,9 @@ func (sess *session) loop() {
 			reqPool.Put(st)
 			return // disconnect or protocol corruption: drop the session
 		}
+		if s.anatomy != nil {
+			st.readAt = time.Now()
+		}
 		switch st.req.Op {
 		case wire.OpPing:
 			sess.respond(&wire.Response{ID: st.req.ID, Status: wire.StatusOK})
@@ -344,7 +358,7 @@ func (sess *session) dispatch(st *reqState) {
 	if s.draining.Load() {
 		s.rejectedDraining.Add(1)
 		if s.tracer != nil {
-			s.emitRPC(trace.KindRPCReject, rpcID, string(st.req.Name), 0, "draining")
+			s.emitRPC(trace.KindRPCReject, rpcID, st.req.Trace, string(st.req.Name), 0, "draining")
 		}
 		sess.respond(&wire.Response{ID: st.req.ID, Status: wire.StatusDraining, Msg: msgDraining})
 		reqPool.Put(st)
@@ -355,7 +369,7 @@ func (sess *session) dispatch(st *reqState) {
 	default:
 		s.rejectedFull.Add(1)
 		if s.tracer != nil {
-			s.emitRPC(trace.KindRPCReject, rpcID, string(st.req.Name), 0, "queue-full")
+			s.emitRPC(trace.KindRPCReject, rpcID, st.req.Trace, string(st.req.Name), 0, "queue-full")
 		}
 		sess.respond(&wire.Response{ID: st.req.ID, Status: wire.StatusQueueFull, Msg: msgQueueFull})
 		reqPool.Put(st)
@@ -373,6 +387,12 @@ func (sess *session) dispatch(st *reqState) {
 // result, JSON with JSON.
 func (sess *session) run(rpcID uint64, st *reqState) {
 	s := sess.srv
+	// The span's queue stage covers admission and goroutine hand-off: frame
+	// read completion (readAt) to here. The span outlives this function —
+	// the batch writer finishes it when the response frame hits the socket —
+	// so everything it needs is copied in before respond hands it off.
+	sp := s.anatomy.Start(st.req.Trace, st.readAt)
+	sp.Next(trace.StageQueue)
 	defer func() {
 		reqPool.Put(st)
 		<-s.sem
@@ -391,7 +411,7 @@ func (sess *session) run(rpcID uint64, st *reqState) {
 		} else {
 			traceName = string(st.req.Name)
 		}
-		s.emitRPC(trace.KindRPCBegin, rpcID, traceName, 0, sess.conn.RemoteAddr().String())
+		s.emitRPC(trace.KindRPCBegin, rpcID, st.req.Trace, traceName, 0, sess.conn.RemoteAddr().String())
 	}
 	start := time.Now()
 
@@ -432,9 +452,12 @@ func (sess *session) run(rpcID uint64, st *reqState) {
 		}
 	}
 
+	sp.Next(trace.StageDecode)
 	var scratch *[]byte
 	if args != nil {
-		err := s.eng.RunTypeContext(sess.ctx, tt, args)
+		sp.EnterEngine()
+		err := s.eng.RunTypeContextSpan(sess.ctx, tt, args, sp)
+		sp.ExitEngine()
 		var msg string
 		resp.Status, msg = statusOf(err)
 		if msg != "" {
@@ -457,7 +480,7 @@ func (sess *session) run(rpcID uint64, st *reqState) {
 			resp.Status = wire.StatusInternal
 			resp.Msg = fmt.Appendf(nil, "result re-encode failed: %v", merr)
 			if s.tracer != nil {
-				s.emitRPC(trace.KindRPCError, rpcID, traceName, 0, "result-marshal: "+merr.Error())
+				s.emitRPC(trace.KindRPCError, rpcID, st.req.Trace, traceName, 0, "result-marshal: "+merr.Error())
 			}
 		}
 		s.rec.Record(tt.Name, time.Since(start), outcomeOf(err))
@@ -466,9 +489,10 @@ func (sess *session) run(rpcID uint64, st *reqState) {
 		}
 	}
 	if s.tracer != nil {
-		s.emitRPC(trace.KindRPCEnd, rpcID, traceName, int64(time.Since(start)), resp.Status.String())
+		s.emitRPC(trace.KindRPCEnd, rpcID, st.req.Trace, traceName, int64(time.Since(start)), resp.Status.String())
 	}
-	sess.respond(&resp)
+	sp.SetStatus(resp.Status.String())
+	sess.respondSpan(&resp, sp)
 	if codec != nil && args != nil {
 		codec.PutArgs(args)
 	}
@@ -489,6 +513,14 @@ func (sess *session) newArgs(name string) any {
 // vectored writes. Write errors are ignored: the reader loop notices the
 // dead connection and tears the session down.
 func (sess *session) respond(resp *wire.Response) {
+	sess.respondSpan(resp, nil)
+}
+
+// respondSpan is respond carrying the request's latency-anatomy span: the
+// encode stage closes once the frame is built, and the span rides the frame
+// as a completion hook so the flush stage ends when the bytes reach the
+// socket. The batch writer finishes the span exactly once on every path.
+func (sess *session) respondSpan(resp *wire.Response, sp *trace.Span) {
 	buf := wire.GetBuffer()
 	b, err := wire.AppendResponse((*buf)[:0], resp)
 	if err != nil {
@@ -500,10 +532,16 @@ func (sess *session) respond(resp *wire.Response) {
 		resp.Msg = []byte("response exceeds frame limit")
 		if b, err = wire.AppendResponse((*buf)[:0], resp); err != nil {
 			wire.PutBuffer(buf)
+			sp.Finish()
 			return
 		}
 	}
 	*buf = b
+	sp.Next(trace.StageEncode)
+	if sp != nil {
+		_ = sess.bw.EnqueueHook(buf, sp)
+		return
+	}
 	_ = sess.bw.Enqueue(buf)
 }
 

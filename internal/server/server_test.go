@@ -19,6 +19,7 @@ import (
 	"accdb/internal/server/wire"
 	"accdb/internal/storage"
 	"accdb/internal/tpcc"
+	"accdb/internal/trace"
 	"accdb/internal/wal"
 	"accdb/pkg/accclient"
 )
@@ -689,6 +690,17 @@ func TestGroupCommitAcrossSessions(t *testing.T) {
 // multiplexed over a pooled connection, binary argument codec, batched
 // frame writes. This is the configuration EXPERIMENTS.md cites.
 func BenchmarkServerThroughput(b *testing.B) {
+	benchServerThroughput(b, nil)
+}
+
+// BenchmarkServerThroughputSpans is the same load with the latency-anatomy
+// layer recording a span per request — the pair quantifies the observability
+// tax EXPERIMENTS.md tracks (budget: <3% over the spans-off number).
+func BenchmarkServerThroughputSpans(b *testing.B) {
+	benchServerThroughput(b, trace.NewAnatomy(trace.AnatomyConfig{}))
+}
+
+func benchServerThroughput(b *testing.B, anatomy *trace.Anatomy) {
 	scale := tpcc.DefaultScale()
 	db := core.NewDB()
 	if err := tpcc.CreateSchema(db); err != nil {
@@ -710,6 +722,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 		Engine:      eng,
 		NewArgs:     func(name string) any { return protos[name]() },
 		MaxInFlight: 512,
+		Anatomy:     anatomy,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

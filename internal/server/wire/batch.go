@@ -18,6 +18,18 @@ import (
 // ErrWriterClosed reports an Enqueue after Close.
 var ErrWriterClosed = errors.New("wire: batch writer closed")
 
+// FrameHook is a completion callback attached to a frame via EnqueueHook:
+// Finish runs on the writer goroutine once the frame's bytes reach the
+// socket (or the frame is dropped because the writer closed or broke). The
+// server uses it to close a latency span's batch-flush stage.
+type FrameHook interface{ Finish() }
+
+// queued is one queue entry: the encoded frame and its optional hook.
+type queued struct {
+	frame *[]byte
+	hook  FrameHook
+}
+
 // BatchWriter coalesces queued frames into vectored writes on one
 // connection. Enqueue transfers buffer ownership: frames are recycled to
 // the frame pool after they are written (or dropped on error/close), so a
@@ -28,7 +40,7 @@ type BatchWriter struct {
 	mu     sync.Mutex
 	cond   *sync.Cond // wakes the loop: frames queued, or closing
 	idle   *sync.Cond // wakes Flush: loop drained and recycled everything
-	queue  []*[]byte
+	queue  []queued
 	busy   bool
 	closed bool
 	err    error
@@ -50,17 +62,28 @@ func NewBatchWriter(w io.Writer) *BatchWriter {
 // writer the frame is recycled immediately and the failure returned — the
 // bytes will never reach the peer.
 func (bw *BatchWriter) Enqueue(frame *[]byte) error {
+	return bw.EnqueueHook(frame, nil)
+}
+
+// EnqueueHook is Enqueue with a completion hook: h.Finish runs on the
+// writer goroutine after the frame's vectored write lands — or immediately
+// here when the frame is dropped because the writer is closed or broken —
+// so a hook fires exactly once per accepted frame either way.
+func (bw *BatchWriter) EnqueueHook(frame *[]byte, h FrameHook) error {
 	bw.mu.Lock()
 	if bw.closed || bw.err != nil {
 		err := bw.err
 		bw.mu.Unlock()
 		PutBuffer(frame)
+		if h != nil {
+			h.Finish()
+		}
 		if err == nil {
 			err = ErrWriterClosed
 		}
 		return err
 	}
-	bw.queue = append(bw.queue, frame)
+	bw.queue = append(bw.queue, queued{frame: frame, hook: h})
 	bw.mu.Unlock()
 	bw.cond.Signal()
 	return nil
@@ -104,7 +127,7 @@ func (bw *BatchWriter) Close() error {
 // steady state allocates nothing.
 func (bw *BatchWriter) loop() {
 	defer close(bw.done)
-	var batch []*[]byte
+	var batch []queued
 	var scratch [][]byte
 	// bufs escapes once (WriteTo takes its address); a per-flush local
 	// would cost a heap-allocated slice header every batch.
@@ -128,8 +151,8 @@ func (bw *BatchWriter) loop() {
 			// WriteTo consumes the net.Buffers header in place, so it gets a
 			// copy; scratch keeps its backing array across flushes.
 			scratch = scratch[:0]
-			for _, f := range batch {
-				scratch = append(scratch, *f)
+			for _, q := range batch {
+				scratch = append(scratch, *q.frame)
 			}
 			bufs = net.Buffers(scratch)
 			if _, err := bufs.WriteTo(bw.w); err != nil {
@@ -140,9 +163,12 @@ func (bw *BatchWriter) loop() {
 				bw.mu.Unlock()
 			}
 		}
-		for i, f := range batch {
-			PutBuffer(f)
-			batch[i] = nil
+		for i, q := range batch {
+			PutBuffer(q.frame)
+			if q.hook != nil {
+				q.hook.Finish()
+			}
+			batch[i] = queued{}
 		}
 		batch = batch[:0]
 		if stop {

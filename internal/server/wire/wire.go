@@ -8,6 +8,8 @@
 //
 //	uint8   version     (Version)
 //	uint64  request id  (client-chosen; echoed verbatim in the response)
+//	uint64  trace id    (client-chosen; threads the request through the
+//	                     server's latency-anatomy spans and trace events)
 //	uint8   op          (OpRun, OpPing)
 //	uint8   args format (FmtJSON, FmtBinary)
 //	uint16  name length
@@ -52,9 +54,10 @@ import (
 
 // Version is the protocol version stamped on every payload. Version 2
 // introduced the version byte itself, the args/result format byte, and the
-// binary work-area codec; there is no interoperability with the unversioned
-// v1 layout.
-const Version = 2
+// binary work-area codec; version 3 added the request trace id. As with the
+// v1→v2 break, there is no cross-version interoperability — both ends of a
+// deployment upgrade together.
+const Version = 3
 
 // Op selects what a request asks the server to do.
 type Op uint8
@@ -180,6 +183,10 @@ func (s Status) Retryable() bool {
 type Request struct {
 	// ID correlates the response; the server echoes it verbatim.
 	ID uint64
+	// Trace is the client-assigned trace ID for end-to-end latency
+	// attribution. Unlike ID it is stable across retries of one logical
+	// request, and it is never echoed — the client already knows it.
+	Trace uint64
 	// Op is the requested operation.
 	Op Op
 	// Fmt says how Args is encoded.
@@ -221,9 +228,9 @@ var ErrVersion = errors.New("wire: protocol version mismatch")
 
 var byteOrder = binary.BigEndian
 
-// reqHeader is the fixed part of a request payload: version, id, op,
-// format, name length.
-const reqHeader = 1 + 8 + 1 + 1 + 2
+// reqHeader is the fixed part of a request payload: version, id, trace id,
+// op, format, name length.
+const reqHeader = 1 + 8 + 8 + 1 + 1 + 2
 
 // respHeader is the fixed part of a response payload: version, id, status,
 // format, message length.
@@ -242,6 +249,7 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	dst = byteOrder.AppendUint32(dst, uint32(n))
 	dst = append(dst, Version)
 	dst = byteOrder.AppendUint64(dst, req.ID)
+	dst = byteOrder.AppendUint64(dst, req.Trace)
 	dst = append(dst, byte(req.Op), byte(req.Fmt))
 	dst = byteOrder.AppendUint16(dst, uint16(len(req.Name)))
 	dst = append(dst, req.Name...)
@@ -274,16 +282,19 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 // DecodeRequest decodes one request payload into req. Name and Args alias
 // payload.
 func DecodeRequest(payload []byte, req *Request) error {
+	// Version first: an old-protocol frame is usually also shorter than the
+	// current header, and the version mismatch is the useful diagnosis.
+	if len(payload) >= 1 && payload[0] != Version {
+		return fmt.Errorf("%w: got %d, want %d", ErrVersion, payload[0], Version)
+	}
 	if len(payload) < reqHeader {
 		return fmt.Errorf("wire: short request frame (%d bytes)", len(payload))
 	}
-	if payload[0] != Version {
-		return fmt.Errorf("%w: got %d, want %d", ErrVersion, payload[0], Version)
-	}
 	req.ID = byteOrder.Uint64(payload[1:])
-	req.Op = Op(payload[9])
-	req.Fmt = Format(payload[10])
-	nameLen := int(byteOrder.Uint16(payload[11:]))
+	req.Trace = byteOrder.Uint64(payload[9:])
+	req.Op = Op(payload[17])
+	req.Fmt = Format(payload[18])
+	nameLen := int(byteOrder.Uint16(payload[19:]))
 	if reqHeader+nameLen > len(payload) {
 		return fmt.Errorf("wire: request name length %d overruns frame", nameLen)
 	}

@@ -13,7 +13,7 @@ import (
 
 func TestRequestRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	in := &Request{ID: 42, Op: OpRun, Fmt: FmtJSON, Name: []byte("new_order"), Args: []byte(`{"WID":1}`)}
+	in := &Request{ID: 42, Trace: 7001, Op: OpRun, Fmt: FmtJSON, Name: []byte("new_order"), Args: []byte(`{"WID":1}`)}
 	if err := WriteRequest(&buf, in); err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +21,7 @@ func TestRequestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.ID != in.ID || out.Op != in.Op || out.Fmt != in.Fmt ||
+	if out.ID != in.ID || out.Trace != in.Trace || out.Op != in.Op || out.Fmt != in.Fmt ||
 		!bytes.Equal(out.Name, in.Name) || !bytes.Equal(out.Args, in.Args) {
 		t.Fatalf("round trip mangled request: %+v -> %+v", in, out)
 	}
@@ -103,9 +103,10 @@ func TestTruncatedFrame(t *testing.T) {
 func TestOverrunLengths(t *testing.T) {
 	// name length claims more bytes than the frame holds
 	payload := []byte{
-		0, 0, 0, 15, // frame length
+		0, 0, 0, 23, // frame length
 		Version,
 		0, 0, 0, 0, 0, 0, 0, 1, // id
+		0, 0, 0, 0, 0, 0, 0, 0, // trace id
 		1,       // op
 		0,       // fmt
 		0xFF, 1, // name length 0xFF01 overruns

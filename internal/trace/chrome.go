@@ -106,6 +106,9 @@ func appendChromeJSON(dst []byte, ev Event) []byte {
 		dst = append(dst, ':')
 		dst = strconv.AppendQuote(dst, v)
 	}
+	if ev.Trace != 0 {
+		arg("trace", strconv.FormatUint(ev.Trace, 10))
+	}
 	if ev.Mode != "" {
 		arg("mode", ev.Mode)
 	}
@@ -129,7 +132,7 @@ func appendChromeJSON(dst []byte, ev Event) []byte {
 func durationKind(k Kind) bool {
 	switch k {
 	case KindTxnCommit, KindStepEnd, KindCompDone, KindLockGrant,
-		KindLockTimeout, KindLockAbort, KindWALForce, KindRPCEnd:
+		KindLockTimeout, KindLockAbort, KindWALForce, KindRPCEnd, KindTxnSpan:
 		return true
 	}
 	return false
@@ -138,7 +141,7 @@ func durationKind(k Kind) bool {
 // chromeCategory groups kinds into tracks-friendly categories.
 func chromeCategory(k Kind) string {
 	switch k {
-	case KindTxnBegin, KindTxnCommit, KindTxnAbort:
+	case KindTxnBegin, KindTxnCommit, KindTxnAbort, KindTxnSpan:
 		return "txn"
 	case KindStepBegin, KindStepEnd, KindStepRetry:
 		return "step"

@@ -130,6 +130,10 @@ func appendEventJSON(dst []byte, ev Event) []byte {
 		dst = append(dst, `,"txn":`...)
 		dst = strconv.AppendUint(dst, ev.Txn, 10)
 	}
+	if ev.Trace != 0 {
+		dst = append(dst, `,"trace":`...)
+		dst = strconv.AppendUint(dst, ev.Trace, 10)
+	}
 	if ev.Step >= 0 {
 		dst = append(dst, `,"step":`...)
 		dst = strconv.AppendInt(dst, int64(ev.Step), 10)

@@ -106,6 +106,11 @@ const (
 	// request — e.g. the result work area failed to re-encode. The request
 	// itself ran; Extra elaborates what went wrong afterwards.
 	KindRPCError
+	// KindTxnSpan is the latency-anatomy breakdown emitted once per finished
+	// request span: Dur is the end-to-end latency, Item the transaction type,
+	// Mode the final wire status, and Extra the non-zero per-stage durations
+	// as "stage=ns;..." pairs (stage taxonomy in DESIGN.md §13).
+	KindTxnSpan
 
 	kindMax
 )
@@ -133,6 +138,7 @@ var kindNames = [...]string{
 	KindRPCEnd:         "rpc.end",
 	KindRPCReject:      "rpc.reject",
 	KindRPCError:       "rpc.error",
+	KindTxnSpan:        "txn.span",
 }
 
 // String names the kind as it appears in sink output.
@@ -154,6 +160,10 @@ type Event struct {
 	Dur int64
 	// Txn is the transaction instance ID, 0 when not transaction-scoped.
 	Txn uint64
+	// Trace is the client-assigned wire trace ID carried in the request
+	// header, 0 for in-process or pre-v3 traffic. It is what stitches one
+	// request's client, server, and engine events together.
+	Trace uint64
 	// Kind is the event type.
 	Kind Kind
 	// Shard is the lock-table shard index, -1 when not lock-scoped.

@@ -267,6 +267,42 @@ func (l *Log) AppendForce(rec Record) LSN {
 	return lsn
 }
 
+// AppendSpan is Append, charging the append's wall time to the span's
+// wal_append latency-anatomy stage. A nil span is identical to Append.
+func (l *Log) AppendSpan(rec Record, sp *trace.Span) LSN {
+	if sp == nil {
+		return l.Append(rec)
+	}
+	start := time.Now()
+	lsn := l.Append(rec)
+	sp.Add(trace.StageWALAppend, int64(time.Since(start)))
+	return lsn
+}
+
+// ForceToSpan is ForceTo, charging the whole force — group-commit window
+// wait, follower ride-along, and the sync itself — to the span's
+// group_commit stage and recording it in the span's event history. A nil
+// span is identical to ForceTo.
+func (l *Log) ForceToSpan(lsn LSN, sp *trace.Span) {
+	if sp == nil {
+		l.ForceTo(lsn)
+		return
+	}
+	start := time.Now()
+	l.ForceTo(lsn)
+	d := int64(time.Since(start))
+	sp.Add(trace.StageGroupCommit, d)
+	sp.Event(trace.KindWALForce, "", "", d)
+}
+
+// AppendForceSpan is AppendForce with span attribution split between the
+// wal_append and group_commit stages.
+func (l *Log) AppendForceSpan(rec Record, sp *trace.Span) LSN {
+	lsn := l.AppendSpan(rec, sp)
+	l.ForceToSpan(lsn, sp)
+	return lsn
+}
+
 // SetGroupWindow enables cross-caller group commit: when d > 0, a ForceTo
 // whose LSN is not yet durable elects a leader that waits up to d for more
 // appends to arrive, then issues one force covering the whole tail.

@@ -61,6 +61,12 @@ type Options struct {
 	Retry RetryPolicy
 	// DialTimeout bounds each connection attempt. Zero means 5s.
 	DialTimeout time.Duration
+	// TraceObserver, when non-nil, receives the trace id assigned to each
+	// Run before its first attempt is sent. The id is stable across retries
+	// of one logical request and is what the server's latency-anatomy layer
+	// keys its spans by, so an application (or test) can correlate its own
+	// records with server-side breakdowns.
+	TraceObserver func(traceID uint64)
 }
 
 // Option mutates Options.
@@ -74,6 +80,11 @@ func WithRetry(p RetryPolicy) Option { return func(o *Options) { o.Retry = p } }
 
 // WithDialTimeout bounds each connection attempt.
 func WithDialTimeout(d time.Duration) Option { return func(o *Options) { o.DialTimeout = d } }
+
+// WithTraceObserver registers a hook receiving each Run's trace id.
+func WithTraceObserver(fn func(traceID uint64)) Option {
+	return func(o *Options) { o.TraceObserver = fn }
+}
 
 // Stats counts client-side request activity.
 type Stats struct {
@@ -94,6 +105,12 @@ type Client struct {
 
 	ids  atomic.Uint64
 	next atomic.Uint64
+
+	// traceBase seeds this client's trace ids: dial-time nanoseconds in the
+	// high bits, a per-Run counter in the low traceSeqBits. Two clients of
+	// one server draw from disjoint ranges without coordination.
+	traceBase uint64
+	traces    atomic.Uint64
 
 	requests        atomic.Uint64
 	attempts        atomic.Uint64
@@ -127,6 +144,10 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		o.DialTimeout = 5 * time.Second
 	}
 	c := &Client{addr: addr, opts: o, slots: make([]*slot, o.PoolSize)}
+	c.traceBase = uint64(time.Now().UnixNano()) << traceSeqBits
+	if c.traceBase == 0 {
+		c.traceBase = 1 << traceSeqBits
+	}
 	for i := range c.slots {
 		c.slots[i] = &slot{}
 	}
@@ -201,7 +222,10 @@ func (c *Client) Run(ctx context.Context, name string, args any) error {
 	c.requests.Add(1)
 	st := runPool.Get().(*runState)
 	defer runPool.Put(st)
-	st.req = wire.Request{Op: wire.OpRun}
+	st.req = wire.Request{Op: wire.OpRun, Trace: c.nextTrace()}
+	if c.opts.TraceObserver != nil {
+		c.opts.TraceObserver(st.req.Trace)
+	}
 	codec := wire.CodecFor(name)
 	if codec != nil && args != nil && codec.Handles(args) {
 		st.argBuf = codec.Encode(st.argBuf[:0], args)
@@ -264,6 +288,16 @@ func (c *Client) Run(ctx context.Context, name string, args any) error {
 		respPool.Put(rf)
 		return err
 	}
+}
+
+// traceSeqBits is the width of the per-client trace sequence number; about
+// a million Runs per client before the window wraps within the base.
+const traceSeqBits = 20
+
+// nextTrace returns the next trace id: one per logical Run, stable across
+// its retries, never zero.
+func (c *Client) nextTrace() uint64 {
+	return c.traceBase | (c.traces.Add(1) & (1<<traceSeqBits - 1))
 }
 
 // encodeJSON points st's request at a JSON encoding of args.
