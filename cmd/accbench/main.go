@@ -57,8 +57,15 @@ func main() {
 		netPool  = flag.Int("net-pool", 8, "client connection pool size for -net")
 		slowThr  = flag.Duration("slow-txn-threshold", 0, "dump any transaction slower than this to -slow-txn-log as JSONL, with its full stage breakdown and event history (0 disables)")
 		slowLog  = flag.String("slow-txn-log", "slow-txns.jsonl", "destination for -slow-txn-threshold dumps")
+		tierName = flag.String("read-tier", "locked", "consistency tier for the read-only types (order-status, stock-level): locked | asap | committed | snapshot")
+		readHvy  = flag.Bool("read-heavy", false, "swap the TPC-C mix for the read-heavy mix (mostly order-status/stock-level over a thin writer stream)")
 	)
 	flag.Parse()
+
+	tier, err := core.ParseReadTier(*tierName)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *faultPt != "" {
 		runFault(*faultPt, *faultNth, *faultSd, *walDir)
@@ -66,7 +73,7 @@ func main() {
 	}
 
 	if *netAddr != "" {
-		if err := runNet(*netAddr, *netTerms, *netPool, *duration, *warmup, *think, *seed, *verbose); err != nil {
+		if err := runNet(*netAddr, *netTerms, *netPool, *duration, *warmup, *think, *seed, tier, *readHvy, *verbose); err != nil {
 			fatal(err)
 		}
 		return
@@ -82,6 +89,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.WALDir = *walDir
 	cfg.GroupWindow = *groupWin
+	cfg.ReadTier = tier
+	cfg.ReadHeavy = *readHvy
 
 	var tr *trace.Tracer
 	if *traceOut != "" {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"accdb/internal/core"
 	"accdb/internal/sim"
 	"accdb/internal/tpcc"
 	"accdb/pkg/accclient"
@@ -16,7 +17,7 @@ import (
 // accclient pool, so the measured path includes the wire protocol,
 // admission control, and the client's retry policy. The server owns the
 // database, so no consistency check runs here — accd verifies it at drain.
-func runNet(addr string, terminals, pool int, duration, warmup, think time.Duration, seed int64, verbose bool) error {
+func runNet(addr string, terminals, pool int, duration, warmup, think time.Duration, seed int64, tier core.ReadTier, readHeavy, verbose bool) error {
 	cli, err := accclient.Dial(addr, accclient.WithPoolSize(pool))
 	if err != nil {
 		return err
@@ -24,11 +25,18 @@ func runNet(addr string, terminals, pool int, duration, warmup, think time.Durat
 	defer cli.Close()
 
 	cfg := tpcc.DefaultWorkloadConfig(tpcc.DefaultScale())
+	cfg.ReadTier = tier
+	if readHeavy {
+		cfg.Mix = tpcc.ReadHeavyMix()
+	}
 	w := tpcc.NewRemoteWorkload(func(name string, args any) error {
 		return cli.Run(context.Background(), name, args)
 	}, cfg)
+	w.SetReadRunner(func(name string, args any, t core.ReadTier) error {
+		return cli.RunTier(context.Background(), name, args, t)
+	})
 
-	fmt.Printf("== network TPC-C against %s: %d terminals, pool %d ==\n", addr, terminals, pool)
+	fmt.Printf("== network TPC-C against %s: %d terminals, pool %d, read tier %s ==\n", addr, terminals, pool, tier)
 	res := sim.Run(sim.Config{
 		Terminals: terminals,
 		Duration:  duration,

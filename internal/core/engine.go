@@ -8,6 +8,8 @@ import (
 
 	"accdb/internal/interference"
 	"accdb/internal/lock"
+	"accdb/internal/metrics"
+	"accdb/internal/storage"
 	"accdb/internal/trace"
 	"accdb/internal/wal"
 )
@@ -101,6 +103,11 @@ type Options struct {
 	// typically a disk-backed log from wal.Open. Nil creates a memory-only
 	// log with ForceLatency.
 	Log *wal.Log
+	// VersionGCInterval is the cadence of the background version-chain
+	// reaper (DESIGN.md §14): every interval it truncates chains behind the
+	// oldest live snapshot. Zero means the 100ms default; negative disables
+	// the reaper (tests drive ReapVersions directly).
+	VersionGCInterval time.Duration
 }
 
 // Stats aggregates engine counters.
@@ -139,6 +146,27 @@ type Engine struct {
 	closed atomic.Bool
 
 	hist *history
+
+	// Versioned-read state (readtier.go). csnClock is the last assigned
+	// commit sequence number; pubMu serializes version publication so the
+	// clock only advances once a CSN's versions are fully installed — a
+	// reader loading the clock therefore always sees a complete prefix.
+	csnClock atomic.Uint64
+	pubMu    sync.Mutex
+	snapMu   sync.Mutex
+	snaps    map[uint64]storage.CSN
+	nextSnap uint64 // under snapMu
+
+	readRec *metrics.Recorder // per-tier read-only transaction latencies
+
+	versionsPublished atomic.Uint64
+	snapshotsOpened   atomic.Uint64
+	gcRuns            atomic.Uint64
+	gcPruned          atomic.Uint64
+	gcDropped         atomic.Uint64
+
+	reaperStop chan struct{}
+	reaperDone chan struct{}
 }
 
 // New creates an engine over db using the design-time interference tables,
@@ -180,10 +208,17 @@ func New(db *DB, tables *interference.Tables, opts ...Option) *Engine {
 		tracer:  opt.Tracer,
 		anatomy: opt.Anatomy,
 		types:   make(map[string]*TxnType),
+		snaps:   make(map[uint64]storage.CSN),
+		readRec: metrics.NewRecorder(),
 	}
 	if opt.RecordHistory {
 		e.hist = newHistory()
 	}
+	// Rows loaded into the catalog before the engine attached were written
+	// without CSN stamps; drop any chains their loading seeded so versioned
+	// reads fall back to the (committed, quiescent) base rows.
+	e.resetVersions()
+	e.startReaper()
 	return e
 }
 
@@ -195,6 +230,7 @@ func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
 	}
+	e.stopReaper()
 	e.log.Force()
 	return nil
 }

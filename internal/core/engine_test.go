@@ -38,7 +38,7 @@ type transferArgs struct {
 	FailCredit   error
 }
 
-func newTestSys(t *testing.T, mode Mode, opts ...func(*Options)) *testSys {
+func newTestSys(t testing.TB, mode Mode, opts ...func(*Options)) *testSys {
 	t.Helper()
 	s := &testSys{db: NewDB()}
 	acc := s.db.MustCreateTable(storage.MustSchema("accounts", []storage.Column{

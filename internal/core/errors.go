@@ -46,6 +46,11 @@ var (
 	// budget. It is the lock layer's sentinel re-exported under the public
 	// taxonomy.
 	ErrLockTimeout = lock.ErrTimeout
+
+	// ErrReadOnly reports a write operation attempted inside a read-only
+	// (versioned-tier) transaction: the lock-free read path has no locks, no
+	// undo images, and no compensation, so writes are refused outright.
+	ErrReadOnly = errors.New("acc: write inside read-only transaction")
 )
 
 // Retryable reports whether err is a transient scheduling outcome that a

@@ -79,6 +79,13 @@ func WithWAL(l *wal.Log) Option {
 	return func(o *Options) { o.Log = l }
 }
 
+// WithVersionGCInterval sets the cadence of the background version-chain
+// reaper (DESIGN.md §14). Zero keeps the 100ms default; negative disables
+// the reaper so tests can drive ReapVersions deterministically.
+func WithVersionGCInterval(d time.Duration) Option {
+	return func(o *Options) { o.VersionGCInterval = d }
+}
+
 // WithOptions replaces the entire Options record. It exists for callers
 // that build configuration dynamically (the experiment harness, tests) and
 // composes with the targeted options: later options still override fields.

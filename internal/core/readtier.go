@@ -1,0 +1,454 @@
+package core
+
+// Versioned reads and consistency tiers (DESIGN.md §14, CONSISTENCY.md).
+//
+// The assertional model makes read-only work uniquely cheap: an interstep
+// assertion never depends on a reader, so a consistent snapshot can be served
+// with no A/D/C locks at all. This file implements that read path: the engine
+// stamps a commit sequence number (CSN) on every batch of row versions it
+// publishes at an exposure point — end-of-step force, commit force,
+// compensation-done force — and read-only transactions resolve rows against
+// those per-key version chains (internal/storage version.go) instead of the
+// lock manager. A snapshot-tier reader holds one CSN for its whole lifetime,
+// acquires zero locks, writes zero log records, and never appears in the
+// waits-for graph; a background reaper garbage-collects chain versions behind
+// the oldest live snapshot.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"accdb/internal/lock"
+	"accdb/internal/metrics"
+	"accdb/internal/storage"
+	"accdb/internal/trace"
+)
+
+// ReadTier selects the consistency level of a read-only transaction. The
+// zero value is the fully locked path, so existing callers and pre-v4 wire
+// peers are unchanged.
+type ReadTier uint8
+
+const (
+	// TierLocked routes reads through the lock manager like any other
+	// transaction: strict 2PL within steps, full assertional protocol. This
+	// is the default and the only tier that permits writes.
+	TierLocked ReadTier = iota
+	// TierASAP returns each row's latest exposed version with no cross-row
+	// consistency claim — the cheapest read, one atomic load per statement.
+	// "Exposed" follows the paper's semantics: interstep states published at
+	// an end-of-step force are readable, exactly as they are to locked
+	// transactions once the step's locks release.
+	TierASAP
+	// TierReadCommitted resolves each statement against the CSN current at
+	// that statement: every statement sees a consistent prefix of exposure
+	// points, but two statements of one transaction may see different ones.
+	TierReadCommitted
+	// TierSnapshot fixes one CSN for the whole read-only transaction: every
+	// row resolves as of that CSN, giving a stable transaction-wide view.
+	// The snapshot registers in the engine's live-snapshot table so the
+	// reaper preserves the versions it can still reach.
+	TierSnapshot
+
+	tierMax
+)
+
+// String names the tier as it appears in flags, metrics labels, and errors.
+func (t ReadTier) String() string {
+	switch t {
+	case TierLocked:
+		return "locked"
+	case TierASAP:
+		return "asap"
+	case TierReadCommitted:
+		return "committed"
+	case TierSnapshot:
+		return "snapshot"
+	default:
+		return fmt.Sprintf("tier(%d)", uint8(t))
+	}
+}
+
+// ValidTier reports whether b encodes a known tier (wire validation).
+func ValidTier(b uint8) bool { return b < uint8(tierMax) }
+
+// ParseReadTier maps a flag string onto a tier (accbench -read-tier).
+func ParseReadTier(s string) (ReadTier, error) {
+	switch s {
+	case "", "locked":
+		return TierLocked, nil
+	case "asap":
+		return TierASAP, nil
+	case "committed", "read-committed":
+		return TierReadCommitted, nil
+	case "snapshot":
+		return TierSnapshot, nil
+	default:
+		return TierLocked, fmt.Errorf("core: unknown read tier %q (want locked|asap|committed|snapshot)", s)
+	}
+}
+
+// defaultVersionGCInterval is the reaper cadence when Options leaves
+// VersionGCInterval zero.
+const defaultVersionGCInterval = 100 * time.Millisecond
+
+// CSN returns the engine's current commit sequence number: the newest fully
+// published exposure point. A snapshot opened now reads as of this value.
+func (e *Engine) CSN() uint64 { return e.csnClock.Load() }
+
+// publishWrites installs one exposure unit's after-images into the version
+// chains under a freshly assigned CSN and only then advances the clock, so a
+// reader that loads the clock always sees a fully installed prefix. Within
+// the unit, the last write to a key wins and the first write's before-image
+// seeds the chain if garbage collection dropped it. Returns the assigned CSN
+// (0 when there was nothing to publish).
+func (e *Engine) publishWrites(writes []writeRec) storage.CSN {
+	if len(writes) == 0 {
+		return 0
+	}
+	e.pubMu.Lock()
+	csn := storage.CSN(e.csnClock.Load() + 1)
+	for i := range writes {
+		w := &writes[i]
+		first := true
+		for j := range writes[:i] {
+			if writes[j].table == w.table && writes[j].pk == w.pk {
+				first = false
+				break
+			}
+		}
+		if !first {
+			continue // this key's publication was handled at its first record
+		}
+		after := w.after
+		for j := i + 1; j < len(writes); j++ {
+			if writes[j].table == w.table && writes[j].pk == w.pk {
+				after = writes[j].after
+			}
+		}
+		if t := e.db.Catalog.Table(w.table); t != nil {
+			t.PublishVersion(w.pk, w.before, after, csn)
+			e.versionsPublished.Add(1)
+		}
+	}
+	e.csnClock.Store(uint64(csn))
+	e.pubMu.Unlock()
+	return csn
+}
+
+// Snapshot is a stable read point: every row resolved through it reflects
+// the database as of the CSN captured at OpenSnapshot. Close it promptly —
+// the reaper preserves every version an open snapshot can still reach.
+type Snapshot struct {
+	e      *Engine
+	id     uint64
+	csn    storage.CSN
+	opened time.Time
+}
+
+// OpenSnapshot captures the current CSN and registers it live. The returned
+// handle runs read-only transactions against that fixed point; RunRead at
+// TierSnapshot does the same for a single call.
+func (e *Engine) OpenSnapshot() *Snapshot {
+	id, csn := e.openSnapshot()
+	return &Snapshot{e: e, id: id, csn: csn, opened: time.Now()}
+}
+
+// CSN returns the snapshot's fixed commit sequence number.
+func (s *Snapshot) CSN() uint64 { return uint64(s.csn) }
+
+// Run executes the named read-only transaction type against the snapshot's
+// fixed CSN. Zero locks, zero log records; write operations fail with
+// ErrReadOnly.
+func (s *Snapshot) Run(ctx context.Context, name string, args any) error {
+	tt := s.e.Type(name)
+	if tt == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownTxnType, name)
+	}
+	return s.e.runReadBody(ctx, tt, args, TierSnapshot, s.csn, nil)
+}
+
+// Close deregisters the snapshot, releasing its versions to the reaper.
+// Closing twice is a no-op.
+func (s *Snapshot) Close() {
+	if s.e == nil {
+		return
+	}
+	s.e.closeSnapshot(s.id, s.csn, time.Since(s.opened))
+	s.e = nil
+}
+
+// openSnapshot registers a live read point. The CSN is loaded under snapMu —
+// the same mutex the reaper computes its floor under — so a snapshot is
+// either visible to a concurrent floor computation or opens at a CSN no
+// older than the floor that computation used; either way the versions it
+// needs survive.
+func (e *Engine) openSnapshot() (uint64, storage.CSN) {
+	e.snapMu.Lock()
+	e.nextSnap++
+	id := e.nextSnap
+	csn := storage.CSN(e.csnClock.Load())
+	e.snaps[id] = csn
+	e.snapMu.Unlock()
+	e.snapshotsOpened.Add(1)
+	if e.tracer != nil {
+		ev := trace.Ev(trace.KindSnapshotOpen, id)
+		ev.Dur = int64(csn)
+		e.tracer.Emit(ev)
+	}
+	return id, csn
+}
+
+func (e *Engine) closeSnapshot(id uint64, csn storage.CSN, held time.Duration) {
+	e.snapMu.Lock()
+	delete(e.snaps, id)
+	e.snapMu.Unlock()
+	if e.tracer != nil {
+		ev := trace.Ev(trace.KindSnapshotClose, id)
+		ev.Dur = int64(held)
+		ev.Extra = fmt.Sprintf("csn=%d", csn)
+		e.tracer.Emit(ev)
+	}
+}
+
+// snapshotFloor is the oldest CSN any live snapshot may still read at; with
+// no snapshot open it is the current clock, so quiescent chains collapse to
+// one version (and usually drop entirely).
+func (e *Engine) snapshotFloor() storage.CSN {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	floor := storage.CSN(e.csnClock.Load())
+	for _, csn := range e.snaps {
+		if csn < floor {
+			floor = csn
+		}
+	}
+	return floor
+}
+
+// LiveSnapshots reports the number of currently open snapshots.
+func (e *Engine) LiveSnapshots() int {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	return len(e.snaps)
+}
+
+// ReapVersions runs one garbage-collection pass: every table's chains are
+// truncated to the newest version at or below the snapshot floor, and
+// quiescent chains are dropped. The background reaper calls this on its
+// interval; tests call it directly.
+func (e *Engine) ReapVersions() (pruned, dropped int) {
+	floor := e.snapshotFloor()
+	for _, name := range e.db.Catalog.Names() {
+		if t := e.db.Catalog.Table(name); t != nil {
+			p, d := t.PruneVersions(floor)
+			pruned += p
+			dropped += d
+		}
+	}
+	e.gcRuns.Add(1)
+	e.gcPruned.Add(uint64(pruned))
+	e.gcDropped.Add(uint64(dropped))
+	if e.tracer != nil && (pruned > 0 || dropped > 0) {
+		ev := trace.Ev(trace.KindSnapshotGC, uint64(floor))
+		ev.Dur = int64(pruned)
+		ev.Extra = fmt.Sprintf("dropped=%d", dropped)
+		e.tracer.Emit(ev)
+	}
+	return pruned, dropped
+}
+
+// resetVersions drops every chain in the catalog (engine attach, recovery
+// epilogue): the base rows are committed and quiescent at those moments, so
+// the as-of fallback is exact.
+func (e *Engine) resetVersions() {
+	for _, name := range e.db.Catalog.Names() {
+		if t := e.db.Catalog.Table(name); t != nil {
+			t.ResetVersions()
+		}
+	}
+}
+
+// startReaper launches the background GC goroutine per the configured
+// interval; Close stops it. A negative interval disables it.
+func (e *Engine) startReaper() {
+	interval := e.opt.VersionGCInterval
+	if interval < 0 {
+		return
+	}
+	if interval == 0 {
+		interval = defaultVersionGCInterval
+	}
+	e.reaperStop = make(chan struct{})
+	e.reaperDone = make(chan struct{})
+	go func() {
+		defer close(e.reaperDone)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				e.ReapVersions()
+			case <-e.reaperStop:
+				return
+			}
+		}
+	}()
+}
+
+func (e *Engine) stopReaper() {
+	if e.reaperStop == nil {
+		return
+	}
+	close(e.reaperStop)
+	<-e.reaperDone
+}
+
+// VersionMetrics aggregates the versioned-read subsystem's counters and the
+// catalog-wide chain footprint (the /metrics series).
+type VersionMetrics struct {
+	// CSN is the current commit sequence number.
+	CSN uint64
+	// Published counts versions installed into chains.
+	Published uint64
+	// SnapshotsOpened counts snapshots ever opened; LiveSnapshots is the
+	// number still open.
+	SnapshotsOpened uint64
+	LiveSnapshots   int
+	// GCRuns, GCPruned, GCDropped count reaper passes, versions reclaimed,
+	// and whole chains dropped.
+	GCRuns    uint64
+	GCPruned  uint64
+	GCDropped uint64
+	// Chains and ChainVersions are the current catalog-wide footprint.
+	Chains        int
+	ChainVersions int
+}
+
+// Versions snapshots the versioned-read subsystem's metrics.
+func (e *Engine) Versions() VersionMetrics {
+	m := VersionMetrics{
+		CSN:             e.csnClock.Load(),
+		Published:       e.versionsPublished.Load(),
+		SnapshotsOpened: e.snapshotsOpened.Load(),
+		LiveSnapshots:   e.LiveSnapshots(),
+		GCRuns:          e.gcRuns.Load(),
+		GCPruned:        e.gcPruned.Load(),
+		GCDropped:       e.gcDropped.Load(),
+	}
+	for _, name := range e.db.Catalog.Names() {
+		if t := e.db.Catalog.Table(name); t != nil {
+			vs := t.VersionStats()
+			m.Chains += vs.Chains
+			m.ChainVersions += vs.Versions
+		}
+	}
+	return m
+}
+
+// ReadTierSummaries returns per-tier latency summaries of the read-only
+// transactions this engine served (tier name → summary).
+func (e *Engine) ReadTierSummaries() map[string]metrics.Summary {
+	return e.readRec.ByType()
+}
+
+// RunRead executes the named transaction type read-only at the given tier.
+// At TierLocked it is exactly Run. At the versioned tiers the transaction
+// acquires no locks, appends no log records, and never joins the waits-for
+// graph; any write operation inside a step body fails the transaction with
+// ErrReadOnly. It is RunReadContext under context.Background().
+func (e *Engine) RunRead(name string, args any, tier ReadTier) error {
+	return e.RunReadContext(context.Background(), name, args, tier)
+}
+
+// RunReadContext is RunRead under a caller context, checked between steps.
+func (e *Engine) RunReadContext(ctx context.Context, name string, args any, tier ReadTier) error {
+	tt := e.Type(name)
+	if tt == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownTxnType, name)
+	}
+	return e.RunReadTypeContextSpan(ctx, tt, args, tier, nil)
+}
+
+// RunReadTypeContextSpan is RunReadContext for an already-resolved type with
+// a latency-anatomy span threaded through (the network server's entry
+// point). TierLocked delegates to the full scheduler.
+func (e *Engine) RunReadTypeContextSpan(ctx context.Context, tt *TxnType, args any, tier ReadTier, sp *trace.Span) error {
+	if tier == TierLocked {
+		return e.RunTypeContextSpan(ctx, tt, args, sp)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if sp == nil && e.anatomy != nil {
+		sp = e.anatomy.Start(0, time.Time{})
+		sp.EnterEngine()
+		err := e.runReadTiered(ctx, tt, args, tier, sp)
+		sp.ExitEngine()
+		sp.SetStatus(spanStatus(err))
+		sp.Finish()
+		return err
+	}
+	return e.runReadTiered(ctx, tt, args, tier, sp)
+}
+
+// runReadTiered resolves the tier's read point, registering a snapshot for
+// TierSnapshot so the reaper preserves its versions until the body finishes.
+func (e *Engine) runReadTiered(ctx context.Context, tt *TxnType, args any, tier ReadTier, sp *trace.Span) error {
+	var asOf storage.CSN
+	if tier == TierSnapshot {
+		id, csn := e.openSnapshot()
+		start := time.Now()
+		defer func() { e.closeSnapshot(id, csn, time.Since(start)) }()
+		asOf = csn
+	}
+	return e.runReadBody(ctx, tt, args, tier, asOf, sp)
+}
+
+// runReadBody executes the type's step bodies sequentially against the
+// versioned read path: no lock manager, no WAL, no exposure marks — the
+// paper's reader-free waits-for graph made literal. Step preconditions are
+// not re-evaluated: a published CSN prefix is by construction a state every
+// discharged assertion held over (CONSISTENCY.md).
+func (e *Engine) runReadBody(ctx context.Context, tt *TxnType, args any, tier ReadTier, asOf storage.CSN, sp *trace.Span) error {
+	txn := &txnState{
+		tt:    tt,
+		args:  args,
+		ctx:   ctx,
+		steps: tt.stepsFor(args),
+		info:  lock.NewTxnInfo(lock.TxnID(e.nextTxn.Add(1)), tt.ID),
+		span:  sp,
+	}
+	sp.SetTxn(uint64(txn.info.ID), tt.Name)
+	start := time.Now()
+	txn.spanEvent(trace.KindTxnBegin, tier.String(), tt.Name, 0)
+	tc := &Ctx{e: e, txn: txn, readTier: tier, readCSN: asOf}
+	for j := range txn.steps {
+		if err := ctx.Err(); err != nil {
+			e.readRec.Record(tier.String(), time.Since(start), metrics.Failed)
+			return err
+		}
+		tc.stepIdx, tc.stepType = j, txn.steps[j].Type
+		if err := txn.steps[j].Body(tc); err != nil {
+			outcome := metrics.Failed
+			if errors.Is(err, ErrAborted) {
+				outcome = metrics.RolledBack
+				e.userAborts.Add(1)
+			}
+			e.readRec.Record(tier.String(), time.Since(start), outcome)
+			txn.spanEvent(trace.KindTxnAbort, tier.String(), tt.Name, int64(time.Since(start)))
+			return fmt.Errorf("core: %s (%s read) failed: %w", tt.Name, tier, err)
+		}
+	}
+	e.readRec.Record(tier.String(), time.Since(start), metrics.Committed)
+	txn.spanEvent(trace.KindTxnCommit, tier.String(), tt.Name, int64(time.Since(start)))
+	return nil
+}

@@ -145,6 +145,12 @@ func (e *Engine) Recover(logData []byte) (*RecoverResult, error) {
 			ID: pending.ID, Type: tt.Name, Args: args,
 		})
 	}
+	// Redo replayed writes through Table.Apply, which seeds version chains
+	// with un-stamped pre-images; the compensations above published more.
+	// The database is now committed and quiescent, so drop the chains — the
+	// as-of base-row fallback is exact, and stale pre-crash CSNs must not
+	// leak into the fresh clock's numbering.
+	e.resetVersions()
 	return res, nil
 }
 

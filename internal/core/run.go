@@ -206,6 +206,7 @@ func (e *Engine) runDecomposedOnce(ctx context.Context, tt *TxnType, args any, s
 	// Commit: one forced record; conventional locks of the final step are
 	// held through the force so nothing uncommitted is ever exposed.
 	e.logForce(txn, wal.Record{Type: wal.TCommit, Txn: uint64(txn.info.ID)})
+	e.publishWrites(txn.pending)
 	e.lm.ReleaseAll(txn.info)
 	e.commits.Add(1)
 	if e.tracer != nil {
@@ -379,15 +380,22 @@ func (e *Engine) finishStep(txn *txnState, tc *Ctx, j int) {
 	}
 	if last {
 		// The commit record that follows immediately is forced; piggyback
-		// its processing too.
+		// its processing too. The step's writes become visible to versioned
+		// readers only once that commit force succeeds.
 		e.log.AppendSpan(rec, txn.span)
 		if areaBuf != nil {
 			areaPool.Put(areaBuf)
 		}
+		txn.pending = append(txn.pending, tc.writes...)
 		txn.info.AdvanceStep()
 		return
 	}
 	e.logForce(txn, rec)
+	// The end-of-step force is this step's exposure point (§2): publish its
+	// writes to the version chains under one CSN before the conventional
+	// locks release, so versioned readers see the same interstep states
+	// locked readers are about to.
+	e.publishWrites(tc.writes)
 	if areaBuf != nil {
 		areaPool.Put(areaBuf)
 	}
@@ -488,6 +496,7 @@ func (e *Engine) compensate(txn *txnState, completed int) error {
 		err := tt.Comp.Body(tc, completed)
 		if err == nil {
 			e.logForce(txn, wal.Record{Type: wal.TCompDone, Txn: uint64(txn.info.ID)})
+			e.publishWrites(tc.writes)
 			e.lm.ReleaseAll(txn.info)
 			e.compensations.Add(1)
 			if e.tracer != nil {
@@ -555,6 +564,7 @@ func (e *Engine) runBaseline(ctx context.Context, tt *TxnType, args any, sp *tra
 		if err == nil {
 			e.log.AppendSpan(wal.Record{Type: wal.TEndOfStep, Txn: uint64(txn.info.ID), Step: 0}, sp)
 			e.logForce(txn, wal.Record{Type: wal.TCommit, Txn: uint64(txn.info.ID)})
+			e.publishWrites(tc.writes)
 			e.lm.ReleaseAll(txn.info)
 			e.commits.Add(1)
 			if e.tracer != nil {

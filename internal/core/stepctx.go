@@ -27,6 +27,12 @@ type Ctx struct {
 	compensating bool
 	active       []*Assertion
 
+	// readTier, when not TierLocked, routes every read through the version
+	// chains (readtier.go): no locks, no history, writes refused. readCSN is
+	// the fixed snapshot CSN when readTier is TierSnapshot.
+	readTier ReadTier
+	readCSN  storage.CSN
+
 	writes     []writeRec
 	wroteItems map[lock.Item]bool
 	stmts      int
@@ -45,6 +51,10 @@ type txnState struct {
 	args  any
 	steps []Step
 	info  *lock.TxnInfo
+	// pending holds the final step's writes between its end-of-step record
+	// and the commit force, whose success publishes them as one version
+	// batch (readtier.go).
+	pending []writeRec
 	// ctx is the caller's context; forward-step lock waits abort when it
 	// is cancelled. Nil (recovery-built states) behaves as Background.
 	ctx context.Context
@@ -74,6 +84,24 @@ func (tc *Ctx) stmt(work func()) {
 	}
 	tc.stmts++
 	tc.e.env.Statement(work)
+}
+
+// versioned reports whether this context reads through the version chains
+// instead of the lock manager (RunRead at a non-locked tier).
+func (tc *Ctx) versioned() bool { return tc.readTier != TierLocked }
+
+// asOf resolves the CSN the current statement reads as of: MaxCSN for
+// read-ASAP, the clock's current value for read-committed (per statement),
+// and the transaction's fixed CSN for snapshot.
+func (tc *Ctx) asOf() storage.CSN {
+	switch tc.readTier {
+	case TierASAP:
+		return storage.MaxCSN
+	case TierReadCommitted:
+		return storage.CSN(tc.e.csnClock.Load())
+	default:
+		return tc.readCSN
+	}
 }
 
 // request builds the lock request for this step.
@@ -198,11 +226,15 @@ func (tc *Ctx) Get(table string, keyVals ...storage.Value) (storage.Row, error) 
 		return nil, err
 	}
 	pk := storage.EncodeKey(keyVals...)
+	var row storage.Row
+	var gerr error
+	if tc.versioned() {
+		tc.stmt(func() { row, gerr = t.GetAsOf(pk, tc.asOf()) })
+		return row, gerr
+	}
 	if err := tc.lockRead(table, keyVals, pk); err != nil {
 		return nil, err
 	}
-	var row storage.Row
-	var gerr error
 	tc.stmt(func() { row, gerr = t.Get(pk) })
 	tc.e.record(tc.txn, table, pk, false)
 	return row, gerr
@@ -215,6 +247,18 @@ func (tc *Ctx) GetMany(table string, keys [][]storage.Value) ([]storage.Row, err
 	t, err := tc.table(table)
 	if err != nil {
 		return nil, err
+	}
+	if tc.versioned() {
+		asOf := tc.asOf()
+		rows := make([]storage.Row, 0, len(keys))
+		tc.stmt(func() {
+			for _, kv := range keys {
+				if row, err := t.GetAsOf(storage.EncodeKey(kv...), asOf); err == nil {
+					rows = append(rows, row)
+				}
+			}
+		})
+		return rows, nil
 	}
 	if err := tc.acquire(lock.TableItem(table), lock.ModeIS); err != nil {
 		return nil, err
@@ -255,6 +299,9 @@ func (tc *Ctx) GetMany(table string, keys [][]storage.Value) ([]storage.Row, err
 // race to another claimer simply re-probes. Returns (nil, nil) when no row
 // matches.
 func (tc *Ctx) ClaimMin(table, index string, eqVals []storage.Value) (storage.Row, error) {
+	if tc.versioned() {
+		return nil, ErrReadOnly
+	}
 	t, err := tc.table(table)
 	if err != nil {
 		return nil, err
@@ -300,6 +347,9 @@ func (tc *Ctx) ClaimMin(table, index string, eqVals []storage.Value) (storage.Ro
 
 // Insert adds a new row.
 func (tc *Ctx) Insert(table string, row storage.Row) error {
+	if tc.versioned() {
+		return ErrReadOnly
+	}
 	t, err := tc.table(table)
 	if err != nil {
 		return err
@@ -323,6 +373,9 @@ func (tc *Ctx) Insert(table string, row storage.Row) error {
 
 // Delete removes the row with the given primary key.
 func (tc *Ctx) Delete(table string, keyVals ...storage.Value) error {
+	if tc.versioned() {
+		return ErrReadOnly
+	}
 	t, err := tc.table(table)
 	if err != nil {
 		return err
@@ -344,6 +397,9 @@ func (tc *Ctx) Delete(table string, keyVals ...storage.Value) error {
 // Update applies mutate to a copy of the row under the given key and stores
 // the result. mutate must not change primary-key columns.
 func (tc *Ctx) Update(table string, keyVals []storage.Value, mutate func(storage.Row) error) error {
+	if tc.versioned() {
+		return ErrReadOnly
+	}
 	t, err := tc.table(table)
 	if err != nil {
 		return err
@@ -386,6 +442,22 @@ func (tc *Ctx) ScanPartition(table string, partVals []storage.Value, visit func(
 	if !tc.e.db.partitioned(table) {
 		return fmt.Errorf("core: table %q is not partitioned", table)
 	}
+	var serr error
+	if tc.versioned() {
+		asOf := tc.asOf()
+		tc.stmt(func() {
+			serr = t.IndexScanAsOf(PartIndex, partVals, asOf, func(pk storage.Key, row storage.Row) bool {
+				if err := visit(row); err != nil {
+					if err != ErrStopScan {
+						serr = err
+					}
+					return false
+				}
+				return true
+			})
+		})
+		return serr
+	}
 	if err := tc.acquire(lock.TableItem(table), lock.ModeIS); err != nil {
 		return err
 	}
@@ -393,7 +465,6 @@ func (tc *Ctx) ScanPartition(table string, partVals []storage.Value, visit func(
 	if err := tc.acquire(part, lock.ModeS); err != nil {
 		return err
 	}
-	var serr error
 	tc.stmt(func() {
 		serr = t.IndexScan(PartIndex, partVals, func(pk storage.Key, row storage.Row) bool {
 			if err := visit(row); err != nil {
@@ -414,6 +485,9 @@ func (tc *Ctx) ScanPartition(table string, partVals []storage.Value, visit func(
 // returns (nil, nil) to leave a row untouched, (row, nil) to store it, or
 // (nil, ErrDeleteRow) to delete it.
 func (tc *Ctx) UpdateWhere(table string, partVals []storage.Value, mutate func(storage.Row) (storage.Row, error)) error {
+	if tc.versioned() {
+		return ErrReadOnly
+	}
 	t, err := tc.table(table)
 	if err != nil {
 		return err
@@ -487,6 +561,18 @@ func (tc *Ctx) LookupByIndex(table, index string, eqVals []storage.Value) ([]sto
 	if err != nil {
 		return nil, err
 	}
+	if tc.versioned() {
+		asOf := tc.asOf()
+		var rows []storage.Row
+		var serr error
+		tc.stmt(func() {
+			serr = t.IndexScanAsOf(index, eqVals, asOf, func(_ storage.Key, row storage.Row) bool {
+				rows = append(rows, row)
+				return true
+			})
+		})
+		return rows, serr
+	}
 	if err := tc.acquire(lock.TableItem(table), lock.ModeIS); err != nil {
 		return nil, err
 	}
@@ -524,10 +610,25 @@ func (tc *Ctx) Scan(table string, visit func(storage.Row) error) error {
 	if err != nil {
 		return err
 	}
+	var serr error
+	if tc.versioned() {
+		asOf := tc.asOf()
+		tc.stmt(func() {
+			t.ScanAsOf(asOf, func(_ storage.Key, row storage.Row) bool {
+				if err := visit(row); err != nil {
+					if err != ErrStopScan {
+						serr = err
+					}
+					return false
+				}
+				return true
+			})
+		})
+		return serr
+	}
 	if err := tc.acquire(lock.TableItem(table), lock.ModeS); err != nil {
 		return err
 	}
-	var serr error
 	tc.stmt(func() {
 		t.Scan(func(pk storage.Key, row storage.Row) bool {
 			if err := visit(row); err != nil {

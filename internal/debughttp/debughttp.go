@@ -114,6 +114,28 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 		counter("accdb_wal_records_total", "Log records appended.", ws.Records)
 		counter("accdb_wal_forces_total", "Log forces.", ws.Forces)
 		counter("accdb_wal_bytes_total", "Encoded log bytes.", ws.Bytes)
+
+		vm := eng.Versions()
+		counter("accdb_read_csn", "Current commit sequence number.", vm.CSN)
+		counter("accdb_read_versions_published_total", "Row versions published to chains.", vm.Published)
+		counter("accdb_read_snapshots_opened_total", "Snapshot read points ever opened.", vm.SnapshotsOpened)
+		gauge("accdb_read_snapshots_live", "Currently open snapshots.", vm.LiveSnapshots)
+		counter("accdb_read_gc_runs_total", "Version-chain reaper passes.", vm.GCRuns)
+		counter("accdb_read_gc_pruned_total", "Versions reclaimed by the reaper.", vm.GCPruned)
+		counter("accdb_read_gc_dropped_total", "Whole chains dropped by the reaper.", vm.GCDropped)
+		gauge("accdb_read_version_chains", "Keys currently carrying a version chain.", vm.Chains)
+		gauge("accdb_read_chain_versions", "Total chain entries across all keys.", vm.ChainVersions)
+
+		for tier, sum := range eng.ReadTierSummaries() {
+			fmt.Fprintf(w, "# HELP accdb_read_txn_seconds Read-only transaction latency quantiles by tier.\n"+
+				"# TYPE accdb_read_txn_seconds summary\n"+
+				"accdb_read_txn_seconds{tier=%q,quantile=\"0.5\"} %g\n"+
+				"accdb_read_txn_seconds{tier=%q,quantile=\"0.95\"} %g\n"+
+				"accdb_read_txn_seconds{tier=%q,quantile=\"0.99\"} %g\n"+
+				"accdb_read_txn_seconds_count{tier=%q} %d\n",
+				tier, sum.P50.Seconds(), tier, sum.P95.Seconds(),
+				tier, sum.P99.Seconds(), tier, sum.Count)
+		}
 	}
 	if s.tracer != nil {
 		counter("accdb_trace_emitted_total", "Events accepted by the trace bus.", s.tracer.Emitted())

@@ -40,6 +40,14 @@ type Config struct {
 	// Skew is the extra probability mass on district 1 (Figure 2's
 	// "Skewed" curve).
 	Skew float64
+	// ReadTier, when not core.TierLocked, routes the mix's read-only types
+	// (order-status, stock-level) through the lock-free versioned read path
+	// at that tier.
+	ReadTier core.ReadTier
+	// ReadHeavy swaps the TPC-C §5.2.3 mix for tpcc.ReadHeavyMix — mostly
+	// read-only probes over a thin writer stream, the read-tier experiment's
+	// operating point.
+	ReadHeavy bool
 
 	Scale    tpcc.Scale
 	Duration time.Duration
@@ -148,6 +156,10 @@ func Run(cfg Config) (*RunResult, error) {
 	}
 	wcfg := tpcc.DefaultWorkloadConfig(cfg.Scale)
 	wcfg.DistrictSkew = cfg.Skew
+	wcfg.ReadTier = cfg.ReadTier
+	if cfg.ReadHeavy {
+		wcfg.Mix = tpcc.ReadHeavyMix()
+	}
 	if cfg.RollbackPercent > 0 {
 		wcfg.RollbackPercent = cfg.RollbackPercent
 	}
@@ -160,6 +172,7 @@ func Run(cfg Config) (*RunResult, error) {
 		ThinkTime: cfg.ThinkTime,
 		Seed:      cfg.Seed,
 	}, w)
+	defer eng.Close() // stops the version reaper; the log is closed by its opener
 
 	total := res.Recorder.Total()
 	violations := tpcc.CheckConsistency(db, cfg.Scale, w.Holes())

@@ -424,6 +424,10 @@ func (sess *session) run(rpcID uint64, st *reqState) {
 		s.badRequests.Add(1)
 		resp.Status = wire.StatusUnknownType
 		resp.Msg = fmt.Appendf(nil, "unknown transaction type %q", st.req.Name)
+	case !core.ValidTier(st.req.Tier):
+		s.badRequests.Add(1)
+		resp.Status = wire.StatusBadRequest
+		resp.Msg = fmt.Appendf(nil, "unknown read tier %d", st.req.Tier)
 	case st.req.Fmt == wire.FmtBinary:
 		if codec = wire.CodecForBytes(st.req.Name); codec == nil {
 			s.badRequests.Add(1)
@@ -456,7 +460,9 @@ func (sess *session) run(rpcID uint64, st *reqState) {
 	var scratch *[]byte
 	if args != nil {
 		sp.EnterEngine()
-		err := s.eng.RunTypeContextSpan(sess.ctx, tt, args, sp)
+		// Tier 0 is the full locked protocol; the versioned tiers take the
+		// lock-free read path (RunReadTypeContextSpan refuses writes).
+		err := s.eng.RunReadTypeContextSpan(sess.ctx, tt, args, core.ReadTier(st.req.Tier), sp)
 		sp.ExitEngine()
 		var msg string
 		resp.Status, msg = statusOf(err)
@@ -566,6 +572,8 @@ func statusOf(err error) (wire.Status, string) {
 		return wire.StatusDeadlock, err.Error()
 	case errors.Is(err, core.ErrLockTimeout):
 		return wire.StatusLockTimeout, err.Error()
+	case errors.Is(err, core.ErrReadOnly):
+		return wire.StatusBadRequest, err.Error()
 	case errors.Is(err, core.ErrAborted):
 		return wire.StatusAborted, err.Error()
 	default:

@@ -12,6 +12,7 @@
 //	                     server's latency-anatomy spans and trace events)
 //	uint8   op          (OpRun, OpPing)
 //	uint8   args format (FmtJSON, FmtBinary)
+//	uint8   read tier   (0 locked, 1 asap, 2 read-committed, 3 snapshot)
 //	uint16  name length
 //	bytes   transaction type name (OpRun; empty for OpPing)
 //	bytes   encoded transaction arguments (the rest of the frame)
@@ -54,10 +55,11 @@ import (
 
 // Version is the protocol version stamped on every payload. Version 2
 // introduced the version byte itself, the args/result format byte, and the
-// binary work-area codec; version 3 added the request trace id. As with the
-// v1→v2 break, there is no cross-version interoperability — both ends of a
-// deployment upgrade together.
-const Version = 3
+// binary work-area codec; version 3 added the request trace id; version 4
+// added the read-tier byte selecting the lock-free versioned read path. As
+// with the v1→v2 break, there is no cross-version interoperability — both
+// ends of a deployment upgrade together.
+const Version = 4
 
 // Op selects what a request asks the server to do.
 type Op uint8
@@ -191,6 +193,11 @@ type Request struct {
 	Op Op
 	// Fmt says how Args is encoded.
 	Fmt Format
+	// Tier selects the read path: 0 runs the full locked protocol (the only
+	// tier that permits writes); 1-3 are the versioned read-only tiers
+	// (read-ASAP, read-committed, snapshot — core.ReadTier's values). An
+	// unknown tier is answered with StatusBadRequest.
+	Tier uint8
 	// Name is the transaction type to run (OpRun).
 	Name []byte
 	// Args is the encoded argument record.
@@ -229,8 +236,8 @@ var ErrVersion = errors.New("wire: protocol version mismatch")
 var byteOrder = binary.BigEndian
 
 // reqHeader is the fixed part of a request payload: version, id, trace id,
-// op, format, name length.
-const reqHeader = 1 + 8 + 8 + 1 + 1 + 2
+// op, format, read tier, name length.
+const reqHeader = 1 + 8 + 8 + 1 + 1 + 1 + 2
 
 // respHeader is the fixed part of a response payload: version, id, status,
 // format, message length.
@@ -250,7 +257,7 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	dst = append(dst, Version)
 	dst = byteOrder.AppendUint64(dst, req.ID)
 	dst = byteOrder.AppendUint64(dst, req.Trace)
-	dst = append(dst, byte(req.Op), byte(req.Fmt))
+	dst = append(dst, byte(req.Op), byte(req.Fmt), req.Tier)
 	dst = byteOrder.AppendUint16(dst, uint16(len(req.Name)))
 	dst = append(dst, req.Name...)
 	dst = append(dst, req.Args...)
@@ -294,7 +301,8 @@ func DecodeRequest(payload []byte, req *Request) error {
 	req.Trace = byteOrder.Uint64(payload[9:])
 	req.Op = Op(payload[17])
 	req.Fmt = Format(payload[18])
-	nameLen := int(byteOrder.Uint16(payload[19:]))
+	req.Tier = payload[19]
+	nameLen := int(byteOrder.Uint16(payload[20:]))
 	if reqHeader+nameLen > len(payload) {
 		return fmt.Errorf("wire: request name length %d overruns frame", nameLen)
 	}

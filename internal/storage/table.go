@@ -38,6 +38,10 @@ type Table struct {
 	mu      sync.RWMutex
 	rows    map[Key]Row
 	indexes []*secondaryIndex
+	// versions holds per-key version chains for the lock-free read tiers
+	// (version.go): ascending CSN order, seeded with the key's pre-image on
+	// first mutation so as-of reads never consult an uncommitted base row.
+	versions map[Key][]version
 }
 
 type secondaryIndex struct {
@@ -124,6 +128,7 @@ func (t *Table) Insert(row Row) error {
 	if _, ok := t.rows[pk]; ok {
 		return fmt.Errorf("%w: %s %v", ErrDuplicate, t.Schema.Name, t.Schema.PKOf(row))
 	}
+	t.seedVersionLocked(pk, nil)
 	row = row.Clone()
 	t.rows[pk] = row
 	for _, ix := range t.indexes {
@@ -147,6 +152,7 @@ func (t *Table) Update(pk Key, row Row) (Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.Schema.Name)
 	}
+	t.seedVersionLocked(pk, old)
 	row = row.Clone()
 	t.rows[pk] = row
 	for _, ix := range t.indexes {
@@ -167,6 +173,7 @@ func (t *Table) Delete(pk Key) (Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.Schema.Name)
 	}
+	t.seedVersionLocked(pk, old)
 	delete(t.rows, pk)
 	for _, ix := range t.indexes {
 		ix.tree.Delete(ix.entryKey(old, pk))
@@ -185,11 +192,17 @@ func (t *Table) Apply(pk Key, row Row) {
 		if !had {
 			return
 		}
+		t.seedVersionLocked(pk, old)
 		delete(t.rows, pk)
 		for _, ix := range t.indexes {
 			ix.tree.Delete(ix.entryKey(old, pk))
 		}
 		return
+	}
+	if had {
+		t.seedVersionLocked(pk, old)
+	} else {
+		t.seedVersionLocked(pk, nil)
 	}
 	row = row.Clone()
 	t.rows[pk] = row

@@ -27,6 +27,14 @@ func DefaultMix() Mix {
 	return Mix{NewOrder: 45, Payment: 43, OrderStatus: 4, Delivery: 4, StockLevel: 4}
 }
 
+// ReadHeavyMix inverts the benchmark toward its read-only probes: mostly
+// order-status and stock-level with a thin writer stream keeping the
+// version chains churning. This is the mix the read-tier experiments run —
+// it is where routing reads off the lock manager should show.
+func ReadHeavyMix() Mix {
+	return Mix{NewOrder: 10, Payment: 8, OrderStatus: 41, Delivery: 0, StockLevel: 41}
+}
+
 // WorkloadConfig parameterizes input generation.
 type WorkloadConfig struct {
 	Scale Scale
@@ -41,6 +49,10 @@ type WorkloadConfig struct {
 	// StockLevelOrders is how many recent orders stock-level inspects
 	// (spec: 20; scaled down with the database).
 	StockLevelOrders int
+	// ReadTier, when not core.TierLocked, routes the read-only transaction
+	// types (order-status, stock-level) through the engine's lock-free
+	// versioned read path at that tier; writers are unaffected.
+	ReadTier core.ReadTier
 }
 
 // DefaultWorkloadConfig returns the standard configuration for a scale.
@@ -60,12 +72,17 @@ func DefaultWorkloadConfig(s Scale) WorkloadConfig {
 // re-encoded work area back into args.
 type RunFunc func(name string, args any) error
 
+// ReadRunFunc executes one read-only transaction at a consistency tier: the
+// engine's RunRead, or a network client's RunTier.
+type ReadRunFunc func(name string, args any, tier core.ReadTier) error
+
 // Workload generates TPC-C transactions against a RunFunc. It also tracks
 // the order-number holes left by compensated new-orders, which the
 // consistency checker needs to verify the numbering conditions.
 type Workload struct {
-	run RunFunc
-	cfg WorkloadConfig
+	run     RunFunc
+	runRead ReadRunFunc // nil: read-only types use run regardless of tier
+	cfg     WorkloadConfig
 
 	hID atomic.Int64
 
@@ -81,7 +98,9 @@ type DistrictKey struct {
 // NewWorkload binds a generator to an engine whose database was loaded at
 // cfg.Scale and whose transaction types are registered.
 func NewWorkload(eng *core.Engine, cfg WorkloadConfig) *Workload {
-	return NewRemoteWorkload(eng.Run, cfg)
+	w := NewRemoteWorkload(eng.Run, cfg)
+	w.runRead = eng.RunRead
+	return w
 }
 
 // NewRemoteWorkload binds a generator to an arbitrary executor — the TPC-C
@@ -91,6 +110,17 @@ func NewRemoteWorkload(run RunFunc, cfg WorkloadConfig) *Workload {
 	w := &Workload{run: run, cfg: cfg, holes: make(map[DistrictKey]map[int64]bool)}
 	w.hID.Store(int64(cfg.Scale.Warehouses*cfg.Scale.Districts*cfg.Scale.CustomersPerDistrict) + 1)
 	return w
+}
+
+// SetReadRunner installs the tiered executor a remote workload routes its
+// read-only types through when cfg.ReadTier is not TierLocked (the -net
+// driver passes the accclient pool's RunTier).
+func (w *Workload) SetReadRunner(run ReadRunFunc) { w.runRead = run }
+
+// readOnlyType reports whether the named transaction type never writes —
+// the types eligible for the versioned read tiers.
+func readOnlyType(name string) bool {
+	return name == "order_status" || name == "stock_level"
 }
 
 // Holes returns the compensated order numbers per district.
@@ -249,6 +279,12 @@ func (w *Workload) Next(r *rand.Rand, terminal int) sim.Txn {
 				w.addHole(a.WID, a.DID, a.ONum)
 			}
 			return outcome(err)
+		}}
+	}
+	if w.cfg.ReadTier != core.TierLocked && w.runRead != nil && readOnlyType(name) {
+		tier := w.cfg.ReadTier
+		return sim.Txn{Type: name, Run: func() (metrics.Outcome, error) {
+			return outcome(w.runRead(name, args, tier))
 		}}
 	}
 	return sim.Txn{Type: name, Run: func() (metrics.Outcome, error) {

@@ -111,6 +111,16 @@ const (
 	// Mode the final wire status, and Extra the non-zero per-stage durations
 	// as "stage=ns;..." pairs (stage taxonomy in DESIGN.md §13).
 	KindTxnSpan
+	// KindSnapshotOpen marks a snapshot-tier read point registering; Txn is
+	// the snapshot id, Dur the CSN it reads as of.
+	KindSnapshotOpen
+	// KindSnapshotClose marks a snapshot deregistering; Txn is the snapshot
+	// id, Dur how long it was held.
+	KindSnapshotClose
+	// KindSnapshotGC marks a version-chain reaper pass that reclaimed
+	// something; Txn is the floor CSN, Dur the versions pruned, Extra the
+	// chains dropped.
+	KindSnapshotGC
 
 	kindMax
 )
@@ -139,6 +149,9 @@ var kindNames = [...]string{
 	KindRPCReject:      "rpc.reject",
 	KindRPCError:       "rpc.error",
 	KindTxnSpan:        "txn.span",
+	KindSnapshotOpen:   "read.snapshot.open",
+	KindSnapshotClose:  "read.snapshot.close",
+	KindSnapshotGC:     "read.snapshot.gc",
 }
 
 // String names the kind as it appears in sink output.

@@ -86,9 +86,44 @@ var (
 	WithTracer = core.WithTracer
 	// WithWAL backs the engine with an existing write-ahead log.
 	WithWAL = core.WithWAL
+	// WithVersionGCInterval sets the version-chain reaper cadence (zero:
+	// 100ms default; negative: disabled).
+	WithVersionGCInterval = core.WithVersionGCInterval
 	// WithOptions replaces the entire Options record at once.
 	WithOptions = core.WithOptions
 )
+
+// ReadTier selects the consistency level of a read-only transaction run
+// through Engine.RunRead / Engine.RunReadContext or a client's RunTier (see
+// CONSISTENCY.md for the tier-by-tier guarantees).
+type ReadTier = core.ReadTier
+
+// Consistency tiers, weakest coupling to the lock manager first. Only
+// TierLocked permits writes; the other tiers read the engine's version
+// chains and acquire no locks at all.
+const (
+	// TierLocked is the default fully locked protocol.
+	TierLocked = core.TierLocked
+	// TierASAP reads each row's latest exposed version, no cross-row
+	// consistency claim.
+	TierASAP = core.TierASAP
+	// TierReadCommitted gives each statement a consistent exposure-point
+	// prefix; statements may see different prefixes.
+	TierReadCommitted = core.TierReadCommitted
+	// TierSnapshot fixes one commit sequence number for the whole
+	// transaction: a stable view, zero locks, never in the waits-for graph.
+	TierSnapshot = core.TierSnapshot
+)
+
+// ParseReadTier maps a flag string (locked|asap|committed|snapshot) onto a
+// tier.
+var ParseReadTier = core.ParseReadTier
+
+// Snapshot is a long-lived stable read point from Engine.OpenSnapshot:
+// every transaction run through it sees the database as of the CSN captured
+// at open. Close it promptly — the version reaper preserves everything an
+// open snapshot can still reach.
+type Snapshot = core.Snapshot
 
 // TxnType is a registered multi-step transaction: steps, assertions, and
 // compensations per §2-3 of the paper.
@@ -125,6 +160,9 @@ var (
 	ErrDeadlockVictim = core.ErrDeadlockVictim
 	// ErrLockTimeout reports a lock wait that exceeded its budget.
 	ErrLockTimeout = core.ErrLockTimeout
+	// ErrReadOnly reports a write attempted inside a versioned-tier
+	// read-only transaction.
+	ErrReadOnly = core.ErrReadOnly
 )
 
 // CompensatedError reports that a transaction was rolled back by running

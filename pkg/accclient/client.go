@@ -219,10 +219,20 @@ func (c *Client) Ping(ctx context.Context) error {
 // format — no codec registered on its side — is retried once in JSON, so
 // mixed deployments interoperate.
 func (c *Client) Run(ctx context.Context, name string, args any) error {
+	return c.RunTier(ctx, name, args, core.TierLocked)
+}
+
+// RunTier is Run at an explicit consistency tier. TierLocked (the Run
+// default) executes the full locked protocol and is the only tier that
+// permits writes; the versioned tiers (acc.TierASAP, acc.TierReadCommitted,
+// acc.TierSnapshot) take the server's lock-free read path, and a write
+// inside the transaction fails the request with a bad-request status
+// wrapping acc.ErrReadOnly's message.
+func (c *Client) RunTier(ctx context.Context, name string, args any, tier core.ReadTier) error {
 	c.requests.Add(1)
 	st := runPool.Get().(*runState)
 	defer runPool.Put(st)
-	st.req = wire.Request{Op: wire.OpRun, Trace: c.nextTrace()}
+	st.req = wire.Request{Op: wire.OpRun, Trace: c.nextTrace(), Tier: uint8(tier)}
 	if c.opts.TraceObserver != nil {
 		c.opts.TraceObserver(st.req.Trace)
 	}

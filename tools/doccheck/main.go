@@ -5,9 +5,14 @@
 // alongside revive's exported rule; doccheck is the part that works with the
 // standard library alone.
 //
+// The -md flag adds a staleness check over prose: in each named markdown
+// file, every backticked repo path (`internal/core/readtier.go`, `cmd/accd`)
+// and every relative markdown link must point at something that exists, so a
+// refactor that moves a file fails CI until the docs move with it.
+//
 // Usage:
 //
-//	go run ./tools/doccheck [-exported dir1,dir2] [root]
+//	go run ./tools/doccheck [-exported dir1,dir2] [-md doc1.md,doc2.md] [root]
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -26,6 +32,8 @@ import (
 func main() {
 	exported := flag.String("exported", "internal/lock,internal/core",
 		"comma-separated package dirs whose exported declarations must all be documented")
+	mdFiles := flag.String("md", "",
+		"comma-separated markdown files whose backticked repo paths and relative links must exist")
 	flag.Parse()
 	root := "."
 	if flag.NArg() > 0 {
@@ -94,6 +102,12 @@ func main() {
 		}
 	}
 
+	for _, doc := range strings.Split(*mdFiles, ",") {
+		if doc = strings.TrimSpace(doc); doc != "" {
+			problems = append(problems, checkMarkdown(root, doc)...)
+		}
+	}
+
 	for _, p := range problems {
 		fmt.Println(p)
 	}
@@ -101,6 +115,65 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doccheck: %d problems\n", len(problems))
 		os.Exit(1)
 	}
+}
+
+// pathSpan matches a backticked span that reads as a repo path: slash-joined
+// simple segments with no spaces, flags, globs, or code syntax. Command lines
+// (`go test ./...`), symbol references (`core.RunRead`) and URLs all fail the
+// pattern and are ignored.
+var pathSpan = regexp.MustCompile("`([A-Za-z0-9_.\\-]+(?:/[A-Za-z0-9_.\\-]+)+)`")
+
+// mdLink matches the target of an inline markdown link, minus any #fragment.
+var mdLink = regexp.MustCompile(`\]\(([^)#\s]+)[^)]*\)`)
+
+// checkMarkdown reports every backticked repo path and relative link in the
+// named doc that does not exist under root. Fenced code blocks are skipped —
+// they hold example commands and output, not references.
+func checkMarkdown(root, doc string) []string {
+	data, err := os.ReadFile(filepath.Join(root, doc))
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", doc, err)}
+	}
+	exists := func(rel string) bool {
+		_, err := os.Stat(filepath.Join(root, rel))
+		return err == nil
+	}
+	var out []string
+	fenced := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced {
+			continue
+		}
+		for _, m := range pathSpan.FindAllStringSubmatch(line, -1) {
+			p := m[1]
+			// Only vouch for references into the repo's trees or doc files;
+			// other slash-bearing spans (URLs sans scheme, metric label
+			// pairs) are not path claims.
+			first := p[:strings.Index(p, "/")]
+			switch first {
+			case "internal", "cmd", "pkg", "tools", "examples", ".github":
+			default:
+				continue
+			}
+			if !exists(p) {
+				out = append(out, fmt.Sprintf("%s:%d: backticked path %s does not exist", doc, i+1, p))
+			}
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if !exists(filepath.Join(filepath.Dir(doc), target)) {
+				out = append(out, fmt.Sprintf("%s:%d: link target %s does not exist", doc, i+1, target))
+			}
+		}
+	}
+	return out
 }
 
 // undocumented reports every exported top-level declaration in f that lacks
