@@ -20,10 +20,11 @@ import (
 	"strings"
 	"time"
 
+	_ "accdb/internal/backends"
 	"accdb/internal/core"
 	"accdb/internal/debughttp"
 	"accdb/internal/experiment"
-	"accdb/internal/lock"
+	"accdb/internal/spi"
 	"accdb/internal/trace"
 )
 
@@ -233,7 +234,7 @@ func detail(p *experiment.Point, verbose bool) {
 			r.Mode, r.Locks.Acquisitions, r.Locks.Waits, avg.Round(time.Microsecond))
 		type kv struct {
 			k string
-			v lock.ClassStats
+			v spi.ClassStats
 		}
 		var classes []kv
 		for k, v := range r.LockClass {

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	_ "accdb/internal/backends"
 	"accdb/internal/core"
 	"accdb/internal/debughttp"
 	"accdb/internal/server"

@@ -18,33 +18,33 @@ import (
 	"sync"
 
 	"accdb/internal/assertion"
+	_ "accdb/internal/backends"
 	"accdb/internal/core"
 	"accdb/internal/interference"
-	"accdb/internal/lock"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // Schema per §4 (keys underlined in the paper).
 var (
-	ordersSchema = storage.MustSchema("orders", []storage.Column{
-		{Name: "order_id", Kind: storage.KindInt},
-		{Name: "customer_id", Kind: storage.KindInt},
-		{Name: "number_of_distinct_items", Kind: storage.KindInt},
-		{Name: "price", Kind: storage.KindInt}, // 0 until billed
+	ordersSchema = spi.MustSchema("orders", []spi.Column{
+		{Name: "order_id", Kind: spi.KindInt},
+		{Name: "customer_id", Kind: spi.KindInt},
+		{Name: "number_of_distinct_items", Kind: spi.KindInt},
+		{Name: "price", Kind: spi.KindInt}, // 0 until billed
 	}, "order_id")
-	stockSchema = storage.MustSchema("stock", []storage.Column{
-		{Name: "item_id", Kind: storage.KindInt},
-		{Name: "s_level", Kind: storage.KindInt},
+	stockSchema = spi.MustSchema("stock", []spi.Column{
+		{Name: "item_id", Kind: spi.KindInt},
+		{Name: "s_level", Kind: spi.KindInt},
 	}, "item_id")
-	pricesSchema = storage.MustSchema("prices", []storage.Column{
-		{Name: "item_id", Kind: storage.KindInt},
-		{Name: "price", Kind: storage.KindInt},
+	pricesSchema = spi.MustSchema("prices", []spi.Column{
+		{Name: "item_id", Kind: spi.KindInt},
+		{Name: "price", Kind: spi.KindInt},
 	}, "item_id")
-	orderlinesSchema = storage.MustSchema("orderlines", []storage.Column{
-		{Name: "order_id", Kind: storage.KindInt},
-		{Name: "item_id", Kind: storage.KindInt},
-		{Name: "ordered", Kind: storage.KindInt},
-		{Name: "filled", Kind: storage.KindInt},
+	orderlinesSchema = spi.MustSchema("orderlines", []spi.Column{
+		{Name: "order_id", Kind: spi.KindInt},
+		{Name: "item_id", Kind: spi.KindInt},
+		{Name: "ordered", Kind: spi.KindInt},
+		{Name: "filled", Kind: spi.KindInt},
 	}, "order_id", "item_id")
 )
 
@@ -84,14 +84,14 @@ func main() {
 	stock := db.MustCreateTable(stockSchema)
 	prices := db.MustCreateTable(pricesSchema)
 	db.MustCreateTable(orderlinesSchema, "order_id")
-	counter := db.MustCreateTable(storage.MustSchema("counter", []storage.Column{
-		{Name: "id", Kind: storage.KindInt},
-		{Name: "current_order_number", Kind: storage.KindInt},
+	counter := db.MustCreateTable(spi.MustSchema("counter", []spi.Column{
+		{Name: "id", Kind: spi.KindInt},
+		{Name: "current_order_number", Kind: spi.KindInt},
 	}, "id"))
-	must(counter.Insert(storage.Row{storage.Int(0), storage.I64(1)}))
+	must(counter.Insert(spi.Row{spi.Int(0), spi.I64(1)}))
 	for i := 1; i <= 50; i++ {
-		must(stock.Insert(storage.Row{storage.Int(i), storage.I64(1_000_000)}))
-		must(prices.Insert(storage.Row{storage.Int(i), storage.I64(int64(100 + i))}))
+		must(stock.Insert(spi.Row{spi.Int(i), spi.I64(1_000_000)}))
+		must(prices.Insert(spi.Row{spi.Int(i), spi.I64(int64(100 + i))}))
 	}
 
 	// Design-time analysis (§4): the partial execution of new_order
@@ -126,10 +126,10 @@ func main() {
 
 	eng := core.New(db, tables, core.WithMode(core.ModeACC))
 
-	colCount := counter.Schema.MustCol("current_order_number")
-	colPrice := orders.Schema.MustCol("price")
-	colLevel := stock.Schema.MustCol("s_level")
-	colItemPrice := prices.Schema.MustCol("price")
+	colCount := counter.Schema().MustCol("current_order_number")
+	colPrice := orders.Schema().MustCol("price")
+	colLevel := stock.Schema().MustCol("s_level")
+	colItemPrice := prices.Schema().MustCol("price")
 	colFilled := orderlinesSchema.MustCol("filled")
 	colOrdered := orderlinesSchema.MustCol("ordered")
 
@@ -138,14 +138,14 @@ func main() {
 	aOpen := &core.Assertion{
 		ID:   aI1,
 		Name: "I1",
-		Covers: func(args any, item lock.Item) bool {
+		Covers: func(args any, item spi.Item) bool {
 			a := args.(*newOrderArgs)
 			if a.oNum == 0 {
 				return false
 			}
-			key := storage.EncodeKey(storage.I64(a.oNum))
-			return (item.Table == "orders" && item.Level == lock.LevelRow && item.Key == key) ||
-				(item.Table == "orderlines" && item.Level == lock.LevelPartition && item.Key == key)
+			key := spi.EncodeKey(spi.I64(a.oNum))
+			return (item.Table == "orders" && item.Level == spi.LevelRow && item.Key == key) ||
+				(item.Table == "orderlines" && item.Level == spi.LevelPartition && item.Key == key)
 		},
 	}
 
@@ -158,17 +158,17 @@ func main() {
 				Name: "setup", Type: no1,
 				Body: func(tc *core.Ctx) error {
 					a := tc.Args().(*newOrderArgs)
-					err := tc.Update("counter", []storage.Value{storage.Int(0)}, func(row storage.Row) error {
+					err := tc.Update("counter", []spi.Value{spi.Int(0)}, func(row spi.Row) error {
 						a.oNum = row[colCount].Int64()
-						row[colCount] = storage.I64(a.oNum + 1)
+						row[colCount] = spi.I64(a.oNum + 1)
 						return nil
 					})
 					if err != nil {
 						return err
 					}
-					return tc.Insert("orders", storage.Row{
-						storage.I64(a.oNum), storage.I64(a.customer),
-						storage.I64(int64(len(a.items))), storage.I64(0),
+					return tc.Insert("orders", spi.Row{
+						spi.I64(a.oNum), spi.I64(a.customer),
+						spi.I64(int64(len(a.items))), spi.I64(0),
 					})
 				},
 			}}
@@ -183,22 +183,22 @@ func main() {
 							return tc.Abort("customer cancelled")
 						}
 						var got int64
-						err := tc.Update("stock", []storage.Value{storage.I64(a.items[i])}, func(row storage.Row) error {
+						err := tc.Update("stock", []spi.Value{spi.I64(a.items[i])}, func(row spi.Row) error {
 							avail := row[colLevel].Int64()
 							got = a.quants[i]
 							if got > avail {
 								got = avail
 							}
-							row[colLevel] = storage.I64(avail - got)
+							row[colLevel] = spi.I64(avail - got)
 							return nil
 						})
 						if err != nil {
 							return err
 						}
 						a.filled[i] = got
-						return tc.Insert("orderlines", storage.Row{
-							storage.I64(a.oNum), storage.I64(a.items[i]),
-							storage.I64(a.quants[i]), storage.I64(got),
+						return tc.Insert("orderlines", spi.Row{
+							spi.I64(a.oNum), spi.I64(a.items[i]),
+							spi.I64(a.quants[i]), spi.I64(got),
 						})
 					},
 				})
@@ -218,20 +218,20 @@ func main() {
 				}
 				for i := 0; i < lines; i++ {
 					got := a.filled[i]
-					err := tc.Update("stock", []storage.Value{storage.I64(a.items[i])}, func(row storage.Row) error {
-						row[colLevel] = storage.I64(row[colLevel].Int64() + got)
+					err := tc.Update("stock", []spi.Value{spi.I64(a.items[i])}, func(row spi.Row) error {
+						row[colLevel] = spi.I64(row[colLevel].Int64() + got)
 						return nil
 					})
 					if err != nil {
 						return err
 					}
-					if err := tc.Delete("orderlines", storage.I64(a.oNum), storage.I64(a.items[i])); err != nil {
+					if err := tc.Delete("orderlines", spi.I64(a.oNum), spi.I64(a.items[i])); err != nil {
 						return err
 					}
 				}
 				if completed >= 1 {
-					if err := tc.Delete("orders", storage.I64(a.oNum)); err != nil &&
-						!errors.Is(err, storage.ErrNotFound) {
+					if err := tc.Delete("orders", spi.I64(a.oNum)); err != nil &&
+						!errors.Is(err, spi.ErrNotFound) {
 						return err
 					}
 				}
@@ -247,23 +247,23 @@ func main() {
 			Name: "bill", Type: billStep,
 			Pre: []*core.Assertion{{
 				ID: aI1, Name: "I1(bill)",
-				Covers: func(args any, item lock.Item) bool {
+				Covers: func(args any, item spi.Item) bool {
 					ba := args.(*billArgs)
-					key := storage.EncodeKey(storage.I64(ba.order))
-					return (item.Table == "orders" && item.Level == lock.LevelRow && item.Key == key) ||
-						(item.Table == "orderlines" && item.Level == lock.LevelPartition && item.Key == key)
+					key := spi.EncodeKey(spi.I64(ba.order))
+					return (item.Table == "orders" && item.Level == spi.LevelRow && item.Key == key) ||
+						(item.Table == "orderlines" && item.Level == spi.LevelPartition && item.Key == key)
 				},
 			}},
 			Body: func(tc *core.Ctx) error {
 				ba := tc.Args().(*billArgs)
-				if _, err := tc.Get("orders", storage.I64(ba.order)); err != nil {
-					if errors.Is(err, storage.ErrNotFound) {
+				if _, err := tc.Get("orders", spi.I64(ba.order)); err != nil {
+					if errors.Is(err, spi.ErrNotFound) {
 						return nil // compensated order: nothing to bill
 					}
 					return err
 				}
 				total := int64(0)
-				err := tc.ScanPartition("orderlines", []storage.Value{storage.I64(ba.order)}, func(row storage.Row) error {
+				err := tc.ScanPartition("orderlines", []spi.Value{spi.I64(ba.order)}, func(row spi.Row) error {
 					prow, err := tc.Get("prices", row[1])
 					if err != nil {
 						return err
@@ -276,8 +276,8 @@ func main() {
 					return err
 				}
 				ba.total = total
-				return tc.Update("orders", []storage.Value{storage.I64(ba.order)}, func(row storage.Row) error {
-					row[colPrice] = storage.I64(total)
+				return tc.Update("orders", []spi.Value{spi.I64(ba.order)}, func(row spi.Row) error {
+					row[colPrice] = spi.I64(total)
 					return nil
 				})
 			},
@@ -347,7 +347,7 @@ func main() {
 	wg.Wait()
 
 	// Quiescent validation: evaluate I1 formally, and check stock balance.
-	ok, err := assertion.Eval(i1, db.Catalog, nil)
+	ok, err := assertion.Eval(i1, db.Store(), nil)
 	must(err)
 	if !ok {
 		log.Fatal("I1 violated at quiescence")

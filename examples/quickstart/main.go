@@ -11,21 +11,21 @@ import (
 	"log"
 	"sync"
 
+	_ "accdb/internal/backends"
 	"accdb/internal/core"
 	"accdb/internal/interference"
-	"accdb/internal/lock"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 func main() {
 	// 1. Schema: a single accounts table.
 	db := core.NewDB()
-	accounts := db.MustCreateTable(storage.MustSchema("accounts", []storage.Column{
-		{Name: "id", Kind: storage.KindInt},
-		{Name: "balance", Kind: storage.KindInt},
+	accounts := db.MustCreateTable(spi.MustSchema("accounts", []spi.Column{
+		{Name: "id", Kind: spi.KindInt},
+		{Name: "balance", Kind: spi.KindInt},
 	}, "id"))
 	for id := 1; id <= 4; id++ {
-		if err := accounts.Insert(storage.Row{storage.Int(id), storage.I64(1000)}); err != nil {
+		if err := accounts.Insert(spi.Row{spi.Int(id), spi.I64(1000)}); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -53,11 +53,11 @@ func main() {
 	// serializably.
 	eng := core.New(db, tables, core.WithMode(core.ModeACC))
 
-	balCol := accounts.Schema.MustCol("balance")
+	balCol := accounts.Schema().MustCol("balance")
 	type transferArgs struct{ from, to, amount int64 }
 	add := func(tc *core.Ctx, id, delta int64) error {
-		return tc.Update("accounts", []storage.Value{storage.I64(id)}, func(row storage.Row) error {
-			row[balCol] = storage.I64(row[balCol].Int64() + delta)
+		return tc.Update("accounts", []spi.Value{spi.I64(id)}, func(row spi.Row) error {
+			row[balCol] = spi.I64(row[balCol].Int64() + delta)
 			return nil
 		})
 	}
@@ -65,10 +65,10 @@ func main() {
 	aInFlight := &core.Assertion{
 		ID:   inFlight,
 		Name: "A_IN_FLIGHT",
-		Covers: func(args any, item lock.Item) bool {
+		Covers: func(args any, item spi.Item) bool {
 			a := args.(*transferArgs)
-			return item.Table == "accounts" && item.Level == lock.LevelRow &&
-				item.Key == storage.EncodeKey(storage.I64(a.from))
+			return item.Table == "accounts" && item.Level == spi.LevelRow &&
+				item.Key == spi.EncodeKey(spi.I64(a.from))
 		},
 	}
 
@@ -131,7 +131,7 @@ func main() {
 	var total int64
 	err := eng.RunLegacy("audit", func(tc *core.Ctx) error {
 		total = 0
-		return tc.Scan("accounts", func(row storage.Row) error {
+		return tc.Scan("accounts", func(row spi.Row) error {
 			total += row[balCol].Int64()
 			return nil
 		})

@@ -16,11 +16,11 @@ import (
 	"log"
 	"os"
 
+	_ "accdb/internal/backends"
 	"accdb/internal/core"
 	"accdb/internal/fault"
 	"accdb/internal/interference"
-	"accdb/internal/lock"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 	"accdb/internal/wal"
 )
 
@@ -37,15 +37,15 @@ type bank struct {
 
 func build(dir string) (*bank, error) {
 	db := core.NewDB()
-	accounts, err := db.CreateTable(storage.MustSchema("accounts", []storage.Column{
-		{Name: "id", Kind: storage.KindInt},
-		{Name: "balance", Kind: storage.KindInt},
+	accounts, err := db.CreateTable(spi.MustSchema("accounts", []spi.Column{
+		{Name: "id", Kind: spi.KindInt},
+		{Name: "balance", Kind: spi.KindInt},
 	}, "id"))
 	if err != nil {
 		return nil, err
 	}
 	for id := 1; id <= 2; id++ {
-		if err := accounts.Insert(storage.Row{storage.Int(id), storage.I64(1000)}); err != nil {
+		if err := accounts.Insert(spi.Row{spi.Int(id), spi.I64(1000)}); err != nil {
 			return nil, err
 		}
 	}
@@ -68,20 +68,20 @@ func build(dir string) (*bank, error) {
 	}
 	eng := core.New(db, tables, core.WithMode(core.ModeACC), core.WithWAL(l))
 
-	balCol := accounts.Schema.MustCol("balance")
+	balCol := accounts.Schema().MustCol("balance")
 	add := func(tc *core.Ctx, id, delta int64) error {
-		return tc.Update("accounts", []storage.Value{storage.I64(id)}, func(row storage.Row) error {
-			row[balCol] = storage.I64(row[balCol].Int64() + delta)
+		return tc.Update("accounts", []spi.Value{spi.I64(id)}, func(row spi.Row) error {
+			row[balCol] = spi.I64(row[balCol].Int64() + delta)
 			return nil
 		})
 	}
 	aInFlight := &core.Assertion{
 		ID:   inFlight,
 		Name: "A_IN_FLIGHT",
-		Covers: func(args any, item lock.Item) bool {
+		Covers: func(args any, item spi.Item) bool {
 			a := args.(*transferArgs)
-			return item.Table == "accounts" && item.Level == lock.LevelRow &&
-				item.Key == storage.EncodeKey(storage.I64(a.From))
+			return item.Table == "accounts" && item.Level == spi.LevelRow &&
+				item.Key == spi.EncodeKey(spi.I64(a.From))
 		},
 	}
 	eng.MustRegister(&core.TxnType{
@@ -112,12 +112,12 @@ func build(dir string) (*bank, error) {
 		// end-of-step record forced to disk — so args must round-trip.
 		EncodeArgs: func(args any) []byte {
 			a := args.(*transferArgs)
-			return storage.MarshalRow(nil, storage.Row{
-				storage.I64(a.From), storage.I64(a.To), storage.I64(a.Amount),
+			return spi.MarshalRow(nil, spi.Row{
+				spi.I64(a.From), spi.I64(a.To), spi.I64(a.Amount),
 			})
 		},
 		DecodeArgs: func(data []byte) (any, error) {
-			row, _, err := storage.UnmarshalRow(data)
+			row, _, err := spi.UnmarshalRow(data)
 			if err != nil {
 				return nil, err
 			}
@@ -128,7 +128,7 @@ func build(dir string) (*bank, error) {
 }
 
 func (b *bank) balance(id int64) int64 {
-	row, err := b.db.Catalog.Table("accounts").Get(storage.EncodeKey(storage.I64(id)))
+	row, err := b.db.Table("accounts").Get(spi.EncodeKey(spi.I64(id)))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,9 +12,10 @@ import (
 	"fmt"
 	"log"
 
+	_ "accdb/internal/backends"
 	"accdb/internal/core"
 	"accdb/internal/interference"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 const (
@@ -34,21 +35,21 @@ type buyArgs struct {
 
 func main() {
 	db := core.NewDB()
-	orders := db.MustCreateTable(storage.MustSchema(tOrders, []storage.Column{
-		{Name: "id", Kind: storage.KindInt},
-		{Name: "price", Kind: storage.KindInt},
-		{Name: "shares", Kind: storage.KindInt},
+	orders := db.MustCreateTable(spi.MustSchema(tOrders, []spi.Column{
+		{Name: "id", Kind: spi.KindInt},
+		{Name: "price", Kind: spi.KindInt},
+		{Name: "shares", Kind: spi.KindInt},
 	}, "id"))
-	db.MustCreateTable(storage.MustSchema(tLedger, []storage.Column{
-		{Name: "entry", Kind: storage.KindInt},
-		{Name: "buyer", Kind: storage.KindString},
-		{Name: "price", Kind: storage.KindInt},
-		{Name: "shares", Kind: storage.KindInt},
+	db.MustCreateTable(spi.MustSchema(tLedger, []spi.Column{
+		{Name: "entry", Kind: spi.KindInt},
+		{Name: "buyer", Kind: spi.KindString},
+		{Name: "price", Kind: spi.KindInt},
+		{Name: "shares", Kind: spi.KindInt},
 	}, "entry"))
 
 	// The book: n=100 shares at $30, plenty at $31.
-	must(orders.Insert(storage.Row{storage.Int(1), storage.I64(30), storage.I64(100)}))
-	must(orders.Insert(storage.Row{storage.Int(2), storage.I64(31), storage.I64(10000)}))
+	must(orders.Insert(spi.Row{spi.Int(1), spi.I64(30), spi.I64(100)}))
+	must(orders.Insert(spi.Row{spi.Int(2), spi.I64(31), spi.I64(10000)}))
 
 	b := interference.NewBuilder()
 	buyTxn := b.TxnType("buy", 2)
@@ -60,8 +61,8 @@ func main() {
 
 	eng := core.New(db, tables, core.WithMode(core.ModeACC), core.WithRecordHistory(true))
 
-	priceCol := orders.Schema.MustCol("price")
-	sharesCol := orders.Schema.MustCol("shares")
+	priceCol := orders.Schema().MustCol("price")
+	sharesCol := orders.Schema().MustCol("shares")
 
 	// grabStep buys up to chunk shares from the given order id; each grab is
 	// its own atomic step, so two buyers can alternate price levels.
@@ -75,7 +76,7 @@ func main() {
 					return nil
 				}
 				var take, price int64
-				err := tc.Update(tOrders, []storage.Value{storage.I64(orderID)}, func(row storage.Row) error {
+				err := tc.Update(tOrders, []spi.Value{spi.I64(orderID)}, func(row spi.Row) error {
 					avail := row[sharesCol].Int64()
 					price = row[priceCol].Int64()
 					take = a.want - a.bought
@@ -85,16 +86,16 @@ func main() {
 					if take > avail {
 						take = avail
 					}
-					row[sharesCol] = storage.I64(avail - take)
+					row[sharesCol] = spi.I64(avail - take)
 					return nil
 				})
 				if err != nil || take == 0 {
 					return err
 				}
 				a.seq++
-				if err := tc.Insert(tLedger, storage.Row{
-					storage.I64(a.seq), storage.Str(a.buyer),
-					storage.I64(price), storage.I64(take),
+				if err := tc.Insert(tLedger, spi.Row{
+					spi.I64(a.seq), spi.Str(a.buyer),
+					spi.I64(price), spi.I64(take),
 				}); err != nil {
 					return err
 				}

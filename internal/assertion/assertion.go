@@ -20,7 +20,7 @@ import (
 	"fmt"
 	"strings"
 
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // Term is a value-producing expression: a column of the row bound by the
@@ -47,13 +47,13 @@ func (Param) term()            {}
 func (p Param) String() string { return "$" + p.Name }
 
 // Const is a literal value.
-type Const struct{ V storage.Value }
+type Const struct{ V spi.Value }
 
 func (Const) term()            {}
 func (c Const) String() string { return c.V.String() }
 
 // I64 is shorthand for an integer constant term.
-func I64(v int64) Const { return Const{storage.I64(v)} }
+func I64(v int64) Const { return Const{spi.I64(v)} }
 
 // Expr is a boolean assertion expression.
 type Expr interface {

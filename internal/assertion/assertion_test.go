@@ -5,18 +5,22 @@ import (
 	"testing"
 	"testing/quick"
 
+	"accdb/internal/spi"
 	"accdb/internal/storage"
 )
 
 // fixture: accounts(id, owner, balance) and holds(owner, total).
-func fixture(t *testing.T) *storage.Catalog {
+func fixture(t *testing.T) spi.Store {
 	t.Helper()
-	cat := storage.NewCatalog()
-	acc := cat.MustCreate(storage.MustSchema("accounts", []storage.Column{
+	cat := storage.NewStore()
+	acc, err := cat.Create(storage.MustSchema("accounts", []storage.Column{
 		{Name: "id", Kind: storage.KindInt},
 		{Name: "owner", Kind: storage.KindString},
 		{Name: "balance", Kind: storage.KindInt},
 	}, "id"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	rows := []storage.Row{
 		{storage.I64(1), storage.Str("ann"), storage.I64(100)},
 		{storage.I64(2), storage.Str("ann"), storage.I64(50)},
@@ -30,7 +34,7 @@ func fixture(t *testing.T) *storage.Catalog {
 	return cat
 }
 
-func eval(t *testing.T, e Expr, cat *storage.Catalog, env Env) bool {
+func eval(t *testing.T, e Expr, cat spi.Store, env Env) bool {
 	t.Helper()
 	got, err := Eval(e, cat, env)
 	if err != nil {

@@ -3,25 +3,25 @@ package assertion
 import (
 	"fmt"
 
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // Env supplies transaction arguments to Param terms during evaluation.
-type Env map[string]storage.Value
+type Env map[string]spi.Value
 
-// Eval evaluates the assertion against a catalog. The database should be
+// Eval evaluates the assertion against a row store. The database should be
 // quiescent (semantic correctness is defined at commit points and
 // quiescence, §3.1); tests arrange that. Row-binding terms resolve against
 // the row bound by the nearest enclosing quantifier over their table.
-func Eval(e Expr, cat *storage.Catalog, env Env) (bool, error) {
-	ev := &evaluator{cat: cat, env: env, bound: make(map[string]storage.Row)}
+func Eval(e Expr, store spi.Store, env Env) (bool, error) {
+	ev := &evaluator{store: store, env: env, bound: make(map[string]spi.Row)}
 	return ev.eval(e)
 }
 
 type evaluator struct {
-	cat   *storage.Catalog
+	store spi.Store
 	env   Env
-	bound map[string]storage.Row // table -> currently bound row
+	bound map[string]spi.Row // table -> currently bound row
 }
 
 func (ev *evaluator) eval(e Expr) (bool, error) {
@@ -75,7 +75,7 @@ func (ev *evaluator) eval(e Expr) (bool, error) {
 		return !ok, err
 	case ForAll:
 		all := true
-		err := ev.scan(x.Table, x.Where, func(row storage.Row) (bool, error) {
+		err := ev.scan(x.Table, x.Where, func(row spi.Row) (bool, error) {
 			prev, had := ev.bound[x.Table]
 			ev.bound[x.Table] = row
 			ok, err := ev.eval(x.Body)
@@ -96,7 +96,7 @@ func (ev *evaluator) eval(e Expr) (bool, error) {
 		return all, err
 	case Exists:
 		found := false
-		err := ev.scan(x.Table, x.Where, func(row storage.Row) (bool, error) {
+		err := ev.scan(x.Table, x.Where, func(row spi.Row) (bool, error) {
 			if x.Body != nil {
 				prev, had := ev.bound[x.Table]
 				ev.bound[x.Table] = row
@@ -119,7 +119,7 @@ func (ev *evaluator) eval(e Expr) (bool, error) {
 		return found, err
 	case CountEq:
 		n := int64(0)
-		err := ev.scan(x.Table, x.Where, func(storage.Row) (bool, error) {
+		err := ev.scan(x.Table, x.Where, func(spi.Row) (bool, error) {
 			n++
 			return true, nil
 		})
@@ -130,18 +130,18 @@ func (ev *evaluator) eval(e Expr) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		return want.K == storage.KindInt && want.I == n, nil
+		return want.K == spi.KindInt && want.I == n, nil
 	case SumLE:
-		t := ev.cat.Table(x.Table)
+		t := ev.store.Table(x.Table)
 		if t == nil {
 			return false, fmt.Errorf("assertion: no table %q", x.Table)
 		}
-		col := t.Schema.Col(x.Column)
+		col := t.Schema().Col(x.Column)
 		if col < 0 {
 			return false, fmt.Errorf("assertion: no column %s.%s", x.Table, x.Column)
 		}
 		var sum int64
-		err := ev.scan(x.Table, x.Where, func(row storage.Row) (bool, error) {
+		err := ev.scan(x.Table, x.Where, func(row spi.Row) (bool, error) {
 			sum += row[col].Int64()
 			return true, nil
 		})
@@ -158,47 +158,47 @@ func (ev *evaluator) eval(e Expr) (bool, error) {
 	}
 }
 
-func (ev *evaluator) term(t Term) (storage.Value, error) {
+func (ev *evaluator) term(t Term) (spi.Value, error) {
 	switch x := t.(type) {
 	case Const:
 		return x.V, nil
 	case Param:
 		v, ok := ev.env[x.Name]
 		if !ok {
-			return storage.Value{}, fmt.Errorf("assertion: unbound parameter $%s", x.Name)
+			return spi.Value{}, fmt.Errorf("assertion: unbound parameter $%s", x.Name)
 		}
 		return v, nil
 	case Col:
 		row, ok := ev.bound[x.Table]
 		if !ok {
-			return storage.Value{}, fmt.Errorf("assertion: column %s.%s outside a quantifier over %s",
+			return spi.Value{}, fmt.Errorf("assertion: column %s.%s outside a quantifier over %s",
 				x.Table, x.Column, x.Table)
 		}
-		t := ev.cat.Table(x.Table)
-		col := t.Schema.Col(x.Column)
+		t := ev.store.Table(x.Table)
+		col := t.Schema().Col(x.Column)
 		if col < 0 {
-			return storage.Value{}, fmt.Errorf("assertion: no column %s.%s", x.Table, x.Column)
+			return spi.Value{}, fmt.Errorf("assertion: no column %s.%s", x.Table, x.Column)
 		}
 		return row[col], nil
 	default:
-		return storage.Value{}, fmt.Errorf("assertion: unknown term %T", t)
+		return spi.Value{}, fmt.Errorf("assertion: unknown term %T", t)
 	}
 }
 
 // scan visits rows of table matching the bindings; visit returns (continue,
 // error).
-func (ev *evaluator) scan(table string, where []Binding, visit func(storage.Row) (bool, error)) error {
-	t := ev.cat.Table(table)
+func (ev *evaluator) scan(table string, where []Binding, visit func(spi.Row) (bool, error)) error {
+	t := ev.store.Table(table)
 	if t == nil {
 		return fmt.Errorf("assertion: no table %q", table)
 	}
 	type match struct {
 		col int
-		v   storage.Value
+		v   spi.Value
 	}
 	matches := make([]match, len(where))
 	for i, w := range where {
-		col := t.Schema.Col(w.Column)
+		col := t.Schema().Col(w.Column)
 		if col < 0 {
 			return fmt.Errorf("assertion: no column %s.%s", table, w.Column)
 		}
@@ -209,7 +209,7 @@ func (ev *evaluator) scan(table string, where []Binding, visit func(storage.Row)
 		matches[i] = match{col, v}
 	}
 	var serr error
-	t.Scan(func(_ storage.Key, row storage.Row) bool {
+	t.Scan(func(_ spi.Key, row spi.Row) bool {
 		for _, m := range matches {
 			if !row[m.col].Equal(m.v) {
 				return true

@@ -2,14 +2,14 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"accdb/internal/interference"
-	"accdb/internal/lock"
 	"accdb/internal/metrics"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 	"accdb/internal/trace"
 	"accdb/internal/wal"
 )
@@ -122,10 +122,10 @@ type Stats struct {
 
 // Engine schedules transactions over a DB under the configured mode.
 type Engine struct {
-	opt    Options
-	db     *DB
-	tables *interference.Tables
-	lm      *lock.Manager
+	opt     Options
+	db      *DB
+	tables  *interference.Tables
+	lm      spi.LockService
 	log     *wal.Log
 	env     ExecEnv
 	tracer  *trace.Tracer
@@ -154,7 +154,7 @@ type Engine struct {
 	csnClock atomic.Uint64
 	pubMu    sync.Mutex
 	snapMu   sync.Mutex
-	snaps    map[uint64]storage.CSN
+	snaps    map[uint64]spi.CSN
 	nextSnap uint64 // under snapMu
 
 	readRec *metrics.Recorder // per-tier read-only transaction latencies
@@ -167,6 +167,11 @@ type Engine struct {
 
 	reaperStop chan struct{}
 	reaperDone chan struct{}
+
+	// warnings collects configuration notes recorded at construction —
+	// options that the selected backend cannot honour and that were turned
+	// into no-ops rather than silently ignored.
+	warnings []string
 }
 
 // New creates an engine over db using the design-time interference tables,
@@ -188,8 +193,8 @@ func New(db *DB, tables *interference.Tables, opts ...Option) *Engine {
 	if env == nil {
 		env = inlineEnv{}
 	}
-	lm := lock.NewManager(tables)
-	lm.WaitTimeout = opt.WaitTimeout
+	lm := spi.NewLockService(tables)
+	lm.SetWaitTimeout(opt.WaitTimeout)
 	log := opt.Log
 	if log == nil {
 		log = wal.New(opt.ForceLatency)
@@ -208,18 +213,41 @@ func New(db *DB, tables *interference.Tables, opts ...Option) *Engine {
 		tracer:  opt.Tracer,
 		anatomy: opt.Anatomy,
 		types:   make(map[string]*TxnType),
-		snaps:   make(map[uint64]storage.CSN),
+		snaps:   make(map[uint64]spi.CSN),
 		readRec: metrics.NewRecorder(),
 	}
 	if opt.RecordHistory {
 		e.hist = newHistory()
 	}
-	// Rows loaded into the catalog before the engine attached were written
+	if !spi.StoreCapabilities(db.store).Versions {
+		// The backend keeps no version chains: versioned read tiers fall
+		// back to base rows and there is nothing for the reaper to prune.
+		if opt.VersionGCInterval > 0 {
+			e.warn("WithVersionGCInterval has no effect: the selected backend does not support version chains")
+		}
+		e.opt.VersionGCInterval = -1 // disable the reaper
+	}
+	// Rows loaded into the store before the engine attached were written
 	// without CSN stamps; drop any chains their loading seeded so versioned
 	// reads fall back to the (committed, quiescent) base rows.
 	e.resetVersions()
 	e.startReaper()
 	return e
+}
+
+// warn records a configuration warning and logs it once at construction.
+func (e *Engine) warn(msg string) {
+	e.warnings = append(e.warnings, msg)
+	log.Printf("core: %s", msg)
+}
+
+// ConfigWarnings returns the configuration warnings recorded at
+// construction: options the selected backend cannot honour, downgraded to
+// no-ops rather than silently ignored.
+func (e *Engine) ConfigWarnings() []string {
+	out := make([]string, len(e.warnings))
+	copy(out, e.warnings)
+	return out
 }
 
 // Close marks the engine closed and forces the write-ahead log: subsequent
@@ -245,8 +273,8 @@ func (e *Engine) DB() *DB { return e.db }
 // recovery tests read its byte image).
 func (e *Engine) Log() *wal.Log { return e.log }
 
-// Locks returns the lock manager (tests and stats).
-func (e *Engine) Locks() *lock.Manager { return e.lm }
+// Locks returns the lock service (tests and stats).
+func (e *Engine) Locks() spi.LockService { return e.lm }
 
 // Tracer returns the attached event bus, or nil when tracing is disabled.
 func (e *Engine) Tracer() *trace.Tracer { return e.tracer }

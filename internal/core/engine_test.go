@@ -8,8 +8,7 @@ import (
 	"time"
 
 	"accdb/internal/interference"
-	"accdb/internal/lock"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // testSys is a two-table bank: accounts(id, balance) and journal(id, delta),
@@ -41,20 +40,20 @@ type transferArgs struct {
 func newTestSys(t testing.TB, mode Mode, opts ...func(*Options)) *testSys {
 	t.Helper()
 	s := &testSys{db: NewDB()}
-	acc := s.db.MustCreateTable(storage.MustSchema("accounts", []storage.Column{
-		{Name: "id", Kind: storage.KindInt},
-		{Name: "balance", Kind: storage.KindInt},
+	acc := s.db.MustCreateTable(spi.MustSchema("accounts", []spi.Column{
+		{Name: "id", Kind: spi.KindInt},
+		{Name: "balance", Kind: spi.KindInt},
 	}, "id"))
-	s.db.MustCreateTable(storage.MustSchema("journal", []storage.Column{
-		{Name: "id", Kind: storage.KindInt},
-		{Name: "delta", Kind: storage.KindInt},
+	s.db.MustCreateTable(spi.MustSchema("journal", []spi.Column{
+		{Name: "id", Kind: spi.KindInt},
+		{Name: "delta", Kind: spi.KindInt},
 	}, "id"))
 	for i := 1; i <= 6; i++ {
-		if err := acc.Insert(storage.Row{storage.Int(i), storage.I64(100)}); err != nil {
+		if err := acc.Insert(spi.Row{spi.Int(i), spi.I64(100)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	s.balCol = acc.Schema.MustCol("balance")
+	s.balCol = acc.Schema().MustCol("balance")
 
 	b := interference.NewBuilder()
 	s.txnTransfer = b.TxnType("transfer", 2)
@@ -82,14 +81,14 @@ func newTestSys(t testing.TB, mode Mode, opts ...func(*Options)) *testSys {
 	s.assertion = &Assertion{
 		ID:   s.aInFlight,
 		Name: "in-flight",
-		Covers: func(args any, item lock.Item) bool {
+		Covers: func(args any, item spi.Item) bool {
 			a := args.(*transferArgs)
-			return item.Table == "accounts" && item.Level == lock.LevelRow &&
-				item.Key == storage.EncodeKey(storage.I64(a.From))
+			return item.Table == "accounts" && item.Level == spi.LevelRow &&
+				item.Key == spi.EncodeKey(spi.I64(a.From))
 		},
-		Items: func(args any) []lock.Item {
+		Items: func(args any) []spi.Item {
 			a := args.(*transferArgs)
-			return []lock.Item{lock.RowItem("accounts", storage.EncodeKey(storage.I64(a.From)))}
+			return []spi.Item{spi.RowItem("accounts", spi.EncodeKey(spi.I64(a.From)))}
 		},
 	}
 
@@ -135,12 +134,12 @@ func newTestSys(t testing.TB, mode Mode, opts ...func(*Options)) *testSys {
 		},
 		EncodeArgs: func(args any) []byte {
 			a := args.(*transferArgs)
-			return storage.MarshalRow(nil, storage.Row{
-				storage.I64(a.From), storage.I64(a.To), storage.I64(a.Amount),
+			return spi.MarshalRow(nil, spi.Row{
+				spi.I64(a.From), spi.I64(a.To), spi.I64(a.Amount),
 			})
 		},
 		DecodeArgs: func(data []byte) (any, error) {
-			row, _, err := storage.UnmarshalRow(data)
+			row, _, err := spi.UnmarshalRow(data)
 			if err != nil {
 				return nil, err
 			}
@@ -151,15 +150,15 @@ func newTestSys(t testing.TB, mode Mode, opts ...func(*Options)) *testSys {
 }
 
 func (s *testSys) add(tc *Ctx, id, delta int64) error {
-	return tc.Update("accounts", []storage.Value{storage.I64(id)}, func(row storage.Row) error {
-		row[s.balCol] = storage.I64(row[s.balCol].Int64() + delta)
+	return tc.Update("accounts", []spi.Value{spi.I64(id)}, func(row spi.Row) error {
+		row[s.balCol] = spi.I64(row[s.balCol].Int64() + delta)
 		return nil
 	})
 }
 
 func (s *testSys) balance(t *testing.T, id int64) int64 {
 	t.Helper()
-	row, err := s.db.Catalog.Table("accounts").Get(storage.EncodeKey(storage.I64(id)))
+	row, err := s.db.Table("accounts").Get(spi.EncodeKey(spi.I64(id)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +168,7 @@ func (s *testSys) balance(t *testing.T, id int64) int64 {
 func (s *testSys) total(t *testing.T) int64 {
 	t.Helper()
 	var sum int64
-	s.db.Catalog.Table("accounts").Scan(func(_ storage.Key, row storage.Row) bool {
+	s.db.Table("accounts").Scan(func(_ spi.Key, row spi.Row) bool {
 		sum += row[s.balCol].Int64()
 		return true
 	})
@@ -314,7 +313,7 @@ func TestLegacyIsolationFromIntermediateState(t *testing.T) {
 		s.eng.RunLegacy("audit", func(tc *Ctx) error {
 			sum = 0
 			for id := int64(1); id <= 2; id++ {
-				row, err := tc.Get("accounts", storage.I64(id))
+				row, err := tc.Get("accounts", spi.I64(id))
 				if err != nil {
 					return err
 				}

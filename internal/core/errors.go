@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 
-	"accdb/internal/lock"
+	"accdb/internal/spi"
 )
 
 // The engine's error taxonomy. Every failure surfaced by Run/RunContext is
@@ -40,12 +40,12 @@ var (
 	// ErrDeadlockVictim reports that the transaction was chosen as a
 	// deadlock victim and abandoned after the retry budget. It is the lock
 	// layer's sentinel re-exported under the public taxonomy.
-	ErrDeadlockVictim = lock.ErrDeadlock
+	ErrDeadlockVictim = spi.ErrDeadlock
 
 	// ErrLockTimeout reports that a lock wait exceeded the configured wait
 	// budget. It is the lock layer's sentinel re-exported under the public
 	// taxonomy.
-	ErrLockTimeout = lock.ErrTimeout
+	ErrLockTimeout = spi.ErrTimeout
 
 	// ErrReadOnly reports a write operation attempted inside a read-only
 	// (versioned-tier) transaction: the lock-free read path has no locks, no
@@ -73,8 +73,8 @@ func Retryable(err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
-	return errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout) ||
-		errors.Is(err, lock.ErrAborted)
+	return errors.Is(err, spi.ErrDeadlock) || errors.Is(err, spi.ErrTimeout) ||
+		errors.Is(err, spi.ErrAborted)
 }
 
 // canceled reports whether err stems from the caller's context being

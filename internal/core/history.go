@@ -3,7 +3,7 @@ package core
 import (
 	"sync"
 
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // History recording and the serializability checker.
@@ -19,7 +19,7 @@ type Access struct {
 	Txn   uint64
 	Seq   int // global order of the access
 	Table string
-	PK    storage.Key // empty for full-table scans
+	PK    spi.Key // empty for full-table scans
 	Write bool
 }
 
@@ -41,7 +41,7 @@ func newHistory() *history {
 }
 
 // record appends one access; cheap no-op when history is disabled.
-func (e *Engine) record(txn *txnState, table string, pk storage.Key, write bool) {
+func (e *Engine) record(txn *txnState, table string, pk spi.Key, write bool) {
 	if e.hist == nil {
 		return
 	}
@@ -84,7 +84,7 @@ func (h *history) snapshot() *History {
 func (h *History) ConflictSerializable() bool {
 	type itemID struct {
 		table string
-		pk    storage.Key
+		pk    spi.Key
 	}
 	edges := make(map[uint64]map[uint64]bool)
 	addEdge := func(a, b uint64) {

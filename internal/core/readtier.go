@@ -20,9 +20,8 @@ import (
 	"fmt"
 	"time"
 
-	"accdb/internal/lock"
 	"accdb/internal/metrics"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 	"accdb/internal/trace"
 )
 
@@ -104,12 +103,12 @@ func (e *Engine) CSN() uint64 { return e.csnClock.Load() }
 // the unit, the last write to a key wins and the first write's before-image
 // seeds the chain if garbage collection dropped it. Returns the assigned CSN
 // (0 when there was nothing to publish).
-func (e *Engine) publishWrites(writes []writeRec) storage.CSN {
+func (e *Engine) publishWrites(writes []writeRec) spi.CSN {
 	if len(writes) == 0 {
 		return 0
 	}
 	e.pubMu.Lock()
-	csn := storage.CSN(e.csnClock.Load() + 1)
+	csn := spi.CSN(e.csnClock.Load() + 1)
 	for i := range writes {
 		w := &writes[i]
 		first := true
@@ -128,7 +127,7 @@ func (e *Engine) publishWrites(writes []writeRec) storage.CSN {
 				after = writes[j].after
 			}
 		}
-		if t := e.db.Catalog.Table(w.table); t != nil {
+		if t := e.db.Table(w.table); t != nil {
 			t.PublishVersion(w.pk, w.before, after, csn)
 			e.versionsPublished.Add(1)
 		}
@@ -144,7 +143,7 @@ func (e *Engine) publishWrites(writes []writeRec) storage.CSN {
 type Snapshot struct {
 	e      *Engine
 	id     uint64
-	csn    storage.CSN
+	csn    spi.CSN
 	opened time.Time
 }
 
@@ -185,11 +184,11 @@ func (s *Snapshot) Close() {
 // either visible to a concurrent floor computation or opens at a CSN no
 // older than the floor that computation used; either way the versions it
 // needs survive.
-func (e *Engine) openSnapshot() (uint64, storage.CSN) {
+func (e *Engine) openSnapshot() (uint64, spi.CSN) {
 	e.snapMu.Lock()
 	e.nextSnap++
 	id := e.nextSnap
-	csn := storage.CSN(e.csnClock.Load())
+	csn := spi.CSN(e.csnClock.Load())
 	e.snaps[id] = csn
 	e.snapMu.Unlock()
 	e.snapshotsOpened.Add(1)
@@ -201,7 +200,7 @@ func (e *Engine) openSnapshot() (uint64, storage.CSN) {
 	return id, csn
 }
 
-func (e *Engine) closeSnapshot(id uint64, csn storage.CSN, held time.Duration) {
+func (e *Engine) closeSnapshot(id uint64, csn spi.CSN, held time.Duration) {
 	e.snapMu.Lock()
 	delete(e.snaps, id)
 	e.snapMu.Unlock()
@@ -216,10 +215,10 @@ func (e *Engine) closeSnapshot(id uint64, csn storage.CSN, held time.Duration) {
 // snapshotFloor is the oldest CSN any live snapshot may still read at; with
 // no snapshot open it is the current clock, so quiescent chains collapse to
 // one version (and usually drop entirely).
-func (e *Engine) snapshotFloor() storage.CSN {
+func (e *Engine) snapshotFloor() spi.CSN {
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()
-	floor := storage.CSN(e.csnClock.Load())
+	floor := spi.CSN(e.csnClock.Load())
 	for _, csn := range e.snaps {
 		if csn < floor {
 			floor = csn
@@ -241,8 +240,8 @@ func (e *Engine) LiveSnapshots() int {
 // interval; tests call it directly.
 func (e *Engine) ReapVersions() (pruned, dropped int) {
 	floor := e.snapshotFloor()
-	for _, name := range e.db.Catalog.Names() {
-		if t := e.db.Catalog.Table(name); t != nil {
+	for _, name := range e.db.store.Names() {
+		if t := e.db.Table(name); t != nil {
 			p, d := t.PruneVersions(floor)
 			pruned += p
 			dropped += d
@@ -264,8 +263,8 @@ func (e *Engine) ReapVersions() (pruned, dropped int) {
 // epilogue): the base rows are committed and quiescent at those moments, so
 // the as-of fallback is exact.
 func (e *Engine) resetVersions() {
-	for _, name := range e.db.Catalog.Names() {
-		if t := e.db.Catalog.Table(name); t != nil {
+	for _, name := range e.db.store.Names() {
+		if t := e.db.Table(name); t != nil {
 			t.ResetVersions()
 		}
 	}
@@ -338,8 +337,8 @@ func (e *Engine) Versions() VersionMetrics {
 		GCPruned:        e.gcPruned.Load(),
 		GCDropped:       e.gcDropped.Load(),
 	}
-	for _, name := range e.db.Catalog.Names() {
-		if t := e.db.Catalog.Table(name); t != nil {
+	for _, name := range e.db.store.Names() {
+		if t := e.db.Table(name); t != nil {
 			vs := t.VersionStats()
 			m.Chains += vs.Chains
 			m.ChainVersions += vs.Versions
@@ -403,7 +402,7 @@ func (e *Engine) RunReadTypeContextSpan(ctx context.Context, tt *TxnType, args a
 // runReadTiered resolves the tier's read point, registering a snapshot for
 // TierSnapshot so the reaper preserves its versions until the body finishes.
 func (e *Engine) runReadTiered(ctx context.Context, tt *TxnType, args any, tier ReadTier, sp *trace.Span) error {
-	var asOf storage.CSN
+	var asOf spi.CSN
 	if tier == TierSnapshot {
 		id, csn := e.openSnapshot()
 		start := time.Now()
@@ -418,13 +417,13 @@ func (e *Engine) runReadTiered(ctx context.Context, tt *TxnType, args any, tier 
 // paper's reader-free waits-for graph made literal. Step preconditions are
 // not re-evaluated: a published CSN prefix is by construction a state every
 // discharged assertion held over (CONSISTENCY.md).
-func (e *Engine) runReadBody(ctx context.Context, tt *TxnType, args any, tier ReadTier, asOf storage.CSN, sp *trace.Span) error {
+func (e *Engine) runReadBody(ctx context.Context, tt *TxnType, args any, tier ReadTier, asOf spi.CSN, sp *trace.Span) error {
 	txn := &txnState{
 		tt:    tt,
 		args:  args,
 		ctx:   ctx,
 		steps: tt.stepsFor(args),
-		info:  lock.NewTxnInfo(lock.TxnID(e.nextTxn.Add(1)), tt.ID),
+		info:  spi.NewTxn(spi.TxnID(e.nextTxn.Add(1)), tt.ID),
 		span:  sp,
 	}
 	sp.SetTxn(uint64(txn.info.ID), tt.Name)

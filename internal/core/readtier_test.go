@@ -8,7 +8,7 @@ import (
 	"testing"
 	"time"
 
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // auditArgs collects a read-only pass over the accounts table.
@@ -29,7 +29,7 @@ func registerAudit(t testing.TB, s *testSys) {
 				a := tc.Args().(*auditArgs)
 				a.Balances = map[int64]int64{}
 				a.Total = 0
-				return tc.Scan("accounts", func(row storage.Row) error {
+				return tc.Scan("accounts", func(row spi.Row) error {
 					id, bal := row[0].Int64(), row[s.balCol].Int64()
 					a.Balances[id] = bal
 					a.Total += bal
@@ -49,8 +49,8 @@ func registerPoke(t *testing.T, s *testSys) {
 		Steps: []Step{{
 			Name: "poke", Type: s.stepDebit,
 			Body: func(tc *Ctx) error {
-				return tc.Update("accounts", []storage.Value{storage.I64(1)}, func(row storage.Row) error {
-					row[s.balCol] = storage.I64(0)
+				return tc.Update("accounts", []spi.Value{spi.I64(1)}, func(row spi.Row) error {
+					row[s.balCol] = spi.I64(0)
 					return nil
 				})
 			},

@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"accdb/internal/interference"
-	"accdb/internal/lock"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 	"accdb/internal/wal"
 )
 
@@ -78,8 +77,8 @@ func (e *Engine) Recover(logData []byte) (*RecoverResult, error) {
 		// state inconsistent with what the system once acknowledged.
 		return nil, fmt.Errorf("core: recovery: log is damaged beyond a crash tail: %w", torn)
 	}
-	err = analysis.Apply(logData, func(table string, pk storage.Key, after storage.Row) {
-		t := e.db.Catalog.Table(table)
+	err = analysis.Apply(logData, func(table string, pk spi.Key, after spi.Row) {
+		t := e.db.Table(table)
 		if t != nil {
 			t.Apply(pk, after)
 		}
@@ -121,7 +120,7 @@ func (e *Engine) Recover(logData []byte) (*RecoverResult, error) {
 		txn := &txnState{
 			tt:   tt,
 			args: args,
-			info: lock.NewTxnInfo(lock.TxnID(pending.ID), tt.ID),
+			info: spi.NewTxn(spi.TxnID(pending.ID), tt.ID),
 		}
 		txn.info.SetCompletedSteps(pending.CompletedSteps)
 		// Re-acquire the D- and C-locks the crash dissolved: the completed
@@ -133,7 +132,7 @@ func (e *Engine) Recover(logData []byte) (*RecoverResult, error) {
 			compType = tt.Comp.Type
 		}
 		for _, w := range pending.Written {
-			item := lock.RowItem(w.Table, w.PK)
+			item := spi.RowItem(w.Table, w.PK)
 			e.lm.AttachExposure(txn.info, item)
 			e.lm.AttachReservation(txn.info, item, compType)
 		}

@@ -9,7 +9,7 @@ import (
 
 	"accdb/internal/fault"
 	"accdb/internal/interference"
-	"accdb/internal/lock"
+	"accdb/internal/spi"
 	"accdb/internal/trace"
 	"accdb/internal/wal"
 )
@@ -183,7 +183,7 @@ func (e *Engine) runDecomposedOnce(ctx context.Context, tt *TxnType, args any, s
 		args:  args,
 		ctx:   ctx,
 		steps: tt.stepsFor(args),
-		info:  lock.NewTxnInfo(lock.TxnID(e.nextTxn.Add(1)), tt.ID),
+		info:  spi.NewTxn(spi.TxnID(e.nextTxn.Add(1)), tt.ID),
 		span:  sp,
 	}
 	// The lock manager charges this transaction's blocked time to the span's
@@ -326,8 +326,8 @@ func (e *Engine) stepPrologue(tc *Ctx, j int) error {
 				continue
 			}
 			for _, item := range a.Items(tc.txn.args) {
-				req := lock.Request{
-					Mode: lock.ModeA, Step: tc.stepType,
+				req := spi.LockRequest{
+					Mode: spi.ModeA, Step: tc.stepType,
 					Assertion: a.ID, Compensating: tc.compensating,
 				}
 				if err := e.lm.AcquireCtx(tc.lockCtx(), tc.txn.info, item, req); err != nil {
@@ -540,7 +540,7 @@ func (e *Engine) runBaseline(ctx context.Context, tt *TxnType, args any, sp *tra
 			args:  args,
 			ctx:   ctx,
 			steps: tt.stepsFor(args),
-			info:  lock.NewTxnInfo(lock.TxnID(e.nextTxn.Add(1)), interference.LegacyTxn),
+			info:  spi.NewTxn(spi.TxnID(e.nextTxn.Add(1)), interference.LegacyTxn),
 			span:  sp,
 		}
 		txn.info.Span = sp

@@ -6,8 +6,7 @@ import (
 	"sort"
 
 	"accdb/internal/interference"
-	"accdb/internal/lock"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 	"accdb/internal/trace"
 	"accdb/internal/wal"
 )
@@ -31,18 +30,18 @@ type Ctx struct {
 	// chains (readtier.go): no locks, no history, writes refused. readCSN is
 	// the fixed snapshot CSN when readTier is TierSnapshot.
 	readTier ReadTier
-	readCSN  storage.CSN
+	readCSN  spi.CSN
 
 	writes     []writeRec
-	wroteItems map[lock.Item]bool
+	wroteItems map[spi.Item]bool
 	stmts      int
 }
 
 type writeRec struct {
 	table  string
-	pk     storage.Key
-	before storage.Row // nil: row was inserted
-	after  storage.Row // nil: row was deleted
+	pk     spi.Key
+	before spi.Row // nil: row was inserted
+	after  spi.Row // nil: row was deleted
 }
 
 // txnState is the engine's per-instance transaction record.
@@ -50,7 +49,7 @@ type txnState struct {
 	tt    *TxnType
 	args  any
 	steps []Step
-	info  *lock.TxnInfo
+	info  *spi.Txn
 	// pending holds the final step's writes between its end-of-step record
 	// and the commit force, whose success publishes them as one version
 	// batch (readtier.go).
@@ -93,20 +92,20 @@ func (tc *Ctx) versioned() bool { return tc.readTier != TierLocked }
 // asOf resolves the CSN the current statement reads as of: MaxCSN for
 // read-ASAP, the clock's current value for read-committed (per statement),
 // and the transaction's fixed CSN for snapshot.
-func (tc *Ctx) asOf() storage.CSN {
+func (tc *Ctx) asOf() spi.CSN {
 	switch tc.readTier {
 	case TierASAP:
-		return storage.MaxCSN
+		return spi.MaxCSN
 	case TierReadCommitted:
-		return storage.CSN(tc.e.csnClock.Load())
+		return spi.CSN(tc.e.csnClock.Load())
 	default:
 		return tc.readCSN
 	}
 }
 
 // request builds the lock request for this step.
-func (tc *Ctx) request(mode lock.Mode) lock.Request {
-	return lock.Request{Mode: mode, Step: tc.stepType, Compensating: tc.compensating}
+func (tc *Ctx) request(mode spi.Mode) spi.LockRequest {
+	return spi.LockRequest{Mode: mode, Step: tc.stepType, Compensating: tc.compensating}
 }
 
 // lockCtx returns the context under which this step's lock requests wait:
@@ -122,15 +121,15 @@ func (tc *Ctx) lockCtx() context.Context {
 
 // acquire takes one conventional lock and, in ACC mode, attaches assertional
 // locks for every active assertion covering the item.
-func (tc *Ctx) acquire(item lock.Item, mode lock.Mode) error {
+func (tc *Ctx) acquire(item spi.Item, mode spi.Mode) error {
 	if err := tc.e.lm.AcquireCtx(tc.lockCtx(), tc.txn.info, item, tc.request(mode)); err != nil {
 		return err
 	}
 	if tc.e.opt.Mode == ModeACC {
 		for _, a := range tc.active {
 			if a.Covers != nil && a.Covers(tc.txn.args, item) {
-				req := lock.Request{
-					Mode: lock.ModeA, Step: tc.stepType,
+				req := spi.LockRequest{
+					Mode: spi.ModeA, Step: tc.stepType,
 					Assertion: a.ID, Compensating: tc.compensating,
 				}
 				if err := tc.e.lm.AcquireCtx(tc.lockCtx(), tc.txn.info, item, req); err != nil {
@@ -148,49 +147,49 @@ func (tc *Ctx) acquire(item lock.Item, mode lock.Mode) error {
 
 // lockRead acquires the read hierarchy for a row: IS table, IS partition,
 // S row.
-func (tc *Ctx) lockRead(table string, keyVals []storage.Value, pk storage.Key) error {
-	if err := tc.acquire(lock.TableItem(table), lock.ModeIS); err != nil {
+func (tc *Ctx) lockRead(table string, keyVals []spi.Value, pk spi.Key) error {
+	if err := tc.acquire(spi.TableItem(table), spi.ModeIS); err != nil {
 		return err
 	}
 	if part, ok := tc.e.db.partitionOfKey(table, keyVals); ok {
-		if err := tc.acquire(part, lock.ModeIS); err != nil {
+		if err := tc.acquire(part, spi.ModeIS); err != nil {
 			return err
 		}
 	}
-	return tc.acquire(lock.RowItem(table, pk), lock.ModeS)
+	return tc.acquire(spi.RowItem(table, pk), spi.ModeS)
 }
 
 // lockWrite acquires the update hierarchy for an existing row: IX table,
 // IX partition, X row.
-func (tc *Ctx) lockWrite(table string, keyVals []storage.Value, pk storage.Key) error {
-	if err := tc.acquire(lock.TableItem(table), lock.ModeIX); err != nil {
+func (tc *Ctx) lockWrite(table string, keyVals []spi.Value, pk spi.Key) error {
+	if err := tc.acquire(spi.TableItem(table), spi.ModeIX); err != nil {
 		return err
 	}
 	if part, ok := tc.e.db.partitionOfKey(table, keyVals); ok {
-		if err := tc.acquire(part, lock.ModeIX); err != nil {
+		if err := tc.acquire(part, spi.ModeIX); err != nil {
 			return err
 		}
 	}
-	return tc.acquire(lock.RowItem(table, pk), lock.ModeX)
+	return tc.acquire(spi.RowItem(table, pk), spi.ModeX)
 }
 
 // lockStructural acquires the hierarchy for inserts and deletes: IX table,
 // X partition (serializing structural change within the partition, the page
 // lock analogue), X row.
-func (tc *Ctx) lockStructural(table string, keyVals []storage.Value, pk storage.Key) error {
-	if err := tc.acquire(lock.TableItem(table), lock.ModeIX); err != nil {
+func (tc *Ctx) lockStructural(table string, keyVals []spi.Value, pk spi.Key) error {
+	if err := tc.acquire(spi.TableItem(table), spi.ModeIX); err != nil {
 		return err
 	}
 	if part, ok := tc.e.db.partitionOfKey(table, keyVals); ok {
-		if err := tc.acquire(part, lock.ModeX); err != nil {
+		if err := tc.acquire(part, spi.ModeX); err != nil {
 			return err
 		}
 	}
-	return tc.acquire(lock.RowItem(table, pk), lock.ModeX)
+	return tc.acquire(spi.RowItem(table, pk), spi.ModeX)
 }
 
-func (tc *Ctx) table(name string) (*storage.Table, error) {
-	t := tc.e.db.Catalog.Table(name)
+func (tc *Ctx) table(name string) (spi.Table, error) {
+	t := tc.e.db.Table(name)
 	if t == nil {
 		return nil, fmt.Errorf("core: no table %q", name)
 	}
@@ -199,16 +198,16 @@ func (tc *Ctx) table(name string) (*storage.Table, error) {
 
 // recordWrite logs the mutation, saves the undo image, and remembers the
 // written items for exposure and reservation marking at step end.
-func (tc *Ctx) recordWrite(table string, keyVals []storage.Value, pk storage.Key, before, after storage.Row) {
+func (tc *Ctx) recordWrite(table string, keyVals []spi.Value, pk spi.Key, before, after spi.Row) {
 	tc.writes = append(tc.writes, writeRec{table: table, pk: pk, before: before, after: after})
 	tc.e.log.AppendSpan(wal.Record{
 		Type: wal.TWrite, Txn: uint64(tc.txn.info.ID),
 		Table: table, PK: pk, Before: before, After: after,
 	}, tc.txn.span)
 	if tc.wroteItems == nil {
-		tc.wroteItems = make(map[lock.Item]bool)
+		tc.wroteItems = make(map[spi.Item]bool)
 	}
-	tc.wroteItems[lock.RowItem(table, pk)] = true
+	tc.wroteItems[spi.RowItem(table, pk)] = true
 	structural := before == nil || after == nil
 	if structural {
 		if part, ok := tc.e.db.partitionOfKey(table, keyVals); ok {
@@ -219,14 +218,14 @@ func (tc *Ctx) recordWrite(table string, keyVals []storage.Value, pk storage.Key
 }
 
 // Get reads the row with the given primary key. It returns
-// storage.ErrNotFound (wrapped) if absent.
-func (tc *Ctx) Get(table string, keyVals ...storage.Value) (storage.Row, error) {
+// spi.ErrNotFound (wrapped) if absent.
+func (tc *Ctx) Get(table string, keyVals ...spi.Value) (spi.Row, error) {
 	t, err := tc.table(table)
 	if err != nil {
 		return nil, err
 	}
-	pk := storage.EncodeKey(keyVals...)
-	var row storage.Row
+	pk := spi.EncodeKey(keyVals...)
+	var row spi.Row
 	var gerr error
 	if tc.versioned() {
 		tc.stmt(func() { row, gerr = t.GetAsOf(pk, tc.asOf()) })
@@ -243,42 +242,42 @@ func (tc *Ctx) Get(table string, keyVals ...storage.Value) (storage.Row, error) 
 // GetMany locks (S) and reads a batch of rows by primary key in a single
 // statement — the engine's stand-in for a join against a key list (used by
 // stock-level). Missing keys are skipped.
-func (tc *Ctx) GetMany(table string, keys [][]storage.Value) ([]storage.Row, error) {
+func (tc *Ctx) GetMany(table string, keys [][]spi.Value) ([]spi.Row, error) {
 	t, err := tc.table(table)
 	if err != nil {
 		return nil, err
 	}
 	if tc.versioned() {
 		asOf := tc.asOf()
-		rows := make([]storage.Row, 0, len(keys))
+		rows := make([]spi.Row, 0, len(keys))
 		tc.stmt(func() {
 			for _, kv := range keys {
-				if row, err := t.GetAsOf(storage.EncodeKey(kv...), asOf); err == nil {
+				if row, err := t.GetAsOf(spi.EncodeKey(kv...), asOf); err == nil {
 					rows = append(rows, row)
 				}
 			}
 		})
 		return rows, nil
 	}
-	if err := tc.acquire(lock.TableItem(table), lock.ModeIS); err != nil {
+	if err := tc.acquire(spi.TableItem(table), spi.ModeIS); err != nil {
 		return nil, err
 	}
 	// Lock in key order: batched acquirers that sort identically cannot
 	// deadlock against each other.
-	sorted := make([][]storage.Value, len(keys))
+	sorted := make([][]spi.Value, len(keys))
 	copy(sorted, keys)
 	sort.Slice(sorted, func(i, j int) bool {
-		return storage.EncodeKey(sorted[i]...) < storage.EncodeKey(sorted[j]...)
+		return spi.EncodeKey(sorted[i]...) < spi.EncodeKey(sorted[j]...)
 	})
-	pks := make([]storage.Key, len(sorted))
+	pks := make([]spi.Key, len(sorted))
 	for i, kv := range sorted {
-		pk := storage.EncodeKey(kv...)
+		pk := spi.EncodeKey(kv...)
 		if err := tc.lockRead(table, kv, pk); err != nil {
 			return nil, err
 		}
 		pks[i] = pk
 	}
-	rows := make([]storage.Row, 0, len(pks))
+	rows := make([]spi.Row, 0, len(pks))
 	tc.stmt(func() {
 		for _, pk := range pks {
 			if row, err := t.Get(pk); err == nil {
@@ -298,7 +297,7 @@ func (tc *Ctx) GetMany(table string, keys [][]storage.Value) ([]storage.Row, err
 // locks (it reads the index the way an index page lookup would); losing a
 // race to another claimer simply re-probes. Returns (nil, nil) when no row
 // matches.
-func (tc *Ctx) ClaimMin(table, index string, eqVals []storage.Value) (storage.Row, error) {
+func (tc *Ctx) ClaimMin(table, index string, eqVals []spi.Value) (spi.Row, error) {
 	if tc.versioned() {
 		return nil, ErrReadOnly
 	}
@@ -306,14 +305,14 @@ func (tc *Ctx) ClaimMin(table, index string, eqVals []storage.Value) (storage.Ro
 	if err != nil {
 		return nil, err
 	}
-	if err := tc.acquire(lock.TableItem(table), lock.ModeIX); err != nil {
+	if err := tc.acquire(spi.TableItem(table), spi.ModeIX); err != nil {
 		return nil, err
 	}
 	for {
-		var headPK storage.Key
+		var headPK spi.Key
 		found := false
 		tc.stmt(func() {
-			t.IndexScan(index, eqVals, func(pk storage.Key, _ storage.Row) bool {
+			t.IndexScan(index, eqVals, func(pk spi.Key, _ spi.Row) bool {
 				headPK = pk
 				found = true
 				return false
@@ -323,11 +322,11 @@ func (tc *Ctx) ClaimMin(table, index string, eqVals []storage.Value) (storage.Ro
 			tc.e.record(tc.txn, table, "", false)
 			return nil, nil
 		}
-		if err := tc.acquire(lock.RowItem(table, headPK), lock.ModeX); err != nil {
+		if err := tc.acquire(spi.RowItem(table, headPK), spi.ModeX); err != nil {
 			return nil, err
 		}
-		var row storage.Row
-		var old storage.Row
+		var row spi.Row
+		var old spi.Row
 		var derr error
 		tc.stmt(func() {
 			row, derr = t.Get(headPK)
@@ -339,14 +338,14 @@ func (tc *Ctx) ClaimMin(table, index string, eqVals []storage.Value) (storage.Ro
 		if derr != nil {
 			continue // another claimer won the race; re-probe
 		}
-		keyVals := t.Schema.PKOf(old)
+		keyVals := t.Schema().PKOf(old)
 		tc.recordWrite(table, keyVals, headPK, old, nil)
 		return row, nil
 	}
 }
 
 // Insert adds a new row.
-func (tc *Ctx) Insert(table string, row storage.Row) error {
+func (tc *Ctx) Insert(table string, row spi.Row) error {
 	if tc.versioned() {
 		return ErrReadOnly
 	}
@@ -354,11 +353,11 @@ func (tc *Ctx) Insert(table string, row storage.Row) error {
 	if err != nil {
 		return err
 	}
-	if err := t.Schema.CheckRow(row); err != nil {
+	if err := t.Schema().CheckRow(row); err != nil {
 		return err
 	}
-	keyVals := t.Schema.PKOf(row)
-	pk := storage.EncodeKey(keyVals...)
+	keyVals := t.Schema().PKOf(row)
+	pk := spi.EncodeKey(keyVals...)
 	if err := tc.lockStructural(table, keyVals, pk); err != nil {
 		return err
 	}
@@ -372,7 +371,7 @@ func (tc *Ctx) Insert(table string, row storage.Row) error {
 }
 
 // Delete removes the row with the given primary key.
-func (tc *Ctx) Delete(table string, keyVals ...storage.Value) error {
+func (tc *Ctx) Delete(table string, keyVals ...spi.Value) error {
 	if tc.versioned() {
 		return ErrReadOnly
 	}
@@ -380,11 +379,11 @@ func (tc *Ctx) Delete(table string, keyVals ...storage.Value) error {
 	if err != nil {
 		return err
 	}
-	pk := storage.EncodeKey(keyVals...)
+	pk := spi.EncodeKey(keyVals...)
 	if err := tc.lockStructural(table, keyVals, pk); err != nil {
 		return err
 	}
-	var old storage.Row
+	var old spi.Row
 	var derr error
 	tc.stmt(func() { old, derr = t.Delete(pk) })
 	if derr != nil {
@@ -396,7 +395,7 @@ func (tc *Ctx) Delete(table string, keyVals ...storage.Value) error {
 
 // Update applies mutate to a copy of the row under the given key and stores
 // the result. mutate must not change primary-key columns.
-func (tc *Ctx) Update(table string, keyVals []storage.Value, mutate func(storage.Row) error) error {
+func (tc *Ctx) Update(table string, keyVals []spi.Value, mutate func(spi.Row) error) error {
 	if tc.versioned() {
 		return ErrReadOnly
 	}
@@ -404,14 +403,14 @@ func (tc *Ctx) Update(table string, keyVals []storage.Value, mutate func(storage
 	if err != nil {
 		return err
 	}
-	pk := storage.EncodeKey(keyVals...)
+	pk := spi.EncodeKey(keyVals...)
 	if err := tc.lockWrite(table, keyVals, pk); err != nil {
 		return err
 	}
 	var uerr error
-	var before storage.Row
+	var before spi.Row
 	tc.stmt(func() {
-		var row storage.Row
+		var row spi.Row
 		row, uerr = t.Get(pk)
 		if uerr != nil {
 			return
@@ -434,7 +433,7 @@ func (tc *Ctx) Update(table string, keyVals []storage.Value, mutate func(storage
 // the given partition (shared partition lock: concurrent structural change
 // is excluded, closing the phantom window). The visitor may return
 // ErrStopScan to end early.
-func (tc *Ctx) ScanPartition(table string, partVals []storage.Value, visit func(storage.Row) error) error {
+func (tc *Ctx) ScanPartition(table string, partVals []spi.Value, visit func(spi.Row) error) error {
 	t, err := tc.table(table)
 	if err != nil {
 		return err
@@ -446,7 +445,7 @@ func (tc *Ctx) ScanPartition(table string, partVals []storage.Value, visit func(
 	if tc.versioned() {
 		asOf := tc.asOf()
 		tc.stmt(func() {
-			serr = t.IndexScanAsOf(PartIndex, partVals, asOf, func(pk storage.Key, row storage.Row) bool {
+			serr = t.IndexScanAsOf(PartIndex, partVals, asOf, func(pk spi.Key, row spi.Row) bool {
 				if err := visit(row); err != nil {
 					if err != ErrStopScan {
 						serr = err
@@ -458,15 +457,15 @@ func (tc *Ctx) ScanPartition(table string, partVals []storage.Value, visit func(
 		})
 		return serr
 	}
-	if err := tc.acquire(lock.TableItem(table), lock.ModeIS); err != nil {
+	if err := tc.acquire(spi.TableItem(table), spi.ModeIS); err != nil {
 		return err
 	}
 	part := tc.e.db.partitionItem(table, partVals)
-	if err := tc.acquire(part, lock.ModeS); err != nil {
+	if err := tc.acquire(part, spi.ModeS); err != nil {
 		return err
 	}
 	tc.stmt(func() {
-		serr = t.IndexScan(PartIndex, partVals, func(pk storage.Key, row storage.Row) bool {
+		serr = t.IndexScan(PartIndex, partVals, func(pk spi.Key, row spi.Row) bool {
 			if err := visit(row); err != nil {
 				if err != ErrStopScan {
 					serr = err
@@ -484,7 +483,7 @@ func (tc *Ctx) ScanPartition(table string, partVals []storage.Value, visit func(
 // lock and replaces those for which mutate returns a changed row. mutate
 // returns (nil, nil) to leave a row untouched, (row, nil) to store it, or
 // (nil, ErrDeleteRow) to delete it.
-func (tc *Ctx) UpdateWhere(table string, partVals []storage.Value, mutate func(storage.Row) (storage.Row, error)) error {
+func (tc *Ctx) UpdateWhere(table string, partVals []spi.Value, mutate func(spi.Row) (spi.Row, error)) error {
 	if tc.versioned() {
 		return ErrReadOnly
 	}
@@ -495,25 +494,25 @@ func (tc *Ctx) UpdateWhere(table string, partVals []storage.Value, mutate func(s
 	if !tc.e.db.partitioned(table) {
 		return fmt.Errorf("core: table %q is not partitioned", table)
 	}
-	if err := tc.acquire(lock.TableItem(table), lock.ModeIX); err != nil {
+	if err := tc.acquire(spi.TableItem(table), spi.ModeIX); err != nil {
 		return err
 	}
 	part := tc.e.db.partitionItem(table, partVals)
-	if err := tc.acquire(part, lock.ModeX); err != nil {
+	if err := tc.acquire(part, spi.ModeX); err != nil {
 		return err
 	}
 	type change struct {
-		pk      storage.Key
-		keyVals []storage.Value
-		after   storage.Row // nil: delete
+		pk      spi.Key
+		keyVals []spi.Value
+		after   spi.Row // nil: delete
 	}
 	var changes []change
 	var serr error
 	tc.stmt(func() {
-		serr = t.IndexScan(PartIndex, partVals, func(pk storage.Key, row storage.Row) bool {
+		serr = t.IndexScan(PartIndex, partVals, func(pk spi.Key, row spi.Row) bool {
 			after, err := mutate(row)
 			if err == ErrDeleteRow {
-				changes = append(changes, change{pk, t.Schema.PKOf(row), nil})
+				changes = append(changes, change{pk, t.Schema().PKOf(row), nil})
 				return true
 			}
 			if err != nil {
@@ -523,7 +522,7 @@ func (tc *Ctx) UpdateWhere(table string, partVals []storage.Value, mutate func(s
 				return false
 			}
 			if after != nil {
-				changes = append(changes, change{pk, t.Schema.PKOf(after), after})
+				changes = append(changes, change{pk, t.Schema().PKOf(after), after})
 			}
 			return true
 		})
@@ -556,30 +555,30 @@ func (tc *Ctx) UpdateWhere(table string, partVals []storage.Value, mutate func(s
 // partition lock is involved, so — like an Ingres index lookup under row
 // locks — the result is not phantom-protected; TPC-C's uses are over static
 // row populations).
-func (tc *Ctx) LookupByIndex(table, index string, eqVals []storage.Value) ([]storage.Row, error) {
+func (tc *Ctx) LookupByIndex(table, index string, eqVals []spi.Value) ([]spi.Row, error) {
 	t, err := tc.table(table)
 	if err != nil {
 		return nil, err
 	}
 	if tc.versioned() {
 		asOf := tc.asOf()
-		var rows []storage.Row
+		var rows []spi.Row
 		var serr error
 		tc.stmt(func() {
-			serr = t.IndexScanAsOf(index, eqVals, asOf, func(_ storage.Key, row storage.Row) bool {
+			serr = t.IndexScanAsOf(index, eqVals, asOf, func(_ spi.Key, row spi.Row) bool {
 				rows = append(rows, row)
 				return true
 			})
 		})
 		return rows, serr
 	}
-	if err := tc.acquire(lock.TableItem(table), lock.ModeIS); err != nil {
+	if err := tc.acquire(spi.TableItem(table), spi.ModeIS); err != nil {
 		return nil, err
 	}
-	var pks []storage.Key
+	var pks []spi.Key
 	var serr error
 	tc.stmt(func() {
-		serr = t.IndexScan(index, eqVals, func(pk storage.Key, _ storage.Row) bool {
+		serr = t.IndexScan(index, eqVals, func(pk spi.Key, _ spi.Row) bool {
 			pks = append(pks, pk)
 			return true
 		})
@@ -587,11 +586,11 @@ func (tc *Ctx) LookupByIndex(table, index string, eqVals []storage.Value) ([]sto
 	if serr != nil {
 		return nil, serr
 	}
-	rows := make([]storage.Row, 0, len(pks))
+	rows := make([]spi.Row, 0, len(pks))
 	for _, pk := range pks {
 		// Lock, then re-fetch: the row may have changed (or vanished)
 		// between the index probe and the grant.
-		if err := tc.acquire(lock.RowItem(table, pk), lock.ModeS); err != nil {
+		if err := tc.acquire(spi.RowItem(table, pk), spi.ModeS); err != nil {
 			return nil, err
 		}
 		row, err := t.Get(pk)
@@ -605,7 +604,7 @@ func (tc *Ctx) LookupByIndex(table, index string, eqVals []storage.Value) ([]sto
 }
 
 // Scan visits every row of the table under a shared table lock.
-func (tc *Ctx) Scan(table string, visit func(storage.Row) error) error {
+func (tc *Ctx) Scan(table string, visit func(spi.Row) error) error {
 	t, err := tc.table(table)
 	if err != nil {
 		return err
@@ -614,7 +613,7 @@ func (tc *Ctx) Scan(table string, visit func(storage.Row) error) error {
 	if tc.versioned() {
 		asOf := tc.asOf()
 		tc.stmt(func() {
-			t.ScanAsOf(asOf, func(_ storage.Key, row storage.Row) bool {
+			t.ScanAsOf(asOf, func(_ spi.Key, row spi.Row) bool {
 				if err := visit(row); err != nil {
 					if err != ErrStopScan {
 						serr = err
@@ -626,11 +625,11 @@ func (tc *Ctx) Scan(table string, visit func(storage.Row) error) error {
 		})
 		return serr
 	}
-	if err := tc.acquire(lock.TableItem(table), lock.ModeS); err != nil {
+	if err := tc.acquire(spi.TableItem(table), spi.ModeS); err != nil {
 		return err
 	}
 	tc.stmt(func() {
-		t.Scan(func(pk storage.Key, row storage.Row) bool {
+		t.Scan(func(pk spi.Key, row spi.Row) bool {
 			if err := visit(row); err != nil {
 				if err != ErrStopScan {
 					serr = err
@@ -657,7 +656,7 @@ var (
 func (tc *Ctx) undo() {
 	for i := len(tc.writes) - 1; i >= 0; i-- {
 		w := tc.writes[i]
-		t := tc.e.db.Catalog.Table(w.table)
+		t := tc.e.db.Table(w.table)
 		t.Apply(w.pk, w.before)
 	}
 	tc.writes = nil

@@ -6,8 +6,7 @@ import (
 	"time"
 
 	"accdb/internal/interference"
-	"accdb/internal/lock"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // opSys is a single-table playground for the Ctx operation surface: a
@@ -15,7 +14,7 @@ import (
 type opSys struct {
 	db   *DB
 	eng  *Engine
-	inv  *storage.Table
+	inv  spi.Table
 	txn  interference.TxnTypeID
 	step interference.StepTypeID
 }
@@ -24,15 +23,15 @@ func newOpSys(t *testing.T) *opSys {
 	t.Helper()
 	s := &opSys{db: NewDB()}
 	var err error
-	s.inv, err = s.db.CreateTable(storage.MustSchema("inventory", []storage.Column{
-		{Name: "region", Kind: storage.KindInt},
-		{Name: "sku", Kind: storage.KindInt},
-		{Name: "qty", Kind: storage.KindInt},
+	s.inv, err = s.db.CreateTable(spi.MustSchema("inventory", []spi.Column{
+		{Name: "region", Kind: spi.KindInt},
+		{Name: "sku", Kind: spi.KindInt},
+		{Name: "qty", Kind: spi.KindInt},
 	}, "region", "sku"), "region")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.inv.AddIndex(storage.IndexDef{Name: "by_qty", Columns: []string{"qty"}}); err != nil {
+	if err := s.inv.AddIndex(spi.IndexDef{Name: "by_qty", Columns: []string{"qty"}}); err != nil {
 		t.Fatal(err)
 	}
 	b := interference.NewBuilder()
@@ -42,7 +41,7 @@ func newOpSys(t *testing.T) *opSys {
 	s.eng = New(s.db, b.Build(), WithWaitTimeout(5*time.Second))
 	for r := int64(1); r <= 2; r++ {
 		for sku := int64(1); sku <= 5; sku++ {
-			if err := s.inv.Insert(storage.Row{storage.I64(r), storage.I64(sku), storage.I64(sku * 10)}); err != nil {
+			if err := s.inv.Insert(spi.Row{spi.I64(r), spi.I64(sku), spi.I64(sku * 10)}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -62,31 +61,31 @@ func (s *opSys) run(t *testing.T, body func(tc *Ctx) error) error {
 func TestCtxGetInsertDelete(t *testing.T) {
 	s := newOpSys(t)
 	err := s.run(t, func(tc *Ctx) error {
-		row, err := tc.Get("inventory", storage.I64(1), storage.I64(3))
+		row, err := tc.Get("inventory", spi.I64(1), spi.I64(3))
 		if err != nil {
 			return err
 		}
 		if row[2].Int64() != 30 {
 			t.Errorf("qty = %d", row[2].Int64())
 		}
-		if _, err := tc.Get("inventory", storage.I64(9), storage.I64(9)); !errors.Is(err, storage.ErrNotFound) {
+		if _, err := tc.Get("inventory", spi.I64(9), spi.I64(9)); !errors.Is(err, spi.ErrNotFound) {
 			t.Errorf("missing row: %v", err)
 		}
-		if _, err := tc.Get("nope", storage.I64(1)); err == nil {
+		if _, err := tc.Get("nope", spi.I64(1)); err == nil {
 			t.Error("unknown table accepted")
 		}
-		if err := tc.Insert("inventory", storage.Row{storage.I64(3), storage.I64(1), storage.I64(7)}); err != nil {
+		if err := tc.Insert("inventory", spi.Row{spi.I64(3), spi.I64(1), spi.I64(7)}); err != nil {
 			return err
 		}
-		return tc.Delete("inventory", storage.I64(1), storage.I64(5))
+		return tc.Delete("inventory", spi.I64(1), spi.I64(5))
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.inv.Exists(storage.EncodeKey(storage.I64(1), storage.I64(5))) {
+	if s.inv.Exists(spi.EncodeKey(spi.I64(1), spi.I64(5))) {
 		t.Fatal("delete not applied")
 	}
-	if !s.inv.Exists(storage.EncodeKey(storage.I64(3), storage.I64(1))) {
+	if !s.inv.Exists(spi.EncodeKey(spi.I64(3), spi.I64(1))) {
 		t.Fatal("insert not applied")
 	}
 }
@@ -95,7 +94,7 @@ func TestCtxScanPartitionIsolatedFromOtherPartitions(t *testing.T) {
 	s := newOpSys(t)
 	err := s.run(t, func(tc *Ctx) error {
 		n := 0
-		err := tc.ScanPartition("inventory", []storage.Value{storage.I64(1)}, func(storage.Row) error {
+		err := tc.ScanPartition("inventory", []spi.Value{spi.I64(1)}, func(spi.Row) error {
 			n++
 			return nil
 		})
@@ -109,7 +108,7 @@ func TestCtxScanPartitionIsolatedFromOtherPartitions(t *testing.T) {
 	}
 	// Scanning a non-partitioned table by partition errors.
 	db2 := NewDB()
-	db2.MustCreateTable(storage.MustSchema("flat", []storage.Column{{Name: "id", Kind: storage.KindInt}}, "id"))
+	db2.MustCreateTable(spi.MustSchema("flat", []spi.Column{{Name: "id", Kind: spi.KindInt}}, "id"))
 	b := interference.NewBuilder()
 	txn := b.TxnType("x", 1)
 	step := b.StepType("x")
@@ -117,7 +116,7 @@ func TestCtxScanPartitionIsolatedFromOtherPartitions(t *testing.T) {
 	err = eng.RunType(&TxnType{Name: "x", ID: txn, Steps: []Step{{
 		Name: "x", Type: step,
 		Body: func(tc *Ctx) error {
-			return tc.ScanPartition("flat", nil, func(storage.Row) error { return nil })
+			return tc.ScanPartition("flat", nil, func(spi.Row) error { return nil })
 		},
 	}}}, nil)
 	if err == nil {
@@ -129,7 +128,7 @@ func TestCtxScanEarlyStop(t *testing.T) {
 	s := newOpSys(t)
 	err := s.run(t, func(tc *Ctx) error {
 		n := 0
-		if err := tc.Scan("inventory", func(storage.Row) error {
+		if err := tc.Scan("inventory", func(spi.Row) error {
 			n++
 			if n == 3 {
 				return ErrStopScan
@@ -143,7 +142,7 @@ func TestCtxScanEarlyStop(t *testing.T) {
 		}
 		// Error propagation.
 		sentinel := errors.New("boom")
-		if err := tc.Scan("inventory", func(storage.Row) error { return sentinel }); !errors.Is(err, sentinel) {
+		if err := tc.Scan("inventory", func(spi.Row) error { return sentinel }); !errors.Is(err, sentinel) {
 			t.Errorf("scan error lost: %v", err)
 		}
 		return nil
@@ -157,11 +156,11 @@ func TestCtxUpdateWhere(t *testing.T) {
 	s := newOpSys(t)
 	err := s.run(t, func(tc *Ctx) error {
 		// Double qty of skus 1-2, delete sku 3, leave the rest.
-		return tc.UpdateWhere("inventory", []storage.Value{storage.I64(1)},
-			func(row storage.Row) (storage.Row, error) {
+		return tc.UpdateWhere("inventory", []spi.Value{spi.I64(1)},
+			func(row spi.Row) (spi.Row, error) {
 				switch row[1].Int64() {
 				case 1, 2:
-					row[2] = storage.I64(row[2].Int64() * 2)
+					row[2] = spi.I64(row[2].Int64() * 2)
 					return row, nil
 				case 3:
 					return nil, ErrDeleteRow
@@ -175,7 +174,7 @@ func TestCtxUpdateWhere(t *testing.T) {
 		t.Fatal(err)
 	}
 	get := func(sku int64) (int64, bool) {
-		row, err := s.inv.Get(storage.EncodeKey(storage.I64(1), storage.I64(sku)))
+		row, err := s.inv.Get(spi.EncodeKey(spi.I64(1), spi.I64(sku)))
 		if err != nil {
 			return 0, false
 		}
@@ -198,17 +197,17 @@ func TestCtxUpdateWhere(t *testing.T) {
 func TestCtxLookupByIndexAndGetMany(t *testing.T) {
 	s := newOpSys(t)
 	err := s.run(t, func(tc *Ctx) error {
-		rows, err := tc.LookupByIndex("inventory", "by_qty", []storage.Value{storage.I64(30)})
+		rows, err := tc.LookupByIndex("inventory", "by_qty", []spi.Value{spi.I64(30)})
 		if err != nil {
 			return err
 		}
 		if len(rows) != 2 { // sku 3 in both regions
 			t.Errorf("by_qty(30) found %d rows", len(rows))
 		}
-		got, err := tc.GetMany("inventory", [][]storage.Value{
-			{storage.I64(1), storage.I64(1)},
-			{storage.I64(2), storage.I64(2)},
-			{storage.I64(9), storage.I64(9)}, // missing: skipped
+		got, err := tc.GetMany("inventory", [][]spi.Value{
+			{spi.I64(1), spi.I64(1)},
+			{spi.I64(2), spi.I64(2)},
+			{spi.I64(9), spi.I64(9)}, // missing: skipped
 		})
 		if err != nil {
 			return err
@@ -227,12 +226,12 @@ func TestCtxClaimMin(t *testing.T) {
 	s := newOpSys(t)
 	var first, second int64
 	err := s.run(t, func(tc *Ctx) error {
-		row, err := tc.ClaimMin("inventory", PartIndex, []storage.Value{storage.I64(1)})
+		row, err := tc.ClaimMin("inventory", PartIndex, []spi.Value{spi.I64(1)})
 		if err != nil {
 			return err
 		}
 		first = row[1].Int64()
-		row, err = tc.ClaimMin("inventory", PartIndex, []storage.Value{storage.I64(1)})
+		row, err = tc.ClaimMin("inventory", PartIndex, []spi.Value{spi.I64(1)})
 		if err != nil {
 			return err
 		}
@@ -245,13 +244,13 @@ func TestCtxClaimMin(t *testing.T) {
 	if first != 1 || second != 2 {
 		t.Fatalf("claimed %d then %d, want 1 then 2", first, second)
 	}
-	if s.inv.Exists(storage.EncodeKey(storage.I64(1), storage.I64(1))) {
+	if s.inv.Exists(spi.EncodeKey(spi.I64(1), spi.I64(1))) {
 		t.Fatal("claimed row still present")
 	}
 	// Draining a partition returns nil.
 	err = s.run(t, func(tc *Ctx) error {
 		for {
-			row, err := tc.ClaimMin("inventory", PartIndex, []storage.Value{storage.I64(1)})
+			row, err := tc.ClaimMin("inventory", PartIndex, []spi.Value{spi.I64(1)})
 			if err != nil {
 				return err
 			}
@@ -268,9 +267,9 @@ func TestCtxClaimMin(t *testing.T) {
 func TestCtxUpdateRejectsPKChange(t *testing.T) {
 	s := newOpSys(t)
 	err := s.run(t, func(tc *Ctx) error {
-		return tc.Update("inventory", []storage.Value{storage.I64(1), storage.I64(4)},
-			func(row storage.Row) error {
-				row[1] = storage.I64(99)
+		return tc.Update("inventory", []spi.Value{spi.I64(1), spi.I64(4)},
+			func(row spi.Row) error {
+				row[1] = spi.I64(99)
 				return nil
 			})
 	})
@@ -283,15 +282,15 @@ func TestCtxStepUndoRestoresEverything(t *testing.T) {
 	s := newOpSys(t)
 	before := s.inv.Len()
 	err := s.run(t, func(tc *Ctx) error {
-		if err := tc.Insert("inventory", storage.Row{storage.I64(7), storage.I64(7), storage.I64(7)}); err != nil {
+		if err := tc.Insert("inventory", spi.Row{spi.I64(7), spi.I64(7), spi.I64(7)}); err != nil {
 			return err
 		}
-		if err := tc.Delete("inventory", storage.I64(1), storage.I64(1)); err != nil {
+		if err := tc.Delete("inventory", spi.I64(1), spi.I64(1)); err != nil {
 			return err
 		}
-		if err := tc.Update("inventory", []storage.Value{storage.I64(1), storage.I64(2)},
-			func(row storage.Row) error {
-				row[2] = storage.I64(-1)
+		if err := tc.Update("inventory", []spi.Value{spi.I64(1), spi.I64(2)},
+			func(row spi.Row) error {
+				row[2] = spi.I64(-1)
 				return nil
 			}); err != nil {
 			return err
@@ -304,20 +303,20 @@ func TestCtxStepUndoRestoresEverything(t *testing.T) {
 	if s.inv.Len() != before {
 		t.Fatal("row count changed by aborted step")
 	}
-	row, err := s.inv.Get(storage.EncodeKey(storage.I64(1), storage.I64(2)))
+	row, err := s.inv.Get(spi.EncodeKey(spi.I64(1), spi.I64(2)))
 	if err != nil || row[2].Int64() != 20 {
 		t.Fatal("update not undone")
 	}
-	if !s.inv.Exists(storage.EncodeKey(storage.I64(1), storage.I64(1))) {
+	if !s.inv.Exists(spi.EncodeKey(spi.I64(1), spi.I64(1))) {
 		t.Fatal("delete not undone")
 	}
 }
 
 func TestPartitionValidation(t *testing.T) {
 	db := NewDB()
-	schema := storage.MustSchema("t", []storage.Column{
-		{Name: "a", Kind: storage.KindInt},
-		{Name: "b", Kind: storage.KindInt},
+	schema := spi.MustSchema("t", []spi.Column{
+		{Name: "a", Kind: spi.KindInt},
+		{Name: "b", Kind: spi.KindInt},
 	}, "a")
 	if _, err := db.CreateTable(schema, "zzz"); err == nil {
 		t.Fatal("unknown partition column accepted")
@@ -339,12 +338,12 @@ func TestTwoLevelGateSerializesFalseConflicts(t *testing.T) {
 	// assertion-type item (the paper's false conflict).
 	build := func(mode Mode) (*Engine, *Assertion, interference.TxnTypeID, interference.StepTypeID, interference.StepTypeID) {
 		db := NewDB()
-		tab := db.MustCreateTable(storage.MustSchema("t", []storage.Column{
-			{Name: "id", Kind: storage.KindInt},
-			{Name: "v", Kind: storage.KindInt},
+		tab := db.MustCreateTable(spi.MustSchema("t", []spi.Column{
+			{Name: "id", Kind: spi.KindInt},
+			{Name: "v", Kind: spi.KindInt},
 		}, "id"))
 		for i := int64(1); i <= 4; i++ {
-			tab.Insert(storage.Row{storage.I64(i), storage.I64(0)})
+			tab.Insert(spi.Row{spi.I64(i), spi.I64(0)})
 		}
 		b := interference.NewBuilder()
 		txn := b.TxnType("w", 2)
@@ -363,10 +362,10 @@ func TestTwoLevelGateSerializesFalseConflicts(t *testing.T) {
 		eng := New(db, b.Build(), WithMode(mode), WithWaitTimeout(5*time.Second))
 		assert := &Assertion{
 			ID: a, Name: "mine-stable",
-			Covers: func(args any, item lock.Item) bool {
+			Covers: func(args any, item spi.Item) bool {
 				id := args.(int64)
-				return item.Table == "t" && item.Level == lock.LevelRow &&
-					item.Key == storage.EncodeKey(storage.I64(id))
+				return item.Table == "t" && item.Level == spi.LevelRow &&
+					item.Key == spi.EncodeKey(spi.I64(id))
 			},
 		}
 		return eng, assert, txn, s1, s2
@@ -381,8 +380,8 @@ func TestTwoLevelGateSerializesFalseConflicts(t *testing.T) {
 			Steps: []Step{
 				{Name: "w1", Type: s1, Body: func(tc *Ctx) error {
 					id := tc.Args().(int64)
-					return tc.Update("t", []storage.Value{storage.I64(id)}, func(row storage.Row) error {
-						row[1] = storage.I64(1)
+					return tc.Update("t", []spi.Value{spi.I64(id)}, func(row spi.Row) error {
+						row[1] = spi.I64(1)
 						return nil
 					})
 				}},

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"context"
+
 	"accdb/internal/interference"
-	"accdb/internal/lock"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // Two-level ACC (ablation). The earlier design of [5] separates a dispatcher
@@ -23,11 +24,11 @@ import (
 // benchmark measures against the one-level design.
 
 // assertionTypeItem names the synthetic per-assertion-type lock item.
-func assertionTypeItem(a interference.AssertionID) lock.Item {
-	return lock.Item{
+func assertionTypeItem(a interference.AssertionID) spi.Item {
+	return spi.Item{
 		Table: "\x00assertion-type",
-		Level: lock.LevelRow,
-		Key:   storage.EncodeKey(storage.I64(int64(a))),
+		Level: spi.LevelRow,
+		Key:   spi.EncodeKey(spi.I64(int64(a))),
 	}
 }
 
@@ -37,8 +38,8 @@ func assertionTypeItem(a interference.AssertionID) lock.Item {
 func (e *Engine) twoLevelGate(tc *Ctx, j int) error {
 	step := tc.txn.steps[j].Type
 	for _, a := range tc.active {
-		req := lock.Request{Mode: lock.ModeA, Step: step, Assertion: a.ID, Compensating: tc.compensating}
-		if err := e.lm.Acquire(tc.txn.info, assertionTypeItem(a.ID), req); err != nil {
+		req := spi.LockRequest{Mode: spi.ModeA, Step: step, Assertion: a.ID, Compensating: tc.compensating}
+		if err := e.lm.AcquireCtx(context.Background(), tc.txn.info, assertionTypeItem(a.ID), req); err != nil {
 			return err
 		}
 	}
@@ -46,8 +47,8 @@ func (e *Engine) twoLevelGate(tc *Ctx, j int) error {
 		if !e.tables.Interferes(step, a) {
 			continue
 		}
-		req := lock.Request{Mode: lock.ModeX, Step: step, Compensating: tc.compensating}
-		if err := e.lm.Acquire(tc.txn.info, assertionTypeItem(a), req); err != nil {
+		req := spi.LockRequest{Mode: spi.ModeX, Step: step, Compensating: tc.compensating}
+		if err := e.lm.AcquireCtx(context.Background(), tc.txn.info, assertionTypeItem(a), req); err != nil {
 			return err
 		}
 	}

@@ -5,7 +5,7 @@ import (
 	"fmt"
 
 	"accdb/internal/interference"
-	"accdb/internal/lock"
+	"accdb/internal/spi"
 )
 
 // Assertion declares an interstep assertion type (§3.1): one conjunct of a
@@ -23,11 +23,11 @@ type Assertion struct {
 	// dynamic assertional-lock acquisition of the implemented one-level ACC:
 	// whenever the owning transaction conventionally locks a covered item,
 	// an A lock is attached to it.
-	Covers func(args any, item lock.Item) bool
+	Covers func(args any, item spi.Item) bool
 	// Items enumerates the complete footprint up front. It is required only
 	// by the simplified §3.3 algorithm (Options.EagerAssertionLocks), which
 	// locks every referenced item before the step begins.
-	Items func(args any) []lock.Item
+	Items func(args any) []spi.Item
 	// Eval checks the assertion against a quiescent database; optional,
 	// used by correctness tests, never by the scheduler.
 	Eval func(db *DB, args any) bool

@@ -10,10 +10,11 @@ import (
 	"fmt"
 	"time"
 
+	_ "accdb/internal/backends"
 	"accdb/internal/core"
-	"accdb/internal/lock"
 	"accdb/internal/metrics"
 	"accdb/internal/sim"
+	"accdb/internal/spi"
 	"accdb/internal/tpcc"
 	"accdb/internal/trace"
 	"accdb/internal/wal"
@@ -110,8 +111,8 @@ type RunResult struct {
 	Throughput float64
 	ByType     map[string]metrics.Summary
 	Engine     core.Stats
-	Locks      lock.Stats
-	LockClass  map[string]lock.ClassStats
+	Locks      spi.LockStats
+	LockClass  map[string]spi.ClassStats
 	Consistent bool
 	Violations []error
 }

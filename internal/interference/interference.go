@@ -21,32 +21,34 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"accdb/internal/spi"
 )
 
-// TxnTypeID identifies a registered transaction type.
-type TxnTypeID int32
+// TxnTypeID identifies a registered transaction type. The identifier types
+// are defined in the SPI (spi/ids.go) and aliased here, so the lock-service
+// contract can name them without depending on this package.
+type TxnTypeID = spi.TxnTypeID
 
 // StepTypeID identifies a registered step type (forward or compensating).
-// Step type IDs are global across transaction types, matching the paper's
-// "eleven distinct forward step types were defined" accounting.
-type StepTypeID int32
+type StepTypeID = spi.StepTypeID
 
-// AssertionID identifies an interstep assertion type. Assertion instances
-// (one per transaction instance) share the type's interference entries; the
-// one-level ACC distinguishes instances by the items they lock.
-type AssertionID int32
+// AssertionID identifies an interstep assertion type.
+type AssertionID = spi.AssertionID
 
-// NoStep and NoAssertion are the zero sentinels.
+// Zero sentinels and legacy tags, re-exported from the SPI.
 const (
-	NoStep      StepTypeID  = 0
-	NoAssertion AssertionID = 0
+	// NoStep is the zero step sentinel.
+	NoStep = spi.NoStep
+	// NoAssertion is the zero assertion sentinel.
+	NoAssertion = spi.NoAssertion
 	// LegacyStep tags an access by an undecomposed (legacy or ad-hoc)
 	// transaction. It is conservatively assumed to interfere with every
 	// assertion and to be interleavable nowhere, which is what isolates
 	// legacy transactions from intermediate states (§3.3 end).
-	LegacyStep StepTypeID = -1
+	LegacyStep = spi.LegacyStep
 	// LegacyTxn is the transaction type of undecomposed transactions.
-	LegacyTxn TxnTypeID = -1
+	LegacyTxn = spi.LegacyTxn
 )
 
 type stepAssert struct {

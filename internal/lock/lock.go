@@ -1,5 +1,9 @@
 // Package lock implements the multi-granularity lock manager underlying both
 // the baseline strict-2PL scheduler and the assertional concurrency control.
+// It is the default spi.LockService implementation, registered via
+// spi.RegisterLockService; the scheduler reaches it only through that
+// interface, and the request/item/mode vocabulary lives in accdb/internal/spi
+// (aliased here for the package's own tests and direct users).
 //
 // Beyond the conventional IS/IX/S/SIX/X modes the manager supports the three
 // lock flavours the paper adds to Open Ingres:
@@ -32,112 +36,56 @@
 package lock
 
 import (
-	"errors"
-	"fmt"
-	"sync/atomic"
-
-	"accdb/internal/interference"
-	"accdb/internal/storage"
-	"accdb/internal/trace"
+	"accdb/internal/spi"
 )
 
 // TxnID identifies a transaction instance.
-type TxnID uint64
+type TxnID = spi.TxnID
 
 // Level distinguishes the three granules of the lock hierarchy.
-type Level uint8
+type Level = spi.Level
 
+// Lock hierarchy levels, re-exported from the SPI.
 const (
 	// LevelTable locks a whole relation.
-	LevelTable Level = iota + 1
-	// LevelPartition locks a declared key-range of a relation (the stand-in
-	// for Ingres page locks); inserts and deletes lock the partition
-	// exclusively, scans lock it shared, which also closes the phantom
-	// window for set-valued assertions.
-	LevelPartition
+	LevelTable = spi.LevelTable
+	// LevelPartition locks a declared key-range of a relation.
+	LevelPartition = spi.LevelPartition
 	// LevelRow locks a single tuple by primary key.
-	LevelRow
+	LevelRow = spi.LevelRow
 )
-
-// String names the level.
-func (l Level) String() string {
-	switch l {
-	case LevelTable:
-		return "table"
-	case LevelPartition:
-		return "partition"
-	case LevelRow:
-		return "row"
-	default:
-		return fmt.Sprintf("Level(%d)", uint8(l))
-	}
-}
 
 // Item names a lockable database item.
-type Item struct {
-	Table string
-	Level Level
-	Key   storage.Key // empty at table level; partition key or row PK below
-}
+type Item = spi.Item
 
-// TableItem names the table-level item of a relation.
-func TableItem(table string) Item { return Item{Table: table, Level: LevelTable} }
-
-// PartitionItem names a partition granule of a relation.
-func PartitionItem(table string, key storage.Key) Item {
-	return Item{Table: table, Level: LevelPartition, Key: key}
-}
-
-// RowItem names a row granule of a relation.
-func RowItem(table string, pk storage.Key) Item {
-	return Item{Table: table, Level: LevelRow, Key: pk}
-}
-
-// String renders the item for diagnostics.
-func (it Item) String() string {
-	if it.Level == LevelTable {
-		return it.Table
-	}
-	return fmt.Sprintf("%s[%s/%x]", it.Table, it.Level, string(it.Key))
-}
-
-// Mode is a conventional lock mode.
-type Mode uint8
-
-const (
-	// ModeIS is intention-shared.
-	ModeIS Mode = iota + 1
-	// ModeIX is intention-exclusive.
-	ModeIX
-	// ModeS is shared.
-	ModeS
-	// ModeSIX is shared with intention-exclusive.
-	ModeSIX
-	// ModeX is exclusive.
-	ModeX
-	// ModeA is an assertional lock; requests carry the assertion ID.
-	ModeA
+// Item constructors, re-exported from the SPI.
+var (
+	// TableItem names the table-level item of a relation.
+	TableItem = spi.TableItem
+	// PartitionItem names a partition granule of a relation.
+	PartitionItem = spi.PartitionItem
+	// RowItem names a row granule of a relation.
+	RowItem = spi.RowItem
 )
 
-// String names the mode.
-func (m Mode) String() string {
-	switch m {
-	case ModeIS:
-		return "IS"
-	case ModeIX:
-		return "IX"
-	case ModeS:
-		return "S"
-	case ModeSIX:
-		return "SIX"
-	case ModeX:
-		return "X"
-	case ModeA:
-		return "A"
-	default:
-		return fmt.Sprintf("Mode(%d)", uint8(m))
-	}
-}
+// Mode is a conventional lock mode.
+type Mode = spi.Mode
+
+// Conventional lock modes plus the assertional mode, re-exported from the SPI.
+const (
+	// ModeIS is intention-shared.
+	ModeIS = spi.ModeIS
+	// ModeIX is intention-exclusive.
+	ModeIX = spi.ModeIX
+	// ModeS is shared.
+	ModeS = spi.ModeS
+	// ModeSIX is shared with intention-exclusive.
+	ModeSIX = spi.ModeSIX
+	// ModeX is exclusive.
+	ModeX = spi.ModeX
+	// ModeA is an assertional lock; requests carry the assertion ID.
+	ModeA = spi.ModeA
+)
 
 // conventionalCompat is the standard multi-granularity compatibility matrix.
 func conventionalCompat(a, b Mode) bool {
@@ -194,83 +142,38 @@ func sup(a, b Mode) Mode {
 
 // Oracle answers the design-time interference questions; in production it is
 // *interference.Tables, but tests may stub it.
-type Oracle interface {
-	Interferes(step interference.StepTypeID, a interference.AssertionID) bool
-	PrefixInterferes(txn interference.TxnTypeID, completed int, a interference.AssertionID) bool
-	MayInterleave(step interference.StepTypeID, holder interference.TxnTypeID, completed int) bool
-}
+type Oracle = spi.Oracle
 
-// TxnInfo is the lock manager's view of a transaction instance. The engine
-// creates one per transaction and advances CompletedSteps at each step
-// boundary; exposure conflicts consult the live value so that the
-// interleaving specification is breakpoint-accurate.
-type TxnInfo struct {
-	ID   TxnID
-	Type interference.TxnTypeID
-
-	// Span, when non-nil, is the transaction's latency-anatomy span: the
-	// manager charges blocked time to the per-mode lock-wait stages and
-	// records each wait in the span's event history. Only the transaction's
-	// own goroutine reads the field, so it needs no synchronization.
-	Span *trace.Span
-
-	completed atomic.Int32
-
-	// shardSet is a bitmask of lock-table shards on which this transaction
-	// holds (or has held) entries; release passes visit only these shards.
-	// It only ever grows — a stale bit costs one empty shard visit.
-	shardSet atomic.Uint64
-}
+// TxnInfo is the lock manager's view of a transaction instance (spi.Txn).
+type TxnInfo = spi.Txn
 
 // NewTxnInfo constructs the lock-side descriptor of a transaction.
-func NewTxnInfo(id TxnID, typ interference.TxnTypeID) *TxnInfo {
-	return &TxnInfo{ID: id, Type: typ}
-}
-
-// CompletedSteps returns the number of forward steps the transaction has
-// finished.
-func (t *TxnInfo) CompletedSteps() int { return int(t.completed.Load()) }
-
-// AdvanceStep records the completion of one forward step.
-func (t *TxnInfo) AdvanceStep() { t.completed.Add(1) }
-
-// SetCompletedSteps overrides the step counter (used by recovery).
-func (t *TxnInfo) SetCompletedSteps(n int) { t.completed.Store(int32(n)) }
+var NewTxnInfo = spi.NewTxn
 
 // markShard records that the transaction touched the shard with the given
-// bitmask bit.
-func (t *TxnInfo) markShard(bit uint64) {
+// bitmask bit, in the scratch mask spi.Txn reserves for the lock service.
+func markShard(t *TxnInfo, bit uint64) {
 	for {
-		old := t.shardSet.Load()
-		if old&bit != 0 || t.shardSet.CompareAndSwap(old, old|bit) {
+		old := t.ShardMask.Load()
+		if old&bit != 0 || t.ShardMask.CompareAndSwap(old, old|bit) {
 			return
 		}
 	}
 }
 
-// Request describes one lock acquisition.
-type Request struct {
-	// Mode is the requested mode; ModeA requests also set Assertion.
-	Mode Mode
-	// Step is the requesting step's type, used for interference lookups.
-	// Undecomposed transactions use interference.LegacyStep.
-	Step interference.StepTypeID
-	// Assertion is the assertion being locked when Mode == ModeA.
-	Assertion interference.AssertionID
-	// Compensating marks requests issued by a compensating step; such a
-	// request is never chosen as a deadlock victim.
-	Compensating bool
-}
+// Request describes one lock acquisition (spi.LockRequest).
+type Request = spi.LockRequest
 
-// Errors returned by Acquire.
+// Errors returned by Acquire; identities are shared with the SPI so
+// errors.Is works across the seam.
 var (
 	// ErrDeadlock reports that the request completed a waits-for cycle and
 	// was chosen as the victim. The caller aborts and retries the step.
-	ErrDeadlock = errors.New("lock: deadlock victim")
+	ErrDeadlock = spi.ErrDeadlock
 	// ErrAborted reports that the waiting request was aborted from outside —
 	// either by Manager.CancelWait or because a compensating step needed the
 	// cycle broken.
-	ErrAborted = errors.New("lock: wait aborted")
+	ErrAborted = spi.ErrAborted
 	// ErrTimeout reports that the configured wait budget elapsed.
-	ErrTimeout = errors.New("lock: wait timed out")
+	ErrTimeout = spi.ErrTimeout
 )

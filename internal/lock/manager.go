@@ -5,8 +5,13 @@ import (
 	"time"
 
 	"accdb/internal/interference"
+	"accdb/internal/spi"
 	"accdb/internal/trace"
 )
+
+func init() {
+	spi.RegisterLockService(func(o spi.Oracle) spi.LockService { return NewManager(o) })
+}
 
 // Mode tags for the paper's non-conventional entry kinds, as they appear in
 // trace events and snapshots: A = assertional lock, D = displayed (exposed)
@@ -70,14 +75,8 @@ type lockState struct {
 	queue  []*waiter
 }
 
-// Stats aggregates lock-manager counters; all fields are read with Snapshot.
-type Stats struct {
-	Acquisitions   uint64
-	Waits          uint64
-	WaitNanos      uint64
-	Deadlocks      uint64
-	VictimsForComp uint64 // forward steps aborted to let a compensation proceed
-}
+// Stats aggregates lock-manager counters (spi.LockStats).
+type Stats = spi.LockStats
 
 // Manager is the lock manager. The lock table is partitioned into shards —
 // the structure of the sharded Ingres lock manager the paper modified —
@@ -103,12 +102,10 @@ type Manager struct {
 	tracer *trace.Tracer
 }
 
-// ClassStats aggregates wait behaviour for one (table, level, mode) class;
-// the benchmarks use it to attribute contention to specific hot spots.
-type ClassStats struct {
-	Waits     uint64
-	WaitNanos uint64
-}
+// ClassStats aggregates wait behaviour for one (table, level, mode) class
+// (spi.ClassStats); the benchmarks use it to attribute contention to
+// specific hot spots.
+type ClassStats = spi.ClassStats
 
 // NewManager creates a lock manager with the default shard count,
 // max(16, 4×GOMAXPROCS) capped at 64, using the given interference oracle.
@@ -145,6 +142,10 @@ func (m *Manager) ShardCount() int { return len(m.shards) }
 // SetTracer attaches the structured event bus; nil disables tracing. Call
 // before the manager serves requests.
 func (m *Manager) SetTracer(t *trace.Tracer) { m.tracer = t }
+
+// SetWaitTimeout bounds each blocking Acquire; zero waits forever. Call
+// before the manager serves requests.
+func (m *Manager) SetWaitTimeout(d time.Duration) { m.WaitTimeout = d }
 
 // emitLock sends one lock-layer event. Callers nil-check m.tracer first so
 // the disabled path never builds the event.
@@ -692,7 +693,7 @@ func (m *Manager) AttachReservation(txn *TxnInfo, item Item, cs interference.Ste
 // the release is not atomic across shards, which is harmless — lock release
 // order within the shrinking phase of 2PL is unconstrained.
 func (m *Manager) releaseWhere(txn *TxnInfo, drop func(*grant) bool) {
-	mask := txn.shardSet.Load()
+	mask := txn.ShardMask.Load()
 	for i := 0; mask != 0; i++ {
 		bit := uint64(1) << uint(i)
 		if mask&bit == 0 {

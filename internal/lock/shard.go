@@ -23,7 +23,7 @@ import (
 // no map inserts/deletes in steady state.
 
 // maxShards caps the shard count so a transaction's touched-shard set fits
-// in one atomic bitmask word (TxnInfo.shardSet).
+// in one atomic bitmask word (spi.Txn.ShardMask).
 const maxShards = 64
 
 // maxEmptyStates bounds how many item-less lock states a shard retains in
@@ -103,7 +103,7 @@ type shard struct {
 
 	stats shardCounters
 
-	// bit is this shard's position in TxnInfo.shardSet.
+	// bit is this shard's position in spi.Txn.ShardMask.
 	bit uint64
 	// idx is the shard's index, tagged onto trace events and snapshots.
 	idx int16
@@ -190,7 +190,7 @@ func (sh *shard) noteHeld(txn *TxnInfo, item Item) {
 			hs = &heldSet{}
 		}
 		sh.held[txn.ID] = hs
-		txn.markShard(sh.bit)
+		markShard(txn, sh.bit)
 	}
 	for _, it := range hs.items {
 		if it == item {

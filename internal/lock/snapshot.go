@@ -1,9 +1,8 @@
 package lock
 
 import (
-	"fmt"
+	"accdb/internal/spi"
 	"sort"
-	"strings"
 )
 
 // Lock-table introspection. Snapshot walks the table one shard latch at a
@@ -12,54 +11,26 @@ import (
 // wait queue, and the waits-for edges recomputed exactly as deadlock
 // detection sees them. The dump is advisory: shards are observed at slightly
 // different instants, which is the same consistency deadlock detection
-// itself settles for.
+// itself settles for. The dump's data types and renderers live in the SPI
+// (spi/locksnap.go) so any LockService implementation can produce them.
 
 // TableSnapshot is a point-in-time structural dump of the lock table.
-type TableSnapshot struct {
-	// Shards lists only shards with at least one populated item.
-	Shards []ShardSnapshot
-	// Edges is the waits-for graph: Edges[i].From waits for Edges[i].To.
-	Edges []WaitEdge
-}
+type TableSnapshot = spi.TableSnapshot
 
 // ShardSnapshot dumps one lock-table partition.
-type ShardSnapshot struct {
-	Index int
-	Items []ItemSnapshot
-}
+type ShardSnapshot = spi.ShardSnapshot
 
 // ItemSnapshot dumps one item's grant list and wait queue.
-type ItemSnapshot struct {
-	Item   Item
-	Grants []GrantSnapshot
-	Queue  []WaitSnapshot
-}
+type ItemSnapshot = spi.ItemSnapshot
 
-// GrantSnapshot describes one held entry. Kind is "lock" for conventional
-// entries, or the paper's tags: "A" (assertional), "D" (exposure mark),
-// "C" (compensation reservation). Mode carries the conventional mode for
-// "lock" entries and repeats the tag otherwise.
-type GrantSnapshot struct {
-	Txn       TxnID
-	Kind      string
-	Mode      string
-	Assertion int // assertion ID for "A" entries, else -1
-}
+// GrantSnapshot describes one held entry (see spi.GrantSnapshot).
+type GrantSnapshot = spi.GrantSnapshot
 
 // WaitSnapshot describes one queued (still blocked) request.
-type WaitSnapshot struct {
-	Txn          TxnID
-	Mode         string
-	Compensating bool
-	Conversion   bool
-}
+type WaitSnapshot = spi.WaitSnapshot
 
 // WaitEdge is one waits-for edge, annotated with the contested item.
-type WaitEdge struct {
-	From TxnID
-	To   TxnID
-	Item Item
-}
+type WaitEdge = spi.WaitEdge
 
 // Snapshot dumps the lock table's current structure. It takes each shard
 // latch in turn (never two at once) and recomputes waits-for edges with the
@@ -138,88 +109,4 @@ func snapGrant(g *grant) GrantSnapshot {
 		gs.Mode = tagReservation
 	}
 	return gs
-}
-
-// GrantCount totals held entries across the dump.
-func (s *TableSnapshot) GrantCount() int {
-	n := 0
-	for _, sh := range s.Shards {
-		for _, it := range sh.Items {
-			n += len(it.Grants)
-		}
-	}
-	return n
-}
-
-// WaiterCount totals blocked requests across the dump.
-func (s *TableSnapshot) WaiterCount() int {
-	n := 0
-	for _, sh := range s.Shards {
-		for _, it := range sh.Items {
-			n += len(it.Queue)
-		}
-	}
-	return n
-}
-
-// DOT renders the waits-for graph in Graphviz DOT form. Blocked transactions
-// and their blockers appear as nodes; each edge is labelled with the
-// contested item. An empty graph still renders a valid digraph.
-func (s *TableSnapshot) DOT() string {
-	var b strings.Builder
-	b.WriteString("digraph waitsfor {\n")
-	b.WriteString("  rankdir=LR;\n")
-	b.WriteString("  node [shape=circle];\n")
-	seen := make(map[TxnID]bool)
-	node := func(t TxnID) {
-		if !seen[t] {
-			seen[t] = true
-			fmt.Fprintf(&b, "  t%d [label=\"T%d\"];\n", t, t)
-		}
-	}
-	for _, e := range s.Edges {
-		node(e.From)
-		node(e.To)
-	}
-	for _, e := range s.Edges {
-		fmt.Fprintf(&b, "  t%d -> t%d [label=%q];\n", e.From, e.To, e.Item.String())
-	}
-	b.WriteString("}\n")
-	return b.String()
-}
-
-// String renders the dump as indented text for debug endpoints and logs.
-func (s *TableSnapshot) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "lock table: %d grants, %d waiters, %d waits-for edges\n",
-		s.GrantCount(), s.WaiterCount(), len(s.Edges))
-	for _, sh := range s.Shards {
-		fmt.Fprintf(&b, "shard %d:\n", sh.Index)
-		for _, it := range sh.Items {
-			fmt.Fprintf(&b, "  %s:\n", it.Item)
-			for _, g := range it.Grants {
-				if g.Kind == "A" {
-					fmt.Fprintf(&b, "    held T%d A(assertion=%d)\n", g.Txn, g.Assertion)
-				} else if g.Kind == "lock" {
-					fmt.Fprintf(&b, "    held T%d %s\n", g.Txn, g.Mode)
-				} else {
-					fmt.Fprintf(&b, "    held T%d %s\n", g.Txn, g.Kind)
-				}
-			}
-			for _, w := range it.Queue {
-				flags := ""
-				if w.Conversion {
-					flags += " conversion"
-				}
-				if w.Compensating {
-					flags += " compensating"
-				}
-				fmt.Fprintf(&b, "    wait T%d %s%s\n", w.Txn, w.Mode, flags)
-			}
-		}
-	}
-	for _, e := range s.Edges {
-		fmt.Fprintf(&b, "T%d waits-for T%d on %s\n", e.From, e.To, e.Item)
-	}
-	return b.String()
 }

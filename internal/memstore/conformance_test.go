@@ -1,0 +1,14 @@
+package memstore_test
+
+import (
+	"testing"
+
+	"accdb/internal/memstore"
+	"accdb/internal/spi"
+	"accdb/internal/spi/spitest"
+)
+
+// The ordered-map backend must pass the SPI conformance suite verbatim.
+func TestConformance(t *testing.T) {
+	spitest.Run(t, func() spi.Store { return memstore.NewStore() })
+}

@@ -1,0 +1,6 @@
+package server
+
+// Server tests build an engine through the SPI registry.
+import (
+	_ "accdb/internal/backends"
+)

@@ -17,7 +17,7 @@ import (
 
 	"accdb/internal/interference"
 	"accdb/internal/server/wire"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 	"accdb/internal/tpcc"
 	"accdb/internal/trace"
 	"accdb/internal/wal"
@@ -45,18 +45,18 @@ type moveSys struct {
 func newMoveSys(t *testing.T, cfg func(*Config), engOpts ...core.Option) *moveSys {
 	t.Helper()
 	db := core.NewDB()
-	accounts := db.MustCreateTable(storage.MustSchema("accounts", []storage.Column{
-		{Name: "id", Kind: storage.KindInt},
-		{Name: "balance", Kind: storage.KindInt},
+	accounts := db.MustCreateTable(spi.MustSchema("accounts", []spi.Column{
+		{Name: "id", Kind: spi.KindInt},
+		{Name: "balance", Kind: spi.KindInt},
 	}, "id"))
-	db.MustCreateTable(storage.MustSchema("journal", []storage.Column{
-		{Name: "id", Kind: storage.KindInt},
-		{Name: "account", Kind: storage.KindInt},
+	db.MustCreateTable(spi.MustSchema("journal", []spi.Column{
+		{Name: "id", Kind: spi.KindInt},
+		{Name: "account", Kind: spi.KindInt},
 	}, "id"))
 	// Enough account rows that concurrency tests can give every worker a
 	// disjoint row (shared rows would serialize on the account lock).
 	for i := 1; i <= 64; i++ {
-		if err := accounts.Insert(storage.Row{storage.Int(i), storage.I64(100)}); err != nil {
+		if err := accounts.Insert(spi.Row{spi.Int(i), spi.I64(100)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -82,8 +82,8 @@ func newMoveSys(t *testing.T, cfg func(*Config), engOpts ...core.Option) *moveSy
 					Name: "journal", Type: stJournal,
 					Body: func(tc *core.Ctx) error {
 						a := tc.Args().(*moveArgs)
-						return tc.Insert("journal", storage.Row{
-							storage.I64(a.ID), storage.I64(a.Account),
+						return tc.Insert("journal", spi.Row{
+							spi.I64(a.ID), spi.I64(a.Account),
 						})
 					},
 				},
@@ -91,9 +91,9 @@ func newMoveSys(t *testing.T, cfg func(*Config), engOpts ...core.Option) *moveSy
 					Name: "update", Type: stUpdate,
 					Body: func(tc *core.Ctx) error {
 						a := tc.Args().(*moveArgs)
-						return tc.Update("accounts", []storage.Value{storage.I64(a.Account)},
-							func(row storage.Row) error {
-								row[1] = storage.I64(row[1].Int64() + 1)
+						return tc.Update("accounts", []spi.Value{spi.I64(a.Account)},
+							func(row spi.Row) error {
+								row[1] = spi.I64(row[1].Int64() + 1)
 								return nil
 							})
 					},
@@ -104,7 +104,7 @@ func newMoveSys(t *testing.T, cfg func(*Config), engOpts ...core.Option) *moveSy
 				Body: func(tc *core.Ctx, completed int) error {
 					a := tc.Args().(*moveArgs)
 					if completed >= 1 {
-						return tc.Delete("journal", storage.I64(a.ID))
+						return tc.Delete("journal", spi.I64(a.ID))
 					}
 					return nil
 				},
@@ -234,14 +234,14 @@ func TestRunOverWire(t *testing.T) {
 func TestDisconnectCompensates(t *testing.T) {
 	s := newMoveSys(t, nil)
 
-	// An in-process blocker camps on account 1's X lock.
+	// An in-process blocker camps on account 1's X spi.
 	held := make(chan struct{})
 	release := make(chan struct{})
 	blockerDone := make(chan error, 1)
 	go func() {
 		blockerDone <- s.eng.RunLegacy("blocker", func(tc *core.Ctx) error {
-			err := tc.Update("accounts", []storage.Value{storage.I64(1)},
-				func(storage.Row) error { return nil })
+			err := tc.Update("accounts", []spi.Value{spi.I64(1)},
+				func(spi.Row) error { return nil })
 			if err != nil {
 				return err
 			}
@@ -297,7 +297,7 @@ func TestDisconnectCompensates(t *testing.T) {
 	count := 0
 	err := s.eng.RunLegacy("count", func(tc *core.Ctx) error {
 		count = 0
-		return tc.Scan("journal", func(storage.Row) error {
+		return tc.Scan("journal", func(spi.Row) error {
 			count++
 			return nil
 		})
@@ -321,8 +321,8 @@ func TestAdmissionControl(t *testing.T) {
 	blockerDone := make(chan error, 1)
 	go func() {
 		blockerDone <- s.eng.RunLegacy("blocker", func(tc *core.Ctx) error {
-			err := tc.Update("accounts", []storage.Value{storage.I64(1)},
-				func(storage.Row) error { return nil })
+			err := tc.Update("accounts", []spi.Value{spi.I64(1)},
+				func(spi.Row) error { return nil })
 			if err != nil {
 				return err
 			}

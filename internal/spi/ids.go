@@ -1,0 +1,32 @@
+package spi
+
+// Design-time identifier types shared by the scheduler, the lock service
+// and the interference tables. They are defined here — and aliased by
+// accdb/internal/interference — so the SPI does not depend on the
+// design-time analysis machinery.
+
+// TxnTypeID identifies a registered transaction type.
+type TxnTypeID int32
+
+// StepTypeID identifies a registered step type (forward or compensating).
+// Step type IDs are global across transaction types, matching the paper's
+// "eleven distinct forward step types were defined" accounting.
+type StepTypeID int32
+
+// AssertionID identifies an interstep assertion type. Assertion instances
+// (one per transaction instance) share the type's interference entries; the
+// one-level ACC distinguishes instances by the items they lock.
+type AssertionID int32
+
+// NoStep and NoAssertion are the zero sentinels.
+const (
+	NoStep      StepTypeID  = 0
+	NoAssertion AssertionID = 0
+	// LegacyStep tags an access by an undecomposed (legacy or ad-hoc)
+	// transaction. It is conservatively assumed to interfere with every
+	// assertion and to be interleavable nowhere, which is what isolates
+	// legacy transactions from intermediate states (§3.3 end).
+	LegacyStep StepTypeID = -1
+	// LegacyTxn is the transaction type of undecomposed transactions.
+	LegacyTxn TxnTypeID = -1
+)

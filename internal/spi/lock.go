@@ -1,0 +1,267 @@
+package spi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"accdb/internal/trace"
+)
+
+// TxnID identifies a transaction instance.
+type TxnID uint64
+
+// Level distinguishes the three granules of the lock hierarchy.
+type Level uint8
+
+const (
+	// LevelTable locks a whole relation.
+	LevelTable Level = iota + 1
+	// LevelPartition locks a declared key-range of a relation (the stand-in
+	// for Ingres page locks); inserts and deletes lock the partition
+	// exclusively, scans lock it shared, which also closes the phantom
+	// window for set-valued assertions.
+	LevelPartition
+	// LevelRow locks a single tuple by primary key.
+	LevelRow
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelTable:
+		return "table"
+	case LevelPartition:
+		return "partition"
+	case LevelRow:
+		return "row"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
+// Item names a lockable database item.
+type Item struct {
+	Table string
+	Level Level
+	Key   Key // empty at table level; partition key or row PK below
+}
+
+// TableItem names the table-level item of a relation.
+func TableItem(table string) Item { return Item{Table: table, Level: LevelTable} }
+
+// PartitionItem names a partition granule of a relation.
+func PartitionItem(table string, key Key) Item {
+	return Item{Table: table, Level: LevelPartition, Key: key}
+}
+
+// RowItem names a row granule of a relation.
+func RowItem(table string, pk Key) Item {
+	return Item{Table: table, Level: LevelRow, Key: pk}
+}
+
+// String renders the item for diagnostics.
+func (it Item) String() string {
+	if it.Level == LevelTable {
+		return it.Table
+	}
+	return fmt.Sprintf("%s[%s/%x]", it.Table, it.Level, string(it.Key))
+}
+
+// Mode is a conventional lock mode.
+type Mode uint8
+
+const (
+	// ModeIS is intention-shared.
+	ModeIS Mode = iota + 1
+	// ModeIX is intention-exclusive.
+	ModeIX
+	// ModeS is shared.
+	ModeS
+	// ModeSIX is shared with intention-exclusive.
+	ModeSIX
+	// ModeX is exclusive.
+	ModeX
+	// ModeA is an assertional lock; requests carry the assertion ID.
+	ModeA
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeIS:
+		return "IS"
+	case ModeIX:
+		return "IX"
+	case ModeS:
+		return "S"
+	case ModeSIX:
+		return "SIX"
+	case ModeX:
+		return "X"
+	case ModeA:
+		return "A"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Oracle answers the design-time interference questions; in production it is
+// *interference.Tables, but tests may stub it.
+type Oracle interface {
+	Interferes(step StepTypeID, a AssertionID) bool
+	PrefixInterferes(txn TxnTypeID, completed int, a AssertionID) bool
+	MayInterleave(step StepTypeID, holder TxnTypeID, completed int) bool
+}
+
+// Txn is the lock service's view of a transaction instance. The engine
+// creates one per transaction and advances CompletedSteps at each step
+// boundary; exposure conflicts consult the live value so that the
+// interleaving specification is breakpoint-accurate.
+type Txn struct {
+	ID   TxnID
+	Type TxnTypeID
+
+	// Span, when non-nil, is the transaction's latency-anatomy span: the
+	// lock service charges blocked time to the per-mode lock-wait stages and
+	// records each wait in the span's event history. Only the transaction's
+	// own goroutine reads the field, so it needs no synchronization.
+	Span *trace.Span
+
+	// ShardMask is scratch space reserved for the lock service: a bitmask of
+	// lock-table shards on which this transaction holds (or has held)
+	// entries, so release passes visit only those shards. The engine never
+	// reads or writes it; an implementation without internal sharding may
+	// ignore it.
+	ShardMask atomic.Uint64
+
+	completed atomic.Int32
+}
+
+// NewTxn constructs the lock-side descriptor of a transaction.
+func NewTxn(id TxnID, typ TxnTypeID) *Txn {
+	return &Txn{ID: id, Type: typ}
+}
+
+// CompletedSteps returns the number of forward steps the transaction has
+// finished.
+func (t *Txn) CompletedSteps() int { return int(t.completed.Load()) }
+
+// AdvanceStep records the completion of one forward step.
+func (t *Txn) AdvanceStep() { t.completed.Add(1) }
+
+// SetCompletedSteps overrides the step counter (used by recovery).
+func (t *Txn) SetCompletedSteps(n int) { t.completed.Store(int32(n)) }
+
+// LockRequest describes one lock acquisition.
+type LockRequest struct {
+	// Mode is the requested mode; ModeA requests also set Assertion.
+	Mode Mode
+	// Step is the requesting step's type, used for interference lookups.
+	// Undecomposed transactions use LegacyStep.
+	Step StepTypeID
+	// Assertion is the assertion being locked when Mode == ModeA.
+	Assertion AssertionID
+	// Compensating marks requests issued by a compensating step; such a
+	// request is never chosen as a deadlock victim.
+	Compensating bool
+}
+
+// Errors returned by LockService.AcquireCtx.
+var (
+	// ErrDeadlock reports that the request completed a waits-for cycle and
+	// was chosen as the victim. The caller aborts and retries the step.
+	ErrDeadlock = errors.New("lock: deadlock victim")
+	// ErrAborted reports that the waiting request was aborted from outside —
+	// either by LockService.CancelWait or because a compensating step needed
+	// the cycle broken.
+	ErrAborted = errors.New("lock: wait aborted")
+	// ErrTimeout reports that the configured wait budget elapsed.
+	ErrTimeout = errors.New("lock: wait timed out")
+)
+
+// LockStats aggregates lock-service counters.
+type LockStats struct {
+	Acquisitions   uint64
+	Waits          uint64
+	WaitNanos      uint64
+	Deadlocks      uint64
+	VictimsForComp uint64 // forward steps aborted to let a compensation proceed
+}
+
+// ClassStats aggregates wait behaviour for one (table, level, mode) class;
+// the benchmarks use it to attribute contention to specific hot spots.
+type ClassStats struct {
+	Waits     uint64
+	WaitNanos uint64
+}
+
+// LockService is the scheduler's contract with a lock manager: the
+// conventional multi-granularity modes plus the paper's three flavours —
+// assertional locks (§3.2, requested as ModeA), exposure marks (§3.3,
+// AttachExposure) and compensation reservations (§3.4, AttachReservation).
+//
+// Obligations on an implementation:
+//
+//   - AcquireCtx blocks until grant, deadlock victimhood (ErrDeadlock),
+//     external cancellation (ErrAborted), wait-budget expiry (ErrTimeout) or
+//     ctx done (ctx.Err()); re-requests by a holder are reentrant, and a
+//     stronger re-request converts the held mode (conversions may not wait
+//     behind plain requests on the same item — queue-jumping avoids the
+//     classic convoy). Requests with Compensating set must never be chosen
+//     as deadlock victims; the cycle is broken by aborting a forward waiter.
+//   - Attach* are idempotent per (txn, item); entries carry the holder's
+//     CompletedSteps at attach time so ReleaseStepAbort can drop exactly the
+//     aborted step's marks.
+//   - ReleaseConventional drops conventional grants only (step end);
+//     assertional, exposure and reservation entries persist to commit and
+//     fall with ReleaseAll. ReleaseAssertion drops one assertion's A-locks.
+//   - The waits-for membership of a blocked request must be visible to
+//     CancelWait, and Snapshot must render grants, queues and waits-for
+//     edges as deadlock detection would see them.
+type LockService interface {
+	// SetWaitTimeout bounds each blocking AcquireCtx; zero waits forever.
+	SetWaitTimeout(d time.Duration)
+	// SetTracer attaches the structured event bus; nil disables tracing.
+	// Call before the service handles requests.
+	SetTracer(t *trace.Tracer)
+
+	// AcquireCtx obtains the requested lock on item for txn (see the
+	// interface comment for the blocking and conversion contract).
+	AcquireCtx(ctx context.Context, txn *Txn, item Item, req LockRequest) error
+	// AttachExposure marks item as exposed by txn: another transaction's
+	// conventional access now requires interleaving permission at txn's
+	// current breakpoint.
+	AttachExposure(txn *Txn, item Item)
+	// AttachReservation records that a compensating step of type cs may
+	// later modify item; assertional locks that cs would interfere with are
+	// refused on it. A NoStep cs is a no-op.
+	AttachReservation(txn *Txn, item Item, cs StepTypeID)
+
+	// ReleaseConventional releases txn's conventional locks (step end).
+	ReleaseConventional(txn *Txn)
+	// ReleaseStepAbort releases txn's conventional locks plus exposure and
+	// reservation marks attached during the aborted step.
+	ReleaseStepAbort(txn *Txn)
+	// ReleaseAssertion drops txn's assertional locks for one assertion type.
+	ReleaseAssertion(txn *Txn, a AssertionID)
+	// ReleaseAll releases everything txn holds (commit or compensation end).
+	ReleaseAll(txn *Txn)
+	// CancelWait aborts txn's blocked request, if any, making it return
+	// ErrAborted.
+	CancelWait(txn TxnID)
+
+	// HeldItems returns the items on which txn currently holds any entry.
+	HeldItems(txn TxnID) []Item
+	// HoldsConventional reports whether txn holds a conventional lock of at
+	// least mode want on item.
+	HoldsConventional(txn TxnID, item Item, want Mode) bool
+	// Stats returns the aggregated counters.
+	Stats() LockStats
+	// ByClass returns per-(table, level, mode) wait tallies.
+	ByClass() map[string]ClassStats
+	// Snapshot dumps the lock table's current structure for introspection.
+	Snapshot() *TableSnapshot
+}

@@ -1,4 +1,4 @@
-package storage
+package spi
 
 import (
 	"encoding/binary"
@@ -25,7 +25,7 @@ func MarshalRow(dst []byte, row Row) []byte {
 			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
 			dst = append(dst, v.S...)
 		default:
-			panic("storage: MarshalRow on zero Value")
+			panic("spi: MarshalRow on zero Value")
 		}
 	}
 	return dst
@@ -38,13 +38,13 @@ func UnmarshalRow(b []byte) (Row, int, error) {
 	// Each column costs at least one byte, so a count beyond the remaining
 	// bytes is garbage; the bound also keeps the allocation below sane.
 	if sz <= 0 || n > uint64(len(b)) {
-		return nil, 0, fmt.Errorf("storage: bad row header")
+		return nil, 0, fmt.Errorf("spi: bad row header")
 	}
 	off := sz
 	row := make(Row, 0, n)
 	for i := uint64(0); i < n; i++ {
 		if off >= len(b) {
-			return nil, 0, fmt.Errorf("storage: truncated row")
+			return nil, 0, fmt.Errorf("spi: truncated row")
 		}
 		kind := Kind(b[off])
 		off++
@@ -52,13 +52,13 @@ func UnmarshalRow(b []byte) (Row, int, error) {
 		case KindInt:
 			v, sz := binary.Varint(b[off:])
 			if sz <= 0 {
-				return nil, 0, fmt.Errorf("storage: bad int column")
+				return nil, 0, fmt.Errorf("spi: bad int column")
 			}
 			off += sz
 			row = append(row, I64(v))
 		case KindFloat:
 			if off+8 > len(b) {
-				return nil, 0, fmt.Errorf("storage: truncated float column")
+				return nil, 0, fmt.Errorf("spi: truncated float column")
 			}
 			bits := binary.LittleEndian.Uint64(b[off : off+8])
 			off += 8
@@ -66,16 +66,16 @@ func UnmarshalRow(b []byte) (Row, int, error) {
 		case KindString:
 			l, sz := binary.Uvarint(b[off:])
 			if sz <= 0 {
-				return nil, 0, fmt.Errorf("storage: bad string length")
+				return nil, 0, fmt.Errorf("spi: bad string length")
 			}
 			off += sz
 			if off+int(l) > len(b) {
-				return nil, 0, fmt.Errorf("storage: truncated string column")
+				return nil, 0, fmt.Errorf("spi: truncated string column")
 			}
 			row = append(row, Str(string(b[off:off+int(l)])))
 			off += int(l)
 		default:
-			return nil, 0, fmt.Errorf("storage: bad column kind 0x%02x", byte(kind))
+			return nil, 0, fmt.Errorf("spi: bad column kind 0x%02x", byte(kind))
 		}
 	}
 	return row, off, nil

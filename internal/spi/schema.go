@@ -1,4 +1,4 @@
-package storage
+package spi
 
 import (
 	"fmt"
@@ -26,25 +26,25 @@ type Schema struct {
 // column names are unique.
 func NewSchema(name string, cols []Column, pkCols ...string) (*Schema, error) {
 	if name == "" {
-		return nil, fmt.Errorf("storage: schema needs a name")
+		return nil, fmt.Errorf("spi: schema needs a name")
 	}
 	if len(pkCols) == 0 {
-		return nil, fmt.Errorf("storage: schema %s needs a primary key", name)
+		return nil, fmt.Errorf("spi: schema %s needs a primary key", name)
 	}
 	s := &Schema{Name: name, Columns: cols, byName: make(map[string]int, len(cols))}
 	for i, c := range cols {
 		if c.Name == "" || c.Kind == 0 {
-			return nil, fmt.Errorf("storage: schema %s: column %d incomplete", name, i)
+			return nil, fmt.Errorf("spi: schema %s: column %d incomplete", name, i)
 		}
 		if _, dup := s.byName[c.Name]; dup {
-			return nil, fmt.Errorf("storage: schema %s: duplicate column %q", name, c.Name)
+			return nil, fmt.Errorf("spi: schema %s: duplicate column %q", name, c.Name)
 		}
 		s.byName[c.Name] = i
 	}
 	for _, pk := range pkCols {
 		i, ok := s.byName[pk]
 		if !ok {
-			return nil, fmt.Errorf("storage: schema %s: pk column %q not found", name, pk)
+			return nil, fmt.Errorf("spi: schema %s: pk column %q not found", name, pk)
 		}
 		s.PK = append(s.PK, i)
 	}
@@ -73,7 +73,7 @@ func (s *Schema) Col(name string) int {
 func (s *Schema) MustCol(name string) int {
 	i := s.Col(name)
 	if i < 0 {
-		panic(fmt.Sprintf("storage: schema %s has no column %q", s.Name, name))
+		panic(fmt.Sprintf("spi: schema %s has no column %q", s.Name, name))
 	}
 	return i
 }
@@ -94,11 +94,11 @@ func (s *Schema) KeyOf(row Row) Key {
 	var b strings.Builder
 	n := 0
 	for _, c := range s.PK {
-		n += keyLen(row[c])
+		n += KeyLen(row[c])
 	}
 	b.Grow(n)
 	for _, c := range s.PK {
-		appendKeyVal(&b, row[c])
+		AppendKeyVal(&b, row[c])
 	}
 	return Key(b.String())
 }
@@ -106,11 +106,11 @@ func (s *Schema) KeyOf(row Row) Key {
 // CheckRow verifies that a row matches the schema's arity and column kinds.
 func (s *Schema) CheckRow(row Row) error {
 	if len(row) != len(s.Columns) {
-		return fmt.Errorf("storage: %s: row has %d values, want %d", s.Name, len(row), len(s.Columns))
+		return fmt.Errorf("spi: %s: row has %d values, want %d", s.Name, len(row), len(s.Columns))
 	}
 	for i, v := range row {
 		if v.K != s.Columns[i].Kind {
-			return fmt.Errorf("storage: %s.%s: value kind %s, want %s",
+			return fmt.Errorf("spi: %s.%s: value kind %s, want %s",
 				s.Name, s.Columns[i].Name, v.K, s.Columns[i].Kind)
 		}
 	}
@@ -142,4 +142,12 @@ func (r Row) Equal(o Row) bool {
 		}
 	}
 	return true
+}
+
+// IndexDef names a secondary index and the columns it covers, in order.
+// Index entries are the encoded secondary columns followed by the primary
+// key, so range scans see rows in (secondary, pk) order.
+type IndexDef struct {
+	Name    string
+	Columns []string
 }

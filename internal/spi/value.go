@@ -1,14 +1,4 @@
-// Package storage implements the relational storage substrate used by the
-// assertional concurrency control: typed schemas, heap tables with hash
-// primary indexes, order-preserving key encoding, and B+-tree secondary
-// indexes.
-//
-// The package plays the role that CA-Open Ingres's storage layer played in
-// the paper: it stores tuples and hands out stable item identities that the
-// lock manager (package lock) and the schedulers (package core) lock. The
-// storage layer itself provides only physical consistency (latches); all
-// logical concurrency control happens above it.
-package storage
+package spi
 
 import (
 	"encoding/binary"
@@ -69,7 +59,7 @@ func Str(v string) Value { return Value{K: KindString, S: v} }
 // Int64 returns the integer payload; it panics if the value is not an int.
 func (v Value) Int64() int64 {
 	if v.K != KindInt {
-		panic("storage: Int64 on " + v.K.String())
+		panic("spi: Int64 on " + v.K.String())
 	}
 	return v.I
 }
@@ -77,7 +67,7 @@ func (v Value) Int64() int64 {
 // Float64 returns the float payload; it panics if the value is not a float.
 func (v Value) Float64() float64 {
 	if v.K != KindFloat {
-		panic("storage: Float64 on " + v.K.String())
+		panic("spi: Float64 on " + v.K.String())
 	}
 	return v.F
 }
@@ -85,7 +75,7 @@ func (v Value) Float64() float64 {
 // Text returns the string payload; it panics if the value is not a string.
 func (v Value) Text() string {
 	if v.K != KindString {
-		panic("storage: Text on " + v.K.String())
+		panic("spi: Text on " + v.K.String())
 	}
 	return v.S
 }
@@ -110,7 +100,7 @@ func (v Value) Equal(o Value) bool {
 // values of different kinds panics; schemas make that a design-time error.
 func (v Value) Compare(o Value) int {
 	if v.K != o.K {
-		panic(fmt.Sprintf("storage: comparing %s with %s", v.K, o.K))
+		panic(fmt.Sprintf("spi: comparing %s with %s", v.K, o.K))
 	}
 	switch v.K {
 	case KindInt:
@@ -157,7 +147,7 @@ func (v Value) String() string {
 
 // Key is an order-preserving binary encoding of a composite key. Two keys
 // compare bytewise in the same order as the value tuples they encode, which
-// lets the B+-tree index and the lock table use plain byte comparison.
+// lets ordered indexes and the lock table use plain byte comparison.
 type Key string
 
 // EncodeKey builds an order-preserving key from the given values.
@@ -171,18 +161,19 @@ func EncodeKey(vals ...Value) Key {
 	var b strings.Builder
 	n := 0
 	for _, v := range vals {
-		n += keyLen(v)
+		n += KeyLen(v)
 	}
 	b.Grow(n)
 	for _, v := range vals {
-		appendKeyVal(&b, v)
+		AppendKeyVal(&b, v)
 	}
 	return Key(b.String())
 }
 
-// keyLen returns the exact encoded size of one value inside a key, so key
-// builders can Grow once and encode with no further allocation.
-func keyLen(v Value) int {
+// KeyLen returns the exact encoded size of one value inside a key, so key
+// builders (KeyOf, backends building composite index entries) can Grow once
+// and encode with no further allocation.
+func KeyLen(v Value) int {
 	switch v.K {
 	case KindInt, KindFloat:
 		return 9
@@ -195,13 +186,14 @@ func keyLen(v Value) int {
 		}
 		return n
 	default:
-		panic("storage: EncodeKey on zero Value")
+		panic("spi: EncodeKey on zero Value")
 	}
 }
 
-// appendKeyVal encodes one value onto a pre-grown builder; the format is
-// documented on EncodeKey.
-func appendKeyVal(b *strings.Builder, v Value) {
+// AppendKeyVal encodes one value onto a pre-grown builder; the format is
+// documented on EncodeKey. Paired with KeyLen it is the single-allocation
+// building block for composite keys.
+func AppendKeyVal(b *strings.Builder, v Value) {
 	b.WriteByte(byte(v.K))
 	switch v.K {
 	case KindInt:
@@ -229,7 +221,7 @@ func appendKeyVal(b *strings.Builder, v Value) {
 		b.WriteByte(0x00)
 		b.WriteByte(0x00)
 	default:
-		panic("storage: EncodeKey on zero Value")
+		panic("spi: EncodeKey on zero Value")
 	}
 }
 
@@ -244,14 +236,14 @@ func DecodeKey(k Key) ([]Value, error) {
 		switch kind {
 		case KindInt:
 			if len(b) < 8 {
-				return nil, fmt.Errorf("storage: truncated int key")
+				return nil, fmt.Errorf("spi: truncated int key")
 			}
 			u := binary.BigEndian.Uint64(b[:8]) ^ (1 << 63)
 			out = append(out, I64(int64(u)))
 			b = b[8:]
 		case KindFloat:
 			if len(b) < 8 {
-				return nil, fmt.Errorf("storage: truncated float key")
+				return nil, fmt.Errorf("spi: truncated float key")
 			}
 			bits := binary.BigEndian.Uint64(b[:8])
 			if bits&(1<<63) != 0 {
@@ -266,12 +258,12 @@ func DecodeKey(k Key) ([]Value, error) {
 			i := 0
 			for {
 				if i >= len(b) {
-					return nil, fmt.Errorf("storage: unterminated string key")
+					return nil, fmt.Errorf("spi: unterminated string key")
 				}
 				c := b[i]
 				if c == 0x00 {
 					if i+1 >= len(b) {
-						return nil, fmt.Errorf("storage: truncated string escape")
+						return nil, fmt.Errorf("spi: truncated string escape")
 					}
 					if b[i+1] == 0x00 { // terminator
 						i += 2
@@ -282,7 +274,7 @@ func DecodeKey(k Key) ([]Value, error) {
 						i += 2
 						continue
 					}
-					return nil, fmt.Errorf("storage: bad string escape 0x%02x", b[i+1])
+					return nil, fmt.Errorf("spi: bad string escape 0x%02x", b[i+1])
 				}
 				s = append(s, c)
 				i++
@@ -290,7 +282,7 @@ func DecodeKey(k Key) ([]Value, error) {
 			out = append(out, Str(string(s)))
 			b = b[i:]
 		default:
-			return nil, fmt.Errorf("storage: bad kind tag 0x%02x in key", byte(kind))
+			return nil, fmt.Errorf("spi: bad kind tag 0x%02x in key", byte(kind))
 		}
 	}
 	return out, nil

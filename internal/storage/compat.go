@@ -1,0 +1,79 @@
+package storage
+
+import "accdb/internal/spi"
+
+// The data model — values, rows, keys, schemas, the row codec, commit
+// sequence numbers — moved to the SPI package so the scheduler and every
+// backend share one definition. These aliases keep the storage package a
+// self-contained vocabulary for code that works with the default backend
+// directly (its own tests, mostly); new code should import accdb/internal/spi.
+
+// Kind enumerates the column types supported by the engine.
+type Kind = spi.Kind
+
+// Column kinds, re-exported from the SPI.
+const (
+	KindInt    = spi.KindInt
+	KindFloat  = spi.KindFloat
+	KindString = spi.KindString
+)
+
+// Value is a single column value (see spi.Value).
+type Value = spi.Value
+
+// Row is a tuple: one Value per schema column, in schema order.
+type Row = spi.Row
+
+// Key is the order-preserving binary encoding of a composite key.
+type Key = spi.Key
+
+// Column describes one attribute of a relation.
+type Column = spi.Column
+
+// Schema describes a relation (see spi.Schema).
+type Schema = spi.Schema
+
+// IndexDef declares a secondary index over a list of columns.
+type IndexDef = spi.IndexDef
+
+// CSN is a commit sequence number (see spi.CSN).
+type CSN = spi.CSN
+
+// MaxCSN is the read-ASAP bound.
+const MaxCSN = spi.MaxCSN
+
+// VersionStats summarizes a table's version-chain footprint.
+type VersionStats = spi.VersionStats
+
+// Value constructors and key codecs, re-exported from the SPI.
+var (
+	// I64 constructs an integer value.
+	I64 = spi.I64
+	// Int constructs an integer value from an int.
+	Int = spi.Int
+	// F64 constructs a float value.
+	F64 = spi.F64
+	// Str constructs a string value.
+	Str = spi.Str
+	// EncodeKey builds an order-preserving key from the given values.
+	EncodeKey = spi.EncodeKey
+	// DecodeKey reverses EncodeKey.
+	DecodeKey = spi.DecodeKey
+	// NewSchema builds a schema, validating columns and primary key.
+	NewSchema = spi.NewSchema
+	// MustSchema is NewSchema that panics on error.
+	MustSchema = spi.MustSchema
+	// MarshalRow appends a compact binary encoding of row to dst.
+	MarshalRow = spi.MarshalRow
+	// UnmarshalRow decodes one row from b.
+	UnmarshalRow = spi.UnmarshalRow
+)
+
+// Sentinel errors returned by table operations; identities are shared with
+// the SPI so errors.Is works across the seam.
+var (
+	// ErrNotFound reports a lookup for an absent primary key.
+	ErrNotFound = spi.ErrNotFound
+	// ErrDuplicate reports an insert whose primary key already exists.
+	ErrDuplicate = spi.ErrDuplicate
+)

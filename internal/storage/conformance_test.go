@@ -1,0 +1,14 @@
+package storage_test
+
+import (
+	"testing"
+
+	"accdb/internal/spi"
+	"accdb/internal/spi/spitest"
+	"accdb/internal/storage"
+)
+
+// The B+-tree backend must pass the SPI conformance suite verbatim.
+func TestConformance(t *testing.T) {
+	spitest.Run(t, func() spi.Store { return storage.NewStore() })
+}

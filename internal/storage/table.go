@@ -1,39 +1,34 @@
+// Package storage implements the default row-store backend of the SPI
+// (accdb/internal/spi): heap tables with hash primary indexes, B+-tree
+// secondary indexes, and per-key version chains for the lock-free read
+// tiers. It registers itself under the backend name "btree".
+//
+// The package plays the role that CA-Open Ingres's storage layer played in
+// the paper: it stores tuples and hands out stable item identities that the
+// lock service and the schedulers lock. The storage layer itself provides
+// only physical consistency (latches); all logical concurrency control
+// happens above it, through the SPI.
 package storage
 
 import (
-	"errors"
 	"fmt"
 	"strings"
 	"sync"
+
+	"accdb/internal/spi"
 )
 
 func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
 
-// Sentinel errors returned by table operations.
-var (
-	// ErrNotFound reports a lookup for an absent primary key.
-	ErrNotFound = errors.New("storage: row not found")
-	// ErrDuplicate reports an insert whose primary key already exists.
-	ErrDuplicate = errors.New("storage: duplicate primary key")
-)
-
-// IndexDef declares a secondary index over a list of columns. Entries are
-// made unique by appending the primary key, so non-unique column sets are
-// fine.
-type IndexDef struct {
-	Name    string
-	Columns []string
-}
-
 // Table is a heap relation with a hash primary index and optional B+-tree
-// secondary indexes.
+// secondary indexes. It implements spi.Table.
 //
 // A Table provides physical consistency only: the embedded RWMutex is a
 // latch held for the duration of a single operation. Logical isolation
 // (two-phase and assertional locking) is layered above by package core, the
 // way Ingres layers its lock manager above the page store.
 type Table struct {
-	Schema *Schema
+	schema *Schema
 
 	mu      sync.RWMutex
 	rows    map[Key]Row
@@ -52,8 +47,11 @@ type secondaryIndex struct {
 
 // NewTable creates an empty table for the schema.
 func NewTable(schema *Schema) *Table {
-	return &Table{Schema: schema, rows: make(map[Key]Row)}
+	return &Table{schema: schema, rows: make(map[Key]Row)}
 }
+
+// Schema describes the relation; immutable after construction.
+func (t *Table) Schema() *Schema { return t.schema }
 
 // AddIndex creates a secondary index and backfills it from existing rows.
 func (t *Table) AddIndex(def IndexDef) error {
@@ -61,9 +59,9 @@ func (t *Table) AddIndex(def IndexDef) error {
 	defer t.mu.Unlock()
 	cols := make([]int, len(def.Columns))
 	for i, name := range def.Columns {
-		c := t.Schema.Col(name)
+		c := t.schema.Col(name)
 		if c < 0 {
-			return fmt.Errorf("storage: index %s: no column %q in %s", def.Name, name, t.Schema.Name)
+			return fmt.Errorf("storage: index %s: no column %q in %s", def.Name, name, t.schema.Name)
 		}
 		cols[i] = c
 	}
@@ -81,11 +79,11 @@ func (ix *secondaryIndex) entryKey(row Row, pk Key) Key {
 	var b strings.Builder
 	n := len(pk)
 	for _, c := range ix.cols {
-		n += keyLen(row[c])
+		n += spi.KeyLen(row[c])
 	}
 	b.Grow(n)
 	for _, c := range ix.cols {
-		appendKeyVal(&b, row[c])
+		spi.AppendKeyVal(&b, row[c])
 	}
 	b.WriteString(string(pk))
 	return Key(b.String())
@@ -104,7 +102,7 @@ func (t *Table) Get(pk Key) (Row, error) {
 	defer t.mu.RUnlock()
 	row, ok := t.rows[pk]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.Schema.Name)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.schema.Name)
 	}
 	return row.Clone(), nil
 }
@@ -119,14 +117,14 @@ func (t *Table) Exists(pk Key) bool {
 
 // Insert adds a new row; the primary key must not exist.
 func (t *Table) Insert(row Row) error {
-	if err := t.Schema.CheckRow(row); err != nil {
+	if err := t.schema.CheckRow(row); err != nil {
 		return err
 	}
-	pk := t.Schema.KeyOf(row)
+	pk := t.schema.KeyOf(row)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.rows[pk]; ok {
-		return fmt.Errorf("%w: %s %v", ErrDuplicate, t.Schema.Name, t.Schema.PKOf(row))
+		return fmt.Errorf("%w: %s %v", ErrDuplicate, t.schema.Name, t.schema.PKOf(row))
 	}
 	t.seedVersionLocked(pk, nil)
 	row = row.Clone()
@@ -140,17 +138,17 @@ func (t *Table) Insert(row Row) error {
 // Update replaces the row stored under pk. The new row must have the same
 // primary key. It returns the previous image for undo logging.
 func (t *Table) Update(pk Key, row Row) (Row, error) {
-	if err := t.Schema.CheckRow(row); err != nil {
+	if err := t.schema.CheckRow(row); err != nil {
 		return nil, err
 	}
-	if t.Schema.KeyOf(row) != pk {
-		return nil, fmt.Errorf("storage: update changes primary key of %s", t.Schema.Name)
+	if t.schema.KeyOf(row) != pk {
+		return nil, fmt.Errorf("storage: update changes primary key of %s", t.schema.Name)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	old, ok := t.rows[pk]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.Schema.Name)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.schema.Name)
 	}
 	t.seedVersionLocked(pk, old)
 	row = row.Clone()
@@ -171,7 +169,7 @@ func (t *Table) Delete(pk Key) (Row, error) {
 	defer t.mu.Unlock()
 	old, ok := t.rows[pk]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.Schema.Name)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.schema.Name)
 	}
 	t.seedVersionLocked(pk, old)
 	delete(t.rows, pk)
@@ -232,7 +230,7 @@ func (t *Table) IndexScan(indexName string, eq []Value, visit func(pk Key, row R
 	defer t.mu.RUnlock()
 	ix := t.index(indexName)
 	if ix == nil {
-		return fmt.Errorf("storage: %s has no index %q", t.Schema.Name, indexName)
+		return fmt.Errorf("storage: %s has no index %q", t.schema.Name, indexName)
 	}
 	prefix := EncodeKey(eq...)
 	ix.tree.AscendPrefix(prefix, func(_, pk Key) bool {
@@ -252,7 +250,7 @@ func (t *Table) IndexRange(indexName string, lo, hi []Value, visit func(pk Key, 
 	defer t.mu.RUnlock()
 	ix := t.index(indexName)
 	if ix == nil {
-		return fmt.Errorf("storage: %s has no index %q", t.Schema.Name, indexName)
+		return fmt.Errorf("storage: %s has no index %q", t.schema.Name, indexName)
 	}
 	loK := EncodeKey(lo...)
 	var hiK Key
@@ -324,4 +322,46 @@ func (c *Catalog) Names() []string {
 		out = append(out, n)
 	}
 	return out
+}
+
+// Store wraps a Catalog as an spi.Store: Create returns the interface type
+// and Table converts the catalog's typed nil into an untyped nil interface,
+// per the SPI contract.
+type Store struct {
+	cat Catalog
+}
+
+// NewStore returns an empty B+-tree-backed store.
+func NewStore() *Store { return &Store{cat: Catalog{tables: make(map[string]*Table)}} }
+
+// Catalog exposes the underlying typed catalog for code that works with the
+// default backend directly (its own tests, the recovery CLI).
+func (s *Store) Catalog() *Catalog { return &s.cat }
+
+// Create adds a table for schema; the name must be new.
+func (s *Store) Create(schema *Schema) (spi.Table, error) {
+	t, err := s.cat.Create(schema)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (s *Store) Table(name string) spi.Table {
+	if t := s.cat.Table(name); t != nil {
+		return t
+	}
+	return nil
+}
+
+// Names returns the table names in unspecified order.
+func (s *Store) Names() []string { return s.cat.Names() }
+
+// Capabilities reports full support: the B+-tree heap implements real
+// version chains.
+func (s *Store) Capabilities() spi.Capabilities { return spi.Capabilities{Versions: true} }
+
+func init() {
+	spi.Register("btree", func() spi.Store { return NewStore() })
 }

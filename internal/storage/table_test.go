@@ -70,7 +70,7 @@ func TestTableCRUD(t *testing.T) {
 	if err := tab.Insert(row); !errors.Is(err, ErrDuplicate) {
 		t.Fatalf("duplicate insert: %v", err)
 	}
-	pk := tab.Schema.KeyOf(row)
+	pk := tab.Schema().KeyOf(row)
 	got, err := tab.Get(pk)
 	if err != nil || !got.Equal(row) {
 		t.Fatalf("Get = %v, %v", got, err)
@@ -206,7 +206,7 @@ func TestTableApply(t *testing.T) {
 	tab := NewTable(testSchema(t))
 	tab.AddIndex(IndexDef{Name: "by_dept", Columns: []string{"dept"}})
 	row := Row{I64(1), I64(5), Str("x"), I64(1)}
-	pk := tab.Schema.KeyOf(row)
+	pk := tab.Schema().KeyOf(row)
 	tab.Apply(pk, row) // upsert into empty
 	if !tab.Exists(pk) {
 		t.Fatal("Apply insert failed")

@@ -2,38 +2,14 @@ package storage
 
 import (
 	"fmt"
-	"math"
 )
 
-// CSN is a commit sequence number: the engine stamps one on every batch of
-// row versions it publishes at an exposure point (end-of-step force, commit
-// force, compensation-done force). CSNs are totally ordered and dense enough
-// that "the database as of CSN c" is well defined: a reader holding c sees,
-// for every key, the newest version stamped ≤ c.
-//
-// CSN 0 is reserved for pre-images: when a key is first mutated after load
-// (or after its chain was garbage-collected), the mutation seeds the chain
-// with the key's prior committed value at CSN 0, so the value predates — and
-// is visible to — every possible snapshot.
-type CSN uint64
-
-// MaxCSN is the read-ASAP bound: a reader using it sees the newest published
-// version of each key with no cross-key consistency claim.
-const MaxCSN = CSN(math.MaxUint64)
-
 // version is one entry of a key's chain. A nil row is a tombstone: the key
-// was absent as of the stamped CSN.
+// was absent as of the stamped CSN (the CSN semantics — total order, CSN 0
+// reserved for pre-images — are documented on spi.CSN).
 type version struct {
 	csn CSN
 	row Row
-}
-
-// VersionStats summarizes a table's version-chain footprint.
-type VersionStats struct {
-	// Chains is the number of keys carrying a version chain.
-	Chains int
-	// Versions is the total number of chain entries across all keys.
-	Versions int
 }
 
 // seedVersionLocked starts pk's chain with its pre-image at CSN 0 if no chain
@@ -81,7 +57,7 @@ func (t *Table) GetAsOf(pk Key, asOf CSN) (Row, error) {
 	defer t.mu.RUnlock()
 	row, ok := t.rowAsOfLocked(pk, asOf)
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.Schema.Name)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, t.schema.Name)
 	}
 	return row, nil
 }
@@ -143,7 +119,7 @@ func (t *Table) IndexScanAsOf(indexName string, eq []Value, asOf CSN, visit func
 	defer t.mu.RUnlock()
 	ix := t.index(indexName)
 	if ix == nil {
-		return fmt.Errorf("storage: %s has no index %q", t.Schema.Name, indexName)
+		return fmt.Errorf("storage: %s has no index %q", t.schema.Name, indexName)
 	}
 	prefix := EncodeKey(eq...)
 	ix.tree.AscendPrefix(prefix, func(_, pk Key) bool {

@@ -18,7 +18,7 @@ func TestVersionSeedOnMutate(t *testing.T) {
 		t.Fatal(err)
 	}
 	tab.ResetVersions() // simulate engine attach: bulk load is quiescent
-	pk := tab.Schema.KeyOf(empRow(1, 500))
+	pk := tab.Schema().KeyOf(empRow(1, 500))
 
 	if _, err := tab.Update(pk, empRow(1, 700)); err != nil {
 		t.Fatal(err)
@@ -51,7 +51,7 @@ func TestVersionSeedOnMutate(t *testing.T) {
 func TestVersionInsertAndTombstone(t *testing.T) {
 	tab := NewTable(testSchema(t))
 	row := empRow(2, 100)
-	pk := tab.Schema.KeyOf(row)
+	pk := tab.Schema().KeyOf(row)
 	if err := tab.Insert(row); err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestVersionScanAsOf(t *testing.T) {
 		}
 	}
 	tab.ResetVersions()
-	dpk := tab.Schema.KeyOf(doomed)
+	dpk := tab.Schema().KeyOf(doomed)
 	if _, err := tab.Delete(dpk); err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestVersionScanAsOf(t *testing.T) {
 	if err := tab.Insert(late); err != nil {
 		t.Fatal(err)
 	}
-	tab.PublishVersion(tab.Schema.KeyOf(late), nil, late, 6)
+	tab.PublishVersion(tab.Schema().KeyOf(late), nil, late, 6)
 
 	seen := map[int64]int64{}
 	tab.ScanAsOf(4, func(_ Key, row Row) bool {
@@ -116,7 +116,7 @@ func TestPruneVersions(t *testing.T) {
 		t.Fatal(err)
 	}
 	tab.ResetVersions()
-	pk := tab.Schema.KeyOf(empRow(1, 100))
+	pk := tab.Schema().KeyOf(empRow(1, 100))
 	for i, sal := range []int64{200, 300, 400} {
 		if _, err := tab.Update(pk, empRow(1, sal)); err != nil {
 			t.Fatal(err)
@@ -168,7 +168,7 @@ func TestPublishReseedsAfterDrop(t *testing.T) {
 		t.Fatal(err)
 	}
 	tab.ResetVersions()
-	pk := tab.Schema.KeyOf(empRow(1, 100))
+	pk := tab.Schema().KeyOf(empRow(1, 100))
 	// Publish with no chain present (as if dropped): prior must seed first.
 	tab.PublishVersion(pk, empRow(1, 100), empRow(1, 200), 7)
 	if r, err := tab.GetAsOf(pk, 3); err != nil || r[3].Int64() != 100 {
@@ -185,7 +185,7 @@ func TestVersionStatsAndReset(t *testing.T) {
 		if err := tab.Insert(empRow(id, id*10)); err != nil {
 			t.Fatal(err)
 		}
-		tab.PublishVersion(tab.Schema.KeyOf(empRow(id, 0)), nil, empRow(id, id*10), CSN(id))
+		tab.PublishVersion(tab.Schema().KeyOf(empRow(id, 0)), nil, empRow(id, id*10), CSN(id))
 	}
 	s := tab.VersionStats()
 	if s.Chains != 3 || s.Versions != 6 { // seed + published per key

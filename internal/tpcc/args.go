@@ -4,10 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
-// The append-form encoders below write storage.MarshalRow's exact byte
+// The append-form encoders below write spi.MarshalRow's exact byte
 // format (uvarint column count, then kind byte + payload per column)
 // without materializing the intermediate Row, so the engine's end-of-step
 // hot path serializes work areas into a reused scratch with no per-step
@@ -16,13 +16,13 @@ import (
 
 // colI64 appends one KindInt column.
 func colI64(dst []byte, v int64) []byte {
-	dst = append(dst, byte(storage.KindInt))
+	dst = append(dst, byte(spi.KindInt))
 	return binary.AppendVarint(dst, v)
 }
 
 // colStr appends one KindString column.
 func colStr(dst []byte, s string) []byte {
-	dst = append(dst, byte(storage.KindString))
+	dst = append(dst, byte(spi.KindString))
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)
 }
@@ -97,7 +97,7 @@ func appendNewOrder(dst []byte, v any) []byte {
 }
 
 func decodeNewOrder(data []byte) (any, error) {
-	row, _, err := storage.UnmarshalRow(data)
+	row, _, err := spi.UnmarshalRow(data)
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +160,7 @@ func appendPayment(dst []byte, v any) []byte {
 }
 
 func decodePayment(data []byte) (any, error) {
-	row, _, err := storage.UnmarshalRow(data)
+	row, _, err := spi.UnmarshalRow(data)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +208,7 @@ func appendDelivery(dst []byte, v any) []byte {
 }
 
 func decodeDelivery(data []byte) (any, error) {
-	row, _, err := storage.UnmarshalRow(data)
+	row, _, err := spi.UnmarshalRow(data)
 	if err != nil {
 		return nil, err
 	}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"accdb/internal/core"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // The twelve-component consistency constraint (TPC-C §3.3.2) — the paper's
@@ -21,7 +21,7 @@ import (
 // CheckConsistency runs all twelve checks and returns every violation.
 // holes may be nil when no new-order was ever compensated.
 func CheckConsistency(db *core.DB, s Scale, holes map[DistrictKey]map[int64]bool) []error {
-	c := &checker{cat: db.Catalog, scale: s, holes: holes}
+	c := &checker{cat: db.Store(), scale: s, holes: holes}
 	var errs []error
 	for i, check := range []func() []error{
 		c.check1, c.check2, c.check3, c.check4, c.check5, c.check6,
@@ -35,7 +35,7 @@ func CheckConsistency(db *core.DB, s Scale, holes map[DistrictKey]map[int64]bool
 }
 
 type checker struct {
-	cat   *storage.Catalog
+	cat   spi.Store
 	scale Scale
 	holes map[DistrictKey]map[int64]bool
 }
@@ -47,8 +47,8 @@ func (c *checker) isHole(w, d, o int64) bool {
 	return c.holes[DistrictKey{w, d}][o]
 }
 
-func (c *checker) scan(table string, visit func(storage.Row)) {
-	c.cat.Table(table).Scan(func(_ storage.Key, row storage.Row) bool {
+func (c *checker) scan(table string, visit func(spi.Row)) {
+	c.cat.Table(table).Scan(func(_ spi.Key, row spi.Row) bool {
 		visit(row)
 		return true
 	})
@@ -60,9 +60,9 @@ type orderKey struct{ w, d, o int64 }
 // check1: W_YTD = sum(D_YTD) per warehouse.
 func (c *checker) check1() []error {
 	dSum := map[int64]int64{}
-	c.scan(TDistrict, func(r storage.Row) { dSum[r[0].Int64()] += r[colDYTD].Int64() })
+	c.scan(TDistrict, func(r spi.Row) { dSum[r[0].Int64()] += r[colDYTD].Int64() })
 	var errs []error
-	c.scan(TWarehouse, func(r storage.Row) {
+	c.scan(TWarehouse, func(r spi.Row) {
 		w, ytd := r[0].Int64(), r[colWYTD].Int64()
 		if dSum[w] != ytd {
 			errs = append(errs, fmt.Errorf("warehouse %d: w_ytd=%d, sum(d_ytd)=%d", w, ytd, dSum[w]))
@@ -74,7 +74,7 @@ func (c *checker) check1() []error {
 // districtOrders gathers order ids per district.
 func (c *checker) districtOrders() map[DistrictKey][]int64 {
 	out := map[DistrictKey][]int64{}
-	c.scan(TOrders, func(r storage.Row) {
+	c.scan(TOrders, func(r spi.Row) {
 		k := DistrictKey{r[0].Int64(), r[1].Int64()}
 		out[k] = append(out[k], r[colOID].Int64())
 	})
@@ -85,11 +85,11 @@ func (c *checker) districtOrders() map[DistrictKey][]int64 {
 // hole, and none beyond exists (subsumes D_NEXT_O_ID - 1 = max(O_ID)).
 func (c *checker) check2() []error {
 	orders := map[orderKey]bool{}
-	c.scan(TOrders, func(r storage.Row) {
+	c.scan(TOrders, func(r spi.Row) {
 		orders[orderKey{r[0].Int64(), r[1].Int64(), r[colOID].Int64()}] = true
 	})
 	var errs []error
-	c.scan(TDistrict, func(r storage.Row) {
+	c.scan(TDistrict, func(r spi.Row) {
 		w, d, next := r[0].Int64(), r[1].Int64(), r[colDNext].Int64()
 		for o := int64(1); o < next; o++ {
 			if !orders[orderKey{w, d, o}] && !c.isHole(w, d, o) {
@@ -109,7 +109,7 @@ func (c *checker) check2() []error {
 // and max, modulo compensation holes.
 func (c *checker) check3() []error {
 	queues := map[DistrictKey]map[int64]bool{}
-	c.scan(TNewOrder, func(r storage.Row) {
+	c.scan(TNewOrder, func(r spi.Row) {
 		k := DistrictKey{r[0].Int64(), r[1].Int64()}
 		if queues[k] == nil {
 			queues[k] = map[int64]bool{}
@@ -139,11 +139,11 @@ func (c *checker) check3() []error {
 // check4: sum(o_ol_cnt) = count(order_line) per district.
 func (c *checker) check4() []error {
 	want := map[DistrictKey]int64{}
-	c.scan(TOrders, func(r storage.Row) {
+	c.scan(TOrders, func(r spi.Row) {
 		want[DistrictKey{r[0].Int64(), r[1].Int64()}] += r[colOOLCnt].Int64()
 	})
 	got := map[DistrictKey]int64{}
-	c.scan(TOrderLine, func(r storage.Row) {
+	c.scan(TOrderLine, func(r spi.Row) {
 		got[DistrictKey{r[0].Int64(), r[1].Int64()}]++
 	})
 	var errs []error
@@ -158,11 +158,11 @@ func (c *checker) check4() []error {
 // check5: an order has a null carrier iff it is in the new_order queue.
 func (c *checker) check5() []error {
 	queued := map[orderKey]bool{}
-	c.scan(TNewOrder, func(r storage.Row) {
+	c.scan(TNewOrder, func(r spi.Row) {
 		queued[orderKey{r[0].Int64(), r[1].Int64(), r[colNoOID].Int64()}] = true
 	})
 	var errs []error
-	c.scan(TOrders, func(r storage.Row) {
+	c.scan(TOrders, func(r spi.Row) {
 		k := orderKey{r[0].Int64(), r[1].Int64(), r[colOID].Int64()}
 		undelivered := r[colOCarrier].Int64() == 0
 		if undelivered != queued[k] {
@@ -176,11 +176,11 @@ func (c *checker) check5() []error {
 // check6: o_ol_cnt equals the order's actual line count.
 func (c *checker) check6() []error {
 	counts := map[orderKey]int64{}
-	c.scan(TOrderLine, func(r storage.Row) {
+	c.scan(TOrderLine, func(r spi.Row) {
 		counts[orderKey{r[0].Int64(), r[1].Int64(), r[2].Int64()}]++
 	})
 	var errs []error
-	c.scan(TOrders, func(r storage.Row) {
+	c.scan(TOrders, func(r spi.Row) {
 		k := orderKey{r[0].Int64(), r[1].Int64(), r[colOID].Int64()}
 		if counts[k] != r[colOOLCnt].Int64() {
 			errs = append(errs, fmt.Errorf("order (%d,%d,%d): o_ol_cnt=%d, lines=%d",
@@ -193,11 +193,11 @@ func (c *checker) check6() []error {
 // check7: a line has a delivery date iff its order was delivered.
 func (c *checker) check7() []error {
 	delivered := map[orderKey]bool{}
-	c.scan(TOrders, func(r storage.Row) {
+	c.scan(TOrders, func(r spi.Row) {
 		delivered[orderKey{r[0].Int64(), r[1].Int64(), r[colOID].Int64()}] = r[colOCarrier].Int64() != 0
 	})
 	var errs []error
-	c.scan(TOrderLine, func(r storage.Row) {
+	c.scan(TOrderLine, func(r spi.Row) {
 		k := orderKey{r[0].Int64(), r[1].Int64(), r[2].Int64()}
 		has := r[colOLDelivery].Int64() != 0
 		if has != delivered[k] {
@@ -211,9 +211,9 @@ func (c *checker) check7() []error {
 // check8: W_YTD = sum(H_AMOUNT) per warehouse.
 func (c *checker) check8() []error {
 	hSum := map[int64]int64{}
-	c.scan(THistory, func(r storage.Row) { hSum[r[5].Int64()] += r[7].Int64() })
+	c.scan(THistory, func(r spi.Row) { hSum[r[5].Int64()] += r[7].Int64() })
 	var errs []error
-	c.scan(TWarehouse, func(r storage.Row) {
+	c.scan(TWarehouse, func(r spi.Row) {
 		w := r[0].Int64()
 		if r[colWYTD].Int64() != hSum[w] {
 			errs = append(errs, fmt.Errorf("warehouse %d: w_ytd=%d, sum(h_amount)=%d", w, r[colWYTD].Int64(), hSum[w]))
@@ -225,11 +225,11 @@ func (c *checker) check8() []error {
 // check9: D_YTD = sum(H_AMOUNT) per district.
 func (c *checker) check9() []error {
 	hSum := map[DistrictKey]int64{}
-	c.scan(THistory, func(r storage.Row) {
+	c.scan(THistory, func(r spi.Row) {
 		hSum[DistrictKey{r[5].Int64(), r[4].Int64()}] += r[7].Int64()
 	})
 	var errs []error
-	c.scan(TDistrict, func(r storage.Row) {
+	c.scan(TDistrict, func(r spi.Row) {
 		k := DistrictKey{r[0].Int64(), r[1].Int64()}
 		if r[colDYTD].Int64() != hSum[k] {
 			errs = append(errs, fmt.Errorf("district (%d,%d): d_ytd=%d, sum(h_amount)=%d", k.W, k.D, r[colDYTD].Int64(), hSum[k]))
@@ -244,11 +244,11 @@ type customerKey struct{ w, d, c int64 }
 // deliveredAmounts sums delivered order-line amounts per customer.
 func (c *checker) deliveredAmounts() map[customerKey]int64 {
 	owner := map[orderKey]int64{}
-	c.scan(TOrders, func(r storage.Row) {
+	c.scan(TOrders, func(r spi.Row) {
 		owner[orderKey{r[0].Int64(), r[1].Int64(), r[colOID].Int64()}] = r[colOCID].Int64()
 	})
 	out := map[customerKey]int64{}
-	c.scan(TOrderLine, func(r storage.Row) {
+	c.scan(TOrderLine, func(r spi.Row) {
 		if r[colOLDelivery].Int64() == 0 {
 			return
 		}
@@ -262,11 +262,11 @@ func (c *checker) deliveredAmounts() map[customerKey]int64 {
 func (c *checker) check10() []error {
 	delivered := c.deliveredAmounts()
 	paid := map[customerKey]int64{}
-	c.scan(THistory, func(r storage.Row) {
+	c.scan(THistory, func(r spi.Row) {
 		paid[customerKey{r[3].Int64(), r[2].Int64(), r[1].Int64()}] += r[7].Int64()
 	})
 	var errs []error
-	c.scan(TCustomer, func(r storage.Row) {
+	c.scan(TCustomer, func(r spi.Row) {
 		k := customerKey{r[0].Int64(), r[1].Int64(), r[2].Int64()}
 		want := delivered[k] - paid[k]
 		if r[colCBalance].Int64() != want {
@@ -282,11 +282,11 @@ func (c *checker) check10() []error {
 // queue; new-order and compensation change both counts together).
 func (c *checker) check11() []error {
 	oCnt := map[DistrictKey]int64{}
-	c.scan(TOrders, func(r storage.Row) { oCnt[DistrictKey{r[0].Int64(), r[1].Int64()}]++ })
+	c.scan(TOrders, func(r spi.Row) { oCnt[DistrictKey{r[0].Int64(), r[1].Int64()}]++ })
 	noCnt := map[DistrictKey]int64{}
-	c.scan(TNewOrder, func(r storage.Row) { noCnt[DistrictKey{r[0].Int64(), r[1].Int64()}]++ })
+	c.scan(TNewOrder, func(r spi.Row) { noCnt[DistrictKey{r[0].Int64(), r[1].Int64()}]++ })
 	delivered := map[DistrictKey]int64{}
-	c.scan(TOrders, func(r storage.Row) {
+	c.scan(TOrders, func(r spi.Row) {
 		if r[colOCarrier].Int64() != 0 {
 			delivered[DistrictKey{r[0].Int64(), r[1].Int64()}]++
 		}
@@ -305,7 +305,7 @@ func (c *checker) check11() []error {
 func (c *checker) check12() []error {
 	delivered := c.deliveredAmounts()
 	var errs []error
-	c.scan(TCustomer, func(r storage.Row) {
+	c.scan(TCustomer, func(r spi.Row) {
 		k := customerKey{r[0].Int64(), r[1].Int64(), r[2].Int64()}
 		got := r[colCBalance].Int64() + r[colCYTDPay].Int64()
 		if got != delivered[k] {

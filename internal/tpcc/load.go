@@ -5,7 +5,7 @@ import (
 	"math/rand"
 
 	"accdb/internal/core"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // Scale holds the database cardinalities. The paper ran one warehouse with
@@ -55,7 +55,7 @@ func Load(db *core.DB, s Scale, seed int64) error {
 			s.NewOrderBacklog, s.InitialOrdersPerDistrict)
 	}
 	r := rand.New(rand.NewSource(seed))
-	cat := db.Catalog
+	cat := db.Store()
 
 	items := cat.Table(TItem)
 	for i := 1; i <= s.Items; i++ {
@@ -63,11 +63,11 @@ func Load(db *core.DB, s Scale, seed int64) error {
 		if r.Intn(10) == 0 { // 10% "ORIGINAL"
 			data = "ORIGINAL" + data[8:]
 		}
-		if err := items.Insert(storage.Row{
-			storage.Int(i), storage.I64(randRange(r, 1, 10000)),
-			storage.Str(aString(r, 14, 24)),
-			storage.I64(randRange(r, 100, 10000)), // $1.00 - $100.00
-			storage.Str(data),
+		if err := items.Insert(spi.Row{
+			spi.Int(i), spi.I64(randRange(r, 1, 10000)),
+			spi.Str(aString(r, 14, 24)),
+			spi.I64(randRange(r, 100, 10000)), // $1.00 - $100.00
+			spi.Str(data),
 		}); err != nil {
 			return err
 		}
@@ -76,13 +76,13 @@ func Load(db *core.DB, s Scale, seed int64) error {
 	hID := int64(0)
 	for w := 1; w <= s.Warehouses; w++ {
 		wYTD := int64(s.Districts) * s.initialDYTD()
-		if err := cat.Table(TWarehouse).Insert(storage.Row{
-			storage.Int(w), storage.Str(aString(r, 6, 10)),
-			storage.Str(aString(r, 10, 20)), storage.Str(aString(r, 10, 20)),
-			storage.Str(aString(r, 10, 20)), storage.Str(aString(r, 2, 2)),
-			storage.Str(zipCode(r)),
-			storage.I64(randRange(r, 0, 2000)), // 0-20.00% in bp
-			storage.I64(wYTD),
+		if err := cat.Table(TWarehouse).Insert(spi.Row{
+			spi.Int(w), spi.Str(aString(r, 6, 10)),
+			spi.Str(aString(r, 10, 20)), spi.Str(aString(r, 10, 20)),
+			spi.Str(aString(r, 10, 20)), spi.Str(aString(r, 2, 2)),
+			spi.Str(zipCode(r)),
+			spi.I64(randRange(r, 0, 2000)), // 0-20.00% in bp
+			spi.I64(wYTD),
 		}); err != nil {
 			return err
 		}
@@ -92,12 +92,12 @@ func Load(db *core.DB, s Scale, seed int64) error {
 			if r.Intn(10) == 0 {
 				data = "ORIGINAL" + data[8:]
 			}
-			if err := stock.Insert(storage.Row{
-				storage.Int(w), storage.Int(i),
-				storage.I64(randRange(r, 10, 100)),
-				storage.Str(aString(r, 24, 24)),
-				storage.I64(0), storage.I64(0), storage.I64(0),
-				storage.Str(data),
+			if err := stock.Insert(spi.Row{
+				spi.Int(w), spi.Int(i),
+				spi.I64(randRange(r, 10, 100)),
+				spi.Str(aString(r, 24, 24)),
+				spi.I64(0), spi.I64(0), spi.I64(0),
+				spi.Str(data),
 			}); err != nil {
 				return err
 			}
@@ -112,15 +112,15 @@ func Load(db *core.DB, s Scale, seed int64) error {
 }
 
 func loadDistrict(db *core.DB, s Scale, r *rand.Rand, w, d int, hID *int64) error {
-	cat := db.Catalog
-	if err := cat.Table(TDistrict).Insert(storage.Row{
-		storage.Int(w), storage.Int(d),
-		storage.Str(aString(r, 6, 10)),
-		storage.Str(aString(r, 10, 20)), storage.Str(aString(r, 10, 20)),
-		storage.Str(aString(r, 2, 2)), storage.Str(zipCode(r)),
-		storage.I64(randRange(r, 0, 2000)),
-		storage.I64(s.initialDYTD()),
-		storage.Int(s.InitialOrdersPerDistrict + 1), // d_next_o_id
+	cat := db.Store()
+	if err := cat.Table(TDistrict).Insert(spi.Row{
+		spi.Int(w), spi.Int(d),
+		spi.Str(aString(r, 6, 10)),
+		spi.Str(aString(r, 10, 20)), spi.Str(aString(r, 10, 20)),
+		spi.Str(aString(r, 2, 2)), spi.Str(zipCode(r)),
+		spi.I64(randRange(r, 0, 2000)),
+		spi.I64(s.initialDYTD()),
+		spi.Int(s.InitialOrdersPerDistrict + 1), // d_next_o_id
 	}); err != nil {
 		return err
 	}
@@ -138,28 +138,28 @@ func loadDistrict(db *core.DB, s Scale, r *rand.Rand, w, d int, hID *int64) erro
 		if r.Intn(10) == 0 { // 10% bad credit
 			credit = "BC"
 		}
-		if err := customers.Insert(storage.Row{
-			storage.Int(w), storage.Int(d), storage.Int(c),
-			storage.Str(aString(r, 8, 16)), storage.Str("OE"), storage.Str(last),
-			storage.Str(aString(r, 10, 20)), storage.Str(aString(r, 10, 20)),
-			storage.Str(aString(r, 2, 2)), storage.Str(zipCode(r)),
-			storage.Str(nString(r, 16, 16)),
-			storage.I64(0), storage.Str(credit),
-			storage.I64(5000000), // $50,000.00 credit limit
-			storage.I64(randRange(r, 0, 5000)),
-			storage.I64(-1000), // c_balance = -10.00
-			storage.I64(1000),  // c_ytd_payment = 10.00
-			storage.I64(1), storage.I64(0),
-			storage.Str(aString(r, 30, 50)),
+		if err := customers.Insert(spi.Row{
+			spi.Int(w), spi.Int(d), spi.Int(c),
+			spi.Str(aString(r, 8, 16)), spi.Str("OE"), spi.Str(last),
+			spi.Str(aString(r, 10, 20)), spi.Str(aString(r, 10, 20)),
+			spi.Str(aString(r, 2, 2)), spi.Str(zipCode(r)),
+			spi.Str(nString(r, 16, 16)),
+			spi.I64(0), spi.Str(credit),
+			spi.I64(5000000), // $50,000.00 credit limit
+			spi.I64(randRange(r, 0, 5000)),
+			spi.I64(-1000), // c_balance = -10.00
+			spi.I64(1000),  // c_ytd_payment = 10.00
+			spi.I64(1), spi.I64(0),
+			spi.Str(aString(r, 30, 50)),
 		}); err != nil {
 			return err
 		}
 		*hID++
-		if err := history.Insert(storage.Row{
-			storage.I64(*hID),
-			storage.Int(c), storage.Int(d), storage.Int(w),
-			storage.Int(d), storage.Int(w),
-			storage.I64(0), storage.I64(1000), storage.Str(aString(r, 12, 24)),
+		if err := history.Insert(spi.Row{
+			spi.I64(*hID),
+			spi.Int(c), spi.Int(d), spi.Int(w),
+			spi.Int(d), spi.Int(w),
+			spi.I64(0), spi.I64(1000), spi.Str(aString(r, 12, 24)),
 		}); err != nil {
 			return err
 		}
@@ -179,10 +179,10 @@ func loadDistrict(db *core.DB, s Scale, r *rand.Rand, w, d int, hID *int64) erro
 		if o <= deliveredCut {
 			carrier = randRange(r, 1, 10)
 		}
-		if err := orders.Insert(storage.Row{
-			storage.Int(w), storage.Int(d), storage.Int(o),
-			storage.Int(cID), storage.I64(0), storage.I64(carrier),
-			storage.I64(olCnt), storage.I64(1),
+		if err := orders.Insert(spi.Row{
+			spi.Int(w), spi.Int(d), spi.Int(o),
+			spi.Int(cID), spi.I64(0), spi.I64(carrier),
+			spi.I64(olCnt), spi.I64(1),
 		}); err != nil {
 			return err
 		}
@@ -192,18 +192,18 @@ func loadDistrict(db *core.DB, s Scale, r *rand.Rand, w, d int, hID *int64) erro
 				amount = randRange(r, 1, 999999)
 				deliveryD = 0
 			}
-			if err := orderLines.Insert(storage.Row{
-				storage.Int(w), storage.Int(d), storage.Int(o), storage.I64(l),
-				storage.I64(randRange(r, 1, int64(s.Items))), storage.Int(w),
-				storage.I64(deliveryD), storage.I64(5), storage.I64(amount),
-				storage.Str(aString(r, 24, 24)),
+			if err := orderLines.Insert(spi.Row{
+				spi.Int(w), spi.Int(d), spi.Int(o), spi.I64(l),
+				spi.I64(randRange(r, 1, int64(s.Items))), spi.Int(w),
+				spi.I64(deliveryD), spi.I64(5), spi.I64(amount),
+				spi.Str(aString(r, 24, 24)),
 			}); err != nil {
 				return err
 			}
 		}
 		if o > deliveredCut {
-			if err := newOrders.Insert(storage.Row{
-				storage.Int(w), storage.Int(d), storage.Int(o),
+			if err := newOrders.Insert(spi.Row{
+				spi.Int(w), spi.Int(d), spi.Int(o),
 			}); err != nil {
 				return err
 			}

@@ -2,7 +2,7 @@ package tpcc
 
 import (
 	"accdb/internal/core"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // Table names.
@@ -29,113 +29,113 @@ const (
 // points, so the consistency conditions are exact integer identities.
 
 var (
-	warehouseSchema = storage.MustSchema(TWarehouse, []storage.Column{
-		{Name: "w_id", Kind: storage.KindInt},
-		{Name: "w_name", Kind: storage.KindString},
-		{Name: "w_street_1", Kind: storage.KindString},
-		{Name: "w_street_2", Kind: storage.KindString},
-		{Name: "w_city", Kind: storage.KindString},
-		{Name: "w_state", Kind: storage.KindString},
-		{Name: "w_zip", Kind: storage.KindString},
-		{Name: "w_tax", Kind: storage.KindInt},
-		{Name: "w_ytd", Kind: storage.KindInt},
+	warehouseSchema = spi.MustSchema(TWarehouse, []spi.Column{
+		{Name: "w_id", Kind: spi.KindInt},
+		{Name: "w_name", Kind: spi.KindString},
+		{Name: "w_street_1", Kind: spi.KindString},
+		{Name: "w_street_2", Kind: spi.KindString},
+		{Name: "w_city", Kind: spi.KindString},
+		{Name: "w_state", Kind: spi.KindString},
+		{Name: "w_zip", Kind: spi.KindString},
+		{Name: "w_tax", Kind: spi.KindInt},
+		{Name: "w_ytd", Kind: spi.KindInt},
 	}, "w_id")
 
-	districtSchema = storage.MustSchema(TDistrict, []storage.Column{
-		{Name: "d_w_id", Kind: storage.KindInt},
-		{Name: "d_id", Kind: storage.KindInt},
-		{Name: "d_name", Kind: storage.KindString},
-		{Name: "d_street_1", Kind: storage.KindString},
-		{Name: "d_city", Kind: storage.KindString},
-		{Name: "d_state", Kind: storage.KindString},
-		{Name: "d_zip", Kind: storage.KindString},
-		{Name: "d_tax", Kind: storage.KindInt},
-		{Name: "d_ytd", Kind: storage.KindInt},
-		{Name: "d_next_o_id", Kind: storage.KindInt},
+	districtSchema = spi.MustSchema(TDistrict, []spi.Column{
+		{Name: "d_w_id", Kind: spi.KindInt},
+		{Name: "d_id", Kind: spi.KindInt},
+		{Name: "d_name", Kind: spi.KindString},
+		{Name: "d_street_1", Kind: spi.KindString},
+		{Name: "d_city", Kind: spi.KindString},
+		{Name: "d_state", Kind: spi.KindString},
+		{Name: "d_zip", Kind: spi.KindString},
+		{Name: "d_tax", Kind: spi.KindInt},
+		{Name: "d_ytd", Kind: spi.KindInt},
+		{Name: "d_next_o_id", Kind: spi.KindInt},
 	}, "d_w_id", "d_id")
 
-	customerSchema = storage.MustSchema(TCustomer, []storage.Column{
-		{Name: "c_w_id", Kind: storage.KindInt},
-		{Name: "c_d_id", Kind: storage.KindInt},
-		{Name: "c_id", Kind: storage.KindInt},
-		{Name: "c_first", Kind: storage.KindString},
-		{Name: "c_middle", Kind: storage.KindString},
-		{Name: "c_last", Kind: storage.KindString},
-		{Name: "c_street_1", Kind: storage.KindString},
-		{Name: "c_city", Kind: storage.KindString},
-		{Name: "c_state", Kind: storage.KindString},
-		{Name: "c_zip", Kind: storage.KindString},
-		{Name: "c_phone", Kind: storage.KindString},
-		{Name: "c_since", Kind: storage.KindInt},
-		{Name: "c_credit", Kind: storage.KindString},
-		{Name: "c_credit_lim", Kind: storage.KindInt},
-		{Name: "c_discount", Kind: storage.KindInt},
-		{Name: "c_balance", Kind: storage.KindInt},
-		{Name: "c_ytd_payment", Kind: storage.KindInt},
-		{Name: "c_payment_cnt", Kind: storage.KindInt},
-		{Name: "c_delivery_cnt", Kind: storage.KindInt},
-		{Name: "c_data", Kind: storage.KindString},
+	customerSchema = spi.MustSchema(TCustomer, []spi.Column{
+		{Name: "c_w_id", Kind: spi.KindInt},
+		{Name: "c_d_id", Kind: spi.KindInt},
+		{Name: "c_id", Kind: spi.KindInt},
+		{Name: "c_first", Kind: spi.KindString},
+		{Name: "c_middle", Kind: spi.KindString},
+		{Name: "c_last", Kind: spi.KindString},
+		{Name: "c_street_1", Kind: spi.KindString},
+		{Name: "c_city", Kind: spi.KindString},
+		{Name: "c_state", Kind: spi.KindString},
+		{Name: "c_zip", Kind: spi.KindString},
+		{Name: "c_phone", Kind: spi.KindString},
+		{Name: "c_since", Kind: spi.KindInt},
+		{Name: "c_credit", Kind: spi.KindString},
+		{Name: "c_credit_lim", Kind: spi.KindInt},
+		{Name: "c_discount", Kind: spi.KindInt},
+		{Name: "c_balance", Kind: spi.KindInt},
+		{Name: "c_ytd_payment", Kind: spi.KindInt},
+		{Name: "c_payment_cnt", Kind: spi.KindInt},
+		{Name: "c_delivery_cnt", Kind: spi.KindInt},
+		{Name: "c_data", Kind: spi.KindString},
 	}, "c_w_id", "c_d_id", "c_id")
 
-	historySchema = storage.MustSchema(THistory, []storage.Column{
-		{Name: "h_id", Kind: storage.KindInt},
-		{Name: "h_c_id", Kind: storage.KindInt},
-		{Name: "h_c_d_id", Kind: storage.KindInt},
-		{Name: "h_c_w_id", Kind: storage.KindInt},
-		{Name: "h_d_id", Kind: storage.KindInt},
-		{Name: "h_w_id", Kind: storage.KindInt},
-		{Name: "h_date", Kind: storage.KindInt},
-		{Name: "h_amount", Kind: storage.KindInt},
-		{Name: "h_data", Kind: storage.KindString},
+	historySchema = spi.MustSchema(THistory, []spi.Column{
+		{Name: "h_id", Kind: spi.KindInt},
+		{Name: "h_c_id", Kind: spi.KindInt},
+		{Name: "h_c_d_id", Kind: spi.KindInt},
+		{Name: "h_c_w_id", Kind: spi.KindInt},
+		{Name: "h_d_id", Kind: spi.KindInt},
+		{Name: "h_w_id", Kind: spi.KindInt},
+		{Name: "h_date", Kind: spi.KindInt},
+		{Name: "h_amount", Kind: spi.KindInt},
+		{Name: "h_data", Kind: spi.KindString},
 	}, "h_id")
 
-	newOrderSchema = storage.MustSchema(TNewOrder, []storage.Column{
-		{Name: "no_w_id", Kind: storage.KindInt},
-		{Name: "no_d_id", Kind: storage.KindInt},
-		{Name: "no_o_id", Kind: storage.KindInt},
+	newOrderSchema = spi.MustSchema(TNewOrder, []spi.Column{
+		{Name: "no_w_id", Kind: spi.KindInt},
+		{Name: "no_d_id", Kind: spi.KindInt},
+		{Name: "no_o_id", Kind: spi.KindInt},
 	}, "no_w_id", "no_d_id", "no_o_id")
 
-	ordersSchema = storage.MustSchema(TOrders, []storage.Column{
-		{Name: "o_w_id", Kind: storage.KindInt},
-		{Name: "o_d_id", Kind: storage.KindInt},
-		{Name: "o_id", Kind: storage.KindInt},
-		{Name: "o_c_id", Kind: storage.KindInt},
-		{Name: "o_entry_d", Kind: storage.KindInt},
-		{Name: "o_carrier_id", Kind: storage.KindInt}, // 0 = not delivered
-		{Name: "o_ol_cnt", Kind: storage.KindInt},
-		{Name: "o_all_local", Kind: storage.KindInt},
+	ordersSchema = spi.MustSchema(TOrders, []spi.Column{
+		{Name: "o_w_id", Kind: spi.KindInt},
+		{Name: "o_d_id", Kind: spi.KindInt},
+		{Name: "o_id", Kind: spi.KindInt},
+		{Name: "o_c_id", Kind: spi.KindInt},
+		{Name: "o_entry_d", Kind: spi.KindInt},
+		{Name: "o_carrier_id", Kind: spi.KindInt}, // 0 = not delivered
+		{Name: "o_ol_cnt", Kind: spi.KindInt},
+		{Name: "o_all_local", Kind: spi.KindInt},
 	}, "o_w_id", "o_d_id", "o_id")
 
-	orderLineSchema = storage.MustSchema(TOrderLine, []storage.Column{
-		{Name: "ol_w_id", Kind: storage.KindInt},
-		{Name: "ol_d_id", Kind: storage.KindInt},
-		{Name: "ol_o_id", Kind: storage.KindInt},
-		{Name: "ol_number", Kind: storage.KindInt},
-		{Name: "ol_i_id", Kind: storage.KindInt},
-		{Name: "ol_supply_w_id", Kind: storage.KindInt},
-		{Name: "ol_delivery_d", Kind: storage.KindInt}, // 0 = not delivered
-		{Name: "ol_quantity", Kind: storage.KindInt},
-		{Name: "ol_amount", Kind: storage.KindInt},
-		{Name: "ol_dist_info", Kind: storage.KindString},
+	orderLineSchema = spi.MustSchema(TOrderLine, []spi.Column{
+		{Name: "ol_w_id", Kind: spi.KindInt},
+		{Name: "ol_d_id", Kind: spi.KindInt},
+		{Name: "ol_o_id", Kind: spi.KindInt},
+		{Name: "ol_number", Kind: spi.KindInt},
+		{Name: "ol_i_id", Kind: spi.KindInt},
+		{Name: "ol_supply_w_id", Kind: spi.KindInt},
+		{Name: "ol_delivery_d", Kind: spi.KindInt}, // 0 = not delivered
+		{Name: "ol_quantity", Kind: spi.KindInt},
+		{Name: "ol_amount", Kind: spi.KindInt},
+		{Name: "ol_dist_info", Kind: spi.KindString},
 	}, "ol_w_id", "ol_d_id", "ol_o_id", "ol_number")
 
-	itemSchema = storage.MustSchema(TItem, []storage.Column{
-		{Name: "i_id", Kind: storage.KindInt},
-		{Name: "i_im_id", Kind: storage.KindInt},
-		{Name: "i_name", Kind: storage.KindString},
-		{Name: "i_price", Kind: storage.KindInt},
-		{Name: "i_data", Kind: storage.KindString},
+	itemSchema = spi.MustSchema(TItem, []spi.Column{
+		{Name: "i_id", Kind: spi.KindInt},
+		{Name: "i_im_id", Kind: spi.KindInt},
+		{Name: "i_name", Kind: spi.KindString},
+		{Name: "i_price", Kind: spi.KindInt},
+		{Name: "i_data", Kind: spi.KindString},
 	}, "i_id")
 
-	stockSchema = storage.MustSchema(TStock, []storage.Column{
-		{Name: "s_w_id", Kind: storage.KindInt},
-		{Name: "s_i_id", Kind: storage.KindInt},
-		{Name: "s_quantity", Kind: storage.KindInt},
-		{Name: "s_dist_info", Kind: storage.KindString},
-		{Name: "s_ytd", Kind: storage.KindInt},
-		{Name: "s_order_cnt", Kind: storage.KindInt},
-		{Name: "s_remote_cnt", Kind: storage.KindInt},
-		{Name: "s_data", Kind: storage.KindString},
+	stockSchema = spi.MustSchema(TStock, []spi.Column{
+		{Name: "s_w_id", Kind: spi.KindInt},
+		{Name: "s_i_id", Kind: spi.KindInt},
+		{Name: "s_quantity", Kind: spi.KindInt},
+		{Name: "s_dist_info", Kind: spi.KindString},
+		{Name: "s_ytd", Kind: spi.KindInt},
+		{Name: "s_order_cnt", Kind: spi.KindInt},
+		{Name: "s_remote_cnt", Kind: spi.KindInt},
+		{Name: "s_data", Kind: spi.KindString},
 	}, "s_w_id", "s_i_id")
 )
 
@@ -164,7 +164,7 @@ func CreateSchema(db *core.DB) error {
 	if err != nil {
 		return err
 	}
-	if err := ct.AddIndex(storage.IndexDef{
+	if err := ct.AddIndex(spi.IndexDef{
 		Name: IdxCustomerByLast, Columns: []string{"c_w_id", "c_d_id", "c_last"},
 	}); err != nil {
 		return err
@@ -176,7 +176,7 @@ func CreateSchema(db *core.DB) error {
 	if err != nil {
 		return err
 	}
-	if err := nt.AddIndex(storage.IndexDef{
+	if err := nt.AddIndex(spi.IndexDef{
 		Name: IdxNewOrderByDist, Columns: []string{"no_w_id", "no_d_id"},
 	}); err != nil {
 		return err
@@ -185,7 +185,7 @@ func CreateSchema(db *core.DB) error {
 	if err != nil {
 		return err
 	}
-	if err := ot.AddIndex(storage.IndexDef{
+	if err := ot.AddIndex(spi.IndexDef{
 		Name: IdxOrdersByCust, Columns: []string{"o_w_id", "o_d_id", "o_c_id"},
 	}); err != nil {
 		return err

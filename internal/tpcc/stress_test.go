@@ -10,7 +10,7 @@ import (
 	"accdb/internal/core"
 	"accdb/internal/metrics"
 	"accdb/internal/sim"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 func TestStressMixACC(t *testing.T) {
@@ -94,13 +94,13 @@ func TestStressMixACCWithEnv(t *testing.T) {
 		bad++
 	}
 	// For a few violating orders, dump their state.
-	ot := eng.DB().Catalog.Table(TOrders)
+	ot := eng.DB().Table(TOrders)
 	shown := 0
-	ot.Scan(func(_ storage.Key, row storage.Row) bool {
+	ot.Scan(func(_ spi.Key, row spi.Row) bool {
 		wid, did, o := row[0].Int64(), row[1].Int64(), row[2].Int64()
 		cnt := row[colOOLCnt].Int64()
 		lines := int64(0)
-		eng.DB().Catalog.Table(TOrderLine).Scan(func(_ storage.Key, lr storage.Row) bool {
+		eng.DB().Table(TOrderLine).Scan(func(_ spi.Key, lr spi.Row) bool {
 			if lr[0].Int64() == wid && lr[1].Int64() == did && lr[2].Int64() == o {
 				lines++
 			}
@@ -108,7 +108,7 @@ func TestStressMixACCWithEnv(t *testing.T) {
 		})
 		if cnt != lines && shown < 5 {
 			shown++
-			noExists := eng.DB().Catalog.Table(TNewOrder).Exists(storage.EncodeKey(row[0], row[1], row[2]))
+			noExists := eng.DB().Table(TNewOrder).Exists(spi.EncodeKey(row[0], row[1], row[2]))
 			t.Logf("order (%d,%d,%d): cnt=%d lines=%d carrier=%d queued=%v hole=%v",
 				wid, did, o, cnt, lines, row[colOCarrier].Int64(), noExists, holes[DistrictKey{wid, did}][o])
 		}

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"accdb/internal/core"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 func TestNURandBounds(t *testing.T) {
@@ -181,9 +181,9 @@ func TestConsistencyCheckerDetectsCorruption(t *testing.T) {
 		t.Fatalf("clean state flagged: %v", errs[0])
 	}
 	// Corrupt: delete one order line behind the engine's back.
-	ol := eng.DB().Catalog.Table(TOrderLine)
-	var victim storage.Key
-	ol.Scan(func(pk storage.Key, _ storage.Row) bool {
+	ol := eng.DB().Table(TOrderLine)
+	var victim spi.Key
+	ol.Scan(func(pk spi.Key, _ spi.Row) bool {
 		victim = pk
 		return false
 	})
@@ -213,10 +213,10 @@ func TestConsistencyCheckerDetectsCorruption(t *testing.T) {
 func TestConsistencyCheckerDetectsYTDDrift(t *testing.T) {
 	eng, w := testSystem(t, core.ModeACC, smallScale())
 	// Corrupt w_ytd.
-	wt := eng.DB().Catalog.Table(TWarehouse)
-	pk := storage.EncodeKey(storage.I64(1))
+	wt := eng.DB().Table(TWarehouse)
+	pk := spi.EncodeKey(spi.I64(1))
 	row, _ := wt.Get(pk)
-	row[colWYTD] = storage.I64(row[colWYTD].Int64() + 1)
+	row[colWYTD] = spi.I64(row[colWYTD].Int64() + 1)
 	wt.Update(pk, row)
 	errs := CheckConsistency(eng.DB(), w.cfg.Scale, w.Holes())
 	if len(errs) == 0 {
@@ -315,13 +315,13 @@ func TestLegacyTransactionOnTPCC(t *testing.T) {
 	var orders, lines int64
 	err := eng.RunLegacy("count", func(tc *core.Ctx) error {
 		orders, lines = 0, 0
-		if err := tc.Scan(TOrders, func(row storage.Row) error {
+		if err := tc.Scan(TOrders, func(row spi.Row) error {
 			orders += row[colOOLCnt].Int64()
 			return nil
 		}); err != nil {
 			return err
 		}
-		return tc.Scan(TOrderLine, func(storage.Row) error {
+		return tc.Scan(TOrderLine, func(spi.Row) error {
 			lines++
 			return nil
 		})
@@ -343,11 +343,11 @@ func TestBaselineRollbackRestoresCounter(t *testing.T) {
 	a := w.NewOrderArgs(r)
 	a.InvalidItem = true
 	a.Lines[len(a.Lines)-1].ItemID = int64(scale.Items) + 1
-	before, _ := eng.DB().Catalog.Table(TDistrict).Get(storage.EncodeKey(i64(1), i64(a.DID)))
+	before, _ := eng.DB().Table(TDistrict).Get(spi.EncodeKey(i64(1), i64(a.DID)))
 	if err := eng.Run("new_order", a); err == nil {
 		t.Fatal("invalid item should abort")
 	}
-	after, _ := eng.DB().Catalog.Table(TDistrict).Get(storage.EncodeKey(i64(1), i64(a.DID)))
+	after, _ := eng.DB().Table(TDistrict).Get(spi.EncodeKey(i64(1), i64(a.DID)))
 	if before[colDNext].Int64() != after[colDNext].Int64() {
 		t.Fatal("baseline rollback must restore the order counter")
 	}

@@ -6,8 +6,7 @@ import (
 	"sort"
 
 	"accdb/internal/core"
-	"accdb/internal/lock"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // Column ordinals, resolved once against the schemas.
@@ -49,7 +48,7 @@ var (
 	colSOrderCnt = stockSchema.MustCol("s_order_cnt")
 )
 
-func i64(v int64) storage.Value { return storage.I64(v) }
+func i64(v int64) spi.Value { return spi.I64(v) }
 
 // Registration binds the TPC-C transaction types to an engine.
 type Registration struct {
@@ -90,65 +89,65 @@ func (reg *Registration) buildAssertions() {
 	reg.aNoOpen = &core.Assertion{
 		ID:   reg.Types.ANoOpen,
 		Name: "A_NO_OPEN",
-		Covers: func(args any, item lock.Item) bool {
+		Covers: func(args any, item spi.Item) bool {
 			a := args.(*NewOrderArgs)
 			if a.ONum == 0 {
 				return false // order id not assigned yet
 			}
-			key := storage.EncodeKey(i64(a.WID), i64(a.DID), i64(a.ONum))
+			key := spi.EncodeKey(i64(a.WID), i64(a.DID), i64(a.ONum))
 			switch {
-			case item.Table == TOrders && item.Level == lock.LevelRow:
+			case item.Table == TOrders && item.Level == spi.LevelRow:
 				return item.Key == key
-			case item.Table == TNewOrder && item.Level == lock.LevelRow:
+			case item.Table == TNewOrder && item.Level == spi.LevelRow:
 				return item.Key == key
-			case item.Table == TOrderLine && item.Level == lock.LevelPartition:
+			case item.Table == TOrderLine && item.Level == spi.LevelPartition:
 				return item.Key == key
 			}
 			return false
 		},
-		Items: func(args any) []lock.Item {
+		Items: func(args any) []spi.Item {
 			a := args.(*NewOrderArgs)
 			if a.ONum == 0 {
 				return nil // the §3.2 false-conflict case: identity unknown
 			}
-			key := storage.EncodeKey(i64(a.WID), i64(a.DID), i64(a.ONum))
-			return []lock.Item{
-				lock.RowItem(TOrders, key),
-				lock.RowItem(TNewOrder, key),
-				lock.PartitionItem(TOrderLine, key),
+			key := spi.EncodeKey(i64(a.WID), i64(a.DID), i64(a.ONum))
+			return []spi.Item{
+				spi.RowItem(TOrders, key),
+				spi.RowItem(TNewOrder, key),
+				spi.PartitionItem(TOrderLine, key),
 			}
 		},
 	}
 	reg.aDlvClaim = &core.Assertion{
 		ID:   reg.Types.ADlvClaim,
 		Name: "A_DLV_CLAIM",
-		Covers: func(args any, item lock.Item) bool {
+		Covers: func(args any, item spi.Item) bool {
 			a := args.(*DeliveryArgs)
 			for d, o := range a.Claimed {
 				if o == 0 {
 					continue
 				}
-				key := storage.EncodeKey(i64(a.WID), i64(int64(d+1)), i64(o))
-				if item.Table == TOrders && item.Level == lock.LevelRow && item.Key == key {
+				key := spi.EncodeKey(i64(a.WID), i64(int64(d+1)), i64(o))
+				if item.Table == TOrders && item.Level == spi.LevelRow && item.Key == key {
 					return true
 				}
-				if item.Table == TOrderLine && item.Level == lock.LevelPartition && item.Key == key {
+				if item.Table == TOrderLine && item.Level == spi.LevelPartition && item.Key == key {
 					return true
 				}
 			}
 			return false
 		},
-		Items: func(args any) []lock.Item {
+		Items: func(args any) []spi.Item {
 			a := args.(*DeliveryArgs)
-			var out []lock.Item
+			var out []spi.Item
 			for d, o := range a.Claimed {
 				if o == 0 {
 					continue
 				}
-				key := storage.EncodeKey(i64(a.WID), i64(int64(d+1)), i64(o))
+				key := spi.EncodeKey(i64(a.WID), i64(int64(d+1)), i64(o))
 				out = append(out,
-					lock.RowItem(TOrders, key),
-					lock.PartitionItem(TOrderLine, key))
+					spi.RowItem(TOrders, key),
+					spi.PartitionItem(TOrderLine, key))
 			}
 			return out
 		},
@@ -203,7 +202,7 @@ func (reg *Registration) noSetup(tc *core.Ctx) error {
 		return err
 	}
 	a.WTax = wrow[colWTax].Int64()
-	err = tc.Update(TDistrict, []storage.Value{i64(a.WID), i64(a.DID)}, func(row storage.Row) error {
+	err = tc.Update(TDistrict, []spi.Value{i64(a.WID), i64(a.DID)}, func(row spi.Row) error {
 		a.DTax = row[colDTax].Int64()
 		a.ONum = row[colDNext].Int64()
 		row[colDNext] = i64(a.ONum + 1)
@@ -217,13 +216,13 @@ func (reg *Registration) noSetup(tc *core.Ctx) error {
 		return err
 	}
 	a.CDiscount = crow[colCDiscount].Int64()
-	if err := tc.Insert(TOrders, storage.Row{
+	if err := tc.Insert(TOrders, spi.Row{
 		i64(a.WID), i64(a.DID), i64(a.ONum), i64(a.CID),
 		i64(0), i64(0), i64(int64(len(a.Lines))), i64(1),
 	}); err != nil {
 		return err
 	}
-	return tc.Insert(TNewOrder, storage.Row{i64(a.WID), i64(a.DID), i64(a.ONum)})
+	return tc.Insert(TNewOrder, spi.Row{i64(a.WID), i64(a.DID), i64(a.ONum)})
 }
 
 // noLine is NO2: one order line — read the item, deplete the stock by the
@@ -236,14 +235,14 @@ func (reg *Registration) noLine(i int) func(*core.Ctx) error {
 		l := a.Lines[i]
 		irow, err := tc.Get(TItem, i64(l.ItemID))
 		if err != nil {
-			if errors.Is(err, storage.ErrNotFound) {
+			if errors.Is(err, spi.ErrNotFound) {
 				return tc.Abort("unused item number")
 			}
 			return err
 		}
 		price := irow[colIPrice].Int64()
 		var taken int64
-		err = tc.Update(TStock, []storage.Value{i64(l.SupplyW), i64(l.ItemID)}, func(row storage.Row) error {
+		err = tc.Update(TStock, []spi.Value{i64(l.SupplyW), i64(l.ItemID)}, func(row spi.Row) error {
 			q := row[colSQty].Int64()
 			var nq int64
 			if q >= l.Quantity+10 {
@@ -261,10 +260,10 @@ func (reg *Registration) noLine(i int) func(*core.Ctx) error {
 			return err
 		}
 		amount := l.Quantity * price
-		if err := tc.Insert(TOrderLine, storage.Row{
+		if err := tc.Insert(TOrderLine, spi.Row{
 			i64(a.WID), i64(a.DID), i64(a.ONum), i64(int64(i + 1)),
 			i64(l.ItemID), i64(l.SupplyW), i64(0), i64(l.Quantity), i64(amount),
-			storage.Str(""),
+			spi.Str(""),
 		}); err != nil {
 			return err
 		}
@@ -280,8 +279,8 @@ func (reg *Registration) noFinalize(tc *core.Ctx) error {
 	a := tc.Args().(*NewOrderArgs)
 	var sum int64
 	err := tc.ScanPartition(TOrderLine,
-		[]storage.Value{i64(a.WID), i64(a.DID), i64(a.ONum)},
-		func(row storage.Row) error {
+		[]spi.Value{i64(a.WID), i64(a.DID), i64(a.ONum)},
+		func(row spi.Row) error {
 			sum += row[colOLAmount].Int64()
 			return nil
 		})
@@ -318,7 +317,7 @@ func (reg *Registration) noCompensate(tc *core.Ctx, completed int) error {
 	for _, i := range order {
 		l := a.Lines[i]
 		taken, qty := a.Filled[i], l.Quantity
-		err := tc.Update(TStock, []storage.Value{i64(l.SupplyW), i64(l.ItemID)}, func(row storage.Row) error {
+		err := tc.Update(TStock, []spi.Value{i64(l.SupplyW), i64(l.ItemID)}, func(row spi.Row) error {
 			row[colSQty] = i64(row[colSQty].Int64() + taken)
 			row[colSYTD] = i64(row[colSYTD].Int64() - qty)
 			row[colSOrderCnt] = i64(row[colSOrderCnt].Int64() - 1)
@@ -332,11 +331,11 @@ func (reg *Registration) noCompensate(tc *core.Ctx, completed int) error {
 		}
 	}
 	if err := tc.Delete(TNewOrder, i64(a.WID), i64(a.DID), i64(a.ONum)); err != nil &&
-		!errors.Is(err, storage.ErrNotFound) {
+		!errors.Is(err, spi.ErrNotFound) {
 		return err
 	}
 	if err := tc.Delete(TOrders, i64(a.WID), i64(a.DID), i64(a.ONum)); err != nil &&
-		!errors.Is(err, storage.ErrNotFound) {
+		!errors.Is(err, spi.ErrNotFound) {
 		return err
 	}
 	return nil
@@ -373,7 +372,7 @@ func (reg *Registration) paymentType() *core.TxnType {
 
 func (reg *Registration) payWarehouse(tc *core.Ctx) error {
 	a := tc.Args().(*PaymentArgs)
-	return tc.Update(TWarehouse, []storage.Value{i64(a.WID)}, func(row storage.Row) error {
+	return tc.Update(TWarehouse, []spi.Value{i64(a.WID)}, func(row spi.Row) error {
 		row[colWYTD] = i64(row[colWYTD].Int64() + a.Amount)
 		return nil
 	})
@@ -381,7 +380,7 @@ func (reg *Registration) payWarehouse(tc *core.Ctx) error {
 
 func (reg *Registration) payDistrict(tc *core.Ctx) error {
 	a := tc.Args().(*PaymentArgs)
-	return tc.Update(TDistrict, []storage.Value{i64(a.WID), i64(a.DID)}, func(row storage.Row) error {
+	return tc.Update(TDistrict, []spi.Value{i64(a.WID), i64(a.DID)}, func(row spi.Row) error {
 		row[colDYTD] = i64(row[colDYTD].Int64() + a.Amount)
 		return nil
 	})
@@ -394,7 +393,7 @@ func resolveCustomer(tc *core.Ctx, wid, did int64, cid int64, clast string) (int
 		return cid, nil
 	}
 	rows, err := tc.LookupByIndex(TCustomer, IdxCustomerByLast,
-		[]storage.Value{i64(wid), i64(did), storage.Str(clast)})
+		[]spi.Value{i64(wid), i64(did), spi.Str(clast)})
 	if err != nil {
 		return 0, err
 	}
@@ -414,7 +413,7 @@ func (reg *Registration) payCustomer(tc *core.Ctx) error {
 		return err
 	}
 	a.ResolvedCID = cid
-	err = tc.Update(TCustomer, []storage.Value{i64(a.CWID), i64(a.CDID), i64(cid)}, func(row storage.Row) error {
+	err = tc.Update(TCustomer, []spi.Value{i64(a.CWID), i64(a.CDID), i64(cid)}, func(row spi.Row) error {
 		row[colCBalance] = i64(row[colCBalance].Int64() - a.Amount)
 		row[colCYTDPay] = i64(row[colCYTDPay].Int64() + a.Amount)
 		row[colCPayCnt] = i64(row[colCPayCnt].Int64() + 1)
@@ -424,16 +423,16 @@ func (reg *Registration) payCustomer(tc *core.Ctx) error {
 			if len(data) > 500 {
 				data = data[:500]
 			}
-			row[colCData] = storage.Str(data)
+			row[colCData] = spi.Str(data)
 		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	return tc.Insert(THistory, storage.Row{
+	return tc.Insert(THistory, spi.Row{
 		i64(a.HID), i64(cid), i64(a.CDID), i64(a.CWID),
-		i64(a.DID), i64(a.WID), i64(a.Date), i64(a.Amount), storage.Str(""),
+		i64(a.DID), i64(a.WID), i64(a.Date), i64(a.Amount), spi.Str(""),
 	})
 }
 
@@ -444,7 +443,7 @@ func (reg *Registration) payCustomer(tc *core.Ctx) error {
 func (reg *Registration) payCompensate(tc *core.Ctx, completed int) error {
 	a := tc.Args().(*PaymentArgs)
 	if completed >= 1 {
-		err := tc.Update(TCustomer, []storage.Value{i64(a.CWID), i64(a.CDID), i64(a.ResolvedCID)}, func(row storage.Row) error {
+		err := tc.Update(TCustomer, []spi.Value{i64(a.CWID), i64(a.CDID), i64(a.ResolvedCID)}, func(row spi.Row) error {
 			row[colCBalance] = i64(row[colCBalance].Int64() + a.Amount)
 			row[colCYTDPay] = i64(row[colCYTDPay].Int64() - a.Amount)
 			row[colCPayCnt] = i64(row[colCPayCnt].Int64() - 1)
@@ -454,12 +453,12 @@ func (reg *Registration) payCompensate(tc *core.Ctx, completed int) error {
 			return err
 		}
 		if err := tc.Delete(THistory, i64(a.HID)); err != nil &&
-			!errors.Is(err, storage.ErrNotFound) {
+			!errors.Is(err, spi.ErrNotFound) {
 			return err
 		}
 	}
 	if completed >= 2 {
-		err := tc.Update(TDistrict, []storage.Value{i64(a.WID), i64(a.DID)}, func(row storage.Row) error {
+		err := tc.Update(TDistrict, []spi.Value{i64(a.WID), i64(a.DID)}, func(row spi.Row) error {
 			row[colDYTD] = i64(row[colDYTD].Int64() - a.Amount)
 			return nil
 		})

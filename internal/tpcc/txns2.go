@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"accdb/internal/core"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // --- delivery ----------------------------------------------------------------
@@ -54,7 +54,7 @@ func (reg *Registration) dlvClaim(d int64) func(*core.Ctx) error {
 	return func(tc *core.Ctx) error {
 		a := tc.Args().(*DeliveryArgs)
 		row, err := tc.ClaimMin(TNewOrder, IdxNewOrderByDist,
-			[]storage.Value{i64(a.WID), i64(d)})
+			[]spi.Value{i64(a.WID), i64(d)})
 		if err != nil {
 			return err
 		}
@@ -77,7 +77,7 @@ func (reg *Registration) dlvApply(d int64) func(*core.Ctx) error {
 			return nil // district had no pending order: a skipped delivery
 		}
 		var cid int64
-		err := tc.Update(TOrders, []storage.Value{i64(a.WID), i64(d), i64(o)}, func(row storage.Row) error {
+		err := tc.Update(TOrders, []spi.Value{i64(a.WID), i64(d), i64(o)}, func(row spi.Row) error {
 			cid = row[colOCID].Int64()
 			row[colOCarrier] = i64(a.Carrier)
 			return nil
@@ -87,8 +87,8 @@ func (reg *Registration) dlvApply(d int64) func(*core.Ctx) error {
 		}
 		var total int64
 		err = tc.UpdateWhere(TOrderLine,
-			[]storage.Value{i64(a.WID), i64(d), i64(o)},
-			func(row storage.Row) (storage.Row, error) {
+			[]spi.Value{i64(a.WID), i64(d), i64(o)},
+			func(row spi.Row) (spi.Row, error) {
 				total += row[colOLAmount].Int64()
 				row[colOLDelivery] = i64(a.Date)
 				return row, nil
@@ -98,7 +98,7 @@ func (reg *Registration) dlvApply(d int64) func(*core.Ctx) error {
 		}
 		a.Amounts[d-1] = total
 		a.Customers[d-1] = cid
-		return tc.Update(TCustomer, []storage.Value{i64(a.WID), i64(d), i64(cid)}, func(row storage.Row) error {
+		return tc.Update(TCustomer, []spi.Value{i64(a.WID), i64(d), i64(cid)}, func(row spi.Row) error {
 			row[colCBalance] = i64(row[colCBalance].Int64() + total)
 			row[colCDlvCnt] = i64(row[colCDlvCnt].Int64() + 1)
 			return nil
@@ -121,7 +121,7 @@ func (reg *Registration) dlvCompensate(tc *core.Ctx, completed int) error {
 		if o == 0 {
 			continue
 		}
-		err := tc.Update(TOrders, []storage.Value{i64(a.WID), i64(d), i64(o)}, func(row storage.Row) error {
+		err := tc.Update(TOrders, []spi.Value{i64(a.WID), i64(d), i64(o)}, func(row spi.Row) error {
 			row[colOCarrier] = i64(0)
 			return nil
 		})
@@ -129,8 +129,8 @@ func (reg *Registration) dlvCompensate(tc *core.Ctx, completed int) error {
 			return err
 		}
 		err = tc.UpdateWhere(TOrderLine,
-			[]storage.Value{i64(a.WID), i64(d), i64(o)},
-			func(row storage.Row) (storage.Row, error) {
+			[]spi.Value{i64(a.WID), i64(d), i64(o)},
+			func(row spi.Row) (spi.Row, error) {
 				row[colOLDelivery] = i64(0)
 				return row, nil
 			})
@@ -138,7 +138,7 @@ func (reg *Registration) dlvCompensate(tc *core.Ctx, completed int) error {
 			return err
 		}
 		amount, cid := a.Amounts[d-1], a.Customers[d-1]
-		err = tc.Update(TCustomer, []storage.Value{i64(a.WID), i64(d), i64(cid)}, func(row storage.Row) error {
+		err = tc.Update(TCustomer, []spi.Value{i64(a.WID), i64(d), i64(cid)}, func(row spi.Row) error {
 			row[colCBalance] = i64(row[colCBalance].Int64() - amount)
 			row[colCDlvCnt] = i64(row[colCDlvCnt].Int64() - 1)
 			return nil
@@ -146,14 +146,14 @@ func (reg *Registration) dlvCompensate(tc *core.Ctx, completed int) error {
 		if err != nil {
 			return err
 		}
-		if err := tc.Insert(TNewOrder, storage.Row{i64(a.WID), i64(d), i64(o)}); err != nil {
+		if err := tc.Insert(TNewOrder, spi.Row{i64(a.WID), i64(d), i64(o)}); err != nil {
 			return err
 		}
 	}
 	if half {
 		d := int64(full + 1)
 		if o := a.Claimed[d-1]; o != 0 {
-			if err := tc.Insert(TNewOrder, storage.Row{i64(a.WID), i64(d), i64(o)}); err != nil {
+			if err := tc.Insert(TNewOrder, spi.Row{i64(a.WID), i64(d), i64(o)}); err != nil {
 				return err
 			}
 		}
@@ -185,7 +185,7 @@ func (reg *Registration) orderStatus(tc *core.Ctx) error {
 		return err
 	}
 	rows, err := tc.LookupByIndex(TOrders, IdxOrdersByCust,
-		[]storage.Value{i64(a.WID), i64(a.DID), i64(cid)})
+		[]spi.Value{i64(a.WID), i64(a.DID), i64(cid)})
 	if err != nil {
 		return err
 	}
@@ -199,8 +199,8 @@ func (reg *Registration) orderStatus(tc *core.Ctx) error {
 		}
 	}
 	return tc.ScanPartition(TOrderLine,
-		[]storage.Value{i64(a.WID), i64(a.DID), i64(latest)},
-		func(storage.Row) error { return nil })
+		[]spi.Value{i64(a.WID), i64(a.DID), i64(latest)},
+		func(spi.Row) error { return nil })
 }
 
 // --- stock-level -------------------------------------------------------------
@@ -231,8 +231,8 @@ func (reg *Registration) stockLevel(tc *core.Ctx) error {
 	items := make(map[int64]bool)
 	for o := lo; o < next; o++ {
 		err := tc.ScanPartition(TOrderLine,
-			[]storage.Value{i64(a.WID), i64(a.DID), i64(o)},
-			func(row storage.Row) error {
+			[]spi.Value{i64(a.WID), i64(a.DID), i64(o)},
+			func(row spi.Row) error {
 				items[row[colOLItem].Int64()] = true
 				return nil
 			})
@@ -240,9 +240,9 @@ func (reg *Registration) stockLevel(tc *core.Ctx) error {
 			return err
 		}
 	}
-	keys := make([][]storage.Value, 0, len(items))
+	keys := make([][]spi.Value, 0, len(items))
 	for item := range items {
-		keys = append(keys, []storage.Value{i64(a.WID), i64(item)})
+		keys = append(keys, []spi.Value{i64(a.WID), i64(item)})
 	}
 	rows, err := tc.GetMany(TStock, keys)
 	if err != nil {

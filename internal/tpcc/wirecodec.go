@@ -7,7 +7,7 @@
 // of the connection pick them up from the same registry.
 //
 // These codecs serve the wire only. The WAL work-area encodings in args.go
-// (storage.MarshalRow) are a separate, stable format — recovery replays
+// (spi.MarshalRow) are a separate, stable format — recovery replays
 // old log records, so the two must not be conflated.
 
 package tpcc
@@ -116,9 +116,11 @@ func boolByte(b bool) byte {
 
 func init() {
 	wire.RegisterArgCodec(&wire.ArgCodec{
-		Name:  "new_order",
-		New:   func() any { return &NewOrderArgs{} },
-		Reset: func(v any) { *v.(*NewOrderArgs) = NewOrderArgs{Lines: v.(*NewOrderArgs).Lines[:0], Filled: v.(*NewOrderArgs).Filled[:0], Amounts: v.(*NewOrderArgs).Amounts[:0]} },
+		Name: "new_order",
+		New:  func() any { return &NewOrderArgs{} },
+		Reset: func(v any) {
+			*v.(*NewOrderArgs) = NewOrderArgs{Lines: v.(*NewOrderArgs).Lines[:0], Filled: v.(*NewOrderArgs).Filled[:0], Amounts: v.(*NewOrderArgs).Amounts[:0]}
+		},
 		Encode: func(dst []byte, v any) []byte {
 			a := v.(*NewOrderArgs)
 			dst = putI64(dst, a.WID)
@@ -217,9 +219,11 @@ func init() {
 	})
 
 	wire.RegisterArgCodec(&wire.ArgCodec{
-		Name:  "delivery",
-		New:   func() any { return &DeliveryArgs{} },
-		Reset: func(v any) { *v.(*DeliveryArgs) = DeliveryArgs{Claimed: v.(*DeliveryArgs).Claimed[:0], Amounts: v.(*DeliveryArgs).Amounts[:0], Customers: v.(*DeliveryArgs).Customers[:0]} },
+		Name: "delivery",
+		New:  func() any { return &DeliveryArgs{} },
+		Reset: func(v any) {
+			*v.(*DeliveryArgs) = DeliveryArgs{Claimed: v.(*DeliveryArgs).Claimed[:0], Amounts: v.(*DeliveryArgs).Amounts[:0], Customers: v.(*DeliveryArgs).Customers[:0]}
+		},
 		Encode: func(dst []byte, v any) []byte {
 			a := v.(*DeliveryArgs)
 			dst = putI64(dst, a.WID)

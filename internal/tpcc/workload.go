@@ -7,9 +7,9 @@ import (
 	"sync/atomic"
 
 	"accdb/internal/core"
-	"accdb/internal/lock"
 	"accdb/internal/metrics"
 	"accdb/internal/sim"
+	"accdb/internal/spi"
 )
 
 // Mix is the transaction mix in percent; it must sum to 100. The default is
@@ -298,10 +298,10 @@ func outcome(err error) (metrics.Outcome, error) {
 		return metrics.Committed, nil
 	case core.IsCompensated(err) || errors.Is(err, core.ErrUserAbort):
 		return metrics.RolledBack, nil
-	case errors.Is(err, lock.ErrDeadlock):
+	case errors.Is(err, spi.ErrDeadlock):
 		// Abandoned as a deadlock victim after the retry budget.
 		return metrics.Deadlocked, err
-	case errors.Is(err, lock.ErrTimeout):
+	case errors.Is(err, spi.ErrTimeout):
 		return metrics.TimedOut, err
 	default:
 		return metrics.Failed, err

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"accdb/internal/fault"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // benchRecord is a representative end-of-step record: txn + step + a small
@@ -90,8 +90,8 @@ func fillLog(l *Log, n int) {
 		for step := int32(0); step < 2; step++ {
 			l.Append(Record{Type: TStepBegin, Txn: txn, Step: step})
 			l.Append(Record{Type: TWrite, Txn: txn, Table: "accounts",
-				PK:    storage.EncodeKey(storage.I64(int64(i))),
-				After: storage.Row{storage.I64(int64(i)), storage.Str("row-image")}})
+				PK:    spi.EncodeKey(spi.I64(int64(i))),
+				After: spi.Row{spi.I64(int64(i)), spi.Str("row-image")}})
 			l.Append(Record{Type: TEndOfStep, Txn: txn, Step: step,
 				WorkArea: []byte("work-area")})
 		}
@@ -146,7 +146,7 @@ func BenchmarkRecoveryOpen(b *testing.B) {
 			b.Fatal(err)
 		}
 		applied := 0
-		err = a.Apply(l.Recovered(), func(string, storage.Key, storage.Row) { applied++ })
+		err = a.Apply(l.Recovered(), func(string, spi.Key, spi.Row) { applied++ })
 		if err != nil {
 			b.Fatal(err)
 		}

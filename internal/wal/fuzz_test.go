@@ -4,7 +4,7 @@ import (
 	"errors"
 	"testing"
 
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // FuzzReplay feeds arbitrary byte images to Replay and checks its contract:
@@ -57,7 +57,7 @@ func FuzzReplay(f *testing.F) {
 		}
 		// Analyze must accept anything Replay delivers without panicking.
 		if a, err := Analyze(data); err == nil {
-			_ = a.Apply(data, func(string, storage.Key, storage.Row) {})
+			_ = a.Apply(data, func(string, spi.Key, spi.Row) {})
 			_ = a.Pending()
 		}
 		_ = n

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"sort"
 
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 // Recovery (§3.4, §5): steps are atomic and isolated, so the log-consistent
@@ -20,7 +20,7 @@ import (
 // transactions that still owe compensation.
 type WrittenItem struct {
 	Table string
-	PK    storage.Key
+	PK    spi.Key
 }
 
 // TxnState summarizes one transaction's fate as recorded in the log.
@@ -143,7 +143,7 @@ func Analyze(data []byte) (*Analysis, error) {
 // completed compensation, invoking apply(table, pk, after) for each; a nil
 // after image is a delete. The same data passed to Analyze must be passed
 // here.
-func (a *Analysis) Apply(data []byte, apply func(table string, pk storage.Key, after storage.Row)) error {
+func (a *Analysis) Apply(data []byte, apply func(table string, pk spi.Key, after spi.Row)) error {
 	// current unit and attempt per transaction, from step/comp markers.
 	current := make(map[uint64]unitKey)
 	attempts := make(map[unitKey]int)

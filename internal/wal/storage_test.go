@@ -9,7 +9,7 @@ import (
 	"testing"
 
 	"accdb/internal/fault"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 func openT(t *testing.T, dir string, opt Options) *Log {
@@ -299,7 +299,7 @@ func TestAnalyzeToleratesTornTail(t *testing.T) {
 	l.Append(Record{Type: TBegin, Txn: 1, TxnType: "a"})
 	l.Append(Record{Type: TStepBegin, Txn: 1, Step: 0})
 	l.Append(Record{Type: TWrite, Txn: 1, Table: "t",
-		PK: storage.EncodeKey(storage.I64(7)), After: storage.Row{storage.I64(7)}})
+		PK: spi.EncodeKey(spi.I64(7)), After: spi.Row{spi.I64(7)}})
 	l.Append(Record{Type: TEndOfStep, Txn: 1, Step: 0, WorkArea: []byte("wa")})
 	cut := len(l.Bytes())
 	l.Append(Record{Type: TCommit, Txn: 1})
@@ -324,7 +324,7 @@ func TestAnalyzeToleratesTornTail(t *testing.T) {
 	}
 	// Apply tolerates the same tear and replays the completed step.
 	applied := 0
-	if err := a.Apply(data, func(string, storage.Key, storage.Row) { applied++ }); err != nil {
+	if err := a.Apply(data, func(string, spi.Key, spi.Row) { applied++ }); err != nil {
 		t.Fatal(err)
 	}
 	if applied != 1 {
@@ -334,7 +334,7 @@ func TestAnalyzeToleratesTornTail(t *testing.T) {
 
 func TestAnalyzeWrittenSkipsDoomedAttempts(t *testing.T) {
 	l := New(0)
-	pk := func(i int64) storage.Key { return storage.EncodeKey(storage.I64(i)) }
+	pk := func(i int64) spi.Key { return spi.EncodeKey(spi.I64(i)) }
 	recs := []Record{
 		{Type: TBegin, Txn: 1, TxnType: "a"},
 		{Type: TStepBegin, Txn: 1, Step: 0},

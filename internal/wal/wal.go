@@ -18,7 +18,7 @@ import (
 	"time"
 
 	"accdb/internal/fault"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 	"accdb/internal/trace"
 )
 
@@ -78,10 +78,10 @@ type Record struct {
 	TxnType  string // TBegin: registered transaction type name
 	Step     int32  // TStepBegin/TEndOfStep: step index (0-based)
 	Table    string // TWrite
-	PK       storage.Key
-	Before   storage.Row // nil for insert
-	After    storage.Row // nil for delete
-	WorkArea []byte      // TEndOfStep: application-encoded compensation state
+	PK       spi.Key
+	Before   spi.Row // nil for insert
+	After    spi.Row // nil for delete
+	WorkArea []byte  // TEndOfStep: application-encoded compensation state
 }
 
 // LSN is a log sequence number: the byte offset just past the record.
@@ -571,13 +571,13 @@ func encodePayload(dst []byte, r Record) []byte {
 		payload = binary.AppendUvarint(payload, uint64(len(s)))
 		payload = append(payload, s...)
 	}
-	putRow := func(row storage.Row) {
+	putRow := func(row spi.Row) {
 		if row == nil {
 			payload = append(payload, 0)
 			return
 		}
 		payload = append(payload, 1)
-		payload = storage.MarshalRow(payload, row)
+		payload = spi.MarshalRow(payload, row)
 	}
 	switch r.Type {
 	case TBegin:
@@ -741,7 +741,7 @@ func decodeRecord(p []byte) (Record, error) {
 		p = p[n+int(l):]
 		return s, nil
 	}
-	getRow := func() (storage.Row, error) {
+	getRow := func() (spi.Row, error) {
 		if len(p) < 1 {
 			return nil, fmt.Errorf("bad row flag")
 		}
@@ -750,7 +750,7 @@ func decodeRecord(p []byte) (Record, error) {
 		if !present {
 			return nil, nil
 		}
-		row, n, err := storage.UnmarshalRow(p)
+		row, n, err := spi.UnmarshalRow(p)
 		if err != nil {
 			return nil, err
 		}
@@ -775,7 +775,7 @@ func decodeRecord(p []byte) (Record, error) {
 		if pk, err = getString(); err != nil {
 			return r, err
 		}
-		r.PK = storage.Key(pk)
+		r.PK = spi.Key(pk)
 		if r.Before, err = getRow(); err != nil {
 			return r, err
 		}

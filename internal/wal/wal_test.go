@@ -6,22 +6,22 @@ import (
 	"testing/quick"
 	"time"
 
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 )
 
 func sampleRecords() []Record {
 	return []Record{
 		{Type: TBegin, Txn: 1, TxnType: "new_order"},
 		{Type: TStepBegin, Txn: 1, Step: 0},
-		{Type: TWrite, Txn: 1, Table: "t", PK: storage.EncodeKey(storage.I64(5)),
-			Before: nil, After: storage.Row{storage.I64(5), storage.Str("x")}},
-		{Type: TWrite, Txn: 1, Table: "t", PK: storage.EncodeKey(storage.I64(5)),
-			Before: storage.Row{storage.I64(5), storage.Str("x")},
-			After:  storage.Row{storage.I64(5), storage.Str("y")}},
+		{Type: TWrite, Txn: 1, Table: "t", PK: spi.EncodeKey(spi.I64(5)),
+			Before: nil, After: spi.Row{spi.I64(5), spi.Str("x")}},
+		{Type: TWrite, Txn: 1, Table: "t", PK: spi.EncodeKey(spi.I64(5)),
+			Before: spi.Row{spi.I64(5), spi.Str("x")},
+			After:  spi.Row{spi.I64(5), spi.Str("y")}},
 		{Type: TEndOfStep, Txn: 1, Step: 0, WorkArea: []byte{1, 2, 3}},
 		{Type: TStepBegin, Txn: 1, Step: 1},
-		{Type: TWrite, Txn: 1, Table: "t", PK: storage.EncodeKey(storage.I64(6)),
-			Before: storage.Row{storage.I64(6), storage.Str("z")}, After: nil},
+		{Type: TWrite, Txn: 1, Table: "t", PK: spi.EncodeKey(spi.I64(6)),
+			Before: spi.Row{spi.I64(6), spi.Str("z")}, After: nil},
 		{Type: TEndOfStep, Txn: 1, Step: 1},
 		{Type: TCommit, Txn: 1},
 		{Type: TBegin, Txn: 2, TxnType: "payment"},
@@ -70,7 +70,7 @@ func TestRecordRoundtripQuick(t *testing.T) {
 		l := New(0)
 		l.Append(Record{Type: TEndOfStep, Txn: txn, Step: step, WorkArea: area})
 		l.Append(Record{Type: TWrite, Txn: txn, Table: table,
-			PK: storage.EncodeKey(storage.I64(v)), After: storage.Row{storage.I64(v)}})
+			PK: spi.EncodeKey(spi.I64(v)), After: spi.Row{spi.I64(v)}})
 		n := 0
 		ok := true
 		err := Replay(l.Bytes(), func(r Record) error {
@@ -248,8 +248,8 @@ func TestAnalyzeOutcomes(t *testing.T) {
 
 func TestApplyReplaysOnlyCompletedUnits(t *testing.T) {
 	l := New(0)
-	pk := func(i int64) storage.Key { return storage.EncodeKey(storage.I64(i)) }
-	row := func(i int64) storage.Row { return storage.Row{storage.I64(i)} }
+	pk := func(i int64) spi.Key { return spi.EncodeKey(spi.I64(i)) }
+	row := func(i int64) spi.Row { return spi.Row{spi.I64(i)} }
 	recs := []Record{
 		{Type: TBegin, Txn: 1, TxnType: "a"},
 		// Attempt 1 of step 0 writes pk 1, then the step aborts (deadlock);
@@ -277,7 +277,7 @@ func TestApplyReplaysOnlyCompletedUnits(t *testing.T) {
 		t.Fatal(err)
 	}
 	applied := map[string]bool{}
-	err = a.Apply(data, func(table string, k storage.Key, after storage.Row) {
+	err = a.Apply(data, func(table string, k spi.Key, after spi.Row) {
 		applied[string(k)] = true
 	})
 	if err != nil {
@@ -301,7 +301,7 @@ func TestApplyRejectsOrphanWrite(t *testing.T) {
 	l := New(0)
 	l.Append(Record{Type: TWrite, Txn: 9, Table: "t", PK: "k"})
 	a, _ := Analyze(l.Bytes())
-	if err := a.Apply(l.Bytes(), func(string, storage.Key, storage.Row) {}); err == nil {
+	if err := a.Apply(l.Bytes(), func(string, spi.Key, spi.Row) {}); err == nil {
 		t.Fatal("write outside any step accepted")
 	}
 }

@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"accdb/internal/interference"
-	"accdb/internal/storage"
+	"accdb/internal/spi"
 	"accdb/pkg/acc"
 )
 
@@ -29,16 +29,16 @@ type moveArgs struct {
 func newMoveSys(t *testing.T) *moveSys {
 	t.Helper()
 	db := acc.NewDB()
-	accounts := db.MustCreateTable(storage.MustSchema("accounts", []storage.Column{
-		{Name: "id", Kind: storage.KindInt},
-		{Name: "balance", Kind: storage.KindInt},
+	accounts := db.MustCreateTable(spi.MustSchema("accounts", []spi.Column{
+		{Name: "id", Kind: spi.KindInt},
+		{Name: "balance", Kind: spi.KindInt},
 	}, "id"))
-	db.MustCreateTable(storage.MustSchema("journal", []storage.Column{
-		{Name: "id", Kind: storage.KindInt},
-		{Name: "account", Kind: storage.KindInt},
+	db.MustCreateTable(spi.MustSchema("journal", []spi.Column{
+		{Name: "id", Kind: spi.KindInt},
+		{Name: "account", Kind: spi.KindInt},
 	}, "id"))
 	for i := 1; i <= 3; i++ {
-		if err := accounts.Insert(storage.Row{storage.Int(i), storage.I64(100)}); err != nil {
+		if err := accounts.Insert(spi.Row{spi.Int(i), spi.I64(100)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -62,8 +62,8 @@ func newMoveSys(t *testing.T) *moveSys {
 				Name: "journal", Type: stJournal,
 				Body: func(tc *acc.Ctx) error {
 					a := tc.Args().(*moveArgs)
-					return tc.Insert("journal", storage.Row{
-						storage.I64(a.ID), storage.I64(a.Account),
+					return tc.Insert("journal", spi.Row{
+						spi.I64(a.ID), spi.I64(a.Account),
 					})
 				},
 			},
@@ -74,9 +74,9 @@ func newMoveSys(t *testing.T) *moveSys {
 					if a.BeforeUpdate != nil {
 						a.BeforeUpdate()
 					}
-					return tc.Update("accounts", []storage.Value{storage.I64(a.Account)},
-						func(row storage.Row) error {
-							row[1] = storage.I64(row[1].Int64() + 1)
+					return tc.Update("accounts", []spi.Value{spi.I64(a.Account)},
+						func(row spi.Row) error {
+							row[1] = spi.I64(row[1].Int64() + 1)
 							return nil
 						})
 				},
@@ -87,7 +87,7 @@ func newMoveSys(t *testing.T) *moveSys {
 			Body: func(tc *acc.Ctx, completed int) error {
 				a := tc.Args().(*moveArgs)
 				if completed >= 1 {
-					return tc.Delete("journal", storage.I64(a.ID))
+					return tc.Delete("journal", spi.I64(a.ID))
 				}
 				return nil
 			},
@@ -103,14 +103,14 @@ func newMoveSys(t *testing.T) *moveSys {
 func TestRunContextCancelCompensates(t *testing.T) {
 	s := newMoveSys(t)
 
-	// A legacy transaction camps on account 1's write lock.
+	// A legacy transaction camps on account 1's write spi.
 	held := make(chan struct{})
 	release := make(chan struct{})
 	blockerDone := make(chan error, 1)
 	go func() {
 		blockerDone <- s.eng.RunLegacy("blocker", func(tc *acc.Ctx) error {
-			err := tc.Update("accounts", []storage.Value{storage.I64(1)},
-				func(row storage.Row) error { return nil })
+			err := tc.Update("accounts", []spi.Value{spi.I64(1)},
+				func(row spi.Row) error { return nil })
 			if err != nil {
 				return err
 			}
@@ -163,7 +163,7 @@ func TestRunContextCancelCompensates(t *testing.T) {
 	var journaled int
 	err = s.eng.RunLegacy("count", func(tc *acc.Ctx) error {
 		journaled = 0
-		return tc.Scan("journal", func(storage.Row) error {
+		return tc.Scan("journal", func(spi.Row) error {
 			journaled++
 			return nil
 		})

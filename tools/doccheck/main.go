@@ -10,9 +10,16 @@
 // and every relative markdown link must point at something that exists, so a
 // refactor that moves a file fails CI until the docs move with it.
 //
+// The -boundary flag enforces import boundaries: each rule reads
+// dir=path;path, and no non-test file under dir may import any of the listed
+// package paths. The default rule keeps the scheduler honest about the SPI
+// seam — internal/core must reach its backends only through
+// accdb/internal/spi, never by importing accdb/internal/storage or
+// accdb/internal/lock directly.
+//
 // Usage:
 //
-//	go run ./tools/doccheck [-exported dir1,dir2] [-md doc1.md,doc2.md] [root]
+//	go run ./tools/doccheck [-exported dir1,dir2] [-md doc1.md,doc2.md] [-boundary rules] [root]
 package main
 
 import (
@@ -30,10 +37,12 @@ import (
 )
 
 func main() {
-	exported := flag.String("exported", "internal/lock,internal/core",
+	exported := flag.String("exported", "internal/lock,internal/core,internal/spi",
 		"comma-separated package dirs whose exported declarations must all be documented")
 	mdFiles := flag.String("md", "",
 		"comma-separated markdown files whose backticked repo paths and relative links must exist")
+	boundary := flag.String("boundary", "internal/core=accdb/internal/storage;accdb/internal/lock",
+		"comma-separated import-boundary rules, each dir=forbidden;forbidden (non-test files only)")
 	flag.Parse()
 	root := "."
 	if flag.NArg() > 0 {
@@ -44,6 +53,23 @@ func main() {
 	for _, d := range strings.Split(*exported, ",") {
 		if d = strings.TrimSpace(d); d != "" {
 			strict[filepath.Clean(d)] = true
+		}
+	}
+
+	forbidden := make(map[string][]string) // package dir -> forbidden import paths
+	for _, rule := range strings.Split(*boundary, ",") {
+		if rule = strings.TrimSpace(rule); rule == "" {
+			continue
+		}
+		dir, pkgs, ok := strings.Cut(rule, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "doccheck: bad -boundary rule %q (want dir=pkg;pkg)\n", rule)
+			os.Exit(2)
+		}
+		for _, p := range strings.Split(pkgs, ";") {
+			if p = strings.TrimSpace(p); p != "" {
+				forbidden[filepath.Clean(dir)] = append(forbidden[filepath.Clean(dir)], p)
+			}
 		}
 	}
 
@@ -95,6 +121,16 @@ func main() {
 			}
 			if strict[dir] {
 				problems = append(problems, undocumented(fset, f)...)
+			}
+			for _, banned := range forbidden[dir] {
+				for _, imp := range f.Imports {
+					if strings.Trim(imp.Path.Value, `"`) == banned {
+						p := fset.Position(imp.Pos())
+						problems = append(problems, fmt.Sprintf(
+							"%s:%d: import of %s crosses the %s boundary (use accdb/internal/spi)",
+							p.Filename, p.Line, banned, dir))
+					}
+				}
 			}
 		}
 		if !pkgDoc && pkgName != "" {
