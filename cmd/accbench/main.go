@@ -56,10 +56,14 @@ func main() {
 		netAddr  = flag.String("net", "", "drive TPC-C over the wire against a running accd at this address instead of in-process")
 		netTerms = flag.Int("net-terminals", 64, "terminal count for -net")
 		netPool  = flag.Int("net-pool", 8, "client connection pool size for -net")
+		netWhs   = flag.Int("net-warehouses", 0, "with -net: generate load across this many warehouses (match the server's partition count; 0 keeps the default scale)")
+		netRem   = flag.Int("net-remote-pct", 0, "with -net: percentage of new-orders with a remote supply warehouse (cross-partition on a partitioned accd)")
 		slowThr  = flag.Duration("slow-txn-threshold", 0, "dump any transaction slower than this to -slow-txn-log as JSONL, with its full stage breakdown and event history (0 disables)")
 		slowLog  = flag.String("slow-txn-log", "slow-txns.jsonl", "destination for -slow-txn-threshold dumps")
 		tierName = flag.String("read-tier", "locked", "consistency tier for the read-only types (order-status, stock-level): locked | asap | committed | snapshot")
 		readHvy  = flag.Bool("read-heavy", false, "swap the TPC-C mix for the read-heavy mix (mostly order-status/stock-level over a thin writer stream)")
+		parts    = flag.Int("partitions", 0, "measure a partitioned deployment instead: TPC-C against this many engines behind the multi-shot coordinator, reporting the single- vs cross-partition throughput split")
+		remote   = flag.String("remote-pct", "10", "with -partitions: comma-separated remote-warehouse percentages of new-orders (each foreign-partition supply line runs as a remote shot)")
 	)
 	flag.Parse()
 
@@ -73,8 +77,13 @@ func main() {
 		return
 	}
 
+	if *parts > 0 {
+		runPartitionBench(*parts, *remote, *duration, *warmup, *seed)
+		return
+	}
+
 	if *netAddr != "" {
-		if err := runNet(*netAddr, *netTerms, *netPool, *duration, *warmup, *think, *seed, tier, *readHvy, *verbose); err != nil {
+		if err := runNet(*netAddr, *netTerms, *netPool, *duration, *warmup, *think, *seed, tier, *netWhs, *netRem, *readHvy, *verbose); err != nil {
 			fatal(err)
 		}
 		return

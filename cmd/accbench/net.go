@@ -17,14 +17,22 @@ import (
 // accclient pool, so the measured path includes the wire protocol,
 // admission control, and the client's retry policy. The server owns the
 // database, so no consistency check runs here — accd verifies it at drain.
-func runNet(addr string, terminals, pool int, duration, warmup, think time.Duration, seed int64, tier core.ReadTier, readHeavy, verbose bool) error {
+func runNet(addr string, terminals, pool int, duration, warmup, think time.Duration, seed int64, tier core.ReadTier, warehouses, remotePct int, readHeavy, verbose bool) error {
 	cli, err := accclient.Dial(addr, accclient.WithPoolSize(pool))
 	if err != nil {
 		return err
 	}
 	defer cli.Close()
 
-	cfg := tpcc.DefaultWorkloadConfig(tpcc.DefaultScale())
+	scale := tpcc.DefaultScale()
+	if warehouses > scale.Warehouses {
+		// Must match the server: a partitioned accd widens its warehouse
+		// count to its partition count, and the generated WIDs have to cover
+		// it for any transaction to leave partition 0.
+		scale.Warehouses = warehouses
+	}
+	cfg := tpcc.DefaultWorkloadConfig(scale)
+	cfg.RemotePercent = remotePct
 	cfg.ReadTier = tier
 	if readHeavy {
 		cfg.Mix = tpcc.ReadHeavyMix()

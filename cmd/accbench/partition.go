@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"accdb/internal/experiment"
+)
+
+// runPartitionBench drives the -partitions flag: one partitioned TPC-C
+// measurement per remote-warehouse percentage, printing the single- vs
+// cross-partition throughput split (see EXPERIMENTS.md, "Scaling out").
+func runPartitionBench(partitions int, remoteList string, duration, warmup time.Duration, seed int64) {
+	var pcts []int
+	for _, part := range strings.Split(remoteList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 || n > 100 {
+			fatal(fmt.Errorf("bad -remote-pct entry %q", part))
+		}
+		pcts = append(pcts, n)
+	}
+	fmt.Printf("== Partitioned throughput: %d partitions ==\n", partitions)
+	fmt.Printf("%10s %12s %12s %12s %10s %8s %8s\n",
+		"remote%", "total/s", "single/s", "cross/s", "shots", "undos", "deadlocks")
+	for _, pct := range pcts {
+		res, err := experiment.RunPartitionBench(experiment.PartitionBenchConfig{
+			Partitions:    partitions,
+			RemotePercent: pct,
+			Duration:      duration,
+			Warmup:        warmup,
+			Seed:          seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		total := float64(res.Completed) / res.Elapsed.Seconds()
+		fmt.Printf("%10d %12.1f %12.1f %12.1f %10d %8d %8d\n",
+			pct, total, res.SingleTput, res.CrossTput,
+			res.Stats.ShotsRun, res.Stats.ShotUndos, res.Stats.CrossDeadlocks)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -34,11 +35,15 @@ import (
 	_ "accdb/internal/backends"
 	"accdb/internal/core"
 	"accdb/internal/debughttp"
+	"accdb/internal/partition"
 	"accdb/internal/server"
 	"accdb/internal/tpcc"
 	"accdb/internal/trace"
 	"accdb/internal/wal"
 )
+
+// The partition set serves the same wire protocol as a single engine.
+var _ server.Runner = (*partition.Set)(nil)
 
 func main() {
 	var (
@@ -57,6 +62,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain; in-flight work past it is cancelled (and compensated)")
 		check        = flag.Bool("check", true, "verify TPC-C consistency after the drain; violations exit non-zero")
 		ready        = flag.String("ready-fd", "", "write one line with the bound address to this file once listening (harness handshake)")
+		partitions   = flag.Int("partitions", partition.EnvPartitions(), "partition count: >1 shards warehouses across independent engines behind the multi-shot coordinator (default from ACCDB_PARTITIONS)")
 	)
 	flag.Parse()
 
@@ -91,33 +97,79 @@ func main() {
 	}
 
 	scale := tpcc.DefaultScale()
-	db := core.NewDB()
-	if err := tpcc.CreateSchema(db); err != nil {
-		fatal(err)
+	if scale.Warehouses < *partitions {
+		// Every partition must own at least one warehouse for the
+		// warehouse-modulo router to give each engine work.
+		scale.Warehouses = *partitions
 	}
-	if err := tpcc.Load(db, scale, *seed); err != nil {
-		fatal(err)
+
+	// buildEngine constructs one engine: partition p's shard of the database
+	// (p is -1 for the single-engine deployment), its own log under a
+	// per-partition subdirectory, its transaction types registered.
+	var logs []*wal.Log
+	buildEngine := func(p int) (*core.Engine, error) {
+		db := core.NewDB()
+		if err := tpcc.CreateSchema(db); err != nil {
+			return nil, err
+		}
+		if err := tpcc.LoadPartition(db, scale, *seed, max(p, 0), *partitions); err != nil {
+			return nil, err
+		}
+		types := tpcc.BuildTypes()
+		var dlog *wal.Log
+		if *walDir != "" {
+			dir := *walDir
+			if p >= 0 {
+				dir = filepath.Join(dir, fmt.Sprintf("p%d", p))
+			}
+			var err error
+			dlog, err = wal.Open(dir, wal.Options{ForceLatency: *force, GroupWindow: *groupCommit})
+			if err != nil {
+				return nil, err
+			}
+			logs = append(logs, dlog)
+		}
+		opts := []core.Option{
+			core.WithMode(m),
+			core.WithWaitTimeout(*waitTimeout),
+			core.WithForceLatency(*force),
+			core.WithTracer(tr),
+			core.WithWAL(dlog),
+		}
+		if p >= 0 {
+			opts = append(opts, core.WithEngineLabel(fmt.Sprintf("partition %d", p)))
+		}
+		eng := core.New(db, types.Tables, opts...)
+		if _, err := tpcc.RegisterPartitioned(eng, types, scale, *partitions); err != nil {
+			return nil, err
+		}
+		return eng, nil
 	}
-	types := tpcc.BuildTypes()
-	var dlog *wal.Log
-	if *walDir != "" {
+
+	var (
+		eng *core.Engine   // partition 0's engine (debug endpoints, stats)
+		set *partition.Set // non-nil only when -partitions > 1
+	)
+	if *partitions > 1 {
 		var err error
-		dlog, err = wal.Open(*walDir, wal.Options{ForceLatency: *force, GroupWindow: *groupCommit})
+		set, err = partition.New(*partitions, buildEngine, partition.WithTracer(tr))
 		if err != nil {
 			fatal(err)
 		}
-		defer dlog.Close()
+		tpcc.InstallRoutes(set)
+		eng = set.Engine(0)
+	} else {
+		var err error
+		eng, err = buildEngine(-1)
+		if err != nil {
+			fatal(err)
+		}
 	}
-	eng := core.New(db, types.Tables,
-		core.WithMode(m),
-		core.WithWaitTimeout(*waitTimeout),
-		core.WithForceLatency(*force),
-		core.WithTracer(tr),
-		core.WithWAL(dlog),
-	)
-	if _, err := tpcc.Register(eng, types, scale); err != nil {
-		fatal(err)
-	}
+	defer func() {
+		for _, l := range logs {
+			l.Close()
+		}
+	}()
 
 	// The latency-anatomy layer turns on with either consumer: the debug
 	// endpoint's live histograms, or the slow-transaction flight recorder.
@@ -136,10 +188,14 @@ func main() {
 		anatomy = trace.NewAnatomy(acfg)
 	}
 
+	var runner server.Runner = eng
+	if set != nil {
+		runner = set
+	}
 	protos := tpcc.ArgsPrototypes()
 	holes := tpcc.NewHoleTracker()
 	srv := server.New(server.Config{
-		Engine: eng,
+		Engine: runner,
 		NewArgs: func(name string) any {
 			if f, ok := protos[name]; ok {
 				return f()
@@ -154,8 +210,13 @@ func main() {
 
 	if *metricsAddr != "" {
 		dbg := debughttp.New(tr, anatomy)
+		// Partitioned: the engine sections show partition 0 (every partition
+		// is symmetric); the set's own routing/coordinator series ride along.
 		dbg.SetEngine(eng)
 		dbg.SetRPCMetrics(srv.WriteMetrics)
+		if set != nil {
+			dbg.SetExtraMetrics(set.WriteMetrics)
+		}
 		if err := dbg.Start(*metricsAddr); err != nil {
 			fatal(err)
 		}
@@ -165,8 +226,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "accd: serving %s TPC-C on %s (max in-flight %d)\n",
-		m, ln.Addr(), *maxInFlight)
+	fmt.Fprintf(os.Stderr, "accd: serving %s TPC-C on %s (max in-flight %d, partitions %d)\n",
+		m, ln.Addr(), *maxInFlight, *partitions)
 	if *ready != "" {
 		if err := os.WriteFile(*ready, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
 			fatal(err)
@@ -191,13 +252,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "accd: drain incomplete:", err)
 	}
 	st := srv.Stats()
-	es := eng.Snapshot()
+	var es core.Stats
+	if set != nil {
+		for _, e := range set.Engines() {
+			s := e.Snapshot()
+			es.Commits += s.Commits
+			es.Compensations += s.Compensations
+		}
+		ps := set.Snapshot()
+		fmt.Fprintf(os.Stderr,
+			"accd: partition routing: single=%d cross_started=%d cross_committed=%d cross_aborted=%d shots=%d undos=%d deadlocks=%d\n",
+			ps.SingleRouted, ps.CrossStarted, ps.CrossCommitted, ps.CrossAborted,
+			ps.ShotsRun, ps.ShotUndos, ps.CrossDeadlocks)
+	} else {
+		es = eng.Snapshot()
+	}
 	fmt.Fprintf(os.Stderr,
 		"accd: drained: admitted=%d rejected_full=%d rejected_draining=%d commits=%d compensations=%d\n",
 		st.Admitted, st.RejectedFull, st.RejectedDraining, es.Commits, es.Compensations)
 
 	if *check {
-		if errs := tpcc.CheckConsistency(db, scale, holes.Holes()); len(errs) > 0 {
+		var errs []error
+		if set != nil {
+			dbs := make([]*core.DB, set.Partitions())
+			for p := range dbs {
+				dbs[p] = set.Engine(p).DB()
+			}
+			errs = tpcc.CheckConsistencyPartitioned(dbs, scale, holes.Holes())
+		} else {
+			errs = tpcc.CheckConsistency(eng.DB(), scale, holes.Holes())
+		}
+		if len(errs) > 0 {
 			for _, e := range errs {
 				fmt.Fprintln(os.Stderr, "accd: consistency violation:", e)
 			}

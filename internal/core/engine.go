@@ -108,6 +108,10 @@ type Options struct {
 	// oldest live snapshot. Zero means the 100ms default; negative disables
 	// the reaper (tests drive ReapVersions directly).
 	VersionGCInterval time.Duration
+	// Label names this engine in logs and configuration warnings. Empty for
+	// single-engine processes; a partitioned cluster sets "partition N" so
+	// warnings identify which engine instance they concern.
+	Label string
 }
 
 // Stats aggregates engine counters.
@@ -223,7 +227,7 @@ func New(db *DB, tables *interference.Tables, opts ...Option) *Engine {
 		// The backend keeps no version chains: versioned read tiers fall
 		// back to base rows and there is nothing for the reaper to prune.
 		if opt.VersionGCInterval > 0 {
-			e.warn("WithVersionGCInterval has no effect: the selected backend does not support version chains")
+			e.warn(fmt.Sprintf("WithVersionGCInterval has no effect: backend %q does not support version chains", db.Backend()))
 		}
 		e.opt.VersionGCInterval = -1 // disable the reaper
 	}
@@ -236,7 +240,13 @@ func New(db *DB, tables *interference.Tables, opts ...Option) *Engine {
 }
 
 // warn records a configuration warning and logs it once at construction.
+// The engine label, when set, prefixes the message so a multi-engine
+// process (one engine per partition) reports which instance is concerned
+// instead of a single anonymous line for the whole cluster.
 func (e *Engine) warn(msg string) {
+	if e.opt.Label != "" {
+		msg = e.opt.Label + ": " + msg
+	}
 	e.warnings = append(e.warnings, msg)
 	log.Printf("core: %s", msg)
 }

@@ -79,6 +79,14 @@ func WithWAL(l *wal.Log) Option {
 	return func(o *Options) { o.Log = l }
 }
 
+// WithEngineLabel names the engine in logs and configuration warnings.
+// Single-engine processes can leave it empty; a partitioned cluster labels
+// each engine ("partition 3") so a warning about one backend instance says
+// which of the n engines it concerns.
+func WithEngineLabel(label string) Option {
+	return func(o *Options) { o.Label = label }
+}
+
 // WithVersionGCInterval sets the cadence of the background version-chain
 // reaper (DESIGN.md §14). Zero keeps the 100ms default; negative disables
 // the reaper so tests can drive ReapVersions deterministically.

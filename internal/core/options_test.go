@@ -1,0 +1,51 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"accdb/internal/interference"
+	"accdb/internal/spi"
+)
+
+// noVersionStore hides the backend's version-chain support: the minimal
+// custom store a program embedding the engine might supply.
+type noVersionStore struct{ spi.Store }
+
+func (noVersionStore) Capabilities() spi.Capabilities { return spi.Capabilities{} }
+
+// TestCapabilityWarningNamesBackendAndPartition: a capability-gated option
+// the backend cannot honour must say which backend refused it AND which
+// engine of a partitioned deployment is concerned — n identical anonymous
+// lines from n partitions are undebuggable.
+func TestCapabilityWarningNamesBackendAndPartition(t *testing.T) {
+	base, err := spi.OpenStore(spi.DefaultBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(WithStore(noVersionStore{base}))
+	eng := New(db, interference.NewBuilder().Build(),
+		WithEngineLabel("partition 2"),
+		WithVersionGCInterval(time.Second))
+	defer eng.Close()
+
+	warns := eng.ConfigWarnings()
+	if len(warns) != 1 {
+		t.Fatalf("expected exactly one configuration warning, got %v", warns)
+	}
+	for _, want := range []string{"partition 2", `backend "custom"`, "WithVersionGCInterval"} {
+		if !strings.Contains(warns[0], want) {
+			t.Errorf("warning %q does not name %q", warns[0], want)
+		}
+	}
+
+	// Without a label the same warning stays unprefixed.
+	plain := New(NewDB(WithStore(noVersionStore{base})), interference.NewBuilder().Build(),
+		WithVersionGCInterval(time.Second))
+	defer plain.Close()
+	pw := plain.ConfigWarnings()
+	if len(pw) != 1 || strings.Contains(pw[0], "partition") {
+		t.Fatalf("unlabelled engine warning: %v", pw)
+	}
+}

@@ -196,7 +196,18 @@ func (e *Engine) runDecomposedOnce(ctx context.Context, tt *TxnType, args any, s
 		e.emitTxn(trace.KindTxnBegin, txn, -1, tt.Name, 0, "")
 	}
 	txn.spanEvent(trace.KindTxnBegin, "", tt.Name, 0)
-	e.log.AppendSpan(wal.Record{Type: wal.TBegin, Txn: uint64(txn.info.ID), TxnType: tt.Name}, sp)
+	rec := wal.Record{Type: wal.TBegin, Txn: uint64(txn.info.ID), TxnType: tt.Name}
+	if tag, ok := shotTagFrom(ctx); ok && tag.Global != 0 {
+		// A shot of a multi-shot global transaction: stamp the begin record
+		// so partition recovery can resolve this shot's fate, and report the
+		// local id for cross-partition deadlock detection. A retried attempt
+		// re-stamps with its fresh id; the latest attempt is the live one.
+		rec.Global, rec.Shot = tag.Global, tag.Shot
+		if tag.OnTxn != nil {
+			tag.OnTxn(txn.info.ID)
+		}
+	}
+	e.log.AppendSpan(rec, sp)
 
 	for j := range txn.steps {
 		if err := e.runStep(txn, j); err != nil {

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"context"
+
+	"accdb/internal/spi"
+)
+
+// Multi-shot support (DESIGN.md §16). A cross-partition transaction runs as
+// a sequence of ordinary local transactions — *shots* — one per partition,
+// coordinated by accdb/internal/partition. The engine itself stays ignorant
+// of the protocol; its only contribution is the stamp below: a shot's begin
+// record carries the global transaction id and shot index, so recovery in
+// each partition can resolve every shot's local fate (committed, aborted,
+// compensated) and the coordinator can complete or undo the global
+// transaction from the per-partition logs alone.
+
+// ShotTag marks the next transaction run under the context as shot Shot of
+// global transaction Global. Shot 0 is the home (originating-partition)
+// transaction, positive indices are remote shots in plan order, and a
+// negative index -k is the compensating undo of shot k.
+type ShotTag struct {
+	Global uint64
+	Shot   int32
+	// OnTxn, when non-nil, is invoked with the local transaction id of each
+	// execution attempt, before the transaction's first lock request. The
+	// coordinator uses it to map local waits-for vertices to global ids for
+	// cross-partition deadlock detection.
+	OnTxn func(spi.TxnID)
+}
+
+type shotTagKey struct{}
+
+// WithShotTag returns a context that stamps transactions run under it with
+// the given shot identity. The stamp applies to decomposed (ACC/two-level)
+// runs; baseline mode has no multi-shot protocol.
+func WithShotTag(ctx context.Context, tag ShotTag) context.Context {
+	return context.WithValue(ctx, shotTagKey{}, tag)
+}
+
+// shotTagFrom extracts the shot stamp, if any.
+func shotTagFrom(ctx context.Context) (ShotTag, bool) {
+	tag, ok := ctx.Value(shotTagKey{}).(ShotTag)
+	return tag, ok
+}

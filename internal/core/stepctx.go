@@ -65,6 +65,17 @@ type txnState struct {
 // Args returns the transaction's argument value (its work area).
 func (tc *Ctx) Args() any { return tc.txn.args }
 
+// Context returns the caller context the transaction runs under, never nil.
+// A step body that coordinates work outside this engine — the partition
+// layer's hook step running remote shots — reads its coordination state
+// from here.
+func (tc *Ctx) Context() context.Context {
+	if tc.txn.ctx == nil {
+		return context.Background()
+	}
+	return tc.txn.ctx
+}
+
 // Abort returns the error a step body should return to roll the transaction
 // back, optionally wrapping a cause.
 func (tc *Ctx) Abort(cause string) error {

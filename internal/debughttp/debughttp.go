@@ -40,6 +40,11 @@ type Server struct {
 	// (accd passes the network server's WriteMetrics). A func field instead
 	// of an interface keeps this package independent of internal/server.
 	rpc func(io.Writer)
+
+	// extra, when non-nil, appends a further owner-defined /metrics section
+	// (accd passes the partition set's WriteMetrics in a partitioned
+	// deployment).
+	extra func(io.Writer)
 }
 
 // New creates a debug server over the given (possibly nil) trace bus and
@@ -54,6 +59,10 @@ func (s *Server) SetEngine(e *core.Engine) { s.eng.Store(e) }
 // SetRPCMetrics registers an extra /metrics section writer (the network
 // server's admission and per-type latency series). Call before Start.
 func (s *Server) SetRPCMetrics(fn func(io.Writer)) { s.rpc = fn }
+
+// SetExtraMetrics registers one more /metrics section writer (the partition
+// set's routing and coordinator series). Call before Start.
+func (s *Server) SetExtraMetrics(fn func(io.Writer)) { s.extra = fn }
 
 // Start listens on addr and serves in the background. The listener error is
 // returned synchronously so a bad -metrics-addr fails fast.
@@ -147,6 +156,9 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.rpc != nil {
 		s.rpc(w)
+	}
+	if s.extra != nil {
+		s.extra(w)
 	}
 }
 

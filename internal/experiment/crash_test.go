@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"strings"
 	"testing"
 
 	"accdb/internal/fault"
@@ -17,6 +18,11 @@ func TestCrashMatrix(t *testing.T) {
 	}
 	for _, p := range points {
 		p := p
+		if strings.HasPrefix(p.Name, "partition.") {
+			// Coordinator points only fire in a partitioned deployment;
+			// TestPartitionCrashMatrix covers them.
+			continue
+		}
 		t.Run(p.Name, func(t *testing.T) {
 			res, err := RunCrash(CrashConfig{
 				Point:  p,

@@ -1,0 +1,321 @@
+package experiment
+
+// The partitioned crash matrix: RunCrash lifted to a partition set. A
+// TPC-C mix with a high remote-warehouse share runs against N partitions,
+// each with its own engine and disk-backed log; a fault point — typically
+// one of the partition.coord.* points, which freeze EVERY partition's log
+// at once, the way a process kill would — trips mid-flight. Restart
+// rebuilds the set, runs per-partition recovery plus the coordinator's
+// decision-record completion pass, and verifies the consistency battery
+// (including the cross-partition stock condition) over the union of the
+// partition stores — then re-admits load and verifies again.
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accdb/internal/core"
+	"accdb/internal/fault"
+	"accdb/internal/metrics"
+	"accdb/internal/partition"
+	"accdb/internal/tpcc"
+	"accdb/internal/wal"
+)
+
+// PartitionCrashConfig parameterizes one partitioned crash-matrix case.
+type PartitionCrashConfig struct {
+	// Point is the injection point to trip (any registered point works; the
+	// partition.coord.* points only fire here, never in the single-engine
+	// matrix).
+	Point fault.Info
+	// Nth fires the effect on the point's nth hit (default 3).
+	Nth uint64
+	// Seed drives load, faults, and the initial database (deterministic).
+	Seed int64
+	// WALDir is the parent directory; partition p logs under WALDir/p<p>.
+	WALDir string
+	// Partitions is the partition count (default 4). The scale's warehouse
+	// count is forced to at least this, so every partition owns a warehouse.
+	Partitions int
+	// Terminals is the concurrent driver count (default 8).
+	Terminals int
+	// MaxOps stops the doomed run if the point has not fired (default 4000).
+	MaxOps int
+	// RerunOps is the post-recovery load (default 300).
+	RerunOps int
+	// RemotePercent is the share of new-orders with a remote supply line
+	// (default 25 — every such order on a foreign warehouse is a
+	// cross-partition transaction).
+	RemotePercent int
+	// Scale is the database cardinality (default CrashScale with one
+	// warehouse per partition).
+	Scale tpcc.Scale
+	// SegmentSize is the per-partition WAL rotation threshold (default 32 KiB).
+	SegmentSize int64
+	// GroupWindow is the WAL group-commit window (default 100 µs).
+	GroupWindow time.Duration
+}
+
+// PartitionCrashResult reports one partitioned crash-matrix case.
+type PartitionCrashResult struct {
+	// Fired reports whether the armed point tripped.
+	Fired bool
+	// Committed sums the committed transactions recovery found across all
+	// partition logs (remote shots count on their own partitions).
+	Committed int
+	// Compensated sums the transactions local recovery rolled back.
+	Compensated int
+	// ForwardDriven and Undone count the open decision records the
+	// coordinator pass closed each way.
+	ForwardDriven int
+	Undone        int
+	// Violations is the consistency battery on the recovered, quiescent
+	// state, evaluated across every partition store.
+	Violations []error
+	// RerunCompleted and RerunViolations cover the post-recovery load.
+	RerunCompleted  int
+	RerunViolations []error
+}
+
+type partitionCrashSystem struct {
+	set  *partition.Set
+	logs []*wal.Log
+	w    *tpcc.Workload
+}
+
+func (sys *partitionCrashSystem) dbs() []*core.DB {
+	dbs := make([]*core.DB, sys.set.Partitions())
+	for p := range dbs {
+		dbs[p] = sys.set.Engine(p).DB()
+	}
+	return dbs
+}
+
+func (sys *partitionCrashSystem) close() {
+	sys.set.Close()
+	for _, l := range sys.logs {
+		l.Close()
+	}
+}
+
+// buildPartitionCrashSystem assembles the partitioned system: per partition
+// a fresh base state (deterministic in cfg.Seed), its own log under
+// WALDir/p<p>, and a registered engine; then the routing table and a
+// remote-heavy workload bound to the set.
+func buildPartitionCrashSystem(cfg PartitionCrashConfig) (*partitionCrashSystem, error) {
+	sys := &partitionCrashSystem{}
+	set, err := partition.New(cfg.Partitions, func(p int) (*core.Engine, error) {
+		db := core.NewDB()
+		if err := tpcc.CreateSchema(db); err != nil {
+			return nil, err
+		}
+		if err := tpcc.LoadPartition(db, cfg.Scale, cfg.Seed, p, cfg.Partitions); err != nil {
+			return nil, err
+		}
+		l, err := wal.Open(filepath.Join(cfg.WALDir, fmt.Sprintf("p%d", p)),
+			wal.Options{SegmentSize: cfg.SegmentSize, GroupWindow: cfg.GroupWindow})
+		if err != nil {
+			return nil, err
+		}
+		sys.logs = append(sys.logs, l)
+		types := tpcc.BuildTypes()
+		eng := core.New(db, types.Tables,
+			core.WithMode(core.ModeACC),
+			core.WithWaitTimeout(10*time.Second),
+			core.WithWAL(l),
+			core.WithEngineLabel(fmt.Sprintf("partition %d", p)),
+		)
+		if _, err := tpcc.RegisterPartitioned(eng, types, cfg.Scale, cfg.Partitions); err != nil {
+			return nil, err
+		}
+		return eng, nil
+	})
+	if err != nil {
+		for _, l := range sys.logs {
+			l.Close()
+		}
+		return nil, err
+	}
+	sys.set = set
+	tpcc.InstallRoutes(set)
+
+	wcfg := tpcc.DefaultWorkloadConfig(cfg.Scale)
+	wcfg.RollbackPercent = 20
+	wcfg.RemotePercent = cfg.RemotePercent
+	sys.w = tpcc.NewRemoteWorkload(set.Run, wcfg)
+	return sys, nil
+}
+
+// RunPartitionCrash executes one partitioned crash-matrix case: doomed run,
+// crash, restart, per-partition + coordinator recovery, consistency check,
+// re-run, consistency check.
+func RunPartitionCrash(cfg PartitionCrashConfig) (*PartitionCrashResult, error) {
+	if cfg.Nth == 0 {
+		cfg.Nth = 3
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = 4
+	}
+	if cfg.Terminals == 0 {
+		cfg.Terminals = 8
+	}
+	if cfg.MaxOps == 0 {
+		cfg.MaxOps = 4000
+	}
+	if cfg.RerunOps == 0 {
+		cfg.RerunOps = 300
+	}
+	if cfg.RemotePercent == 0 {
+		cfg.RemotePercent = 25
+	}
+	if cfg.Scale.Warehouses == 0 {
+		cfg.Scale = CrashScale()
+	}
+	if cfg.Scale.Warehouses < cfg.Partitions {
+		cfg.Scale.Warehouses = cfg.Partitions
+	}
+	if cfg.SegmentSize == 0 {
+		cfg.SegmentSize = 32 << 10
+	}
+	if cfg.GroupWindow == 0 {
+		cfg.GroupWindow = 100 * time.Microsecond
+	}
+	if cfg.WALDir == "" {
+		return nil, fmt.Errorf("experiment: partition crash case needs a WAL directory")
+	}
+
+	// Phase 1: the doomed run.
+	sys, err := buildPartitionCrashSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := fault.NewController(cfg.Seed)
+	spec := fault.Spec{Effect: cfg.Point.Effect, Nth: cfg.Nth}
+	if cfg.Point.Effect == fault.Delay {
+		spec.Nth = 0
+		if cfg.MaxOps > 1000 {
+			cfg.MaxOps = 1000
+		}
+	}
+	ctrl.Arm(cfg.Point.Name, spec)
+	ctrl.Activate()
+
+	// The partition.coord.* points freeze every partition log themselves;
+	// a generic point (wal.*, core.*) freezes only the log it fired in. The
+	// partitions share one process here, so a fired crash must take all the
+	// logs down together — otherwise healthy partitions keep writing durably
+	// after the "kill", a failure mode no single-process deployment has.
+	watcherDone := make(chan struct{})
+	var watcherWG sync.WaitGroup
+	if cfg.Point.Effect != fault.Delay {
+		watcherWG.Add(1)
+		go func() {
+			defer watcherWG.Done()
+			select {
+			case <-ctrl.Crashed():
+				for _, l := range sys.logs {
+					l.Crash()
+				}
+			case <-watcherDone:
+			}
+		}()
+	}
+
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Terminals; i++ {
+		wg.Add(1)
+		go func(term int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(term)*7919))
+			for {
+				select {
+				case <-ctrl.Crashed():
+					return
+				default:
+				}
+				if ops.Add(1) > int64(cfg.MaxOps) {
+					return
+				}
+				sys.w.Next(r, term).Run()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(watcherDone)
+	watcherWG.Wait()
+	fault.Deactivate()
+
+	if cfg.Point.Effect != fault.Delay && ctrl.FiredPoint() != "" {
+		// Deterministic backstop for the watcher's race window — and it keeps
+		// sys.close() (whose Engine.Close forces the log) from making healthy
+		// partitions' post-crash tails durable.
+		for _, l := range sys.logs {
+			l.Crash()
+		}
+	}
+
+	res := &PartitionCrashResult{}
+	switch cfg.Point.Effect {
+	case fault.Delay:
+		res.Fired = ctrl.Hits(cfg.Point.Name) > 0
+		for _, l := range sys.logs {
+			l.Force()
+		}
+	default:
+		res.Fired = ctrl.FiredPoint() == cfg.Point.Name
+	}
+	sys.close()
+
+	// Phase 2: restart — fresh base state per partition (same seed), reopened
+	// logs, per-partition recovery plus the coordinator completion pass.
+	sys2, err := buildPartitionCrashSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sys2.close()
+	for p, l := range sys2.logs {
+		if tt := l.TornTail(); tt != nil && !tt.Clean() {
+			return res, fmt.Errorf("experiment: partition %d crash left corrupt (not torn) log: %w", p, tt)
+		}
+	}
+	rres, err := sys2.set.Recover()
+	if err != nil {
+		return res, err
+	}
+	res.ForwardDriven = len(rres.ForwardDriven)
+	res.Undone = len(rres.Undone)
+	holes := map[tpcc.DistrictKey]map[int64]bool{}
+	for _, pr := range rres.Partitions {
+		res.Committed += pr.Committed
+		res.Compensated += len(pr.Compensated)
+		for dk, hs := range tpcc.HolesFromRecovery(pr) {
+			if holes[dk] == nil {
+				holes[dk] = map[int64]bool{}
+			}
+			for o := range hs {
+				holes[dk][o] = true
+			}
+		}
+	}
+	res.Violations = tpcc.CheckConsistencyPartitioned(sys2.dbs(), cfg.Scale, holes)
+
+	// Phase 3: the recovered set re-admits load against the same logs.
+	sys2.w.MergeHoles(holes)
+	sys2.w.AdvanceHistoryID(1 << 20)
+	r := rand.New(rand.NewSource(cfg.Seed ^ 0x5eedca5e))
+	for i := 0; i < cfg.RerunOps; i++ {
+		if out, _ := sys2.w.Next(r, i%cfg.Terminals).Run(); out == metrics.Committed {
+			res.RerunCompleted++
+		}
+	}
+	for _, l := range sys2.logs {
+		l.Force()
+	}
+	res.RerunViolations = tpcc.CheckConsistencyPartitioned(sys2.dbs(), cfg.Scale, sys2.w.Holes())
+	return res, nil
+}

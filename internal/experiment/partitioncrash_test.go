@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"accdb/internal/fault"
+)
+
+// TestPartitionCrashMatrix is the coordinator acceptance test: for every
+// partition.coord.* fault point — crash after the decision record, between
+// shots, after the home commit, mid-compensation — crash a four-partition
+// TPC-C run with a 25% remote-warehouse share, recover every partition plus
+// the coordinator's decision records, and require the full consistency
+// battery (including the cross-partition stock condition) on the recovered
+// state and again after re-admitted load.
+func TestPartitionCrashMatrix(t *testing.T) {
+	var points []fault.Info
+	for _, p := range fault.Points() {
+		if strings.HasPrefix(p.Name, "partition.") {
+			points = append(points, p)
+		}
+	}
+	if len(points) != 4 {
+		t.Fatalf("expected the 4 coordinator fault points, found %d: %v", len(points), points)
+	}
+	for _, p := range points {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			res, err := RunPartitionCrash(PartitionCrashConfig{
+				Point:  p,
+				Seed:   42,
+				WALDir: t.TempDir(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Fired {
+				t.Fatalf("point %s never fired within the op budget", p.Name)
+			}
+			for i, v := range res.Violations {
+				if i > 5 {
+					t.Fatalf("... and %d more", len(res.Violations)-i)
+				}
+				t.Errorf("recovered state: %v", v)
+			}
+			for i, v := range res.RerunViolations {
+				if i > 5 {
+					t.Fatalf("... and %d more", len(res.RerunViolations)-i)
+				}
+				t.Errorf("after re-run: %v", v)
+			}
+			if res.RerunCompleted == 0 {
+				t.Error("recovered set completed no transactions")
+			}
+			t.Logf("committed=%d compensated=%d forward=%d undone=%d rerun=%d",
+				res.Committed, res.Compensated, res.ForwardDriven, res.Undone, res.RerunCompleted)
+		})
+	}
+}
+
+// TestPartitionCrashGenericPoint runs one non-coordinator point through the
+// partitioned harness: a plain WAL-layer crash on one partition's log must
+// recover just as well when the workload spans partitions.
+func TestPartitionCrashGenericPoint(t *testing.T) {
+	res, err := RunPartitionCrash(PartitionCrashConfig{
+		Point:  fault.Info{Name: "core.commit.force.crash", Effect: fault.Crash},
+		Seed:   7,
+		WALDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fired {
+		t.Fatal("core.commit.force.crash never fired")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("recovered state: %v", v)
+	}
+	for _, v := range res.RerunViolations {
+		t.Errorf("after re-run: %v", v)
+	}
+}

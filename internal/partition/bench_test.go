@@ -1,0 +1,76 @@
+package partition_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"accdb/internal/core"
+	"accdb/internal/partition"
+	"accdb/internal/tpcc"
+)
+
+// benchSet builds an in-memory partitioned TPC-C system for benchmarks.
+func benchSet(b *testing.B, parts int, scale tpcc.Scale) *partition.Set {
+	b.Helper()
+	set, err := partition.New(parts, func(p int) (*core.Engine, error) {
+		db := core.NewDB()
+		if err := tpcc.CreateSchema(db); err != nil {
+			return nil, err
+		}
+		if err := tpcc.LoadPartition(db, scale, 1, p, parts); err != nil {
+			return nil, err
+		}
+		types := tpcc.BuildTypes()
+		eng := core.New(db, types.Tables,
+			core.WithMode(core.ModeACC),
+			core.WithWaitTimeout(10*time.Second),
+			core.WithEngineLabel(fmt.Sprintf("partition %d", p)),
+		)
+		if _, err := tpcc.RegisterPartitioned(eng, types, scale, parts); err != nil {
+			return nil, err
+		}
+		return eng, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { set.Close() })
+	tpcc.InstallRoutes(set)
+	return set
+}
+
+// BenchmarkPartitionThroughput measures the TPC-C mix against a 4-partition
+// set at varying remote-warehouse shares. remote=0 is the router's fast-path
+// baseline — every transaction routes whole to its home engine; higher
+// shares price the multi-shot coordinator (decision-record force plus one
+// forced commit per remote shot). CI records this as BENCH_partition.json.
+func BenchmarkPartitionThroughput(b *testing.B) {
+	for _, remotePct := range []int{0, 10, 30} {
+		b.Run(fmt.Sprintf("remote=%d", remotePct), func(b *testing.B) {
+			scale := tpcc.Scale{
+				Warehouses: 4, Districts: 2, CustomersPerDistrict: 60,
+				Items: 50, InitialOrdersPerDistrict: 20, NewOrderBacklog: 8,
+			}
+			set := benchSet(b, 4, scale)
+			wcfg := tpcc.DefaultWorkloadConfig(scale)
+			wcfg.RemotePercent = remotePct
+			w := tpcc.NewRemoteWorkload(set.Run, wcfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				r := rand.New(rand.NewSource(rand.Int63()))
+				term := int(r.Int31n(1024))
+				for pb.Next() {
+					w.Next(r, term).Run()
+				}
+			})
+			b.StopTimer()
+			st := set.Snapshot()
+			if total := st.SingleRouted + st.CrossStarted; total > 0 {
+				b.ReportMetric(float64(st.CrossStarted)/float64(total)*100, "cross%")
+			}
+		})
+	}
+}

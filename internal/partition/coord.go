@@ -1,0 +1,380 @@
+package partition
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"accdb/internal/core"
+	"accdb/internal/fault"
+	"accdb/internal/trace"
+	"accdb/internal/wal"
+)
+
+// The multi-shot commit protocol (DESIGN.md §16). A cross-partition
+// transaction with home partition h and remote shots 1..k runs as:
+//
+//  1. Force a TCoordBegin decision record — global id, home transaction
+//     type, encoded shot plan — into h's WAL. From here the global
+//     transaction is recoverable from h's log alone.
+//  2. Run the home transaction on h. Its hook step (reached while the home
+//     transaction holds its exposure marks and reservations) runs each
+//     remote shot in plan order as an ordinary local transaction on its
+//     partition, stamped (global, i) in that partition's begin record. Each
+//     shot's local commit is forced by its own engine before the next shot
+//     starts; an advisory TCoordShot lands in h's log after each.
+//  3. The home transaction commits last. Its commit force is the global
+//     commit point: home committed ⇒ every remote shot durably committed.
+//     An advisory TCoordCommit closes the decision record.
+//  4. If anything fails after shots committed — the home transaction
+//     aborted or was compensated, a later shot aborted, a deadlock victim
+//     exhausted its retries — the coordinator runs each committed shot's
+//     compensating undo in reverse order (§3.4 lifted across partitions),
+//     then forces TCoordAbort. The undo shots are stamped (global, -i).
+//
+// Crash recovery (recover.go) replays open decision records: a home-committed
+// global is driven forward (defensively — the invariant says its shots
+// already committed), anything else is rolled back by the same undo path
+// using the work areas the shots' own end-of-step records preserved.
+
+// Coordinator fault points, enumerated by the crash matrix alongside the
+// wal/core points.
+const (
+	fpCoordBegin  = "partition.coord.begin.crash"
+	fpCoordShot   = "partition.coord.shot.crash"
+	fpCoordCommit = "partition.coord.commit.crash"
+	fpCoordUndo   = "partition.coord.undo.crash"
+)
+
+func init() {
+	fault.Declare(fpCoordBegin, fault.Crash,
+		"crash after the coordinator forced its decision record, before any shot ran")
+	fault.Declare(fpCoordShot, fault.Crash,
+		"crash between shots of a cross-partition transaction, after a remote shot committed")
+	fault.Declare(fpCoordCommit, fault.Crash,
+		"crash after the home transaction committed, before the advisory commit record")
+	fault.Declare(fpCoordUndo, fault.Crash,
+		"crash mid-compensation, after an undo shot committed but before the abort record")
+}
+
+// crashPoint consults a coordinator fault point; a fired Crash freezes every
+// partition's log (the whole process "dies", not one partition) and lets
+// execution continue — appends after the freeze are non-durable, exactly the
+// prefix a kill would leave.
+func (s *Set) crashPoint(name string) {
+	if fault.Point(name).Effect == fault.Crash {
+		for _, e := range s.engines {
+			if l := e.Log(); l != nil {
+				l.Crash()
+			}
+		}
+	}
+}
+
+// appendRec / appendForceRec tolerate WAL-less engines: a purely in-memory
+// partition set runs the same protocol, it just has nothing to recover.
+func appendRec(l *wal.Log, rec wal.Record) {
+	if l != nil {
+		l.Append(rec)
+	}
+}
+
+func appendForceRec(l *wal.Log, rec wal.Record) {
+	if l != nil {
+		l.AppendForce(rec)
+	}
+}
+
+// Hook runs the pending remote shots of the in-flight cross-partition
+// transaction. The home transaction type's hook step pulls it out of the
+// step context (HookFrom) and invokes it while the home transaction holds
+// its marks; a non-nil error aborts the home transaction, which rolls the
+// global transaction back.
+type Hook func() error
+
+type hookKey struct{}
+
+// WithHook attaches a shot hook to a context.
+func WithHook(ctx context.Context, h Hook) context.Context {
+	return context.WithValue(ctx, hookKey{}, h)
+}
+
+// HookFrom extracts the shot hook, if any. A home transaction type's hook
+// step treats absence as "no remote work" and succeeds immediately, so the
+// same type definition runs unchanged on a single engine.
+func HookFrom(ctx context.Context) (Hook, bool) {
+	h, ok := ctx.Value(hookKey{}).(Hook)
+	return h, ok
+}
+
+// runCross executes one cross-partition transaction through the multi-shot
+// protocol above.
+func (s *Set) runCross(ctx context.Context, tt *core.TxnType, args any, home int, shots []Shot, sp *trace.Span) error {
+	for _, sh := range shots {
+		if sh.Partition < 0 || sh.Partition >= len(s.engines) {
+			return fmt.Errorf("partition: %s shot %q targets partition %d of %d",
+				tt.Name, sh.Type, sh.Partition, len(s.engines))
+		}
+		if sh.Partition == home {
+			return fmt.Errorf("partition: %s shot %q targets its own home partition %d", tt.Name, sh.Type, home)
+		}
+	}
+	plan, err := s.encodePlan(shots)
+	if err != nil {
+		return fmt.Errorf("partition: encoding %s shot plan: %w", tt.Name, err)
+	}
+
+	g := s.nextGlobal.Add(1)
+	s.crossStarted.Add(1)
+	homeEng := s.engines[home]
+	start := time.Now()
+
+	// 1. The decision record. Forced: after this the global transaction
+	// exists durably and recovery owns its fate.
+	appendForceRec(homeEng.Log(), wal.Record{Type: wal.TCoordBegin, Txn: g, TxnType: tt.Name, WorkArea: plan})
+	if l := homeEng.Log(); l != nil && l.Crashed() {
+		// The home log froze (a simulated crash) and the force above may have
+		// been silently absorbed. Running shots now could durably commit them
+		// on healthy partitions with no decision record anywhere — orphans no
+		// recovery pass would find. Crash state is sticky, so a clean check
+		// here proves the record is durable.
+		return fmt.Errorf("partition: global %d: home log crashed before the decision record was durable", g)
+	}
+	s.emit(trace.KindCoordBegin, g, -1, tt.Name, 0, fmt.Sprintf("home=%d shots=%d", home, len(shots)))
+	s.crashPoint(fpCoordBegin)
+
+	// The per-global cancel is the deadlock detector's doom lever: it stops
+	// the engines' retry loops (they check ctx between attempts) as well as
+	// the current lock wait.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s.shotMu.Lock()
+	s.cancels[g] = cancel
+	s.shotMu.Unlock()
+	defer s.untrack(g)
+
+	// done survives home-transaction retries: a deadlock-victim home attempt
+	// reruns its hook step, which must continue from the first uncommitted
+	// shot, not re-execute committed ones.
+	done := make([]bool, len(shots))
+	hook := func() error {
+		for i, sh := range shots {
+			if done[i] {
+				continue
+			}
+			if err := s.runShot(cctx, g, int32(i+1), sh); err != nil {
+				return err
+			}
+			done[i] = true
+			appendRec(homeEng.Log(), wal.Record{Type: wal.TCoordShot, Txn: g, Step: int32(i + 1)})
+			s.crashPoint(fpCoordShot)
+		}
+		return nil
+	}
+
+	// 2-3. The home transaction, hook in context, commits last.
+	hctx := core.WithShotTag(WithHook(cctx, hook), core.ShotTag{
+		Global: g, Shot: 0, OnTxn: s.track(home, g, false),
+	})
+	err = homeEng.RunTypeContextSpan(hctx, tt, args, sp)
+	if err == nil {
+		s.crashPoint(fpCoordCommit)
+		appendRec(homeEng.Log(), wal.Record{Type: wal.TCoordCommit, Txn: g})
+		s.crossCommitted.Add(1)
+		s.emit(trace.KindCoordCommit, g, -1, tt.Name, time.Since(start).Nanoseconds(), "")
+		return nil
+	}
+
+	// 4. Rollback: the home transaction's own effects are already gone
+	// (aborted or compensated by its engine); reverse the committed shots.
+	for i := len(shots) - 1; i >= 0; i-- {
+		if !done[i] {
+			continue
+		}
+		if uerr := s.undoShot(g, int32(i+1), shots[i].Type, shots[i].Args); uerr != nil {
+			s.emit(trace.KindCoordAbort, g, -1, tt.Name, time.Since(start).Nanoseconds(),
+				fmt.Sprintf("undo of shot %d failed: %v", i+1, uerr))
+			return fmt.Errorf("partition: global %d rollback: undo of shot %d: %w (cause: %v)", g, i+1, uerr, err)
+		}
+		s.crashPoint(fpCoordUndo)
+	}
+	// Forced only after every undo is durable: recovery must not see an
+	// aborted decision record whose undos still need running.
+	appendForceRec(homeEng.Log(), wal.Record{Type: wal.TCoordAbort, Txn: g})
+	s.crossAborted.Add(1)
+	s.emit(trace.KindCoordAbort, g, -1, tt.Name, time.Since(start).Nanoseconds(), err.Error())
+	return err
+}
+
+// runShot executes one remote shot as a local transaction on its partition.
+// The shot commits (its engine forces its commit record) before runShot
+// returns nil, so plan order doubles as durability order.
+func (s *Set) runShot(ctx context.Context, g uint64, idx int32, sh Shot) error {
+	eng := s.engines[sh.Partition]
+	tt := eng.Type(sh.Type)
+	if tt == nil {
+		return fmt.Errorf("partition %d: %w: %q", sh.Partition, core.ErrUnknownTxnType, sh.Type)
+	}
+	s.emit(trace.KindShotBegin, g, idx, sh.Type, 0, fmt.Sprintf("partition=%d", sh.Partition))
+	start := time.Now()
+	sctx := core.WithShotTag(ctx, core.ShotTag{Global: g, Shot: idx, OnTxn: s.track(sh.Partition, g, false)})
+	if err := eng.RunTypeContext(sctx, tt, sh.Args); err != nil {
+		return fmt.Errorf("shot %d (%s on partition %d): %w", idx, sh.Type, sh.Partition, err)
+	}
+	s.shotsRun.Add(1)
+	s.emit(trace.KindShotEnd, g, idx, sh.Type, time.Since(start).Nanoseconds(), "")
+	return nil
+}
+
+// undoShot runs the compensating undo of a committed shot. It runs under a
+// fresh background context — the global transaction's own context is
+// typically already cancelled (deadlock doom) or failed, and compensation,
+// like the engine's own §3.4 executor, must proceed regardless. Retries are
+// persistent: an undo shot only touches items the forward shot reserved, so
+// transient scheduling aborts are the only failures expected.
+func (s *Set) undoShot(g uint64, idx int32, shotType string, shotArgs any) error {
+	spec, ok := s.undoSpec(shotType)
+	if !ok {
+		return fmt.Errorf("partition: no undo registered for shot type %q", shotType)
+	}
+	eng := s.engines[s.shotPartitionOf(shotType, shotArgs)]
+	return s.undoShotOn(eng, g, idx, shotType, shotArgs, spec)
+}
+
+// shotPartitionOf resolves the partition a shot type instance lives on via
+// its route's Home function; shot types route like any other type.
+func (s *Set) shotPartitionOf(shotType string, args any) int {
+	if r := s.route(shotType); r != nil && r.Home != nil {
+		if p := r.Home(args); p >= 0 && p < len(s.engines) {
+			return p
+		}
+	}
+	return 0
+}
+
+// undoShotOn is undoShot against an explicit engine (recovery knows the
+// partition from the plan rather than the route table).
+func (s *Set) undoShotOn(eng *core.Engine, g uint64, idx int32, shotType string, shotArgs any, spec UndoSpec) error {
+	ut := eng.Type(spec.Type)
+	if ut == nil {
+		return fmt.Errorf("partition: %w: undo type %q", core.ErrUnknownTxnType, spec.Type)
+	}
+	args := shotArgs
+	if spec.Args != nil {
+		args = spec.Args(shotArgs)
+	}
+	part := s.partitionOfEngine(eng)
+	s.emit(trace.KindShotUndo, g, -idx, spec.Type, 0, fmt.Sprintf("partition=%d", part))
+	uctx := core.WithShotTag(context.Background(), core.ShotTag{Global: g, Shot: -idx, OnTxn: s.track(part, g, true)})
+	var err error
+	for attempt := 0; attempt < 100; attempt++ {
+		err = eng.RunTypeContext(uctx, ut, args)
+		if err == nil || !core.Retryable(err) {
+			break
+		}
+	}
+	if err != nil {
+		return err
+	}
+	s.shotUndos.Add(1)
+	return nil
+}
+
+func (s *Set) partitionOfEngine(eng *core.Engine) int {
+	for p, e := range s.engines {
+		if e == eng {
+			return p
+		}
+	}
+	return 0
+}
+
+// encodePlan serializes the shot plan into a TCoordBegin work area:
+// uvarint shot count, then per shot uvarint partition, length-prefixed type
+// name, length-prefixed encoded arguments. Shot types must declare
+// EncodeArgs/DecodeArgs (the same requirement the engine's own crash
+// compensation imposes on multi-step types).
+func (s *Set) encodePlan(shots []Shot) ([]byte, error) {
+	buf := binary.AppendUvarint(nil, uint64(len(shots)))
+	for _, sh := range shots {
+		tt := s.engines[0].Type(sh.Type)
+		if tt == nil {
+			return nil, fmt.Errorf("%w: %q", core.ErrUnknownTxnType, sh.Type)
+		}
+		if tt.EncodeArgs == nil {
+			return nil, fmt.Errorf("shot type %q has no EncodeArgs", sh.Type)
+		}
+		buf = binary.AppendUvarint(buf, uint64(sh.Partition))
+		buf = binary.AppendUvarint(buf, uint64(len(sh.Type)))
+		buf = append(buf, sh.Type...)
+		enc := tt.EncodeArgs(sh.Args)
+		buf = binary.AppendUvarint(buf, uint64(len(enc)))
+		buf = append(buf, enc...)
+	}
+	return buf, nil
+}
+
+// decodePlan reverses encodePlan, resolving argument decoders through the
+// given engine's type registry.
+func (s *Set) decodePlan(data []byte) ([]Shot, error) {
+	rd := planReader{data: data}
+	n := rd.uvarint()
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	shots := make([]Shot, 0, n)
+	for i := uint64(0); i < n; i++ {
+		part := rd.uvarint()
+		name := rd.bytes()
+		argsEnc := rd.bytes()
+		if rd.err != nil {
+			return nil, fmt.Errorf("shot %d: %w", i, rd.err)
+		}
+		tt := s.engines[0].Type(string(name))
+		if tt == nil || tt.DecodeArgs == nil {
+			return nil, fmt.Errorf("shot %d: cannot decode args of type %q", i, name)
+		}
+		args, err := tt.DecodeArgs(argsEnc)
+		if err != nil {
+			return nil, fmt.Errorf("shot %d (%s): %w", i, name, err)
+		}
+		if int(part) >= len(s.engines) {
+			return nil, fmt.Errorf("shot %d targets partition %d of %d", i, part, len(s.engines))
+		}
+		shots = append(shots, Shot{Partition: int(part), Type: string(name), Args: args})
+	}
+	return shots, nil
+}
+
+type planReader struct {
+	data []byte
+	err  error
+}
+
+func (r *planReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.err = fmt.Errorf("partition: truncated shot plan")
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *planReader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.data)) < n {
+		r.err = fmt.Errorf("partition: truncated shot plan")
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}

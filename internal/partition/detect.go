@@ -1,0 +1,218 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"accdb/internal/spi"
+	"accdb/internal/trace"
+)
+
+// Cross-partition deadlock detection. Each partition's lock manager detects
+// and breaks cycles among its own transactions, but a cross-partition
+// transaction holds locks in several partitions at once (its home
+// transaction's marks, its in-flight shot's locks), so two global
+// transactions can block each other through waits no single partition sees:
+// g1's shot waits on g2's locks in partition A while g2's shot waits on
+// g1's locks in partition B.
+//
+// The detector projects each partition's local waits-for edges through the
+// live shot table onto global transaction ids: if a local transaction known
+// to belong to g1 can reach — through any chain of local waits, including
+// purely local transactions in the middle — a local transaction belonging
+// to g2, then g1 waits on g2 globally. A cycle in the condensed global
+// graph is a cross-partition deadlock. The victim is the cycle's largest
+// (youngest) global id, mirroring the local detector's youngest-dies rule,
+// with the paper's §3.4 exception lifted across partitions: a global
+// transaction already running compensating undo shots is never chosen.
+//
+// Dooming a victim is two-pronged: its per-global cancel function stops the
+// engines' retry loops (which re-check the context between attempts — a
+// cancelled wait alone would just be retried), and CancelWait unblocks
+// whichever of its local transactions is parked right now.
+
+// detectLoop drives DetectOnce at the configured cadence until Close.
+func (s *Set) detectLoop() {
+	defer close(s.detDone)
+	tick := time.NewTicker(s.detInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.detStop:
+			return
+		case <-tick.C:
+			s.DetectOnce()
+		}
+	}
+}
+
+// DetectOnce runs one detection pass and returns how many victims it
+// doomed. Exported so tests (and a disabled-background-detector Set) can
+// drive detection deterministically.
+func (s *Set) DetectOnce() int {
+	s.shotMu.Lock()
+	refs := make(map[shotKey]shotRef, len(s.shots))
+	for k, v := range s.shots {
+		refs[k] = v
+	}
+	s.shotMu.Unlock()
+	if len(refs) == 0 {
+		return 0
+	}
+
+	undoing := make(map[uint64]bool)
+	for _, v := range refs {
+		if v.undo {
+			undoing[v.global] = true
+		}
+	}
+
+	// Condensed graph: global -> set of globals it waits on.
+	edges := make(map[uint64]map[uint64]bool)
+	for p := range s.engines {
+		mapped := make(map[spi.TxnID]shotRef)
+		for k, v := range refs {
+			if k.part == p {
+				mapped[k.txn] = v
+			}
+		}
+		if len(mapped) == 0 {
+			continue
+		}
+		snap := s.engines[p].Locks().Snapshot()
+		if len(snap.Edges) == 0 {
+			continue
+		}
+		adj := make(map[spi.TxnID][]spi.TxnID, len(snap.Edges))
+		for _, e := range snap.Edges {
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+		for from, ref := range mapped {
+			if ref.undo {
+				// Compensating shots are never treated as wait sources: they
+				// must not become victims, and the §3.4 executor already
+				// breaks forward-vs-compensation waits locally.
+				continue
+			}
+			condense(adj, from, mapped, ref.global, edges)
+		}
+	}
+	if len(edges) == 0 {
+		return 0
+	}
+
+	// Cycle search over the condensed graph (it is tiny: one vertex per
+	// in-flight cross-partition transaction).
+	victims := make(map[uint64]string)
+	color := make(map[uint64]int) // 0 unvisited, 1 on path, 2 done
+	var path []uint64
+	var dfs func(g uint64)
+	dfs = func(g uint64) {
+		color[g] = 1
+		path = append(path, g)
+		for _, to := range sortedKeys(edges[g]) {
+			switch color[to] {
+			case 1:
+				var cyc []uint64
+				for i := len(path) - 1; i >= 0; i-- {
+					cyc = append(cyc, path[i])
+					if path[i] == to {
+						break
+					}
+				}
+				var victim uint64
+				for _, m := range cyc {
+					if !undoing[m] && m > victim {
+						victim = m
+					}
+				}
+				if victim != 0 {
+					victims[victim] = cycleString(cyc)
+				}
+			case 0:
+				dfs(to)
+			}
+		}
+		path = path[:len(path)-1]
+		color[g] = 2
+	}
+	for _, g := range sortedKeys(edges) {
+		if color[g] == 0 {
+			dfs(g)
+		}
+	}
+
+	for g, cyc := range victims {
+		s.doom(g, cyc)
+	}
+	return len(victims)
+}
+
+// condense walks the local waits-for graph from a mapped vertex, through
+// any unmapped (purely local) intermediates, and records a condensed edge
+// for every other global's vertex it reaches. Traversal stops at mapped
+// vertices: what they wait on is their own global's concern, projected when
+// the walk starts from them.
+func condense(adj map[spi.TxnID][]spi.TxnID, start spi.TxnID, mapped map[spi.TxnID]shotRef, g uint64, out map[uint64]map[uint64]bool) {
+	seen := map[spi.TxnID]bool{start: true}
+	stack := append([]spi.TxnID(nil), adj[start]...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if ref, ok := mapped[v]; ok {
+			if ref.global != g {
+				m := out[g]
+				if m == nil {
+					m = make(map[uint64]bool)
+					out[g] = m
+				}
+				m[ref.global] = true
+			}
+			continue
+		}
+		stack = append(stack, adj[v]...)
+	}
+}
+
+// doom cancels the victim global transaction: its context (stopping retry
+// loops) and its currently parked local waits.
+func (s *Set) doom(g uint64, cycle string) {
+	s.shotMu.Lock()
+	cancel := s.cancels[g]
+	keys := append([]shotKey(nil), s.byGlob[g]...)
+	s.shotMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	for _, k := range keys {
+		s.engines[k.part].Locks().CancelWait(k.txn)
+	}
+	s.crossDeadlocks.Add(1)
+	s.emit(trace.KindCrossDeadlock, g, -1, "", 0, cycle)
+}
+
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func cycleString(cyc []uint64) string {
+	var b strings.Builder
+	for i := len(cyc) - 1; i >= 0; i-- {
+		if b.Len() > 0 {
+			b.WriteString("->")
+		}
+		fmt.Fprintf(&b, "g%d", cyc[i])
+	}
+	return b.String()
+}

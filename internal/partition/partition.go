@@ -1,0 +1,370 @@
+// Package partition scales the engine out: n independent engine instances
+// (each with its own storage backend, lock shards, and WAL directory, built
+// over the SPI seam of DESIGN.md §15) behind a deterministic key→partition
+// router, plus a multi-shot commit coordinator for the transactions that
+// span partitions (DESIGN.md §16).
+//
+// Single-partition transactions — the overwhelming majority under a
+// warehouse-partitioned TPC-C — route straight to their home engine: the
+// only added cost is one map lookup and one Home() call, so the per-engine
+// hot path is untouched. Cross-partition transactions run as a sequence of
+// per-partition *shots* in the style of multi-shot transaction commit
+// (Chockler & Gotsman): each shot is an ordinary local transaction that
+// commits in its partition's log, the coordinator persists a decision
+// record in the home partition's WAL, and a failure after some shots
+// committed rolls the global transaction back by running compensating undo
+// shots — the §3.4 saga machinery, lifted one level up. There is no global
+// two-phase-commit lock window: a shot's locks release at its local commit.
+//
+// Because the home transaction holds its exposure (D) and reservation (C)
+// marks while its remote shots run, two cross-partition transactions can
+// block each other through locks in different partitions that no
+// single-partition detector sees. The Set runs a cross-partition waits-for
+// detector that projects each engine's local waits-for edges through the
+// live shot table onto global transaction ids and breaks cycles by
+// cancelling one member — never an undo shot, preserving the paper's rule
+// that compensating work is not a deadlock victim.
+package partition
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accdb/internal/core"
+	"accdb/internal/spi"
+	"accdb/internal/trace"
+)
+
+// BuildFunc constructs partition p's engine: its own DB (over its own
+// backend instance), its own WAL, its transaction types registered. The Set
+// owns the returned engines and closes them with Close.
+type BuildFunc func(p int) (*core.Engine, error)
+
+// Shot is one per-partition unit of a cross-partition transaction: a local
+// transaction of the named type to run on the target partition.
+type Shot struct {
+	Partition int
+	Type      string
+	Args      any
+}
+
+// Route declares how instances of one transaction type map onto partitions.
+type Route struct {
+	// Home returns the instance's home partition — where single-partition
+	// instances run entirely, and where a cross-partition instance's home
+	// transaction and decision record live.
+	Home func(args any) int
+	// Split, when non-nil, returns the remote shots of an instance. An
+	// empty result means the instance is single-partition after all and
+	// takes the direct path. Nil means the type never crosses partitions.
+	Split func(args any) []Shot
+}
+
+// UndoSpec declares the compensating undo of a shot type: the transaction
+// type that semantically reverses a committed shot, and how to derive its
+// arguments from the shot's (completed) work area. A nil Args passes the
+// shot's own arguments through.
+type UndoSpec struct {
+	Type string
+	Args func(shotArgs any) any
+}
+
+// Stats aggregates the Set's coordinator counters.
+type Stats struct {
+	SingleRouted   uint64 // transactions routed whole to one partition
+	CrossStarted   uint64 // cross-partition transactions begun
+	CrossCommitted uint64 // ... that completed every shot
+	CrossAborted   uint64 // ... rolled back with shots compensated
+	ShotsRun       uint64 // remote shots committed
+	ShotUndos      uint64 // compensating undo shots run
+	CrossDeadlocks uint64 // cycles broken by the cross-partition detector
+}
+
+// Set is a partitioned engine: n engines behind a router and a multi-shot
+// commit coordinator. It satisfies the network server's Runner contract, so
+// accd serves a Set exactly as it serves a single engine.
+type Set struct {
+	engines []*core.Engine
+
+	mu     sync.RWMutex
+	routes map[string]*Route
+	undos  map[string]UndoSpec
+
+	nextGlobal atomic.Uint64
+
+	// shotMu guards the live shot table the deadlock detector projects
+	// local waits-for edges through, and the per-global cancel functions it
+	// dooms victims with.
+	shotMu  sync.Mutex
+	shots   map[shotKey]shotRef
+	byGlob  map[uint64][]shotKey
+	cancels map[uint64]context.CancelFunc
+
+	tracer      *trace.Tracer
+	detInterval time.Duration
+	detStop     chan struct{}
+	detDone     chan struct{}
+
+	singleRouted   atomic.Uint64
+	crossStarted   atomic.Uint64
+	crossCommitted atomic.Uint64
+	crossAborted   atomic.Uint64
+	shotsRun       atomic.Uint64
+	shotUndos      atomic.Uint64
+	crossDeadlocks atomic.Uint64
+
+	closed atomic.Bool
+}
+
+// shotKey names one live local transaction of a global transaction.
+type shotKey struct {
+	part int
+	txn  spi.TxnID
+}
+
+// shotRef is the global identity of a live local transaction.
+type shotRef struct {
+	global uint64
+	undo   bool
+}
+
+// Option configures a Set.
+type Option func(*Set)
+
+// WithDetectInterval sets the cross-partition deadlock detector's cadence.
+// Zero keeps the 10ms default; negative disables the background detector
+// (tests drive DetectOnce directly).
+func WithDetectInterval(d time.Duration) Option {
+	return func(s *Set) { s.detInterval = d }
+}
+
+// WithTracer attaches a trace bus to the coordinator's own events
+// (coord.*/shot.* kinds); the per-partition engines carry their own tracers.
+func WithTracer(t *trace.Tracer) Option {
+	return func(s *Set) { s.tracer = t }
+}
+
+// EnvPartitions reads the ACCDB_PARTITIONS environment variable: the
+// partition count accd and the harnesses default to. Unset, empty, zero, or
+// unparsable means 1 — a plain single-engine system.
+func EnvPartitions() int {
+	v := os.Getenv("ACCDB_PARTITIONS")
+	if v == "" {
+		return 1
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
+// New builds a Set of n partitions, constructing each engine with build.
+// On a build error the already-built engines are closed.
+func New(n int, build BuildFunc, opts ...Option) (*Set, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("partition: need at least one partition, got %d", n)
+	}
+	s := &Set{
+		routes:      make(map[string]*Route),
+		undos:       make(map[string]UndoSpec),
+		shots:       make(map[shotKey]shotRef),
+		byGlob:      make(map[uint64][]shotKey),
+		cancels:     make(map[uint64]context.CancelFunc),
+		detInterval: 10 * time.Millisecond,
+	}
+	for _, apply := range opts {
+		apply(s)
+	}
+	for p := 0; p < n; p++ {
+		eng, err := build(p)
+		if err != nil {
+			for _, e := range s.engines {
+				e.Close()
+			}
+			return nil, fmt.Errorf("partition %d: %w", p, err)
+		}
+		s.engines = append(s.engines, eng)
+	}
+	if n > 1 && s.detInterval > 0 {
+		s.detStop = make(chan struct{})
+		s.detDone = make(chan struct{})
+		go s.detectLoop()
+	}
+	return s, nil
+}
+
+// Partitions returns the partition count.
+func (s *Set) Partitions() int { return len(s.engines) }
+
+// Engine returns partition p's engine.
+func (s *Set) Engine(p int) *core.Engine { return s.engines[p] }
+
+// Engines returns the engines in partition order.
+func (s *Set) Engines() []*core.Engine { return s.engines }
+
+// SetRoute installs the routing declaration for one transaction type.
+// Types without a route run whole on partition 0.
+func (s *Set) SetRoute(name string, r Route) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rc := r
+	s.routes[name] = &rc
+}
+
+// SetUndo declares the compensating undo of a shot type.
+func (s *Set) SetUndo(shotType string, spec UndoSpec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.undos[shotType] = spec
+}
+
+func (s *Set) route(name string) *Route {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.routes[name]
+}
+
+func (s *Set) undoSpec(shotType string) (UndoSpec, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	spec, ok := s.undos[shotType]
+	return spec, ok
+}
+
+// Run executes one transaction, routing by its type's declaration. It is
+// RunContext under context.Background().
+func (s *Set) Run(name string, args any) error {
+	return s.RunContext(context.Background(), name, args)
+}
+
+// RunContext is Run under a caller context.
+func (s *Set) RunContext(ctx context.Context, name string, args any) error {
+	tt := s.engines[0].Type(name)
+	if tt == nil {
+		return fmt.Errorf("%w: %q", core.ErrUnknownTxnType, name)
+	}
+	return s.RunReadTypeContextSpan(ctx, tt, args, core.TierLocked, nil)
+}
+
+// RunRead executes a read-only transaction at the given tier on the
+// instance's home partition.
+func (s *Set) RunRead(name string, args any, tier core.ReadTier) error {
+	tt := s.engines[0].Type(name)
+	if tt == nil {
+		return fmt.Errorf("%w: %q", core.ErrUnknownTxnType, name)
+	}
+	return s.RunReadTypeContextSpan(context.Background(), tt, args, tier, nil)
+}
+
+// TypeBytes resolves a transaction type by byte-slice name (the network
+// server's zero-allocation lookup). Types are registered identically on
+// every partition, so partition 0's registry answers for the Set.
+func (s *Set) TypeBytes(name []byte) *core.TxnType {
+	return s.engines[0].TypeBytes(name)
+}
+
+// RunReadTypeContextSpan is the Set's single execution entry point — the
+// same contract the network server drives a single engine through. At
+// TierLocked it routes the transaction (direct to its home partition, or
+// through the multi-shot coordinator when the instance splits); at the
+// versioned read tiers it runs read-only on the home partition.
+func (s *Set) RunReadTypeContextSpan(ctx context.Context, tt *core.TxnType, args any, tier core.ReadTier, sp *trace.Span) error {
+	r := s.route(tt.Name)
+	home := 0
+	if r != nil && r.Home != nil {
+		home = r.Home(args)
+	}
+	if home < 0 || home >= len(s.engines) {
+		return fmt.Errorf("partition: %s routed to partition %d of %d", tt.Name, home, len(s.engines))
+	}
+	if tier != core.TierLocked {
+		return s.engines[home].RunReadTypeContextSpan(ctx, tt, args, tier, sp)
+	}
+	var shots []Shot
+	if r != nil && r.Split != nil {
+		shots = r.Split(args)
+	}
+	if len(shots) == 0 {
+		// The hot path: the whole instance lives in one partition. No
+		// global id, no decision record, no coordinator state — exactly the
+		// single-engine cost plus the routing lookup above.
+		s.singleRouted.Add(1)
+		return s.engines[home].RunTypeContextSpan(ctx, tt, args, sp)
+	}
+	return s.runCross(ctx, tt, args, home, shots, sp)
+}
+
+// Snapshot returns the coordinator counters.
+func (s *Set) Snapshot() Stats {
+	return Stats{
+		SingleRouted:   s.singleRouted.Load(),
+		CrossStarted:   s.crossStarted.Load(),
+		CrossCommitted: s.crossCommitted.Load(),
+		CrossAborted:   s.crossAborted.Load(),
+		ShotsRun:       s.shotsRun.Load(),
+		ShotUndos:      s.shotUndos.Load(),
+		CrossDeadlocks: s.crossDeadlocks.Load(),
+	}
+}
+
+// Close stops the deadlock detector and closes every engine.
+func (s *Set) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	if s.detStop != nil {
+		close(s.detStop)
+		<-s.detDone
+	}
+	var first error
+	for _, e := range s.engines {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Closed reports whether Close was called.
+func (s *Set) Closed() bool { return s.closed.Load() }
+
+// track registers local transaction ids of global g's shots as they begin,
+// for the deadlock detector's projection. Returned as a core.ShotTag.OnTxn.
+func (s *Set) track(part int, g uint64, undo bool) func(spi.TxnID) {
+	return func(id spi.TxnID) {
+		k := shotKey{part, id}
+		s.shotMu.Lock()
+		s.shots[k] = shotRef{global: g, undo: undo}
+		s.byGlob[g] = append(s.byGlob[g], k)
+		s.shotMu.Unlock()
+	}
+}
+
+// untrack drops global g's shot-table entries and cancel hook once the
+// global transaction reached an outcome.
+func (s *Set) untrack(g uint64) {
+	s.shotMu.Lock()
+	for _, k := range s.byGlob[g] {
+		delete(s.shots, k)
+	}
+	delete(s.byGlob, g)
+	delete(s.cancels, g)
+	s.shotMu.Unlock()
+}
+
+// emit sends one coordinator-layer trace event, if a bus is attached.
+func (s *Set) emit(kind trace.Kind, g uint64, step int32, item string, dur int64, extra string) {
+	if s.tracer == nil {
+		return
+	}
+	ev := trace.Ev(kind, g)
+	ev.Step = int16(step)
+	ev.Item, ev.Dur, ev.Extra = item, dur, extra
+	s.tracer.Emit(ev)
+}

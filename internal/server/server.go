@@ -39,10 +39,27 @@ import (
 // leaves MaxInFlight zero.
 const DefaultMaxInFlight = 128
 
+// Runner is the execution surface the server drives. *core.Engine satisfies
+// it directly (the single-engine deployment); *partition.Set satisfies it
+// too, so a partitioned accd serves the identical wire protocol with routing
+// and the multi-shot coordinator behind this seam.
+type Runner interface {
+	// TypeBytes resolves a transaction type by its wire-frame name without
+	// allocating a string (the hot-path contract the session loop relies on).
+	TypeBytes(name []byte) *core.TxnType
+	// RunReadTypeContextSpan executes one transaction: tier 0 is the full
+	// locked protocol, versioned tiers take the lock-free read path.
+	RunReadTypeContextSpan(ctx context.Context, tt *core.TxnType, args any, tier core.ReadTier, sp *trace.Span) error
+	// Close drains and forces durable state; Closed reports it happened.
+	Close() error
+	Closed() bool
+}
+
 // Config configures a Server.
 type Config struct {
-	// Engine executes the transactions. Required.
-	Engine *core.Engine
+	// Engine executes the transactions. Required. A plain *core.Engine or a
+	// *partition.Set (or anything else satisfying Runner).
+	Engine Runner
 	// NewArgs returns a fresh argument record to decode a request's JSON
 	// into, or nil if the transaction type takes no arguments the server
 	// knows how to decode. Required for any type clients may invoke —
@@ -89,7 +106,7 @@ type Stats struct {
 // Server serves an engine's transaction types over the wire protocol.
 type Server struct {
 	cfg     Config
-	eng     *core.Engine
+	eng     Runner
 	sem     chan struct{}
 	rec     *metrics.Recorder
 	tracer  *trace.Tracer

@@ -49,6 +49,11 @@ type NewOrderArgs struct {
 	// exercises compensation: the abort happens while ordering the final
 	// item, after earlier lines committed their steps.
 	InvalidItem bool
+	// FailFinal rolls back in the finish step instead — after every line and
+	// any remote-stock shot committed. The spec's rollback happens at the end
+	// of the transaction; in a partitioned deployment this is the variant
+	// that forces the coordinator's cross-partition compensation path.
+	FailFinal bool
 
 	// Work area, filled by the forward steps.
 	ONum      int64
@@ -68,7 +73,11 @@ func appendNewOrder(dst []byte, v any) []byte {
 	if a.InvalidItem {
 		inv = 1
 	}
-	dst = binary.AppendUvarint(dst, uint64(10+5*len(a.Lines)))
+	ff := int64(0)
+	if a.FailFinal {
+		ff = 1
+	}
+	dst = binary.AppendUvarint(dst, uint64(11+5*len(a.Lines)))
 	dst = colI64(dst, a.WID)
 	dst = colI64(dst, a.DID)
 	dst = colI64(dst, a.CID)
@@ -78,6 +87,7 @@ func appendNewOrder(dst []byte, v any) []byte {
 	dst = colI64(dst, a.CDiscount)
 	dst = colI64(dst, a.Total)
 	dst = colI64(dst, inv)
+	dst = colI64(dst, ff)
 	dst = colI64(dst, int64(len(a.Lines)))
 	for i, l := range a.Lines {
 		filled, amount := int64(0), int64(0)
@@ -101,7 +111,7 @@ func decodeNewOrder(data []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(row) < 10 {
+	if len(row) < 11 {
 		return nil, fmt.Errorf("tpcc: short new-order work area")
 	}
 	a := &NewOrderArgs{
@@ -109,13 +119,14 @@ func decodeNewOrder(data []byte) (any, error) {
 		ONum: row[3].Int64(), WTax: row[4].Int64(), DTax: row[5].Int64(),
 		CDiscount: row[6].Int64(), Total: row[7].Int64(),
 		InvalidItem: row[8].Int64() == 1,
+		FailFinal:   row[9].Int64() == 1,
 	}
-	n := int(row[9].Int64())
-	if len(row) != 10+5*n {
+	n := int(row[10].Int64())
+	if len(row) != 11+5*n {
 		return nil, fmt.Errorf("tpcc: malformed new-order work area")
 	}
 	for i := 0; i < n; i++ {
-		base := 10 + 5*i
+		base := 11 + 5*i
 		a.Lines = append(a.Lines, OrderLineReq{
 			ItemID: row[base].Int64(), SupplyW: row[base+1].Int64(),
 			Quantity: row[base+2].Int64(),

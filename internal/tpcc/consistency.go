@@ -9,23 +9,30 @@ import (
 
 // The twelve-component consistency constraint (TPC-C §3.3.2) — the paper's
 // "I ... has twelve components". CheckConsistency evaluates all twelve
-// against a quiescent database. Semantic correctness (§3.1) demands exactly
-// this: when the system quiesces, I is true, even though individual ACC
-// schedules were not serializable.
+// against a quiescent database, plus a thirteenth condition of our own that
+// ties stock year-to-date totals to the order lines that consumed them —
+// the invariant a partitioned deployment's remote-stock shots must
+// preserve across partition boundaries. Semantic correctness (§3.1)
+// demands exactly this: when the system quiesces, I is true, even though
+// individual ACC schedules were not serializable.
 //
 // Conditions 2 and 3 concern the consecutive numbering of orders; a
 // compensated new-order legitimately leaves a hole (§4 derives this as the
 // correct result of compensation), so the checker accepts the holes the
 // workload recorded and verifies everything else is contiguous.
 
-// CheckConsistency runs all twelve checks and returns every violation.
+// CheckConsistency runs all thirteen checks and returns every violation.
 // holes may be nil when no new-order was ever compensated.
 func CheckConsistency(db *core.DB, s Scale, holes map[DistrictKey]map[int64]bool) []error {
-	c := &checker{cat: db.Store(), scale: s, holes: holes}
+	return runChecks(&checker{cats: []spi.Store{db.Store()}, scale: s, holes: holes})
+}
+
+func runChecks(c *checker) []error {
 	var errs []error
 	for i, check := range []func() []error{
 		c.check1, c.check2, c.check3, c.check4, c.check5, c.check6,
 		c.check7, c.check8, c.check9, c.check10, c.check11, c.check12,
+		c.check13,
 	} {
 		for _, err := range check() {
 			errs = append(errs, fmt.Errorf("consistency %d: %w", i+1, err))
@@ -34,8 +41,12 @@ func CheckConsistency(db *core.DB, s Scale, holes map[DistrictKey]map[int64]bool
 	return errs
 }
 
+// checker aggregates over one store, or over every partition's store of a
+// partitioned deployment — the tables' rows are disjoint by warehouse (the
+// replicated read-only item table is never scanned), so multi-store scans
+// feed the same maps single-store scans do.
 type checker struct {
-	cat   spi.Store
+	cats  []spi.Store
 	scale Scale
 	holes map[DistrictKey]map[int64]bool
 }
@@ -48,10 +59,12 @@ func (c *checker) isHole(w, d, o int64) bool {
 }
 
 func (c *checker) scan(table string, visit func(spi.Row)) {
-	c.cat.Table(table).Scan(func(_ spi.Key, row spi.Row) bool {
-		visit(row)
-		return true
-	})
+	for _, cat := range c.cats {
+		cat.Table(table).Scan(func(_ spi.Key, row spi.Row) bool {
+			visit(row)
+			return true
+		})
+	}
 }
 
 // orderKey identifies an order.
@@ -297,6 +310,40 @@ func (c *checker) check11() []error {
 			errs = append(errs, fmt.Errorf("district (%d,%d): orders=%d new_orders=%d delivered=%d",
 				k.W, k.D, n, noCnt[k], delivered[k]))
 		}
+	}
+	return errs
+}
+
+// check13: S_YTD = sum(OL_QUANTITY) over the order lines entered at run
+// time whose supply warehouse is that stock row's, wherever those lines
+// live. The loader starts s_ytd at zero and seeds only pre-numbered orders,
+// so run-time lines (o_id past the seeded range) account for every unit of
+// s_ytd; a compensated order contributes nothing (its lines are deleted and
+// its stock restored). In a partitioned deployment the lines of a remote
+// supply warehouse live in the ORDER's partition while the stock lives in
+// the SUPPLY warehouse's — this is the condition that catches a lost or
+// double-applied remote-stock shot.
+func (c *checker) check13() []error {
+	type stockKey struct{ w, i int64 }
+	want := map[stockKey]int64{}
+	initial := int64(c.scale.InitialOrdersPerDistrict)
+	c.scan(TOrderLine, func(r spi.Row) {
+		if r[2].Int64() <= initial {
+			return // seeded order line: predates stock accounting
+		}
+		want[stockKey{r[colOLSupplyW].Int64(), r[colOLItem].Int64()}] += r[colOLQty].Int64()
+	})
+	var errs []error
+	c.scan(TStock, func(r spi.Row) {
+		k := stockKey{r[0].Int64(), r[1].Int64()}
+		if r[colSYTD].Int64() != want[k] {
+			errs = append(errs, fmt.Errorf("stock (%d,%d): s_ytd=%d, sum(ol_quantity)=%d",
+				k.w, k.i, r[colSYTD].Int64(), want[k]))
+		}
+		delete(want, k)
+	})
+	for k, q := range want {
+		errs = append(errs, fmt.Errorf("stock (%d,%d): missing row but %d units ordered", k.w, k.i, q))
 	}
 	return errs
 }

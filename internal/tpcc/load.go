@@ -46,6 +46,14 @@ func (s Scale) initialDYTD() int64 { return int64(s.CustomersPerDistrict) * 1000
 // through the storage layer directly (the archive copy the recovery path
 // assumes), not through a scheduler.
 func Load(db *core.DB, s Scale, seed int64) error {
+	return loadWarehouses(db, s, seed, nil)
+}
+
+// loadWarehouses is Load restricted to the warehouses owns accepts (nil =
+// all). The item table is always loaded in full: it is read-only, and a
+// partitioned deployment replicates it so every partition prices its order
+// lines locally.
+func loadWarehouses(db *core.DB, s Scale, seed int64, owns func(w int) bool) error {
 	if s.Warehouses < 1 || s.Districts < 1 || s.CustomersPerDistrict < 1 ||
 		s.Items < 1 || s.InitialOrdersPerDistrict < 1 {
 		return fmt.Errorf("tpcc: invalid scale %+v", s)
@@ -75,6 +83,9 @@ func Load(db *core.DB, s Scale, seed int64) error {
 
 	hID := int64(0)
 	for w := 1; w <= s.Warehouses; w++ {
+		if owns != nil && !owns(w) {
+			continue
+		}
 		wYTD := int64(s.Districts) * s.initialDYTD()
 		if err := cat.Table(TWarehouse).Insert(spi.Row{
 			spi.Int(w), spi.Str(aString(r, 6, 10)),

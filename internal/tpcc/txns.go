@@ -37,6 +37,7 @@ var (
 
 	colOLNumber   = orderLineSchema.MustCol("ol_number")
 	colOLItem     = orderLineSchema.MustCol("ol_i_id")
+	colOLSupplyW  = orderLineSchema.MustCol("ol_supply_w_id")
 	colOLDelivery = orderLineSchema.MustCol("ol_delivery_d")
 	colOLQty      = orderLineSchema.MustCol("ol_quantity")
 	colOLAmount   = orderLineSchema.MustCol("ol_amount")
@@ -55,23 +56,62 @@ type Registration struct {
 	Types *Types
 	Scale Scale
 
+	// partitions is the partition count of the deployment this engine
+	// belongs to (1 = a plain single-engine system). Warehouses map to
+	// partitions by PartitionOf; a new-order line whose supply warehouse
+	// lives in another partition is entered locally but its stock update
+	// runs as a remote shot (the NOR step's hook).
+	partitions int
+
 	aNoOpen   *core.Assertion
 	aDlvClaim *core.Assertion
 }
 
 // Register declares the five decomposed TPC-C transactions on the engine.
 func Register(eng *core.Engine, types *Types, scale Scale) (*Registration, error) {
-	reg := &Registration{Types: types, Scale: scale}
+	return RegisterPartitioned(eng, types, scale, 1)
+}
+
+// RegisterPartitioned is Register for one engine of a partitioned
+// deployment: the five transaction types become partition-aware (remote
+// stock lines are delegated to the NOR hook step), and the no_stock /
+// no_stock_undo shot types are additionally registered so this engine can
+// execute and recover shots of cross-partition new-orders.
+func RegisterPartitioned(eng *core.Engine, types *Types, scale Scale, partitions int) (*Registration, error) {
+	if partitions < 1 {
+		partitions = 1
+	}
+	reg := &Registration{Types: types, Scale: scale, partitions: partitions}
 	reg.buildAssertions()
-	for _, tt := range []*core.TxnType{
+	tts := []*core.TxnType{
 		reg.newOrderType(), reg.paymentType(), reg.deliveryType(),
 		reg.orderStatusType(), reg.stockLevelType(),
-	} {
+	}
+	if partitions > 1 {
+		tts = append(tts, reg.noStockType(), reg.noStockUndoType())
+	}
+	for _, tt := range tts {
 		if err := eng.Register(tt); err != nil {
 			return nil, err
 		}
 	}
 	return reg, nil
+}
+
+// PartitionOf maps a warehouse to its partition: warehouses stripe
+// round-robin so any partition count divides the load evenly.
+func PartitionOf(wid int64, partitions int) int {
+	if partitions <= 1 {
+		return 0
+	}
+	return int((wid - 1) % int64(partitions))
+}
+
+// isLocal reports whether a supply warehouse lives in the same partition as
+// the order's home warehouse.
+func (reg *Registration) isLocal(homeW, supplyW int64) bool {
+	return reg.partitions <= 1 ||
+		PartitionOf(homeW, reg.partitions) == PartitionOf(supplyW, reg.partitions)
 }
 
 // buildAssertions constructs the interstep assertion declarations.
@@ -164,15 +204,29 @@ func (reg *Registration) newOrderType() *core.TxnType {
 		InterStatementCompute: true,
 		MakeSteps: func(args any) []core.Step {
 			a := args.(*NewOrderArgs)
-			steps := make([]core.Step, 0, len(a.Lines)+2)
+			steps := make([]core.Step, 0, len(a.Lines)+3)
 			steps = append(steps, core.Step{
 				Name: "NO1", Type: t.NO1, Body: reg.noSetup,
 			})
+			remote := false
 			for i := range a.Lines {
+				if !reg.isLocal(a.WID, a.Lines[i].SupplyW) {
+					remote = true
+				}
 				steps = append(steps, core.Step{
 					Name: fmt.Sprintf("NO2[%d]", i+1), Type: t.NO2,
 					Pre:  []*core.Assertion{reg.aNoOpen},
 					Body: reg.noLine(i),
+				})
+			}
+			if remote {
+				// Only instances that actually cross partitions pay for the
+				// hook step (and its end-of-step force): the single-partition
+				// hot path keeps the exact step sequence it always had.
+				steps = append(steps, core.Step{
+					Name: "NOR", Type: t.NOR,
+					Pre:  []*core.Assertion{reg.aNoOpen},
+					Body: reg.noRemote,
 				})
 			}
 			steps = append(steps, core.Step{
@@ -241,24 +295,32 @@ func (reg *Registration) noLine(i int) func(*core.Ctx) error {
 			return err
 		}
 		price := irow[colIPrice].Int64()
-		var taken int64
-		err = tc.Update(TStock, []spi.Value{i64(l.SupplyW), i64(l.ItemID)}, func(row spi.Row) error {
-			q := row[colSQty].Int64()
-			var nq int64
-			if q >= l.Quantity+10 {
-				nq = q - l.Quantity
-			} else {
-				nq = q - l.Quantity + 91
+		if reg.isLocal(a.WID, l.SupplyW) {
+			var taken int64
+			err = tc.Update(TStock, []spi.Value{i64(l.SupplyW), i64(l.ItemID)}, func(row spi.Row) error {
+				q := row[colSQty].Int64()
+				var nq int64
+				if q >= l.Quantity+10 {
+					nq = q - l.Quantity
+				} else {
+					nq = q - l.Quantity + 91
+				}
+				taken = q - nq
+				row[colSQty] = i64(nq)
+				row[colSYTD] = i64(row[colSYTD].Int64() + l.Quantity)
+				row[colSOrderCnt] = i64(row[colSOrderCnt].Int64() + 1)
+				return nil
+			})
+			if err != nil {
+				return err
 			}
-			taken = q - nq
-			row[colSQty] = i64(nq)
-			row[colSYTD] = i64(row[colSYTD].Int64() + l.Quantity)
-			row[colSOrderCnt] = i64(row[colSOrderCnt].Int64() + 1)
-			return nil
-		})
-		if err != nil {
-			return err
+			a.Filled[i] = taken
 		}
+		// A remote-partition supply line defers its stock update to the
+		// no_stock shot the NOR step runs on the owning partition; the item
+		// price comes from the local replica (items are loaded identically
+		// into every partition), and the order line itself always lives with
+		// the order.
 		amount := l.Quantity * price
 		if err := tc.Insert(TOrderLine, spi.Row{
 			i64(a.WID), i64(a.DID), i64(a.ONum), i64(int64(i + 1)),
@@ -267,7 +329,6 @@ func (reg *Registration) noLine(i int) func(*core.Ctx) error {
 		}); err != nil {
 			return err
 		}
-		a.Filled[i] = taken
 		a.Amounts[i] = amount
 		return nil
 	}
@@ -277,6 +338,12 @@ func (reg *Registration) noLine(i int) func(*core.Ctx) error {
 // that restores the order-level conjunct of I (all lines present).
 func (reg *Registration) noFinalize(tc *core.Ctx) error {
 	a := tc.Args().(*NewOrderArgs)
+	if a.FailFinal {
+		// The end-of-transaction rollback variant: every line step — and, in a
+		// partitioned run, every remote shot — has committed by now, so this
+		// abort drives the full compensation path.
+		return tc.Abort("rollback at order finish")
+	}
 	var sum int64
 	err := tc.ScanPartition(TOrderLine,
 		[]spi.Value{i64(a.WID), i64(a.DID), i64(a.ONum)},
@@ -316,16 +383,21 @@ func (reg *Registration) noCompensate(tc *core.Ctx, completed int) error {
 	})
 	for _, i := range order {
 		l := a.Lines[i]
-		taken, qty := a.Filled[i], l.Quantity
-		err := tc.Update(TStock, []spi.Value{i64(l.SupplyW), i64(l.ItemID)}, func(row spi.Row) error {
-			row[colSQty] = i64(row[colSQty].Int64() + taken)
-			row[colSYTD] = i64(row[colSYTD].Int64() - qty)
-			row[colSOrderCnt] = i64(row[colSOrderCnt].Int64() - 1)
-			return nil
-		})
-		if err != nil {
-			return err
+		if reg.isLocal(a.WID, l.SupplyW) {
+			taken, qty := a.Filled[i], l.Quantity
+			err := tc.Update(TStock, []spi.Value{i64(l.SupplyW), i64(l.ItemID)}, func(row spi.Row) error {
+				row[colSQty] = i64(row[colSQty].Int64() + taken)
+				row[colSYTD] = i64(row[colSYTD].Int64() - qty)
+				row[colSOrderCnt] = i64(row[colSOrderCnt].Int64() - 1)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
 		}
+		// A remote line's stock lives in another partition: the coordinator
+		// reverses it with a no_stock_undo shot; here only the entered line
+		// itself is removed.
 		if err := tc.Delete(TOrderLine, i64(a.WID), i64(a.DID), i64(a.ONum), i64(int64(i+1))); err != nil {
 			return err
 		}

@@ -16,12 +16,22 @@ type Types struct {
 	// Transaction types.
 	NewOrder, Payment, Delivery, OrderStatus, StockLevel interference.TxnTypeID
 
+	// Shot transaction types of the partitioned deployment (DESIGN.md §16):
+	// no_stock is the remote-stock shot of a cross-partition new-order, and
+	// no_stock_undo its compensating reversal.
+	NoStock, NoStockUndo interference.TxnTypeID
+
 	// Forward step types (eleven).
 	NO1, NO2, NOF interference.StepTypeID // new-order: setup, per-line, finalize
 	P1, P2, P3    interference.StepTypeID // payment: customer+history, district, warehouse
 	D1, D2, DF    interference.StepTypeID // delivery: claim, apply (per district), finalize
 	OS            interference.StepTypeID // order-status (single step)
 	SL            interference.StepTypeID // stock-level (single step)
+
+	// Partitioned-deployment step types: NOR is new-order's remote-shot hook
+	// step (no data access of its own), NOS the remote stock update, NOSU
+	// its undo.
+	NOR, NOS, NOSU interference.StepTypeID
 
 	// Compensating step types.
 	CSNewOrder, CSPayment, CSDelivery interference.StepTypeID
@@ -70,6 +80,8 @@ func BuildTypes() *Types {
 	t.Delivery = b.TxnType("delivery", 0)  // 2 per district + finalize
 	t.OrderStatus = b.TxnType("order_status", 1)
 	t.StockLevel = b.TxnType("stock_level", 1)
+	t.NoStock = b.TxnType("no_stock", 1)
+	t.NoStockUndo = b.TxnType("no_stock_undo", 1)
 
 	t.NO1 = b.StepType("NO1/setup")
 	t.NO2 = b.StepType("NO2/order-line")
@@ -82,6 +94,9 @@ func BuildTypes() *Types {
 	t.DF = b.StepType("DF/finalize")
 	t.OS = b.StepType("OS")
 	t.SL = b.StepType("SL")
+	t.NOR = b.StepType("NOR/remote-shots")
+	t.NOS = b.StepType("NOS/remote-stock")
+	t.NOSU = b.StepType("NOSU/remote-stock-undo")
 	t.CSNewOrder = b.StepType("CS/new_order")
 	t.CSPayment = b.StepType("CS/payment")
 	t.CSDelivery = b.StepType("CS/delivery")
@@ -98,8 +113,11 @@ func BuildTypes() *Types {
 	// A_NO_OPEN is exactly delivery (D1 claims and D2 rewrites an order,
 	// and CS/delivery re-opens one) — the hazard the assertion exists for —
 	// plus legacy steps via the conservative default.
+	// The partitioned shot steps touch only stock rows (NOS/NOSU) or nothing
+	// at all (NOR, pure coordination), none of which appear in either
+	// assertion's footprint.
 	safeNO := []interference.StepTypeID{
-		t.NO1, t.NO2, t.NOF, t.P1, t.P2, t.P3, t.OS, t.SL,
+		t.NO1, t.NO2, t.NOF, t.NOR, t.NOS, t.NOSU, t.P1, t.P2, t.P3, t.OS, t.SL,
 		t.CSNewOrder, t.CSPayment,
 	}
 	for _, s := range safeNO {
@@ -108,16 +126,20 @@ func BuildTypes() *Types {
 	// A_DLV_CLAIM: a claimed order is out of the queue, so no other delivery
 	// can claim it and no new-order can collide with its (older) number.
 	safeDLV := []interference.StepTypeID{
-		t.NO1, t.NO2, t.NOF, t.P1, t.P2, t.P3, t.OS, t.SL,
+		t.NO1, t.NO2, t.NOF, t.NOR, t.NOS, t.NOSU, t.P1, t.P2, t.P3, t.OS, t.SL,
 		t.D1, t.D2, t.DF, t.CSNewOrder, t.CSPayment, t.CSDelivery,
 	}
 	for _, s := range safeDLV {
 		b.NoInterference(s, t.ADlvClaim)
 	}
 
-	// Interleaving permissions derived above.
-	free := []interference.StepTypeID{t.NO1, t.NO2, t.NOF, t.P1, t.P2, t.P3, t.SL}
-	holders := []interference.TxnTypeID{t.NewOrder, t.Payment, t.Delivery}
+	// Interleaving permissions derived above. NOR/NOS ride with the new-order
+	// family: a remote stock shot commutes with other stock updates exactly
+	// as NO2 does, and the hook step reads no data at all. NOSU interleaves
+	// everywhere for the same reason the compensating steps do — an undo
+	// shot is compensation and must never wait out an exposure mark.
+	free := []interference.StepTypeID{t.NO1, t.NO2, t.NOF, t.NOR, t.NOS, t.P1, t.P2, t.P3, t.SL}
+	holders := []interference.TxnTypeID{t.NewOrder, t.Payment, t.Delivery, t.NoStock, t.NoStockUndo}
 	for _, step := range free {
 		for _, h := range holders {
 			b.AllowInterleaveEverywhere(step, h)
@@ -133,7 +155,7 @@ func BuildTypes() *Types {
 	// out. (A compensating delivery re-inserting a new_order row must not
 	// wait out an open new-order's exposure on the queue partition, and vice
 	// versa.)
-	for _, cs := range []interference.StepTypeID{t.CSNewOrder, t.CSPayment, t.CSDelivery} {
+	for _, cs := range []interference.StepTypeID{t.CSNewOrder, t.CSPayment, t.CSDelivery, t.NOSU} {
 		for _, h := range holders {
 			b.AllowInterleaveEverywhere(cs, h)
 		}

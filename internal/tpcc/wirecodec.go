@@ -132,6 +132,7 @@ func init() {
 			dst = putI64(dst, a.CDiscount)
 			dst = putI64(dst, a.Total)
 			dst = append(dst, boolByte(a.InvalidItem))
+			dst = append(dst, boolByte(a.FailFinal))
 			dst = wireOrder.AppendUint16(dst, uint16(len(a.Lines)))
 			for _, l := range a.Lines {
 				dst = putI64(dst, l.ItemID)
@@ -153,9 +154,10 @@ func init() {
 			a.DTax = r.i64()
 			a.CDiscount = r.i64()
 			a.Total = r.i64()
-			if r.ok && len(r.data) >= 1 {
+			if r.ok && len(r.data) >= 2 {
 				a.InvalidItem = r.data[0] == 1
-				r.data = r.data[1:]
+				a.FailFinal = r.data[1] == 1
+				r.data = r.data[2:]
 			} else {
 				r.ok = false
 			}

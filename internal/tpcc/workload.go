@@ -53,6 +53,12 @@ type WorkloadConfig struct {
 	// types (order-status, stock-level) through the engine's lock-free
 	// versioned read path at that tier; writers are unaffected.
 	ReadTier core.ReadTier
+	// RemotePercent is the share of new-orders that include one line
+	// supplied by a different warehouse (the spec's §2.4.1.5 remote-supply
+	// rule, dialed up by the partitioned experiments — in a partitioned
+	// deployment a remote warehouse in another partition turns the order
+	// into a cross-partition transaction). Ignored with one warehouse.
+	RemotePercent int
 }
 
 // DefaultWorkloadConfig returns the standard configuration for a scale.
@@ -153,6 +159,24 @@ func (w *Workload) addHole(wid, did, o int64) {
 	m[o] = true
 }
 
+// warehouse draws a home warehouse id uniformly.
+func (w *Workload) warehouse(r *rand.Rand) int64 {
+	if w.cfg.Scale.Warehouses <= 1 {
+		return 1
+	}
+	return randRange(r, 1, int64(w.cfg.Scale.Warehouses))
+}
+
+// remoteWarehouse draws a warehouse different from home.
+func (w *Workload) remoteWarehouse(r *rand.Rand, home int64) int64 {
+	n := int64(w.cfg.Scale.Warehouses)
+	v := randRange(r, 1, n-1)
+	if v >= home {
+		v++
+	}
+	return v
+}
+
 // district draws a district id, honouring the skew knob.
 func (w *Workload) district(r *rand.Rand) int64 {
 	if w.cfg.DistrictSkew > 0 && r.Float64() < w.cfg.DistrictSkew {
@@ -172,20 +196,33 @@ func (w *Workload) item(r *rand.Rand) int64 {
 // NewOrderArgs draws the inputs of one new-order (§2.4.1).
 func (w *Workload) NewOrderArgs(r *rand.Rand) *NewOrderArgs {
 	a := &NewOrderArgs{
-		WID: 1, DID: w.district(r), CID: w.customer(r),
+		WID: w.warehouse(r), DID: w.district(r), CID: w.customer(r),
 	}
 	n := randRange(r, 5, 15)
 	a.Lines = make([]OrderLineReq, n)
 	for i := range a.Lines {
 		a.Lines[i] = OrderLineReq{
 			ItemID:   w.item(r),
-			SupplyW:  1, // single warehouse: all lines home-supplied
+			SupplyW:  a.WID, // home-supplied unless the remote roll below hits
 			Quantity: randRange(r, 1, 10),
 		}
 	}
+	remote := w.cfg.Scale.Warehouses > 1 && w.cfg.RemotePercent > 0 &&
+		r.Intn(100) < w.cfg.RemotePercent
+	if remote {
+		a.Lines[int(randRange(r, 1, int64(n)))-1].SupplyW = w.remoteWarehouse(r, a.WID)
+	}
 	if w.cfg.RollbackPercent > 0 && r.Intn(100) < w.cfg.RollbackPercent {
-		a.InvalidItem = true
-		a.Lines[n-1].ItemID = int64(w.cfg.Scale.Items) + 1 // unused item number
+		if remote {
+			// A remote order rolls back in the finish step, after its lines
+			// (and, partitioned, its remote-stock shots) committed — the
+			// spec's end-of-transaction rollback, and the path that forces
+			// cross-partition compensation.
+			a.FailFinal = true
+		} else {
+			a.InvalidItem = true
+			a.Lines[n-1].ItemID = int64(w.cfg.Scale.Items) + 1 // unused item number
+		}
 	}
 	a.Filled = make([]int64, n)
 	a.Amounts = make([]int64, n)
@@ -195,13 +232,14 @@ func (w *Workload) NewOrderArgs(r *rand.Rand) *NewOrderArgs {
 // PaymentArgs draws the inputs of one payment (§2.5.1).
 func (w *Workload) PaymentArgs(r *rand.Rand) *PaymentArgs {
 	a := &PaymentArgs{
-		WID: 1, DID: w.district(r),
+		WID: w.warehouse(r), DID: w.district(r),
 		Amount: randRange(r, 100, 500000),
 		HID:    w.hID.Add(1),
 	}
-	// 85% home district customer; 15% a different district (remote
-	// warehouse with W=1 degenerates to a remote district).
-	a.CWID = 1
+	// 85% home district customer; 15% a different district. The customer
+	// always shares the warehouse (and thus the partition): the partitioned
+	// deployment crosses partitions through new-order supply lines only.
+	a.CWID = a.WID
 	if r.Intn(100) < 85 {
 		a.CDID = a.DID
 	} else {
@@ -216,7 +254,7 @@ func (w *Workload) PaymentArgs(r *rand.Rand) *PaymentArgs {
 
 // OrderStatusArgs draws the inputs of one order-status (§2.6.1).
 func (w *Workload) OrderStatusArgs(r *rand.Rand) *OrderStatusArgs {
-	a := &OrderStatusArgs{WID: 1, DID: w.district(r), CID: w.customer(r)}
+	a := &OrderStatusArgs{WID: w.warehouse(r), DID: w.district(r), CID: w.customer(r)}
 	if r.Intn(100) < 60 {
 		a.CLast = randLastName(r)
 	}
@@ -227,7 +265,7 @@ func (w *Workload) OrderStatusArgs(r *rand.Rand) *OrderStatusArgs {
 func (w *Workload) DeliveryArgs(r *rand.Rand) *DeliveryArgs {
 	d := w.cfg.Scale.Districts
 	return &DeliveryArgs{
-		WID: 1, Carrier: randRange(r, 1, 10), Date: 1,
+		WID: w.warehouse(r), Carrier: randRange(r, 1, 10), Date: 1,
 		Claimed:   make([]int64, d),
 		Amounts:   make([]int64, d),
 		Customers: make([]int64, d),
@@ -238,7 +276,7 @@ func (w *Workload) DeliveryArgs(r *rand.Rand) *DeliveryArgs {
 // is associated with one district, per the spec.
 func (w *Workload) StockLevelArgs(r *rand.Rand, terminal int) *StockLevelArgs {
 	return &StockLevelArgs{
-		WID:       1,
+		WID:       w.warehouse(r),
 		DID:       int64(terminal%w.cfg.Scale.Districts) + 1,
 		Threshold: randRange(r, 10, 20),
 		Orders:    int64(w.cfg.StockLevelOrders),

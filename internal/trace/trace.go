@@ -121,6 +121,28 @@ const (
 	// something; Txn is the floor CSN, Dur the versions pruned, Extra the
 	// chains dropped.
 	KindSnapshotGC
+	// KindCoordBegin marks a cross-partition transaction starting: Txn is
+	// the global id, Item the home transaction type, Extra the home
+	// partition ("p3").
+	KindCoordBegin
+	// KindCoordCommit marks a global transaction completing all shots; Dur
+	// is the end-to-end latency.
+	KindCoordCommit
+	// KindCoordAbort marks a global transaction rolled back, its completed
+	// shots compensated; Extra carries the cause.
+	KindCoordAbort
+	// KindShotBegin marks one shot dispatching to a partition: Txn is the
+	// global id, Step the shot index, Item the shot type, Extra the target
+	// partition.
+	KindShotBegin
+	// KindShotEnd marks a shot's local commit; Dur is the shot latency.
+	KindShotEnd
+	// KindShotUndo marks the compensating undo of a committed shot during
+	// global rollback or recovery; Step is the shot index being undone.
+	KindShotUndo
+	// KindCrossDeadlock marks the cross-partition deadlock detector breaking
+	// a cycle: Txn is the victim's global id, Extra the cycle members.
+	KindCrossDeadlock
 
 	kindMax
 )
@@ -152,6 +174,13 @@ var kindNames = [...]string{
 	KindSnapshotOpen:   "read.snapshot.open",
 	KindSnapshotClose:  "read.snapshot.close",
 	KindSnapshotGC:     "read.snapshot.gc",
+	KindCoordBegin:     "coord.begin",
+	KindCoordCommit:    "coord.commit",
+	KindCoordAbort:     "coord.abort",
+	KindShotBegin:      "shot.begin",
+	KindShotEnd:        "shot.end",
+	KindShotUndo:       "shot.undo",
+	KindCrossDeadlock:  "coord.deadlock",
 }
 
 // String names the kind as it appears in sink output.

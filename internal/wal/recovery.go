@@ -32,6 +32,10 @@ type TxnState struct {
 	Committed      bool
 	Aborted        bool
 	Compensated    bool
+	// Global and Shot carry the multi-shot stamp from the begin record:
+	// Global 0 means the transaction is not a shot of a global transaction.
+	Global uint64
+	Shot   int32
 	// Written lists the items mutated by completed steps, in log order
 	// (duplicates possible). For a transaction that NeedsCompensation these
 	// are the items whose interstep state is exposed.
@@ -45,13 +49,44 @@ func (t *TxnState) NeedsCompensation() bool {
 	return !t.Committed && !t.Aborted && !t.Compensated && t.CompletedSteps > 0
 }
 
+// CoordState summarizes one multi-shot coordinator record (DESIGN.md §16):
+// the decision record of a global transaction whose shots commit in several
+// partition logs. A CoordState with neither Committed nor Aborted is an open
+// global transaction the coordinator must drive to an outcome after a crash.
+type CoordState struct {
+	// Global is the coordinator's global transaction id.
+	Global uint64
+	// Type is the home transaction type name.
+	Type string
+	// Plan is the encoded shot plan saved in the decision record.
+	Plan []byte
+	// ShotsSeen records the shot indices whose advisory TCoordShot record
+	// reached this log. Ground truth for a shot's fate is the shot's own
+	// partition log (ShotTxn), not this set.
+	ShotsSeen map[int32]bool
+	// Committed and Aborted record a final coordinator outcome.
+	Committed bool
+	Aborted   bool
+}
+
+// Open reports whether the global transaction reached no durable outcome.
+func (c *CoordState) Open() bool { return !c.Committed && !c.Aborted }
+
 // Analysis is the outcome of scanning a log image.
 type Analysis struct {
 	Txns map[uint64]*TxnState
 
+	// Coords maps global transaction ids to their coordinator state, for
+	// logs that carry multi-shot decision records (the home partition).
+	Coords map[uint64]*CoordState
+
 	// MaxTxn is the largest transaction ID seen in the log; a recovering
 	// engine must issue new IDs above it.
 	MaxTxn uint64
+
+	// MaxGlobal is the largest global transaction ID seen in coordinator
+	// records or shot stamps; a recovering coordinator issues above it.
+	MaxGlobal uint64
 
 	// TornTail, when non-nil, records that the image ended in a damaged
 	// frame: analysis covers only the valid prefix. A Clean() tear is the
@@ -65,6 +100,22 @@ type Analysis struct {
 	// writes replayed — the earlier attempts' writes were undone in place.
 	// unit is the step index for forward steps, compUnit for compensation.
 	completedAttempt map[unitKey]int
+
+	// shots indexes shot-stamped transactions by (global, shot) so the
+	// coordinator can resolve each shot's fate in its partition log.
+	shots map[globalShot]*TxnState
+}
+
+type globalShot struct {
+	global uint64
+	shot   int32
+}
+
+// ShotTxn returns the transaction that ran shot `shot` of global transaction
+// `global` in this log, or nil if no such begin record was seen. Negative
+// shot indices name the compensating undo of the corresponding shot.
+func (a *Analysis) ShotTxn(global uint64, shot int32) *TxnState {
+	return a.shots[globalShot{global, shot}]
 }
 
 type unitKey struct {
@@ -79,7 +130,9 @@ const compUnit int32 = -1
 func Analyze(data []byte) (*Analysis, error) {
 	a := &Analysis{
 		Txns:             make(map[uint64]*TxnState),
+		Coords:           make(map[uint64]*CoordState),
 		completedAttempt: make(map[unitKey]int),
+		shots:            make(map[globalShot]*TxnState),
 	}
 	get := func(id uint64) *TxnState {
 		t, ok := a.Txns[id]
@@ -89,11 +142,40 @@ func Analyze(data []byte) (*Analysis, error) {
 		}
 		return t
 	}
+	coord := func(g uint64) *CoordState {
+		c, ok := a.Coords[g]
+		if !ok {
+			c = &CoordState{Global: g, ShotsSeen: make(map[int32]bool)}
+			a.Coords[g] = c
+		}
+		if g > a.MaxGlobal {
+			a.MaxGlobal = g
+		}
+		return c
+	}
 	attempts := make(map[unitKey]int)
 	// Writes of the current (possibly doomed) attempt, per txn; promoted to
 	// TxnState.Written only when the attempt's end-of-step record arrives.
 	inFlight := make(map[uint64][]WrittenItem)
 	err := Replay(data, func(r Record) error {
+		switch r.Type {
+		// Coordinator records carry a GLOBAL transaction id in Txn — a
+		// separate numbering space from this log's local ids — so they are
+		// classified before the local-transaction bookkeeping below.
+		case TCoordBegin:
+			c := coord(r.Txn)
+			c.Type, c.Plan = r.TxnType, r.WorkArea
+			return nil
+		case TCoordShot:
+			coord(r.Txn).ShotsSeen[r.Step] = true
+			return nil
+		case TCoordCommit:
+			coord(r.Txn).Committed = true
+			return nil
+		case TCoordAbort:
+			coord(r.Txn).Aborted = true
+			return nil
+		}
 		t := get(r.Txn)
 		if r.Txn > a.MaxTxn {
 			a.MaxTxn = r.Txn
@@ -101,6 +183,13 @@ func Analyze(data []byte) (*Analysis, error) {
 		switch r.Type {
 		case TBegin:
 			t.Type = r.TxnType
+			if r.Global != 0 {
+				t.Global, t.Shot = r.Global, r.Shot
+				a.shots[globalShot{r.Global, r.Shot}] = t
+				if r.Global > a.MaxGlobal {
+					a.MaxGlobal = r.Global
+				}
+			}
 		case TStepBegin:
 			attempts[unitKey{r.Txn, r.Step}]++
 			inFlight[r.Txn] = inFlight[r.Txn][:0]

@@ -44,6 +44,22 @@ const (
 	TCompBegin
 	// TCompDone marks successful completion of compensation; forced.
 	TCompDone
+	// TCoordBegin is a multi-shot coordinator's decision record, written to
+	// the originating partition's log before any shot runs: Txn carries the
+	// global transaction id, TxnType the home transaction type, and WorkArea
+	// the encoded shot plan. Forced — recovery drives the global transaction
+	// to an outcome from this record alone.
+	TCoordBegin
+	// TCoordShot marks one shot of a global transaction committing in its
+	// partition; Step is the shot index. Advisory — the shot's own partition
+	// log is the ground truth recovery consults.
+	TCoordShot
+	// TCoordCommit marks a global transaction complete: the home transaction
+	// and every planned shot committed.
+	TCoordCommit
+	// TCoordAbort marks a global transaction rolled back: completed shots
+	// were compensated (§3.4) and the home transaction did not survive.
+	TCoordAbort
 )
 
 // String names the record type.
@@ -65,6 +81,14 @@ func (t Type) String() string {
 		return "COMP"
 	case TCompDone:
 		return "COMPDONE"
+	case TCoordBegin:
+		return "COORD"
+	case TCoordShot:
+		return "COORDSHOT"
+	case TCoordCommit:
+		return "COORDCOMMIT"
+	case TCoordAbort:
+		return "COORDABORT"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -75,13 +99,22 @@ type Record struct {
 	Type Type
 	Txn  uint64
 
-	TxnType  string // TBegin: registered transaction type name
-	Step     int32  // TStepBegin/TEndOfStep: step index (0-based)
+	TxnType  string // TBegin, TCoordBegin: registered transaction type name
+	Step     int32  // TStepBegin/TEndOfStep: step index; TCoordShot: shot index
 	Table    string // TWrite
 	PK       spi.Key
 	Before   spi.Row // nil for insert
 	After    spi.Row // nil for delete
-	WorkArea []byte  // TEndOfStep: application-encoded compensation state
+	WorkArea []byte  // TEndOfStep: work area; TCoordBegin: encoded shot plan
+
+	// Global and Shot stamp a TBegin whose transaction executes one shot of
+	// a multi-shot global transaction: Global is the coordinator's global id
+	// (0 = not a shot) and Shot the shot index — 0 for the home transaction,
+	// 1..k for remote shots, -(1..k) for the compensating undo of a shot.
+	// Recovery resolves each shot's fate by this stamp in the shot's own
+	// partition log.
+	Global uint64
+	Shot   int32
 }
 
 // LSN is a log sequence number: the byte offset just past the record.
@@ -582,7 +615,17 @@ func encodePayload(dst []byte, r Record) []byte {
 	switch r.Type {
 	case TBegin:
 		putString(r.TxnType)
-	case TStepBegin, TCompBegin:
+		if r.Global != 0 {
+			// Shot stamp: appended only when present, so unstamped begin
+			// records keep the pre-partition layout byte for byte.
+			payload = binary.AppendUvarint(payload, r.Global)
+			payload = binary.AppendVarint(payload, int64(r.Shot))
+		}
+	case TCoordBegin:
+		putString(r.TxnType)
+		payload = binary.AppendUvarint(payload, uint64(len(r.WorkArea)))
+		payload = append(payload, r.WorkArea...)
+	case TStepBegin, TCompBegin, TCoordShot:
 		payload = binary.AppendVarint(payload, int64(r.Step))
 	case TWrite:
 		putString(r.Table)
@@ -593,7 +636,7 @@ func encodePayload(dst []byte, r Record) []byte {
 		payload = binary.AppendVarint(payload, int64(r.Step))
 		payload = binary.AppendUvarint(payload, uint64(len(r.WorkArea)))
 		payload = append(payload, r.WorkArea...)
-	case TCommit, TAbort, TCompDone:
+	case TCommit, TAbort, TCompDone, TCoordCommit, TCoordAbort:
 	default:
 		panic(fmt.Sprintf("wal: encoding unknown record type %d", r.Type))
 	}
@@ -760,8 +803,32 @@ func decodeRecord(p []byte) (Record, error) {
 	var err error
 	switch r.Type {
 	case TBegin:
-		r.TxnType, err = getString()
-	case TStepBegin, TCompBegin:
+		if r.TxnType, err = getString(); err != nil {
+			return r, err
+		}
+		if len(p) > 0 {
+			// Optional shot stamp (multi-shot coordinator, DESIGN.md §16).
+			g, n := binary.Uvarint(p)
+			if n <= 0 {
+				return r, fmt.Errorf("bad shot global id")
+			}
+			p = p[n:]
+			v, n2 := binary.Varint(p)
+			if n2 <= 0 {
+				return r, fmt.Errorf("bad shot index")
+			}
+			r.Global, r.Shot = g, int32(v)
+		}
+	case TCoordBegin:
+		if r.TxnType, err = getString(); err != nil {
+			return r, err
+		}
+		l, n := binary.Uvarint(p)
+		if n <= 0 || l > uint64(len(p)) || n+int(l) > len(p) {
+			return r, fmt.Errorf("bad shot plan")
+		}
+		r.WorkArea = append([]byte(nil), p[n:n+int(l)]...)
+	case TStepBegin, TCompBegin, TCoordShot:
 		v, n := binary.Varint(p)
 		if n <= 0 {
 			return r, fmt.Errorf("bad step index")
@@ -792,7 +859,7 @@ func decodeRecord(p []byte) (Record, error) {
 			return r, fmt.Errorf("bad work area")
 		}
 		r.WorkArea = append([]byte(nil), p[n2:n2+int(l)]...)
-	case TCommit, TAbort, TCompDone:
+	case TCommit, TAbort, TCompDone, TCoordCommit, TCoordAbort:
 	default:
 		return r, fmt.Errorf("unknown record type %d", uint8(r.Type))
 	}

@@ -10,12 +10,16 @@
 // and every relative markdown link must point at something that exists, so a
 // refactor that moves a file fails CI until the docs move with it.
 //
-// The -boundary flag enforces import boundaries: each rule reads
-// dir=path;path, and no non-test file under dir may import any of the listed
-// package paths. The default rule keeps the scheduler honest about the SPI
-// seam — internal/core must reach its backends only through
-// accdb/internal/spi, never by importing accdb/internal/storage or
-// accdb/internal/lock directly.
+// The -boundary flag enforces import boundaries. A rule reads either
+// dir=path;path — no non-test file under dir may import any of the listed
+// package paths — or dir=only:path;path — files under dir may import no
+// module-internal package beyond the listed ones (an allowlist; imports from
+// outside the module are never restricted). The defaults keep the layering
+// honest: internal/core reaches its backends only through accdb/internal/spi
+// (never accdb/internal/storage or accdb/internal/lock directly), the
+// partition router sits strictly above the engine — it may import only the
+// spi/core/wal/trace/fault surface — and no backend may reach up into
+// internal/partition.
 //
 // Usage:
 //
@@ -36,13 +40,52 @@ import (
 	"strings"
 )
 
+// modulePrefix identifies module-internal import paths: allowlist
+// (dir=only:...) rules restrict only these, never standard-library or
+// external imports.
+const modulePrefix = "accdb/"
+
+// boundaryRule is one parsed -boundary rule: a deny-list of import paths,
+// or (allow) an allowlist of the only module-internal imports permitted.
+type boundaryRule struct {
+	allow bool
+	pkgs  []string
+}
+
+// violation reports why importing path breaks the rule, or "" if it is fine.
+func (br boundaryRule) violation(path string) string {
+	if br.allow {
+		if !strings.HasPrefix(path, modulePrefix) {
+			return ""
+		}
+		for _, p := range br.pkgs {
+			if path == p {
+				return ""
+			}
+		}
+		return "allowed imports: " + strings.Join(br.pkgs, ", ")
+	}
+	for _, p := range br.pkgs {
+		if path == p {
+			return "forbidden here"
+		}
+	}
+	return ""
+}
+
 func main() {
 	exported := flag.String("exported", "internal/lock,internal/core,internal/spi",
 		"comma-separated package dirs whose exported declarations must all be documented")
 	mdFiles := flag.String("md", "",
 		"comma-separated markdown files whose backticked repo paths and relative links must exist")
-	boundary := flag.String("boundary", "internal/core=accdb/internal/storage;accdb/internal/lock",
-		"comma-separated import-boundary rules, each dir=forbidden;forbidden (non-test files only)")
+	boundary := flag.String("boundary",
+		"internal/core=accdb/internal/storage;accdb/internal/lock,"+
+			"internal/partition=only:accdb/internal/spi;accdb/internal/core;accdb/internal/wal;accdb/internal/trace;accdb/internal/fault,"+
+			"internal/storage=accdb/internal/partition,"+
+			"internal/lock=accdb/internal/partition,"+
+			"internal/memstore=accdb/internal/partition,"+
+			"internal/backends=accdb/internal/partition",
+		"comma-separated import-boundary rules, dir=forbidden;forbidden or dir=only:allowed;allowed (non-test files only)")
 	flag.Parse()
 	root := "."
 	if flag.NArg() > 0 {
@@ -56,21 +99,27 @@ func main() {
 		}
 	}
 
-	forbidden := make(map[string][]string) // package dir -> forbidden import paths
+	rules := make(map[string][]boundaryRule) // package dir -> boundary rules
 	for _, rule := range strings.Split(*boundary, ",") {
 		if rule = strings.TrimSpace(rule); rule == "" {
 			continue
 		}
 		dir, pkgs, ok := strings.Cut(rule, "=")
 		if !ok {
-			fmt.Fprintf(os.Stderr, "doccheck: bad -boundary rule %q (want dir=pkg;pkg)\n", rule)
+			fmt.Fprintf(os.Stderr, "doccheck: bad -boundary rule %q (want dir=pkg;pkg or dir=only:pkg;pkg)\n", rule)
 			os.Exit(2)
+		}
+		br := boundaryRule{}
+		if rest, found := strings.CutPrefix(pkgs, "only:"); found {
+			br.allow = true
+			pkgs = rest
 		}
 		for _, p := range strings.Split(pkgs, ";") {
 			if p = strings.TrimSpace(p); p != "" {
-				forbidden[filepath.Clean(dir)] = append(forbidden[filepath.Clean(dir)], p)
+				br.pkgs = append(br.pkgs, p)
 			}
 		}
+		rules[filepath.Clean(dir)] = append(rules[filepath.Clean(dir)], br)
 	}
 
 	files := map[string][]string{} // package dir -> non-test .go files
@@ -122,13 +171,14 @@ func main() {
 			if strict[dir] {
 				problems = append(problems, undocumented(fset, f)...)
 			}
-			for _, banned := range forbidden[dir] {
+			for _, br := range rules[dir] {
 				for _, imp := range f.Imports {
-					if strings.Trim(imp.Path.Value, `"`) == banned {
+					path := strings.Trim(imp.Path.Value, `"`)
+					if msg := br.violation(path); msg != "" {
 						p := fset.Position(imp.Pos())
 						problems = append(problems, fmt.Sprintf(
-							"%s:%d: import of %s crosses the %s boundary (use accdb/internal/spi)",
-							p.Filename, p.Line, banned, dir))
+							"%s:%d: import of %s crosses the %s boundary (%s)",
+							p.Filename, p.Line, path, dir, msg))
 					}
 				}
 			}
